@@ -1,0 +1,85 @@
+//! Criterion micro-benches for ontology resolution (E6 companion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dimmer_core::{BuildingId, DeviceId, DistrictId, QuantityKind, Uri};
+use gis::geo::{BoundingBox, GeoPoint};
+use ontology::{DeviceLeaf, EntityNode, Ontology};
+use std::hint::black_box;
+
+fn build(buildings: usize, devices_per_building: usize) -> (Ontology, DistrictId) {
+    let district = DistrictId::new("bench").expect("valid");
+    let mut onto = Ontology::new();
+    onto.add_district(district.clone(), "Bench").expect("fresh");
+    let grid = (buildings as f64).sqrt().ceil() as usize;
+    for b in 0..buildings {
+        let lat = 45.0 + 0.001 * (b / grid) as f64;
+        let lon = 7.6 + 0.001 * (b % grid) as f64;
+        onto.add_building(
+            &district,
+            EntityNode::building(
+                BuildingId::new(format!("b{b}")).expect("valid"),
+                Uri::parse(&format!("sim://n{b}/model")).expect("valid"),
+            )
+            .with_location(GeoPoint::new(lat, lon)),
+        )
+        .expect("unique");
+        for v in 0..devices_per_building {
+            onto.add_device(
+                &district,
+                &format!("b{b}"),
+                DeviceLeaf::new(
+                    DeviceId::new(format!("b{b}-d{v}")).expect("valid"),
+                    "zigbee",
+                    if v % 2 == 0 {
+                        QuantityKind::Temperature
+                    } else {
+                        QuantityKind::ActivePower
+                    },
+                    Uri::parse(&format!("sim://n{b}x{v}/data").replace('x', "0"))
+                        .expect("valid"),
+                ),
+            )
+            .expect("entity exists");
+        }
+    }
+    (onto, district)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ontology_queries");
+    for &buildings in &[100usize, 1000] {
+        let (onto, district) = build(buildings, 10);
+        let small = BoundingBox::new(GeoPoint::new(45.0, 7.6), GeoPoint::new(45.002, 7.602));
+        let full = BoundingBox::new(GeoPoint::new(44.9, 7.5), GeoPoint::new(45.2, 7.8));
+        group.bench_function(format!("resolve_area_small/{buildings}b"), |b| {
+            b.iter(|| {
+                onto.resolve_area(black_box(&district), black_box(&small))
+                    .expect("exists")
+                    .entities
+                    .len()
+            })
+        });
+        group.bench_function(format!("resolve_area_full/{buildings}b"), |b| {
+            b.iter(|| {
+                onto.resolve_area(black_box(&district), black_box(&full))
+                    .expect("exists")
+                    .devices
+                    .len()
+            })
+        });
+        group.bench_function(format!("devices_by_quantity/{buildings}b"), |b| {
+            b.iter(|| {
+                onto.devices_by_quantity(black_box(&district), QuantityKind::Temperature)
+                    .expect("exists")
+                    .len()
+            })
+        });
+        group.bench_function(format!("find_device/{buildings}b"), |b| {
+            b.iter(|| onto.find_device(black_box("b0-d0")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro-benches for the protocol codecs (E3 companion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dimmer_core::QuantityKind;
+use protocols::device::{EnoceanSensor, Ieee802154Sensor, UplinkDevice, ZigbeeSensor};
+use protocols::enocean::{Eep, Erp1Telegram};
+use protocols::ieee802154::{MacFrame, PanId};
+use protocols::opcua::{AttributeId, DataValue, Message, NodeId, ReadValueId, Variant};
+use protocols::zigbee::ZigbeeFrame;
+use std::hint::black_box;
+
+fn bench_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_codecs");
+
+    let mut dev = Ieee802154Sensor::new(PanId(0x23), 0x42, QuantityKind::Temperature);
+    let frame = dev.emit(21.5);
+    group.bench_function("ieee802154/decode", |b| {
+        b.iter(|| MacFrame::decode(black_box(&frame)).expect("valid"))
+    });
+    let decoded = MacFrame::decode(&frame).expect("valid");
+    group.bench_function("ieee802154/encode", |b| b.iter(|| black_box(&decoded).encode()));
+
+    let mut dev = ZigbeeSensor::new(0x42, QuantityKind::Temperature);
+    let frame = dev.emit(21.5);
+    group.bench_function("zigbee/decode", |b| {
+        b.iter(|| ZigbeeFrame::decode(black_box(&frame)).expect("valid"))
+    });
+    let decoded = ZigbeeFrame::decode(&frame).expect("valid");
+    group.bench_function("zigbee/encode", |b| b.iter(|| black_box(&decoded).encode()));
+
+    let mut dev = EnoceanSensor::new(0xAB, Eep::A50401);
+    let packet = dev.emit(21.5);
+    group.bench_function("enocean/from_esp3", |b| {
+        b.iter(|| Erp1Telegram::from_esp3(black_box(&packet)).expect("valid"))
+    });
+    let telegram = Erp1Telegram::from_esp3(&packet).expect("valid");
+    group.bench_function("enocean/to_esp3", |b| b.iter(|| black_box(&telegram).to_esp3()));
+
+    let request = Message::ReadRequest {
+        nodes: vec![ReadValueId {
+            node_id: NodeId::string(1, "plant.thermal_energy"),
+            attribute: AttributeId::Value,
+        }],
+    };
+    let response = Message::ReadResponse {
+        results: vec![DataValue::good(Variant::Double(4321.0), 1_425_859_200_000)],
+    };
+    let request_bytes = request.encode();
+    let response_bytes = response.encode();
+    group.bench_function("opcua/decode_request", |b| {
+        b.iter(|| Message::decode(black_box(&request_bytes)).expect("valid"))
+    });
+    group.bench_function("opcua/decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&response_bytes)).expect("valid"))
+    });
+    group.bench_function("opcua/encode_response", |b| b.iter(|| black_box(&response).encode()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_frames);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benches for topic matching (E8 companion): the
+//! subscription trie against a linear filter scan — the design choice
+//! DESIGN.md calls out for the broker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pubsub::{SubscriptionTrie, Topic, TopicFilter};
+use std::hint::black_box;
+
+fn filters(n: usize) -> Vec<TopicFilter> {
+    (0..n)
+        .map(|i| {
+            let text = match i % 4 {
+                0 => format!("district/d{}/entity/b{}/device/dev{}/temperature", i % 3, i % 50, i),
+                1 => format!("district/d{}/#", i % 3),
+                2 => format!("district/+/entity/b{}/#", i % 50),
+                _ => "district/+/entity/+/device/+/active_power".to_owned(),
+            };
+            TopicFilter::new(text).expect("valid filter")
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topic_matching");
+    let topic =
+        Topic::new("district/d1/entity/b17/device/dev17/temperature").expect("valid topic");
+    for &n in &[10usize, 100, 1000] {
+        let fs = filters(n);
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in fs.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        group.bench_function(format!("trie/{n}_subs"), |b| {
+            b.iter(|| trie.matches(black_box(&topic)).len())
+        });
+        group.bench_function(format!("linear/{n}_subs"), |b| {
+            b.iter(|| {
+                fs.iter()
+                    .filter(|f| f.matches(black_box(&topic)))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

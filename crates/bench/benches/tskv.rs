@@ -1,0 +1,52 @@
+//! Criterion micro-benches for the Device-proxy local store (E7
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use storage::tskv::{Aggregate, TimeSeriesStore};
+
+fn filled(points: usize) -> TimeSeriesStore {
+    let mut store = TimeSeriesStore::new();
+    for p in 0..points {
+        store.insert("dev:temperature", p as i64 * 60_000, 20.0 + (p % 50) as f64 * 0.1);
+    }
+    store
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tskv");
+    for &points in &[1_000usize, 100_000] {
+        let store = filled(points);
+        let end = points as i64 * 60_000;
+        group.bench_function(format!("insert/{points}_existing"), |b| {
+            b.iter_batched(
+                || store.clone(),
+                |mut s| s.insert("dev:temperature", end + 1, 21.0),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("range_1h/{points}_points"), |b| {
+            b.iter(|| store.range("dev:temperature", black_box(end - 3_600_000), end).len())
+        });
+        group.bench_function(format!("downsample_24h/{points}_points"), |b| {
+            b.iter(|| {
+                store
+                    .downsample(
+                        "dev:temperature",
+                        black_box(end - 86_400_000),
+                        end,
+                        3_600_000,
+                        Aggregate::Mean,
+                    )
+                    .len()
+            })
+        });
+        group.bench_function(format!("latest/{points}_points"), |b| {
+            b.iter(|| store.latest(black_box("dev:temperature")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

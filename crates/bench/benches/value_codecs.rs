@@ -1,0 +1,58 @@
+//! Criterion micro-benches for the common-data-format codecs (E4
+//! companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dimmer_core::codec::{self, DataFormat};
+use dimmer_core::{DeviceId, Measurement, MeasurementBatch, QuantityKind, Timestamp};
+use std::hint::black_box;
+
+fn batch(n: usize) -> MeasurementBatch {
+    (0..n)
+        .map(|i| {
+            Measurement::new(
+                DeviceId::new(format!("dev-{i}")).expect("valid"),
+                QuantityKind::ActivePower,
+                412.5 + i as f64,
+                QuantityKind::ActivePower.canonical_unit(),
+                Timestamp::from_unix_millis(1_425_859_200_000 + i as i64 * 60_000),
+            )
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("value_codecs");
+    for &n in &[10usize, 100] {
+        let value = batch(n).to_value();
+        for format in DataFormat::all() {
+            let text = codec::encode_value(&value, format);
+            group.bench_function(format!("encode/{format}/batch_{n}"), |b| {
+                b.iter(|| codec::encode_value(black_box(&value), format))
+            });
+            group.bench_function(format!("decode/{format}/batch_{n}"), |b| {
+                b.iter(|| codec::decode_value(black_box(&text), format).expect("valid"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_measurement_round_trip(c: &mut Criterion) {
+    let m = Measurement::new(
+        DeviceId::new("dev-1").expect("valid"),
+        QuantityKind::Temperature,
+        21.5,
+        QuantityKind::Temperature.canonical_unit(),
+        Timestamp::from_unix_millis(1_425_859_200_000),
+    );
+    c.bench_function("measurement/to_value+from_value", |b| {
+        b.iter_batched(
+            || m.clone(),
+            |m| Measurement::from_value(&m.to_value()).expect("round trip"),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_codecs, bench_measurement_round_trip);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! E3 — interoperability overhead per protocol.
+//!
+//! Claim tested: the dedicated layer's translation (native frame →
+//! common data format) is cheap enough to run per sample at the edge.
+//! Measures wall-clock decode+translate cost for each protocol family
+//! and the resulting common-format JSON size.
+
+use bench_support::time_it;
+use dimmer_core::codec::{self, DataFormat};
+use dimmer_core::{DeviceId, Measurement, QuantityKind, Timestamp};
+use district::report::{fmt_f64, Table};
+use protocols::device::{
+    EnoceanSensor, Ieee802154Sensor, OpcUaFieldServer, UplinkDevice, ZigbeeSensor,
+};
+use protocols::enocean::Eep;
+use protocols::ieee802154::PanId;
+use protocols::opcua::{AttributeId, Message, ReadValueId};
+use proxy::adapters::{
+    DeviceAdapter, EnoceanAdapter, Ieee802154Adapter, OpcUaAdapter, ZigbeeAdapter,
+};
+
+const ITERATIONS: u32 = 20_000;
+
+fn measure_push(
+    name: &str,
+    frame: Vec<u8>,
+    mut adapter: Box<dyn DeviceAdapter>,
+    table: &mut Table,
+) {
+    // decode + translate to a common-format measurement string
+    let (_, ns) = time_it(ITERATIONS, || {
+        let samples = adapter.decode_uplink(&frame).expect("valid frame");
+        samples
+            .iter()
+            .map(|&(q, v)| {
+                codec::encode_measurement(
+                    &Measurement::new(
+                        DeviceId::new("bench-dev").expect("valid"),
+                        q,
+                        v,
+                        q.canonical_unit(),
+                        Timestamp::EPOCH,
+                    ),
+                    DataFormat::Json,
+                )
+                .len()
+            })
+            .sum::<usize>()
+    });
+    let samples = adapter.decode_uplink(&frame).expect("valid frame");
+    let json_len: usize = samples
+        .iter()
+        .map(|&(q, v)| {
+            codec::encode_measurement(
+                &Measurement::new(
+                    DeviceId::new("bench-dev").expect("valid"),
+                    q,
+                    v,
+                    q.canonical_unit(),
+                    Timestamp::EPOCH,
+                ),
+                DataFormat::Json,
+            )
+            .len()
+        })
+        .sum();
+    table.row([
+        name.to_owned(),
+        frame.len().to_string(),
+        samples.len().to_string(),
+        json_len.to_string(),
+        fmt_f64(ns, 0),
+        fmt_f64(1e9 / ns, 0),
+    ]);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E3: per-protocol frame decode + translation cost",
+        [
+            "protocol",
+            "frame_bytes",
+            "samples_per_frame",
+            "json_bytes",
+            "ns_per_frame",
+            "frames_per_s",
+        ],
+    );
+
+    let mut dev = Ieee802154Sensor::new(PanId(0x23), 0x42, QuantityKind::Temperature);
+    measure_push(
+        "ieee802154",
+        dev.emit(21.5),
+        Box::new(Ieee802154Adapter::new(PanId(0x23), 0x42)),
+        &mut table,
+    );
+
+    let mut dev = ZigbeeSensor::new(0x42, QuantityKind::Temperature);
+    measure_push(
+        "zigbee",
+        dev.emit(21.5),
+        Box::new(ZigbeeAdapter::new(0x42)),
+        &mut table,
+    );
+
+    let mut dev = EnoceanSensor::new(0xAB, Eep::A50401);
+    measure_push(
+        "enocean(A5-04-01)",
+        dev.emit(21.5),
+        Box::new(EnoceanAdapter::new(0xAB, Eep::A50401)),
+        &mut table,
+    );
+
+    // OPC UA: the polled path (request encode + response decode).
+    let mut server = OpcUaFieldServer::new(QuantityKind::ThermalEnergy);
+    server.update(4321.0, 0);
+    let request = Message::ReadRequest {
+        nodes: vec![ReadValueId {
+            node_id: server.value_node().clone(),
+            attribute: AttributeId::Value,
+        }],
+    }
+    .encode();
+    let response = server.handle_bytes(&request).expect("server answers");
+    let mut adapter =
+        OpcUaAdapter::new(server.value_node().clone(), QuantityKind::ThermalEnergy);
+    let (_, ns) = time_it(ITERATIONS, || {
+        let samples = adapter.decode_poll(&response).expect("valid response");
+        samples
+            .iter()
+            .map(|&(q, v)| {
+                codec::encode_measurement(
+                    &Measurement::new(
+                        DeviceId::new("bench-dev").expect("valid"),
+                        q,
+                        v,
+                        q.canonical_unit(),
+                        Timestamp::EPOCH,
+                    ),
+                    DataFormat::Json,
+                )
+                .len()
+            })
+            .sum::<usize>()
+    });
+    table.row([
+        "opcua(poll)".to_owned(),
+        response.len().to_string(),
+        "1".to_owned(),
+        codec::encode_measurement(
+            &Measurement::new(
+                DeviceId::new("bench-dev").expect("valid"),
+                QuantityKind::ThermalEnergy,
+                4321.0,
+                QuantityKind::ThermalEnergy.canonical_unit(),
+                Timestamp::EPOCH,
+            ),
+            DataFormat::Json,
+        )
+        .len()
+        .to_string(),
+        fmt_f64(ns, 0),
+        fmt_f64(1e9 / ns, 0),
+    ]);
+
+    // CoAP: the second polled path.
+    let mut coap_server = protocols::device::CoapFieldServer::new(QuantityKind::Co2);
+    coap_server.update(417.0, 0);
+    let mut coap_adapter = proxy::adapters::CoapAdapter::new(QuantityKind::Co2);
+    let poll = coap_adapter.poll_request().expect("coap polls");
+    let response = coap_server.handle_bytes(&poll).expect("server answers");
+    let (_, ns) = time_it(ITERATIONS, || {
+        let samples = coap_adapter.decode_poll(&response).expect("valid response");
+        samples
+            .iter()
+            .map(|&(q, v)| {
+                codec::encode_measurement(
+                    &Measurement::new(
+                        DeviceId::new("bench-dev").expect("valid"),
+                        q,
+                        v,
+                        q.canonical_unit(),
+                        Timestamp::EPOCH,
+                    ),
+                    DataFormat::Json,
+                )
+                .len()
+            })
+            .sum::<usize>()
+    });
+    table.row([
+        "coap(poll)".to_owned(),
+        response.len().to_string(),
+        "1".to_owned(),
+        codec::encode_measurement(
+            &Measurement::new(
+                DeviceId::new("bench-dev").expect("valid"),
+                QuantityKind::Co2,
+                417.0,
+                QuantityKind::Co2.canonical_unit(),
+                Timestamp::EPOCH,
+            ),
+            DataFormat::Json,
+        )
+        .len()
+        .to_string(),
+        fmt_f64(ns, 0),
+        fmt_f64(1e9 / ns, 0),
+    ]);
+
+    println!("{table}");
+    println!("# series (csv)\n{}", table.to_csv());
+}

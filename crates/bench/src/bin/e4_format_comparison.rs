@@ -1,0 +1,74 @@
+//! E4 — open-format cost: JSON vs XML.
+//!
+//! Claim tested: "the use of open standard data formats allows an easier
+//! integration" — at a quantifiable serialization cost. Measures size
+//! and encode/decode time of both formats over the payloads the
+//! infrastructure actually moves: single measurements, measurement
+//! batches, BIM models and area resolutions.
+
+use bench_support::time_it;
+use dimmer_core::codec::{self, DataFormat};
+use dimmer_core::{DeviceId, Measurement, MeasurementBatch, QuantityKind, Timestamp, Value};
+use district::report::{fmt_f64, Table};
+use models::bim::BuildingModel;
+
+const ITERATIONS: u32 = 5_000;
+
+fn batch(n: usize) -> MeasurementBatch {
+    (0..n)
+        .map(|i| {
+            Measurement::new(
+                DeviceId::new(format!("dev-{i}")).expect("valid"),
+                QuantityKind::ActivePower,
+                412.5 + i as f64,
+                QuantityKind::ActivePower.canonical_unit(),
+                Timestamp::from_unix_millis(1_425_859_200_000 + i as i64 * 60_000),
+            )
+        })
+        .collect()
+}
+
+fn row(table: &mut Table, payload: &str, value: &Value) {
+    for format in DataFormat::all() {
+        let text = codec::encode_value(value, format);
+        let (_, enc_ns) = time_it(ITERATIONS, || codec::encode_value(value, format).len());
+        let (_, dec_ns) = time_it(ITERATIONS, || {
+            codec::decode_value(&text, format).expect("round trip")
+        });
+        table.row([
+            payload.to_owned(),
+            format.to_string(),
+            text.len().to_string(),
+            fmt_f64(enc_ns / 1e3, 1),
+            fmt_f64(dec_ns / 1e3, 1),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E4: JSON vs XML over real payloads",
+        ["payload", "format", "bytes", "encode_us", "decode_us"],
+    );
+
+    let single = batch(1).iter().next().expect("one").to_value();
+    row(&mut table, "measurement", &single);
+    row(&mut table, "batch_10", &batch(10).to_value());
+    row(&mut table, "batch_100", &batch(100).to_value());
+    row(&mut table, "batch_1000", &batch(1000).to_value());
+
+    let bim = BuildingModel::sample(
+        &dimmer_core::BuildingId::new("bench-b").expect("valid"),
+        4,
+        6,
+    );
+    row(&mut table, "bim_model", &bim.to_value());
+
+    println!("{table}");
+    println!("# series (csv)\n{}", table.to_csv());
+
+    // Size ratio summary (the paper-level takeaway).
+    let json = codec::encode_value(&batch(100).to_value(), DataFormat::Json).len() as f64;
+    let xml = codec::encode_value(&batch(100).to_value(), DataFormat::Xml).len() as f64;
+    println!("xml/json size ratio on batch_100: {:.2}", xml / json);
+}

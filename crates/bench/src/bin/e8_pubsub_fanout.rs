@@ -1,0 +1,145 @@
+//! E8 — publish/subscribe fan-out.
+//!
+//! Claim tested: the event-driven middleware delivers to many
+//! subscribers without the publisher knowing them. Measures delivery
+//! latency and broker load as the subscriber population grows, with
+//! exact and wildcard filters.
+
+use district::report::{fmt_f64, Table};
+use pubsub::{BrokerNode, PubSubClient, PubSubEvent, QoS, Topic, TopicFilter, PUBSUB_PORT};
+use simnet::stats::Summary;
+use simnet::{
+    Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag,
+};
+
+struct Sub {
+    client: PubSubClient,
+    filter: &'static str,
+    received: Vec<SimTime>,
+}
+
+impl Node for Sub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.client.subscribe(
+            ctx,
+            TopicFilter::new(self.filter).expect("valid filter"),
+            QoS::AtMostOnce,
+        );
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port == PUBSUB_PORT {
+            if let Some(PubSubEvent::Message { .. }) = self.client.accept(ctx, &pkt) {
+                self.received.push(ctx.now());
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        self.client.on_timer(ctx, tag);
+    }
+}
+
+struct Pub {
+    client: PubSubClient,
+    publish_at: SimTime,
+    published_at: Option<SimTime>,
+}
+
+impl Node for Pub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer_at(self.publish_at, TimerTag(1));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.client.accept(ctx, &pkt);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TimerTag(1) {
+            self.published_at = Some(ctx.now());
+            self.client.publish(
+                ctx,
+                Topic::new("district/d0/entity/b0/device/dev0/temperature").expect("valid"),
+                b"{\"value\":21.5}".to_vec(),
+                false,
+                QoS::AtMostOnce,
+            );
+        } else {
+            self.client.on_timer(ctx, tag);
+        }
+    }
+}
+
+fn run(subscribers: usize, wildcard_fraction: usize) -> (f64, f64, u64) {
+    let mut sim = Simulator::new(SimConfig::default());
+    let broker = sim.add_node("broker", BrokerNode::new());
+    let subs: Vec<NodeId> = (0..subscribers)
+        .map(|i| {
+            let filter = if wildcard_fraction > 0 && i % wildcard_fraction == 0 {
+                "district/+/entity/+/device/+/temperature"
+            } else {
+                "district/d0/entity/b0/device/dev0/temperature"
+            };
+            sim.add_node(
+                format!("sub{i}"),
+                Sub {
+                    client: PubSubClient::new(broker, 100),
+                    filter,
+                    received: vec![],
+                },
+            )
+        })
+        .collect();
+    let publisher = sim.add_node(
+        "pub",
+        Pub {
+            client: PubSubClient::new(broker, 100),
+            publish_at: SimTime::from_secs(1),
+            published_at: None,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(10));
+    let t0 = sim
+        .node_ref::<Pub>(publisher)
+        .expect("publisher")
+        .published_at
+        .expect("published");
+    let mut latency = Summary::new("deliver");
+    let mut delivered = 0usize;
+    for &s in &subs {
+        for &t in &sim.node_ref::<Sub>(s).expect("sub").received {
+            latency.record_duration(t.saturating_since(t0));
+            delivered += 1;
+        }
+    }
+    let broker_stats = sim.node_ref::<BrokerNode>(broker).expect("broker").stats();
+    (
+        latency.mean(),
+        delivered as f64 / subscribers as f64,
+        broker_stats.delivered,
+    )
+}
+
+fn main() {
+    let mut table = Table::new(
+        "E8: pub/sub fan-out (single publication)",
+        [
+            "subscribers",
+            "wildcards",
+            "deliveries",
+            "coverage",
+            "mean_latency_ms",
+        ],
+    );
+    for &subscribers in &[1usize, 10, 100, 500, 1000] {
+        for &(label, wf) in &[("none", 0usize), ("1_in_4", 4)] {
+            let (mean_ms, coverage, deliveries) = run(subscribers, wf);
+            table.row([
+                subscribers.to_string(),
+                label.to_owned(),
+                deliveries.to_string(),
+                fmt_f64(coverage, 2),
+                fmt_f64(mean_ms, 3),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("# series (csv)\n{}", table.to_csv());
+}

@@ -1,0 +1,170 @@
+//! Format-agnostic encode/decode entry points.
+//!
+//! The infrastructure lets every client pick its open-standard encoding —
+//! JSON or XML — per request (`?fmt=`). This module is the single switch
+//! point so higher layers never match on the format themselves.
+
+use std::fmt;
+
+use crate::{json, xml, CoreError, Measurement, MeasurementBatch, Value};
+
+/// An open-standard encoding of the common data format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DataFormat {
+    /// JSON (RFC 8259), the default.
+    #[default]
+    Json,
+    /// The XML dialect of [`crate::xml`].
+    Xml,
+}
+
+impl DataFormat {
+    /// The lowercase name used in `fmt=` query parameters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DataFormat::Json => "json",
+            DataFormat::Xml => "xml",
+        }
+    }
+
+    /// Parses a `fmt=` query value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownSymbol`] for anything but `json`/`xml`.
+    pub fn parse(s: &str) -> Result<Self, CoreError> {
+        match s {
+            "json" => Ok(DataFormat::Json),
+            "xml" => Ok(DataFormat::Xml),
+            other => Err(CoreError::UnknownSymbol {
+                vocabulary: "data format",
+                symbol: other.to_owned(),
+            }),
+        }
+    }
+
+    /// Both formats.
+    pub fn all() -> [DataFormat; 2] {
+        [DataFormat::Json, DataFormat::Xml]
+    }
+}
+
+impl fmt::Display for DataFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Encodes a value in the chosen format.
+pub fn encode_value(value: &Value, format: DataFormat) -> String {
+    match format {
+        DataFormat::Json => json::to_string(value),
+        DataFormat::Xml => xml::to_string(value),
+    }
+}
+
+/// Decodes text in the chosen format.
+///
+/// # Errors
+///
+/// Returns the format's parse error.
+pub fn decode_value(text: &str, format: DataFormat) -> Result<Value, CoreError> {
+    match format {
+        DataFormat::Json => json::from_str(text),
+        DataFormat::Xml => xml::from_str(text),
+    }
+}
+
+/// Encodes a measurement in the chosen format.
+pub fn encode_measurement(m: &Measurement, format: DataFormat) -> String {
+    encode_value(&m.to_value(), format)
+}
+
+/// Decodes a measurement from text in the chosen format.
+///
+/// # Errors
+///
+/// Returns a parse error or a [`CoreError::Shape`] error.
+pub fn decode_measurement(text: &str, format: DataFormat) -> Result<Measurement, CoreError> {
+    Measurement::from_value(&decode_value(text, format)?)
+}
+
+/// Encodes a measurement batch in the chosen format.
+pub fn encode_batch(batch: &MeasurementBatch, format: DataFormat) -> String {
+    encode_value(&batch.to_value(), format)
+}
+
+/// Decodes a measurement batch from text in the chosen format.
+///
+/// # Errors
+///
+/// Returns a parse error or a [`CoreError::Shape`] error.
+pub fn decode_batch(
+    text: &str,
+    format: DataFormat,
+) -> Result<MeasurementBatch, CoreError> {
+    MeasurementBatch::from_value(&decode_value(text, format)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeviceId, QuantityKind, Timestamp, Unit};
+
+    fn sample() -> Measurement {
+        Measurement::new(
+            DeviceId::new("dev-9").unwrap(),
+            QuantityKind::Co2,
+            417.0,
+            Unit::PartsPerMillion,
+            Timestamp::from_unix_seconds(1_425_900_000),
+        )
+    }
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in DataFormat::all() {
+            assert_eq!(DataFormat::parse(f.as_str()).unwrap(), f);
+        }
+        assert!(DataFormat::parse("yaml").is_err());
+        assert_eq!(DataFormat::default(), DataFormat::Json);
+    }
+
+    #[test]
+    fn measurement_round_trips_in_both_formats() {
+        let m = sample();
+        for f in DataFormat::all() {
+            let text = encode_measurement(&m, f);
+            assert_eq!(decode_measurement(&text, f).unwrap(), m, "{f}");
+        }
+    }
+
+    #[test]
+    fn batch_round_trips_in_both_formats() {
+        let batch: MeasurementBatch = (0..3).map(|_| sample()).collect();
+        for f in DataFormat::all() {
+            let text = encode_batch(&batch, f);
+            assert_eq!(decode_batch(&text, f).unwrap(), batch, "{f}");
+        }
+    }
+
+    #[test]
+    fn cross_format_decode_fails_cleanly() {
+        let m = sample();
+        let as_json = encode_measurement(&m, DataFormat::Json);
+        assert!(decode_measurement(&as_json, DataFormat::Xml).is_err());
+        let as_xml = encode_measurement(&m, DataFormat::Xml);
+        assert!(decode_measurement(&as_xml, DataFormat::Json).is_err());
+    }
+
+    #[test]
+    fn value_switch_points_agree_with_direct_codecs() {
+        let v = Value::object([("x", Value::from(1))]);
+        assert_eq!(encode_value(&v, DataFormat::Json), json::to_string(&v));
+        assert_eq!(encode_value(&v, DataFormat::Xml), xml::to_string(&v));
+        assert_eq!(
+            decode_value(&json::to_string(&v), DataFormat::Json).unwrap(),
+            v
+        );
+    }
+}

@@ -1,0 +1,553 @@
+//! JSON encoding of the common data format.
+//!
+//! A complete, dependency-free JSON writer and recursive-descent parser
+//! for [`Value`]. The paper names JSON as one of the two open standards
+//! proxies translate into; owning the codec keeps the translation cost
+//! measurable (experiment E4).
+//!
+//! Conformance notes: the writer emits UTF-8 with minimal escaping; the
+//! parser accepts RFC 8259 JSON with the usual limits (numbers are `i64`
+//! when lossless, `f64` otherwise; `\uXXXX` escapes including surrogate
+//! pairs are decoded; duplicate keys keep the last occurrence).
+
+use std::collections::BTreeMap;
+
+use crate::{CoreError, Value};
+
+/// Serializes a value as compact JSON.
+///
+/// ```
+/// use dimmer_core::{json, Value};
+/// let v = Value::object([("t", Value::from(21.5))]);
+/// assert_eq!(json::to_string(&v), r#"{"t":21.5}"#);
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::with_capacity(128);
+    write_value(value, &mut out);
+    out
+}
+
+/// Serializes a value as human-readable JSON with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::with_capacity(256);
+    write_pretty(value, &mut out, 0);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => write_float(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(value: &Value, out: &mut String, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(item, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_string(k, out);
+                out.push_str(": ");
+                write_pretty(v, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_float(f: f64, out: &mut String) {
+    if f.is_infinite() {
+        // JSON has no infinity; clamp to the largest finite value.
+        out.push_str(if f > 0.0 { "1.7976931348623157e308" } else { "-1.7976931348623157e308" });
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep a trailing ".0" so the value round-trips as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        let text = format!("{f}");
+        out.push_str(&text);
+        // Very large integral floats format without '.' or 'e'; mark them
+        // as floats so they do not reparse as integers.
+        if !text.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::ParseJson`] with the byte offset of the first
+/// violation.
+pub fn from_str(text: &str) -> Result<Value, CoreError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, reason: impl Into<String>) -> CoreError {
+        CoreError::ParseJson {
+            offset: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), CoreError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, CoreError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, CoreError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid keyword (expected {word})")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, CoreError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, CoreError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, CoreError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                s.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?,
+                );
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => {
+                    let esc = self.bump().ok_or_else(|| self.err("unterminated escape"))?;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0C}'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("invalid escape \\{}", other as char))
+                            )
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("raw control character in string"))
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, CoreError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, CoreError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        let f: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
+        if f.is_nan() || f.is_infinite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Value::Float(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let text = to_string(v);
+        let back = from_str(&text).unwrap();
+        assert_eq!(&back, v, "compact: {text}");
+        let pretty = to_string_pretty(v);
+        let back = from_str(&pretty).unwrap();
+        assert_eq!(&back, v, "pretty: {pretty}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Int(i64::MIN),
+            Value::Float(1.5),
+            Value::Float(-0.001),
+            Value::Float(1e300),
+            Value::Str(String::new()),
+            Value::Str("plain".into()),
+            Value::Str("esc \" \\ \n \t \r \u{08} \u{0C} ü 🌍".into()),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&Value::array([]));
+        round_trip(&Value::object::<&str, _>([]));
+        round_trip(&Value::object([
+            ("a", Value::array([Value::from(1), Value::Null])),
+            ("b", Value::object([("c", Value::from("d"))])),
+        ]));
+    }
+
+    #[test]
+    fn float_integers_stay_floats() {
+        let v = Value::Float(4.0);
+        let text = to_string(&v);
+        assert_eq!(text, "4.0");
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v = from_str(" { \"a\" : [ 1 , 2.5 , \"x\" ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.pointer("a/1").and_then(Value::as_f64), Some(2.5));
+        assert!(v.get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(
+            from_str(r#""Aé🌍""#).unwrap(),
+            Value::Str("Aé🌍".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "--1",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\ud800\"",
+            "[1] trailing",
+            "+1",
+            "'single'",
+            "\u{0}",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = from_str("[1, x]").unwrap_err();
+        match err {
+            CoreError::ParseJson { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let mut text = String::new();
+        for _ in 0..200 {
+            text.push('[');
+        }
+        for _ in 0..200 {
+            text.push(']');
+        }
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_keep_last() {
+        let v = from_str(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        let v = from_str("123456789012345678901234567890").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::object([("a", Value::array([Value::from(1)]))]);
+        let pretty = to_string_pretty(&v);
+        assert!(pretty.contains("\n  \"a\": [\n    1\n  ]\n"));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::Str("\u{01}".into());
+        assert_eq!(to_string(&v), "\"\\u0001\"");
+        round_trip(&v);
+    }
+}

@@ -1,0 +1,353 @@
+//! Measurements — the payload the whole infrastructure moves.
+
+use std::fmt;
+
+use crate::{CoreError, DeviceId, QuantityKind, Timestamp, Unit, Value};
+
+/// One sample reported by a device, in the common data format.
+///
+/// ```
+/// use dimmer_core::{Measurement, DeviceId, QuantityKind, Unit, Timestamp};
+/// # fn main() -> Result<(), dimmer_core::CoreError> {
+/// let m = Measurement::new(
+///     DeviceId::new("dev-1")?,
+///     QuantityKind::ActivePower,
+///     1.2,
+///     Unit::Kilowatt,
+///     Timestamp::from_unix_seconds(1_000_000),
+/// );
+/// // Normalization converts to the quantity's canonical unit.
+/// let n = m.normalized()?;
+/// assert_eq!(n.unit(), Unit::Watt);
+/// assert_eq!(n.value(), 1200.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    device: DeviceId,
+    quantity: QuantityKind,
+    value: f64,
+    unit: Unit,
+    timestamp: Timestamp,
+}
+
+impl Measurement {
+    /// Creates a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or if `unit`'s dimension does not match
+    /// `quantity` — both indicate a bug in the calling translation layer,
+    /// not bad external data (translators validate before constructing).
+    pub fn new(
+        device: DeviceId,
+        quantity: QuantityKind,
+        value: f64,
+        unit: Unit,
+        timestamp: Timestamp,
+    ) -> Self {
+        assert!(!value.is_nan(), "measurement value must not be NaN");
+        assert!(
+            quantity.accepts(unit),
+            "unit {unit} has the wrong dimension for {quantity}"
+        );
+        Measurement {
+            device,
+            quantity,
+            value,
+            unit,
+            timestamp,
+        }
+    }
+
+    /// The reporting device.
+    pub fn device(&self) -> &DeviceId {
+        &self.device
+    }
+
+    /// The observed phenomenon.
+    pub fn quantity(&self) -> QuantityKind {
+        self.quantity
+    }
+
+    /// The numeric value, in [`Measurement::unit`].
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The unit of [`Measurement::value`].
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// When the sample was taken.
+    pub fn timestamp(&self) -> Timestamp {
+        self.timestamp
+    }
+
+    /// Returns the measurement converted to its quantity's canonical unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleUnits`] only if the type-level
+    /// invariant was somehow violated; for values constructed through
+    /// [`Measurement::new`] this cannot happen.
+    pub fn normalized(&self) -> Result<Measurement, CoreError> {
+        let target = self.quantity.canonical_unit();
+        let value = self.unit.convert(self.value, target)?;
+        Ok(Measurement {
+            device: self.device.clone(),
+            quantity: self.quantity,
+            value,
+            unit: target,
+            timestamp: self.timestamp,
+        })
+    }
+
+    /// Translates to the common data format [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("device", Value::from(self.device.as_str())),
+            ("quantity", Value::from(self.quantity.as_str())),
+            ("value", Value::from(self.value)),
+            ("unit", Value::from(self.unit.symbol())),
+            ("timestamp", Value::from(self.timestamp.to_string())),
+        ])
+    }
+
+    /// Decodes a [`Value`] produced by [`Measurement::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] (or a more specific error) when the
+    /// value does not describe a measurement.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        const T: &str = "measurement";
+        let device = DeviceId::new(v.require_str(T, "device")?)?;
+        let quantity = QuantityKind::parse(v.require_str(T, "quantity")?)?;
+        let value = v.require_f64(T, "value")?;
+        let unit = Unit::parse(v.require_str(T, "unit")?)?;
+        let timestamp = Timestamp::parse(v.require_str(T, "timestamp")?)?;
+        if value.is_nan() {
+            return Err(CoreError::Shape {
+                target: T,
+                reason: "value is NaN".into(),
+            });
+        }
+        if !quantity.accepts(unit) {
+            return Err(CoreError::Shape {
+                target: T,
+                reason: format!("unit {unit} does not fit quantity {quantity}"),
+            });
+        }
+        Ok(Measurement {
+            device,
+            quantity,
+            value,
+            unit,
+            timestamp,
+        })
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}={} {} @ {}",
+            self.device, self.quantity, self.value, self.unit, self.timestamp
+        )
+    }
+}
+
+/// An ordered batch of measurements, as served by proxy data endpoints.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeasurementBatch {
+    items: Vec<Measurement>,
+}
+
+impl MeasurementBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        MeasurementBatch::default()
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, m: Measurement) {
+        self.items.push(m);
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the batch holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the measurements.
+    pub fn iter(&self) -> std::slice::Iter<'_, Measurement> {
+        self.items.iter()
+    }
+
+    /// Borrows the measurements as a slice.
+    pub fn as_slice(&self) -> &[Measurement] {
+        &self.items
+    }
+
+    /// Translates to the common data format.
+    pub fn to_value(&self) -> Value {
+        Value::object([(
+            "measurements",
+            Value::Array(self.items.iter().map(Measurement::to_value).collect()),
+        )])
+    }
+
+    /// Decodes a [`Value`] produced by [`MeasurementBatch::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Shape`] when the value has the wrong shape.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        let items = v
+            .require_array("measurement batch", "measurements")?
+            .iter()
+            .map(Measurement::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MeasurementBatch { items })
+    }
+}
+
+impl FromIterator<Measurement> for MeasurementBatch {
+    fn from_iter<I: IntoIterator<Item = Measurement>>(iter: I) -> Self {
+        MeasurementBatch {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Measurement> for MeasurementBatch {
+    fn extend<I: IntoIterator<Item = Measurement>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl IntoIterator for MeasurementBatch {
+    type Item = Measurement;
+    type IntoIter = std::vec::IntoIter<Measurement>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MeasurementBatch {
+    type Item = &'a Measurement;
+    type IntoIter = std::slice::Iter<'a, Measurement>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Measurement {
+        Measurement::new(
+            DeviceId::new("dev-1").unwrap(),
+            QuantityKind::Temperature,
+            21.5,
+            Unit::Celsius,
+            Timestamp::from_unix_seconds(1_425_900_000),
+        )
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let m = sample();
+        assert_eq!(Measurement::from_value(&m.to_value()).unwrap(), m);
+    }
+
+    #[test]
+    fn normalization_converts_units() {
+        let m = Measurement::new(
+            DeviceId::new("dev-2").unwrap(),
+            QuantityKind::ElectricalEnergy,
+            3.6,
+            Unit::Megajoule,
+            Timestamp::EPOCH,
+        );
+        let n = m.normalized().unwrap();
+        assert_eq!(n.unit(), Unit::KilowattHour);
+        assert!((n.value() - 1.0).abs() < 1e-9);
+        assert_eq!(n.device(), m.device());
+        assert_eq!(n.timestamp(), m.timestamp());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn unit_quantity_mismatch_panics() {
+        Measurement::new(
+            DeviceId::new("d").unwrap(),
+            QuantityKind::Temperature,
+            1.0,
+            Unit::Watt,
+            Timestamp::EPOCH,
+        );
+    }
+
+    #[test]
+    fn from_value_validates() {
+        let mut v = sample().to_value();
+        v.insert("unit", Value::from("W"));
+        let err = Measurement::from_value(&v).unwrap_err();
+        assert!(err.to_string().contains("does not fit"));
+
+        let mut v = sample().to_value();
+        v.insert("timestamp", Value::from("yesterday"));
+        assert!(Measurement::from_value(&v).is_err());
+
+        let v = Value::object([("device", Value::from("d"))]);
+        assert!(Measurement::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn batch_round_trip() {
+        let batch: MeasurementBatch = (0..5)
+            .map(|i| {
+                Measurement::new(
+                    DeviceId::new(format!("dev-{i}")).unwrap(),
+                    QuantityKind::ActivePower,
+                    100.0 * i as f64,
+                    Unit::Watt,
+                    Timestamp::from_unix_seconds(i),
+                )
+            })
+            .collect();
+        assert_eq!(batch.len(), 5);
+        let back = MeasurementBatch::from_value(&batch.to_value()).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn batch_extend_and_iterate() {
+        let mut batch = MeasurementBatch::new();
+        assert!(batch.is_empty());
+        batch.extend([sample()]);
+        batch.push(sample());
+        assert_eq!(batch.iter().count(), 2);
+        assert_eq!((&batch).into_iter().count(), 2);
+        assert_eq!(batch.into_iter().count(), 2);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = sample().to_string();
+        assert!(text.contains("dev-1"));
+        assert!(text.contains("temperature"));
+        assert!(text.contains("degC"));
+    }
+}

@@ -1,0 +1,638 @@
+//! XML encoding of the common data format.
+//!
+//! The paper offers XML as the second open-standard encoding next to
+//! JSON. [`Value`] trees map onto a small, self-describing XML dialect:
+//!
+//! ```xml
+//! <value type="object">
+//!   <member name="floors" type="int">4</member>
+//!   <member name="rooms" type="array">
+//!     <item type="string">r1</item>
+//!   </member>
+//! </value>
+//! ```
+//!
+//! Every element carries a `type` attribute (`null`, `bool`, `int`,
+//! `float`, `string`, `array`, `object`); object members carry `name`.
+//! The parser is a hand-written pull tokenizer that also skips XML
+//! declarations and comments, and decodes the five named entities plus
+//! numeric character references.
+
+use std::collections::BTreeMap;
+
+use crate::{CoreError, Value};
+
+/// Serializes a value as a compact XML document.
+///
+/// ```
+/// use dimmer_core::{xml, Value};
+/// let v = Value::from(4);
+/// assert_eq!(xml::to_string(&v), r#"<value type="int">4</value>"#);
+/// ```
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::with_capacity(128);
+    write_element(value, "value", None, &mut out);
+    out
+}
+
+/// Serializes a value as an XML document with a declaration and
+/// two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    write_element_pretty(value, "value", None, &mut out, 0);
+    out.push('\n');
+    out
+}
+
+fn type_name(value: &Value) -> &'static str {
+    value.type_name()
+}
+
+fn write_open(tag: &str, name: Option<&str>, ty: &'static str, out: &mut String) {
+    out.push('<');
+    out.push_str(tag);
+    if let Some(n) = name {
+        out.push_str(" name=\"");
+        escape_into(n, true, out);
+        out.push('"');
+    }
+    out.push_str(" type=\"");
+    out.push_str(ty);
+    out.push('"');
+}
+
+fn write_element(value: &Value, tag: &str, name: Option<&str>, out: &mut String) {
+    write_open(tag, name, type_name(value), out);
+    match value {
+        Value::Null => {
+            out.push_str("/>");
+        }
+        Value::Bool(b) => {
+            out.push('>');
+            out.push_str(if *b { "true" } else { "false" });
+            close(tag, out);
+        }
+        Value::Int(i) => {
+            out.push('>');
+            out.push_str(&i.to_string());
+            close(tag, out);
+        }
+        Value::Float(f) => {
+            out.push('>');
+            out.push_str(&float_text(*f));
+            close(tag, out);
+        }
+        Value::Str(s) => {
+            out.push('>');
+            escape_into(s, false, out);
+            close(tag, out);
+        }
+        Value::Array(items) => {
+            out.push('>');
+            for item in items {
+                write_element(item, "item", None, out);
+            }
+            close(tag, out);
+        }
+        Value::Object(map) => {
+            out.push('>');
+            for (k, v) in map {
+                write_element(v, "member", Some(k), out);
+            }
+            close(tag, out);
+        }
+    }
+}
+
+fn write_element_pretty(
+    value: &Value,
+    tag: &str,
+    name: Option<&str>,
+    out: &mut String,
+    indent: usize,
+) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            write_open(tag, name, "array", out);
+            out.push('>');
+            for item in items {
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_element_pretty(item, "item", None, out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            close(tag, out);
+        }
+        Value::Object(map) if !map.is_empty() => {
+            write_open(tag, name, "object", out);
+            out.push('>');
+            for (k, v) in map {
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_element_pretty(v, "member", Some(k), out, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            close(tag, out);
+        }
+        other => write_element(other, tag, name, out),
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn close(tag: &str, out: &mut String) {
+    out.push_str("</");
+    out.push_str(tag);
+    out.push('>');
+}
+
+fn float_text(f: f64) -> String {
+    if f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+fn escape_into(s: &str, attribute: bool, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if attribute => out.push_str("&quot;"),
+            c if (c as u32) < 0x20 && c != '\n' && c != '\t' && c != '\r' => {
+                out.push_str(&format!("&#x{:x};", c as u32));
+            }
+            '\n' | '\r' | '\t' if attribute => {
+                out.push_str(&format!("&#x{:x};", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parses an XML document in the dialect produced by [`to_string`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::ParseXml`] with the byte offset of the first
+/// violation.
+pub fn from_str(text: &str) -> Result<Value, CoreError> {
+    let mut p = XmlParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc();
+    let (value, tag) = p.parse_element(0)?;
+    if tag != "value" {
+        return Err(p.err(format!("root element must be <value>, got <{tag}>")));
+    }
+    p.skip_misc();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value.value)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Named {
+    value: Value,
+    name: Option<String>,
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl XmlParser<'_> {
+    fn err(&self, reason: impl Into<String>) -> CoreError {
+        CoreError::ParseXml {
+            offset: self.pos,
+            reason: reason.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, the XML declaration and comments.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                match self.bytes[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else if self.starts_with("<!--") {
+                match self.bytes[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => {
+                        self.pos = self.bytes.len();
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, CoreError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8(self.bytes[start..self.pos].to_vec())
+            .expect("name bytes are ascii"))
+    }
+
+    /// Parses one element, returning the value and the element tag.
+    fn parse_element(&mut self, depth: usize) -> Result<(Named, String), CoreError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let tag = self.parse_name()?;
+        let mut name_attr: Option<String> = None;
+        let mut type_attr: Option<String> = None;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    // Self-closing element: only valid for null.
+                    let ty = type_attr.as_deref().unwrap_or("null");
+                    if ty != "null" {
+                        return Err(self.err("self-closing element must be type=\"null\""));
+                    }
+                    return Ok((
+                        Named {
+                            value: Value::Null,
+                            name: name_attr,
+                        },
+                        tag,
+                    ));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek();
+                    if quote != Some(b'"') && quote != Some(b'\'') {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    let quote = quote.expect("peeked");
+                    self.pos += 1;
+                    let raw_start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[raw_start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let decoded = self.decode_entities(raw)?;
+                    self.pos += 1;
+                    match attr.as_str() {
+                        "name" => name_attr = Some(decoded),
+                        "type" => type_attr = Some(decoded),
+                        _ => {} // unknown attributes are ignored
+                    }
+                }
+                None => return Err(self.err("unexpected end inside tag")),
+            }
+        }
+        let ty = type_attr.ok_or_else(|| self.err("missing type attribute"))?;
+        let value = match ty.as_str() {
+            "array" | "object" => {
+                let mut items = Vec::new();
+                let mut map = BTreeMap::new();
+                loop {
+                    self.skip_ws();
+                    if self.starts_with("</") {
+                        break;
+                    }
+                    if self.peek() != Some(b'<') {
+                        return Err(self.err("unexpected text inside container"));
+                    }
+                    let (child, child_tag) = self.parse_element(depth + 1)?;
+                    if ty == "array" {
+                        if child_tag != "item" {
+                            return Err(self.err("array children must be <item>"));
+                        }
+                        items.push(child.value);
+                    } else {
+                        if child_tag != "member" {
+                            return Err(self.err("object children must be <member>"));
+                        }
+                        let key = child
+                            .name
+                            .ok_or_else(|| self.err("member missing name attribute"))?;
+                        map.insert(key, child.value);
+                    }
+                }
+                if ty == "array" {
+                    Value::Array(items)
+                } else {
+                    Value::Object(map)
+                }
+            }
+            scalar => {
+                let raw_start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[raw_start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?;
+                let text = self.decode_entities(raw)?;
+                match scalar {
+                    "null" => {
+                        if !text.trim().is_empty() {
+                            return Err(self.err("null element must be empty"));
+                        }
+                        Value::Null
+                    }
+                    "bool" => match text.as_str() {
+                        "true" => Value::Bool(true),
+                        "false" => Value::Bool(false),
+                        _ => return Err(self.err("bool must be 'true' or 'false'")),
+                    },
+                    "int" => Value::Int(
+                        text.parse::<i64>().map_err(|_| self.err("invalid int"))?,
+                    ),
+                    "float" => {
+                        let f: f64 =
+                            text.parse().map_err(|_| self.err("invalid float"))?;
+                        if f.is_nan() {
+                            return Err(self.err("invalid float"));
+                        }
+                        Value::Float(f)
+                    }
+                    "string" => Value::Str(text),
+                    other => {
+                        return Err(self.err(format!("unknown type {other:?}")))
+                    }
+                }
+            }
+        };
+        // Closing tag.
+        if !self.starts_with("</") {
+            return Err(self.err("expected closing tag"));
+        }
+        self.pos += 2;
+        let closing = self.parse_name()?;
+        if closing != tag {
+            return Err(self.err(format!(
+                "mismatched closing tag </{closing}> for <{tag}>"
+            )));
+        }
+        self.skip_ws();
+        if self.peek() != Some(b'>') {
+            return Err(self.err("expected '>' to end closing tag"));
+        }
+        self.pos += 1;
+        Ok((
+            Named {
+                value,
+                name: name_attr,
+            },
+            tag,
+        ))
+    }
+
+    fn decode_entities(&self, raw: &str) -> Result<String, CoreError> {
+        if !raw.contains('&') {
+            return Ok(raw.to_owned());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(i) = rest.find('&') {
+            out.push_str(&rest[..i]);
+            rest = &rest[i..];
+            let end = rest
+                .find(';')
+                .ok_or_else(|| self.err("unterminated entity"))?;
+            let entity = &rest[1..end];
+            match entity {
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "amp" => out.push('&'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                    let code = u32::from_str_radix(&entity[2..], 16)
+                        .map_err(|_| self.err("invalid character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err("invalid code point"))?,
+                    );
+                }
+                _ if entity.starts_with('#') => {
+                    let code: u32 = entity[1..]
+                        .parse()
+                        .map_err(|_| self.err("invalid character reference"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| self.err("invalid code point"))?,
+                    );
+                }
+                other => return Err(self.err(format!("unknown entity &{other};"))),
+            }
+            rest = &rest[end + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let text = to_string(v);
+        assert_eq!(&from_str(&text).unwrap(), v, "compact: {text}");
+        let pretty = to_string_pretty(v);
+        assert_eq!(&from_str(&pretty).unwrap(), v, "pretty: {pretty}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(2.5),
+            Value::Float(-1e-3),
+            Value::Str(String::new()),
+            Value::Str("a & b < c > d \" e ' f".into()),
+            Value::Str("unicode ü 🌍 and\nnewline".into()),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(&Value::array([]));
+        round_trip(&Value::object::<&str, _>([]));
+        round_trip(&Value::object([
+            ("floors", Value::from(4)),
+            (
+                "rooms",
+                Value::array([Value::from("r1"), Value::Null, Value::from(2.5)]),
+            ),
+            ("nested", Value::object([("k", Value::from(true))])),
+        ]));
+    }
+
+    #[test]
+    fn exact_compact_form() {
+        let v = Value::object([("t", Value::from(21.5))]);
+        assert_eq!(
+            to_string(&v),
+            r#"<value type="object"><member name="t" type="float">21.5</member></value>"#
+        );
+    }
+
+    #[test]
+    fn null_is_self_closing() {
+        assert_eq!(to_string(&Value::Null), r#"<value type="null"/>"#);
+        assert_eq!(from_str(r#"<value type="null"/>"#).unwrap(), Value::Null);
+        assert_eq!(from_str(r#"<value type="null"></value>"#).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn declaration_and_comments_skipped() {
+        let text = "<?xml version=\"1.0\"?>\n<!-- header -->\n<value type=\"int\">7</value>\n<!-- trailer -->";
+        assert_eq!(from_str(text).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let v = Value::object([("weird \"key\" <&>", Value::from(1))]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn numeric_entities_decoded() {
+        assert_eq!(
+            from_str(r#"<value type="string">&#65;&#x42;</value>"#).unwrap(),
+            Value::Str("AB".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "<value>",
+            r#"<value type="int">7"#,
+            r#"<wrong type="int">7</wrong>"#,
+            r#"<value type="int">x</value>"#,
+            r#"<value type="bool">yes</value>"#,
+            r#"<value type="mystery">7</value>"#,
+            r#"<value type="int">7</other>"#,
+            r#"<value type="object"><item type="int">1</item></value>"#,
+            r#"<value type="array"><member type="int">1</member></value>"#,
+            r#"<value type="object"><member type="int">1</member></value>"#,
+            r#"<value type="string">&bogus;</value>"#,
+            r#"<value type="string">&#xFFFFFFFF;</value>"#,
+            r#"<value type="int" >7</value> junk"#,
+        ] {
+            assert!(from_str(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn attribute_quotes_both_styles() {
+        assert_eq!(
+            from_str("<value type='int'>7</value>").unwrap(),
+            Value::Int(7)
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerated_between_elements() {
+        let text = "<value type=\"array\">\n  <item type=\"int\">1</item>\n  <item type=\"int\">2</item>\n</value>";
+        assert_eq!(
+            from_str(text).unwrap(),
+            Value::array([Value::from(1), Value::from(2)])
+        );
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let mut text = String::new();
+        for _ in 0..200 {
+            text.push_str("<value type=\"array\"><item type=\"array\">");
+        }
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn xml_is_larger_than_json() {
+        // Documented size trade-off exercised by experiment E4.
+        let v = Value::object([
+            ("a", Value::from(1)),
+            ("b", Value::from("text")),
+            ("c", Value::array([Value::from(1.5), Value::from(2.5)])),
+        ]);
+        assert!(to_string(&v).len() > crate::json::to_string(&v).len());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests on the common data format codecs.
+
+use dimmer_core::codec::{self, DataFormat};
+use dimmer_core::{json, xml, Timestamp, Uri, Value};
+use proptest::prelude::*;
+
+/// A strategy producing arbitrary common-data-format values.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite, non-NaN floats only: the format forbids NaN.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Float),
+        // Strings including escapes, control chars and non-ASCII.
+        "\\PC{0,20}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
+            prop::collection::btree_map("[a-zA-Z0-9 _<>&\"']{0,12}", inner, 0..8)
+                .prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_round_trip(v in value_strategy()) {
+        let text = json::to_string(&v);
+        let back = json::from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_pretty_round_trip(v in value_strategy()) {
+        let text = json::to_string_pretty(&v);
+        let back = json::from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn xml_round_trip(v in value_strategy()) {
+        let text = xml::to_string(&v);
+        let back = xml::from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn xml_pretty_round_trip(v in value_strategy()) {
+        let text = xml::to_string_pretty(&v);
+        let back = xml::from_str(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn both_formats_agree(v in value_strategy()) {
+        // Encoding through either format must preserve the same value.
+        let via_json = codec::decode_value(
+            &codec::encode_value(&v, DataFormat::Json), DataFormat::Json).unwrap();
+        let via_xml = codec::decode_value(
+            &codec::encode_value(&v, DataFormat::Xml), DataFormat::Xml).unwrap();
+        prop_assert_eq!(via_json, via_xml);
+    }
+
+    #[test]
+    fn json_parser_never_panics(text in "\\PC{0,64}") {
+        let _ = json::from_str(&text);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(text in "\\PC{0,64}") {
+        let _ = xml::from_str(&text);
+    }
+
+    #[test]
+    fn timestamp_civil_round_trip(millis in -4_102_444_800_000i64..4_102_444_800_000i64) {
+        // 1840..2100 roughly.
+        let t = Timestamp::from_unix_millis(millis);
+        let text = t.to_string();
+        let back = Timestamp::parse(&text).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn uri_display_parse_round_trip(
+        host in "[a-z][a-z0-9.-]{0,12}",
+        port in proptest::option::of(any::<u16>()),
+        path in "(/[a-zA-Z0-9._-]{1,8}){0,3}",
+        params in prop::collection::btree_map("[a-z]{1,6}", "[a-zA-Z0-9,._-]{0,8}", 0..4),
+    ) {
+        let mut uri = Uri::new("sim", host, port, path).unwrap();
+        for (k, v) in params {
+            uri = uri.with_query(k, v);
+        }
+        let text = uri.to_string();
+        let back = Uri::parse(&text).unwrap();
+        prop_assert_eq!(back, uri);
+    }
+}

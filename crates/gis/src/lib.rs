@@ -1,0 +1,32 @@
+//! # dimmer-gis — the geographic substrate
+//!
+//! One or more GIS databases "store georeferenced information about
+//! buildings in the district". This crate provides that substrate:
+//!
+//! * [`geo`] — WGS-84 points, bounding boxes, polygons, haversine
+//!   distances and point-in-polygon tests;
+//! * [`quadtree`] — a point quadtree for fast bounding-box queries;
+//! * [`feature`] — GIS features (geometry + properties) and the
+//!   [`feature::GisDatabase`] the GIS Database-proxy serves.
+//!
+//! ## Example
+//!
+//! ```
+//! use gis::geo::{GeoPoint, BoundingBox};
+//! use gis::feature::{Feature, Geometry, GisDatabase};
+//! use dimmer_core::Value;
+//!
+//! let mut db = GisDatabase::new();
+//! db.insert(Feature::new(
+//!     "b1",
+//!     Geometry::Point(GeoPoint::new(45.0703, 7.6869)), // Turin
+//!     Value::object([("kind", Value::from("building"))]),
+//! )).unwrap();
+//! let hits = db.query_bbox(&BoundingBox::new(
+//!     GeoPoint::new(45.0, 7.6), GeoPoint::new(45.1, 7.8)));
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+pub mod feature;
+pub mod geo;
+pub mod quadtree;

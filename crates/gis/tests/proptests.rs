@@ -1,0 +1,139 @@
+//! Property-based tests on geometry and the quadtree.
+
+use gis::feature::{Feature, Geometry, GisDatabase};
+use gis::geo::{BoundingBox, GeoPoint, Polygon};
+use gis::quadtree::QuadTree;
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = GeoPoint> {
+    (-89.0f64..89.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
+    (point_strategy(), 0.0f64..2.0, 0.0f64..2.0).prop_map(|(min, dlat, dlon)| {
+        BoundingBox::new(
+            min,
+            GeoPoint::new((min.lat + dlat).min(90.0), (min.lon + dlon).min(180.0)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn distance_is_a_metric(a in point_strategy(), b in point_strategy()) {
+        let d_ab = a.distance_m(&b);
+        let d_ba = b.distance_m(&a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6, "symmetry");
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!(a.distance_m(&a) < 1e-9, "identity");
+        // Upper bound: half the Earth's circumference.
+        prop_assert!(d_ab <= 20_100_000.0, "{d_ab}");
+    }
+
+    #[test]
+    fn bbox_contains_center_and_corners(bbox in bbox_strategy()) {
+        prop_assert!(bbox.contains(&bbox.center()));
+        prop_assert!(bbox.contains(&bbox.min()));
+        prop_assert!(bbox.contains(&bbox.max()));
+        prop_assert!(bbox.intersects(&bbox));
+    }
+
+    #[test]
+    fn bbox_query_string_round_trips(bbox in bbox_strategy()) {
+        let parsed = BoundingBox::parse_query(&bbox.to_query()).expect("round trip");
+        prop_assert!((parsed.min().lat - bbox.min().lat).abs() < 1e-12);
+        prop_assert!((parsed.max().lon - bbox.max().lon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadtree_query_equals_linear_scan(
+        points in prop::collection::vec(point_strategy(), 0..200),
+        query in bbox_strategy(),
+    ) {
+        let world = BoundingBox::new(GeoPoint::new(-90.0, -180.0), GeoPoint::new(90.0, 180.0));
+        let mut tree = QuadTree::new(world);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        let mut from_tree: Vec<usize> =
+            tree.query(&query).into_iter().map(|(_, &i)| i).collect();
+        let mut linear: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        from_tree.sort_unstable();
+        linear.sort_unstable();
+        prop_assert_eq!(from_tree, linear);
+        prop_assert_eq!(tree.len(), points.len());
+    }
+
+    #[test]
+    fn polygon_centroid_inside_bbox(vertices in prop::collection::vec(point_strategy(), 3..12)) {
+        let polygon = Polygon::new(vertices);
+        let bbox = polygon.bbox();
+        prop_assert!(bbox.contains(&polygon.centroid()));
+        prop_assert!(polygon.area_m2() >= 0.0);
+    }
+
+    #[test]
+    fn convex_quad_contains_its_centroid(
+        center in point_strategy(),
+        dlat in 1e-4f64..0.01,
+        dlon in 1e-4f64..0.01,
+    ) {
+        let polygon = Polygon::new(vec![
+            GeoPoint::new(center.lat - dlat, center.lon - dlon),
+            GeoPoint::new(center.lat - dlat, center.lon + dlon),
+            GeoPoint::new(center.lat + dlat, center.lon + dlon),
+            GeoPoint::new(center.lat + dlat, center.lon - dlon),
+        ]);
+        prop_assert!(polygon.contains(&center));
+        // Far outside point is excluded.
+        prop_assert!(!polygon.contains(&GeoPoint::new(
+            (center.lat + 1.0).min(90.0),
+            center.lon
+        )));
+    }
+
+    #[test]
+    fn feature_value_round_trip(
+        p in point_strategy(),
+        id in "[a-z0-9-]{1,12}",
+    ) {
+        let feature = Feature::new(
+            id,
+            Geometry::Point(p),
+            dimmer_core::Value::object([("k", dimmer_core::Value::from(1))]),
+        );
+        prop_assert_eq!(
+            Feature::from_value(&feature.to_value()).expect("round trip"),
+            feature
+        );
+    }
+
+    #[test]
+    fn gis_db_bbox_query_consistent(
+        points in prop::collection::vec(point_strategy(), 1..40),
+        query in bbox_strategy(),
+    ) {
+        let mut db = GisDatabase::new();
+        for (i, p) in points.iter().enumerate() {
+            db.insert(Feature::new(
+                format!("f{i}"),
+                Geometry::Point(*p),
+                dimmer_core::Value::Null,
+            ))
+            .expect("unique ids");
+        }
+        let hits = db.query_bbox(&query);
+        let expected = points.iter().filter(|p| query.contains(p)).count();
+        prop_assert_eq!(hits.len(), expected);
+        for f in &hits {
+            prop_assert!(query.contains(&f.geometry().reference_point()));
+        }
+    }
+}

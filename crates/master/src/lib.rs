@@ -1,0 +1,491 @@
+//! # dimmer-master — the master node
+//!
+//! "The master node is the unique entry point of the system … It
+//! receives data queries from the users, refers to the ontology to get
+//! the interested data sources URIs, and redirects the users to the
+//! interested data sources."
+//!
+//! [`MasterNode`] is that node: it accepts proxy registrations and
+//! heartbeats, maintains the [`ontology::Ontology`], evicts silent
+//! proxies, and answers queries with **URIs, not data** — the redirect
+//! design experiment E5 compares against a relaying master.
+//!
+//! ## Endpoints
+//!
+//! | Method + path | Answer |
+//! |---|---|
+//! | `POST /register` | apply a [`proxy::registration::Registration`] |
+//! | `POST /deregister` | remove the proxy's ontology contribution |
+//! | `POST /heartbeat` | refresh liveness |
+//! | `GET /districts` | district ids and names |
+//! | `GET /district/{id}` | the whole district tree |
+//! | `GET /district/{id}/area?bbox=a,b,c,d` | the redirect response ([`ontology::AreaResolution`]) |
+//! | `GET /district/{id}/entities?kind=` | entity nodes of one kind |
+//! | `GET /district/{id}/devices?quantity=` or `?protocol=` | device leaves by quantity or protocol family |
+//! | `GET /ontology` | full forest snapshot |
+//! | `GET /stats` | registry counters |
+
+use std::collections::HashMap;
+
+use dimmer_core::{DistrictId, EntityKind, ProxyId, QuantityKind, Uri, Value};
+use gis::geo::BoundingBox;
+use ontology::{Ontology, OntologyError};
+use proxy::registration::{ProxyRef, ProxyRole, Registration};
+use proxy::webservice::{status, PathPattern, WsCall, WsRequest, WsResponse, WsServer};
+use proxy::WS_PORT;
+use simnet::{Context, Node, Packet, SimDuration, SimTime, TimerTag};
+
+const TAG_LIVENESS: TimerTag = TimerTag(1);
+/// How often the master sweeps for dead proxies.
+const LIVENESS_PERIOD: SimDuration = SimDuration::from_secs(30);
+/// A proxy silent for longer than this is evicted.
+const LIVENESS_HORIZON: SimDuration = SimDuration::from_secs(100);
+
+/// Registry counters exposed at `GET /stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MasterStats {
+    /// Successful registrations applied.
+    pub registrations: u64,
+    /// Heartbeats received.
+    pub heartbeats: u64,
+    /// Queries answered (area/entities/devices/districts/tree).
+    pub queries: u64,
+    /// Proxies evicted by the liveness sweep.
+    pub evictions: u64,
+    /// Device registrations parked while their entity is unknown.
+    pub parked_devices: u64,
+}
+
+#[derive(Debug, Clone)]
+struct ProxyRecord {
+    district: DistrictId,
+    uri: Uri,
+    kind: &'static str,
+    /// Ontology bookkeeping to undo on deregistration/eviction.
+    contribution: Contribution,
+    last_seen: SimTime,
+}
+
+#[derive(Debug, Clone)]
+enum Contribution {
+    Device { device_id: String },
+    Entity { entity_id: String },
+    DistrictRoot,
+}
+
+/// The master node.
+///
+/// Construct with the districts it should pre-seed (a district created
+/// on demand by a stray registration gets its id as its name).
+pub struct MasterNode {
+    ontology: Ontology,
+    ws: WsServer,
+    registry: HashMap<ProxyId, ProxyRecord>,
+    /// Device registrations whose entity has not registered yet.
+    parked: Vec<Registration>,
+    stats: MasterStats,
+}
+
+impl std::fmt::Debug for MasterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MasterNode")
+            .field("districts", &self.ontology.district_count())
+            .field("proxies", &self.registry.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MasterNode {
+    /// Creates a master pre-seeded with `districts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate district ids in `districts`.
+    pub fn new(districts: impl IntoIterator<Item = (DistrictId, String)>) -> Self {
+        let mut ontology = Ontology::new();
+        for (id, name) in districts {
+            ontology
+                .add_district(id, name)
+                .expect("district seeds must be unique");
+        }
+        MasterNode {
+            ontology,
+            ws: WsServer::new(),
+            registry: HashMap::new(),
+            parked: Vec::new(),
+            stats: MasterStats::default(),
+        }
+    }
+
+    /// The live ontology (read access for tests and experiments).
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The registry counters.
+    pub fn stats(&self) -> MasterStats {
+        self.stats
+    }
+
+    /// Number of registered proxies.
+    pub fn proxy_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    fn ensure_district(&mut self, district: &DistrictId) {
+        if self.ontology.district(district).is_none() {
+            self.ontology
+                .add_district(district.clone(), district.as_str())
+                .expect("checked absent");
+        }
+    }
+
+    fn apply_registration(
+        &mut self,
+        registration: Registration,
+        now: SimTime,
+    ) -> Result<(), OntologyError> {
+        self.ensure_district(&registration.district);
+        let contribution = match &registration.role {
+            ProxyRole::Device { entity_id, leaf } => {
+                if self
+                    .ontology
+                    .district(&registration.district)
+                    .and_then(|t| t.entity(entity_id))
+                    .is_none()
+                {
+                    // Entity not known yet: park the registration until
+                    // its Database-proxy shows up.
+                    self.stats.parked_devices += 1;
+                    self.parked.push(registration);
+                    return Ok(());
+                }
+                let device_id = leaf.device().as_str().to_owned();
+                // Re-registration of the same device replaces the leaf.
+                self.ontology
+                    .remove_device(&registration.district, &device_id)?;
+                self.ontology
+                    .add_device(&registration.district, entity_id, leaf.clone())?;
+                Contribution::Device { device_id }
+            }
+            ProxyRole::EntityDatabase { entity } => {
+                let entity_id = entity.id().to_owned();
+                self.ontology
+                    .remove_entity(&registration.district, &entity_id)?;
+                self.ontology
+                    .add_entity(&registration.district, entity.clone())?;
+                Contribution::Entity { entity_id }
+            }
+            ProxyRole::Gis => {
+                self.ontology
+                    .district_mut(&registration.district)?
+                    .add_gis_proxy(registration.uri.clone());
+                Contribution::DistrictRoot
+            }
+            ProxyRole::MeasurementArchive => {
+                self.ontology
+                    .district_mut(&registration.district)?
+                    .add_measurement_proxy(registration.uri.clone());
+                Contribution::DistrictRoot
+            }
+        };
+        self.registry.insert(
+            registration.proxy.clone(),
+            ProxyRecord {
+                district: registration.district.clone(),
+                uri: registration.uri.clone(),
+                kind: match contribution {
+                    Contribution::Device { .. } => "device",
+                    Contribution::Entity { .. } => "entity_database",
+                    Contribution::DistrictRoot => "district_root",
+                },
+                contribution,
+                last_seen: now,
+            },
+        );
+        self.stats.registrations += 1;
+        // An entity registration may unblock parked devices.
+        self.retry_parked(now);
+        Ok(())
+    }
+
+    fn retry_parked(&mut self, now: SimTime) {
+        let parked = std::mem::take(&mut self.parked);
+        for registration in parked {
+            let entity_known = match &registration.role {
+                ProxyRole::Device { entity_id, .. } => self
+                    .ontology
+                    .district(&registration.district)
+                    .and_then(|t| t.entity(entity_id))
+                    .is_some(),
+                _ => true,
+            };
+            if entity_known {
+                // Cannot recurse through apply_registration's parking
+                // path: entity_known guarantees direct application.
+                let _ = self.apply_registration(registration, now);
+            } else {
+                self.parked.push(registration);
+            }
+        }
+    }
+
+    fn remove_contribution(&mut self, record: &ProxyRecord) {
+        match &record.contribution {
+            Contribution::Device { device_id } => {
+                let _ = self.ontology.remove_device(&record.district, device_id);
+            }
+            Contribution::Entity { entity_id } => {
+                let _ = self.ontology.remove_entity(&record.district, entity_id);
+            }
+            Contribution::DistrictRoot => {
+                // GIS/measurement proxies stay listed on the root; a
+                // production system would prune the URI list here.
+            }
+        }
+    }
+
+    fn handle(&mut self, ctx: &mut Context<'_>, call: WsCall) {
+        let request = &call.request;
+        let response = match (request.method, request.path.as_str()) {
+            (proxy::webservice::Method::Post, "/register") => self.post_register(ctx, request),
+            (proxy::webservice::Method::Post, "/deregister") => self.post_deregister(request),
+            (proxy::webservice::Method::Post, "/heartbeat") => self.post_heartbeat(ctx, request),
+            (proxy::webservice::Method::Get, "/districts") => self.get_districts(),
+            (proxy::webservice::Method::Get, "/proxies") => {
+                self.stats.queries += 1;
+                WsResponse::ok(Value::object([(
+                    "proxies",
+                    Value::Array(
+                        self.registry
+                            .iter()
+                            .map(|(id, record)| {
+                                Value::object([
+                                    ("proxy", Value::from(id.as_str())),
+                                    ("district", Value::from(record.district.as_str())),
+                                    ("kind", Value::from(record.kind)),
+                                    ("uri", Value::from(record.uri.to_string())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]))
+            }
+            (proxy::webservice::Method::Get, "/ontology") => {
+                self.stats.queries += 1;
+                WsResponse::ok(self.ontology.to_value())
+            }
+            (proxy::webservice::Method::Get, "/stats") => WsResponse::ok(Value::object([
+                ("registrations", Value::from(self.stats.registrations as i64)),
+                ("heartbeats", Value::from(self.stats.heartbeats as i64)),
+                ("queries", Value::from(self.stats.queries as i64)),
+                ("evictions", Value::from(self.stats.evictions as i64)),
+                ("proxies", Value::from(self.registry.len() as i64)),
+                ("parked_devices", Value::from(self.parked.len() as i64)),
+            ])),
+            (proxy::webservice::Method::Get, path) => self.get_routed(path, request),
+            _ => WsResponse::error(status::NOT_FOUND, "unknown endpoint"),
+        };
+        self.ws.respond(ctx, &call, response);
+    }
+
+    fn post_register(&mut self, ctx: &mut Context<'_>, request: &WsRequest) -> WsResponse {
+        match Registration::from_value(&request.body) {
+            Ok(registration) => {
+                let proxy = registration.proxy.clone();
+                match self.apply_registration(registration, ctx.now()) {
+                    Ok(()) => WsResponse::ok(Value::object([(
+                        "registered",
+                        Value::from(proxy.as_str()),
+                    )])),
+                    Err(e) => WsResponse::error(status::INTERNAL_ERROR, e.to_string()),
+                }
+            }
+            Err(e) => WsResponse::error(status::BAD_REQUEST, e.to_string()),
+        }
+    }
+
+    fn post_deregister(&mut self, request: &WsRequest) -> WsResponse {
+        match ProxyRef::from_value(&request.body) {
+            Ok(r) => match self.registry.remove(&r.proxy) {
+                Some(record) => {
+                    self.remove_contribution(&record);
+                    WsResponse::ok(Value::object([(
+                        "deregistered",
+                        Value::from(r.proxy.as_str()),
+                    )]))
+                }
+                None => WsResponse::error(status::NOT_FOUND, "unknown proxy"),
+            },
+            Err(e) => WsResponse::error(status::BAD_REQUEST, e.to_string()),
+        }
+    }
+
+    fn post_heartbeat(&mut self, ctx: &mut Context<'_>, request: &WsRequest) -> WsResponse {
+        match ProxyRef::from_value(&request.body) {
+            Ok(r) => match self.registry.get_mut(&r.proxy) {
+                Some(record) => {
+                    record.last_seen = ctx.now();
+                    self.stats.heartbeats += 1;
+                    WsResponse::ok(Value::Null)
+                }
+                None => WsResponse::error(status::NOT_FOUND, "unknown proxy"),
+            },
+            Err(e) => WsResponse::error(status::BAD_REQUEST, e.to_string()),
+        }
+    }
+
+    fn get_districts(&mut self) -> WsResponse {
+        self.stats.queries += 1;
+        let list: Vec<Value> = self
+            .ontology
+            .districts()
+            .filter_map(|id| self.ontology.district(id))
+            .map(|tree| {
+                Value::object([
+                    ("district", Value::from(tree.district().as_str())),
+                    ("name", Value::from(tree.name())),
+                    ("entities", Value::from(tree.entities().len() as i64)),
+                    ("devices", Value::from(tree.device_count() as i64)),
+                ])
+            })
+            .collect();
+        WsResponse::ok(Value::object([("districts", Value::Array(list))]))
+    }
+
+    fn get_routed(&mut self, path: &str, request: &WsRequest) -> WsResponse {
+        let tree_pattern = PathPattern::new("/district/{id}");
+        let area_pattern = PathPattern::new("/district/{id}/area");
+        let entities_pattern = PathPattern::new("/district/{id}/entities");
+        let devices_pattern = PathPattern::new("/district/{id}/devices");
+
+        let parse_district = |params: &std::collections::BTreeMap<String, String>| {
+            DistrictId::new(params["id"].as_str())
+        };
+
+        if let Some(params) = area_pattern.matches(path) {
+            self.stats.queries += 1;
+            let Ok(district) = parse_district(&params) else {
+                return WsResponse::error(status::BAD_REQUEST, "invalid district id");
+            };
+            let Some(raw) = request.query("bbox") else {
+                return WsResponse::error(status::BAD_REQUEST, "bbox parameter required");
+            };
+            let bbox = match BoundingBox::parse_query(raw) {
+                Ok(b) => b,
+                Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+            };
+            return match self.ontology.resolve_area(&district, &bbox) {
+                Ok(resolution) => WsResponse::ok(resolution.to_value()),
+                Err(e) => WsResponse::error(status::NOT_FOUND, e.to_string()),
+            };
+        }
+        if let Some(params) = entities_pattern.matches(path) {
+            self.stats.queries += 1;
+            let Ok(district) = parse_district(&params) else {
+                return WsResponse::error(status::BAD_REQUEST, "invalid district id");
+            };
+            let kind = match request.query("kind").map(EntityKind::parse) {
+                Some(Ok(k)) => k,
+                Some(Err(e)) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+                None => EntityKind::Building,
+            };
+            return match self.ontology.entities_of_kind(&district, kind) {
+                Ok(entities) => WsResponse::ok(Value::object([(
+                    "entities",
+                    Value::Array(entities.iter().map(|e| e.to_value()).collect()),
+                )])),
+                Err(e) => WsResponse::error(status::NOT_FOUND, e.to_string()),
+            };
+        }
+        if let Some(params) = devices_pattern.matches(path) {
+            self.stats.queries += 1;
+            let Ok(district) = parse_district(&params) else {
+                return WsResponse::error(status::BAD_REQUEST, "invalid district id");
+            };
+            let devices = match (request.query("quantity"), request.query("protocol")) {
+                (Some(q), _) => match QuantityKind::parse(q) {
+                    Ok(quantity) => self.ontology.devices_by_quantity(&district, quantity),
+                    Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+                },
+                (None, Some(protocol)) => {
+                    self.ontology.devices_by_protocol(&district, protocol)
+                }
+                (None, None) => {
+                    return WsResponse::error(
+                        status::BAD_REQUEST,
+                        "quantity or protocol parameter required",
+                    )
+                }
+            };
+            return match devices {
+                Ok(devices) => WsResponse::ok(Value::object([(
+                    "devices",
+                    Value::Array(
+                        devices
+                            .iter()
+                            .map(|(entity, leaf)| {
+                                let mut v = leaf.to_value();
+                                v.insert("entity", Value::from(*entity));
+                                v
+                            })
+                            .collect(),
+                    ),
+                )])),
+                Err(e) => WsResponse::error(status::NOT_FOUND, e.to_string()),
+            };
+        }
+        if let Some(params) = tree_pattern.matches(path) {
+            self.stats.queries += 1;
+            let Ok(district) = parse_district(&params) else {
+                return WsResponse::error(status::BAD_REQUEST, "invalid district id");
+            };
+            return match self.ontology.district(&district) {
+                Some(tree) => WsResponse::ok(tree.to_value()),
+                None => WsResponse::error(status::NOT_FOUND, "unknown district"),
+            };
+        }
+        WsResponse::error(status::NOT_FOUND, "unknown endpoint")
+    }
+
+    fn sweep_liveness(&mut self, now: SimTime) {
+        let dead: Vec<ProxyId> = self
+            .registry
+            .iter()
+            .filter(|(_, record)| now.saturating_since(record.last_seen) > LIVENESS_HORIZON)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in dead {
+            if let Some(record) = self.registry.remove(&id) {
+                self.remove_contribution(&record);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+impl Node for MasterNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port != WS_PORT {
+            return;
+        }
+        if let Some(call) = self.ws.accept(ctx, &pkt) {
+            self.handle(ctx, call);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TAG_LIVENESS {
+            self.sweep_liveness(ctx.now());
+            ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

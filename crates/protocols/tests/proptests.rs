@@ -1,0 +1,238 @@
+//! Property-based tests on the protocol codecs: encode/decode round
+//! trips with arbitrary field values, and decoder robustness against
+//! arbitrary byte soup.
+
+use proptest::prelude::*;
+use protocols::coap::{CoapCode, CoapMessage, CoapType};
+use protocols::enocean::{Eep, EepReading, Erp1Telegram, Rorg};
+use protocols::ieee802154::{Address, FrameType, MacFrame, PanId};
+use protocols::opcua::{
+    AttributeId, DataValue, Message, NodeId, ReadValueId, StatusCode, Variant, WriteValue,
+};
+use protocols::zigbee::{report_builder, ClusterId, ZclAttribute, ZclValue, ZigbeeFrame};
+
+fn address_strategy() -> impl Strategy<Value = Address> {
+    prop_oneof![
+        Just(Address::None),
+        any::<u16>().prop_map(Address::Short),
+        any::<u64>().prop_map(Address::Extended),
+    ]
+}
+
+fn zcl_value_strategy() -> impl Strategy<Value = ZclValue> {
+    prop_oneof![
+        any::<bool>().prop_map(ZclValue::Bool),
+        any::<u8>().prop_map(ZclValue::U8),
+        any::<u16>().prop_map(ZclValue::U16),
+        any::<u32>().prop_map(ZclValue::U32),
+        (0u64..(1 << 48)).prop_map(ZclValue::U48),
+        any::<i16>().prop_map(ZclValue::I16),
+        any::<i32>().prop_map(ZclValue::I32),
+    ]
+}
+
+fn variant_strategy() -> impl Strategy<Value = Variant> {
+    prop_oneof![
+        any::<bool>().prop_map(Variant::Boolean),
+        any::<i32>().prop_map(Variant::Int32),
+        any::<i64>().prop_map(Variant::Int64),
+        any::<f64>()
+            .prop_filter("no NaN (PartialEq)", |f| !f.is_nan())
+            .prop_map(Variant::Double),
+        "\\PC{0,16}".prop_map(Variant::Str),
+        any::<i64>().prop_map(Variant::DateTime),
+    ]
+}
+
+fn node_id_strategy() -> impl Strategy<Value = NodeId> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(ns, id)| NodeId::numeric(ns, id)),
+        (any::<u16>(), "[a-z.]{0,12}").prop_map(|(ns, id)| NodeId::string(ns, id)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mac_frame_round_trip(
+        seq in any::<u8>(),
+        pan in any::<u16>(),
+        dest in address_strategy(),
+        src in address_strategy(),
+        payload in prop::collection::vec(any::<u8>(), 0..100),
+        ack in any::<bool>(),
+        pending in any::<bool>(),
+    ) {
+        let dest_pan = if dest == Address::None { None } else { Some(PanId(pan)) };
+        // Wire consistency: a present source needs a PAN, either its own
+        // or via PAN-id compression (which requires a destination PAN).
+        let src_pan = if src != Address::None && dest_pan.is_none() {
+            Some(PanId(pan.wrapping_add(1)))
+        } else {
+            None
+        };
+        let frame = MacFrame {
+            frame_type: FrameType::Data,
+            ack_request: ack,
+            frame_pending: pending,
+            sequence: seq,
+            dest_pan,
+            dest,
+            src_pan,
+            src,
+            payload,
+        };
+        let back = MacFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn mac_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = MacFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn mac_bit_flips_never_yield_wrong_frames(
+        payload in prop::collection::vec(any::<u8>(), 1..40),
+        flip_bit in any::<u16>(),
+    ) {
+        let frame = MacFrame::data(PanId(7), Address::Short(1), Address::Short(2), 1, payload);
+        let mut bytes = frame.encode();
+        let bit = usize::from(flip_bit) % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        // A flipped bit must either fail the FCS or (never) decode to the
+        // original; silently yielding a *different* valid frame is the
+        // 1-in-65536 CRC collision, impossible for single-bit flips.
+        match MacFrame::decode(&bytes) {
+            Ok(decoded) => prop_assert_ne!(decoded, frame),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn zigbee_round_trip(
+        nwk in any::<u16>(),
+        seq in any::<u8>(),
+        values in prop::collection::vec(zcl_value_strategy(), 0..6),
+    ) {
+        let mut b = report_builder(nwk, ClusterId::SIMPLE_METERING).sequence(seq);
+        for (i, v) in values.iter().enumerate() {
+            b = b.attribute(ZclAttribute::new(i as u16, *v));
+        }
+        let frame = b.build();
+        let back = ZigbeeFrame::decode(&frame.encode()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn zigbee_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = ZigbeeFrame::decode(&bytes);
+    }
+
+    #[test]
+    fn erp1_esp3_round_trip(
+        sender in any::<u32>(),
+        status in any::<u8>(),
+        data4 in prop::collection::vec(any::<u8>(), 4),
+    ) {
+        let t = Erp1Telegram::new(Rorg::FourBs, data4, sender, status);
+        let back = Erp1Telegram::from_esp3(&t.to_esp3()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn esp3_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Erp1Telegram::from_esp3(&bytes);
+    }
+
+    #[test]
+    fn enocean_temperature_quantization_bounded(t in 0.0f64..40.0) {
+        let tel = Eep::A50205.encode_reading(&EepReading::Temperature { celsius: t }, 1);
+        match Eep::A50205.decode_reading(&tel).unwrap() {
+            EepReading::Temperature { celsius } => {
+                prop_assert!((celsius - t).abs() <= 40.0 / 255.0 / 2.0 + 1e-9);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opcua_messages_round_trip(
+        reads in prop::collection::vec(node_id_strategy(), 0..5),
+        variants in prop::collection::vec(variant_strategy(), 0..5),
+        statuses in prop::collection::vec(any::<u32>(), 0..5),
+    ) {
+        let messages = [
+            Message::ReadRequest {
+                nodes: reads
+                    .iter()
+                    .cloned()
+                    .map(|node_id| ReadValueId { node_id, attribute: AttributeId::Value })
+                    .collect(),
+            },
+            Message::ReadResponse {
+                results: variants
+                    .iter()
+                    .cloned()
+                    .map(|v| DataValue::good(v, 7))
+                    .collect(),
+            },
+            Message::WriteRequest {
+                nodes: reads
+                    .iter()
+                    .cloned()
+                    .zip(variants.iter().cloned())
+                    .map(|(node_id, value)| WriteValue {
+                        node_id,
+                        attribute: AttributeId::Value,
+                        value,
+                    })
+                    .collect(),
+            },
+            Message::WriteResponse {
+                results: statuses.iter().map(|&s| StatusCode(s)).collect(),
+            },
+        ];
+        for m in &messages {
+            prop_assert_eq!(&Message::decode(&m.encode()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn opcua_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn coap_round_trip(
+        message_id in any::<u16>(),
+        token in prop::collection::vec(any::<u8>(), 0..=8),
+        path in prop::collection::vec("[a-zA-Z0-9._-]{1,24}", 0..5),
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        cf in proptest::option::of(any::<u16>()),
+        mtype in 0u8..4,
+        code in prop_oneof![Just(CoapCode::GET), Just(CoapCode::POST), Just(CoapCode::CONTENT)],
+    ) {
+        let msg = CoapMessage {
+            mtype: match mtype {
+                0 => CoapType::Confirmable,
+                1 => CoapType::NonConfirmable,
+                2 => CoapType::Acknowledgement,
+                _ => CoapType::Reset,
+            },
+            code,
+            message_id,
+            token,
+            uri_path: path,
+            content_format: cf,
+            payload,
+        };
+        prop_assert_eq!(CoapMessage::decode(&msg.encode()).expect("round trip"), msg);
+    }
+
+    #[test]
+    fn coap_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
+        let _ = CoapMessage::decode(&bytes);
+    }
+}

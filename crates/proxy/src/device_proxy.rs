@@ -1,0 +1,478 @@
+//! The Device-proxy — the paper's Fig. 1(b), as a network node.
+//!
+//! Three layers:
+//!
+//! 1. **Dedicated layer** — a [`DeviceAdapter`] decoding the device's
+//!    native frames (pushed on [`crate::DEVICE_UPLINK_PORT`] or polled
+//!    over [`crate::OPCUA_PORT`]);
+//! 2. **Local database** — a [`TimeSeriesStore`] holding every sample,
+//!    with periodic retention;
+//! 3. **Web Service layer** — data retrieval and remote actuation
+//!    endpoints, plus publication of every new sample into the
+//!    publish/subscribe middleware.
+//!
+//! On startup the proxy registers itself on the master node; it then
+//! heartbeats periodically.
+
+use dimmer_core::{
+    DeviceId, DistrictId, Measurement, MeasurementBatch, ProxyId, QuantityKind, Timestamp,
+    Value,
+};
+use gis::geo::GeoPoint;
+use ontology::DeviceLeaf;
+use pubsub::{PubSubClient, QoS, Topic, PUBSUB_PORT};
+use simnet::rpc::{RequestTracker, RpcEvent};
+use simnet::{Context, Node, Packet, SimDuration, TimerTag};
+use storage::tskv::{Aggregate, TimeSeriesStore};
+
+use crate::adapters::DeviceAdapter;
+use crate::devices::unix_millis_at;
+use crate::registration::{ProxyRole, Registration};
+use crate::webservice::{status, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer};
+use crate::{node_uri, DEVICE_DOWNLINK_PORT, OPCUA_PORT, WS_PORT};
+
+const TAG_POLL: TimerTag = TimerTag(1);
+const TAG_RETENTION: TimerTag = TimerTag(2);
+const TAG_HEARTBEAT: TimerTag = TimerTag(3);
+const TAG_REGISTER_RETRY: TimerTag = TimerTag(4);
+
+const WS_CLIENT_TAGS: u64 = 1_000_000_000;
+const PUBSUB_TAGS: u64 = 2_000_000_000;
+const POLL_TAGS: u64 = 3_000_000_000;
+
+/// How often proxies heartbeat the master.
+pub const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_secs(30);
+const RETENTION_PERIOD: SimDuration = SimDuration::from_hours(1);
+const POLL_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+
+/// Static configuration of a Device-proxy.
+#[derive(Debug, Clone)]
+pub struct DeviceProxyConfig {
+    /// The proxy's own id.
+    pub proxy: ProxyId,
+    /// The district it registers under.
+    pub district: DistrictId,
+    /// The entity (building/network) its device belongs to.
+    pub entity_id: String,
+    /// The fronted device.
+    pub device: DeviceId,
+    /// The quantity the device primarily reports (advertised in the
+    /// ontology leaf; multi-quantity devices list all series at /info).
+    pub primary_quantity: QuantityKind,
+    /// The master node.
+    pub master: simnet::NodeId,
+    /// The middleware broker, if publication is enabled.
+    pub broker: Option<simnet::NodeId>,
+    /// The device node (downlink/poll target), if any.
+    pub device_node: Option<simnet::NodeId>,
+    /// Poll period for polled protocols (OPC UA); `None` for push.
+    pub poll_interval: Option<SimDuration>,
+    /// Drop samples older than this, if set.
+    pub retention: Option<SimDuration>,
+    /// Device location, forwarded into the ontology.
+    pub location: Option<GeoPoint>,
+    /// Unix time at simulation start.
+    pub epoch_offset_millis: i64,
+    /// QoS for middleware publication.
+    pub publish_qos: QoS,
+}
+
+/// Ingestion/serving counters for experiments.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceProxyStats {
+    /// Samples written to the local database.
+    pub samples_ingested: u64,
+    /// Frames that failed the dedicated layer.
+    pub decode_errors: u64,
+    /// Web-Service requests served.
+    pub ws_requests: u64,
+    /// Samples published into the middleware.
+    pub published: u64,
+    /// Actuation commands forwarded to the device.
+    pub actuations: u64,
+}
+
+/// The Device-proxy node.
+pub struct DeviceProxyNode {
+    config: DeviceProxyConfig,
+    adapter: Box<dyn DeviceAdapter>,
+    store: TimeSeriesStore,
+    ws: WsServer,
+    ws_client: WsClient,
+    pubsub: Option<PubSubClient>,
+    poll_tracker: RequestTracker,
+    registered: bool,
+    stats: DeviceProxyStats,
+}
+
+impl std::fmt::Debug for DeviceProxyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceProxyNode")
+            .field("proxy", &self.config.proxy)
+            .field("device", &self.config.device)
+            .field("registered", &self.registered)
+            .field("samples", &self.stats.samples_ingested)
+            .finish()
+    }
+}
+
+impl DeviceProxyNode {
+    /// Creates a Device-proxy over `adapter`.
+    pub fn new(config: DeviceProxyConfig, adapter: Box<dyn DeviceAdapter>) -> Self {
+        let pubsub = config
+            .broker
+            .map(|broker| PubSubClient::new(broker, PUBSUB_TAGS));
+        DeviceProxyNode {
+            config,
+            adapter,
+            store: TimeSeriesStore::new(),
+            ws: WsServer::new(),
+            ws_client: WsClient::new(WS_CLIENT_TAGS),
+            pubsub,
+            poll_tracker: RequestTracker::new(POLL_TAGS),
+            registered: false,
+            stats: DeviceProxyStats::default(),
+        }
+    }
+
+    /// Whether the master has acknowledged registration.
+    pub fn is_registered(&self) -> bool {
+        self.registered
+    }
+
+    /// Attaches the device node after construction (deployment builders
+    /// create the proxy before the device, so the id arrives late).
+    pub fn set_device_node(&mut self, device_node: simnet::NodeId) {
+        self.config.device_node = Some(device_node);
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> &DeviceProxyStats {
+        &self.stats
+    }
+
+    /// The local database (layer 2), for inspection.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// The topic this proxy publishes `quantity` under.
+    pub fn topic_for(&self, quantity: QuantityKind) -> Topic {
+        Topic::new(format!(
+            "district/{}/entity/{}/device/{}/{}",
+            self.config.district, self.config.entity_id, self.config.device, quantity
+        ))
+        .expect("ids satisfy the topic grammar")
+    }
+
+    fn register(&mut self, ctx: &mut Context<'_>) {
+        let mut leaf = DeviceLeaf::new(
+            self.config.device.clone(),
+            self.adapter.protocol().as_str(),
+            self.config.primary_quantity,
+            node_uri(ctx.node_id(), "/data"),
+        );
+        if let Some(loc) = self.config.location {
+            leaf = leaf.with_location(loc);
+        }
+        let registration = Registration {
+            proxy: self.config.proxy.clone(),
+            district: self.config.district.clone(),
+            uri: node_uri(ctx.node_id(), "/"),
+            role: ProxyRole::Device {
+                entity_id: self.config.entity_id.clone(),
+                leaf,
+            },
+        };
+        let request = WsRequest::post("/register", registration.to_value());
+        self.ws_client.request(ctx, self.config.master, &request);
+    }
+
+    fn ingest(&mut self, ctx: &mut Context<'_>, samples: Vec<(QuantityKind, f64)>) {
+        let unix = unix_millis_at(self.config.epoch_offset_millis, ctx.now());
+        for (quantity, value) in samples {
+            self.store.insert(quantity.as_str(), unix, value);
+            self.stats.samples_ingested += 1;
+            if let Some(pubsub) = &mut self.pubsub {
+                let topic = Topic::new(format!(
+                    "district/{}/entity/{}/device/{}/{}",
+                    self.config.district, self.config.entity_id, self.config.device, quantity
+                ))
+                .expect("ids satisfy the topic grammar");
+                let measurement = Measurement::new(
+                    self.config.device.clone(),
+                    quantity,
+                    value,
+                    quantity.canonical_unit(),
+                    Timestamp::from_unix_millis(unix),
+                );
+                pubsub.publish(
+                    ctx,
+                    topic,
+                    dimmer_core::json::to_string(&measurement.to_value()).into_bytes(),
+                    true,
+                    self.config.publish_qos,
+                );
+                self.stats.published += 1;
+            }
+        }
+    }
+
+    fn serve(&mut self, ctx: &mut Context<'_>, call: crate::webservice::WsCall) {
+        self.stats.ws_requests += 1;
+        let request = &call.request;
+        let response = match request.path.as_str() {
+            "/info" => self.info(ctx),
+            "/latest" => self.latest(request),
+            "/data" => self.data(request),
+            "/actuate" => self.actuate(ctx, request),
+            _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
+        };
+        self.ws.respond(ctx, &call, response);
+    }
+
+    fn info(&self, ctx: &Context<'_>) -> WsResponse {
+        WsResponse::ok(Value::object([
+            ("proxy", Value::from(self.config.proxy.as_str())),
+            ("device", Value::from(self.config.device.as_str())),
+            ("district", Value::from(self.config.district.as_str())),
+            ("entity", Value::from(self.config.entity_id.as_str())),
+            ("protocol", Value::from(self.adapter.protocol().as_str())),
+            (
+                "series",
+                Value::Array(
+                    self.store
+                        .series_names()
+                        .map(Value::from)
+                        .collect(),
+                ),
+            ),
+            (
+                "uri",
+                Value::from(node_uri(ctx.node_id(), "/data").to_string()),
+            ),
+        ]))
+    }
+
+    fn quantity_param(&self, request: &WsRequest) -> Result<QuantityKind, WsResponse> {
+        match request.query("quantity") {
+            Some(q) => QuantityKind::parse(q)
+                .map_err(|e| WsResponse::error(status::BAD_REQUEST, e.to_string())),
+            None => {
+                // Default: the proxy's single series when unambiguous.
+                let mut names = self.store.series_names();
+                match (names.next(), names.next()) {
+                    (Some(only), None) => QuantityKind::parse(only)
+                        .map_err(|e| WsResponse::error(status::INTERNAL_ERROR, e.to_string())),
+                    _ => Err(WsResponse::error(
+                        status::BAD_REQUEST,
+                        "quantity parameter required",
+                    )),
+                }
+            }
+        }
+    }
+
+    fn latest(&self, request: &WsRequest) -> WsResponse {
+        let quantity = match self.quantity_param(request) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        match self.store.latest(quantity.as_str()) {
+            Some((t, v)) => WsResponse::ok(
+                Measurement::new(
+                    self.config.device.clone(),
+                    quantity,
+                    v,
+                    quantity.canonical_unit(),
+                    Timestamp::from_unix_millis(t),
+                )
+                .to_value(),
+            ),
+            None => WsResponse::error(status::NOT_FOUND, "no samples yet"),
+        }
+    }
+
+    fn data(&self, request: &WsRequest) -> WsResponse {
+        let quantity = match self.quantity_param(request) {
+            Ok(q) => q,
+            Err(resp) => return resp,
+        };
+        let parse_millis = |key: &str, default: i64| -> Result<i64, WsResponse> {
+            match request.query(key) {
+                None => Ok(default),
+                Some(raw) => raw.parse().map_err(|_| {
+                    WsResponse::error(status::BAD_REQUEST, format!("invalid {key}"))
+                }),
+            }
+        };
+        let from = match parse_millis("from", i64::MIN) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let to = match parse_millis("to", i64::MAX) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let points = match (request.query("bucket"), request.query("agg")) {
+            (Some(bucket), agg) => {
+                let Ok(bucket) = bucket.parse::<i64>() else {
+                    return WsResponse::error(status::BAD_REQUEST, "invalid bucket");
+                };
+                if bucket <= 0 {
+                    return WsResponse::error(status::BAD_REQUEST, "invalid bucket");
+                }
+                let Some(agg) = Aggregate::parse(agg.unwrap_or("mean")) else {
+                    return WsResponse::error(status::BAD_REQUEST, "unknown aggregate");
+                };
+                self.store
+                    .downsample(quantity.as_str(), from, to, bucket, agg)
+            }
+            (None, _) => self.store.range(quantity.as_str(), from, to),
+        };
+        let batch: MeasurementBatch = points
+            .into_iter()
+            .map(|(t, v)| {
+                Measurement::new(
+                    self.config.device.clone(),
+                    quantity,
+                    v,
+                    quantity.canonical_unit(),
+                    Timestamp::from_unix_millis(t),
+                )
+            })
+            .collect();
+        WsResponse::ok(batch.to_value())
+    }
+
+    fn actuate(&mut self, ctx: &mut Context<'_>, request: &WsRequest) -> WsResponse {
+        if request.method != crate::webservice::Method::Post {
+            return WsResponse::error(status::BAD_REQUEST, "actuation requires POST");
+        }
+        let Some(value) = request.body.get("value").and_then(Value::as_f64) else {
+            return WsResponse::error(status::BAD_REQUEST, "body must carry a numeric value");
+        };
+        let Some(device_node) = self.config.device_node else {
+            return WsResponse::error(status::NOT_FOUND, "no device attached");
+        };
+        match self.adapter.encode_actuation(value) {
+            Some(bytes) => {
+                ctx.send(device_node, DEVICE_DOWNLINK_PORT, bytes);
+                self.stats.actuations += 1;
+                WsResponse::ok(Value::object([("actuated", Value::from(value))]))
+            }
+            None => WsResponse::error(status::BAD_REQUEST, "device is not actuatable"),
+        }
+    }
+
+    fn poll(&mut self, ctx: &mut Context<'_>) {
+        let (Some(device_node), Some(request)) =
+            (self.config.device_node, self.adapter.poll_request())
+        else {
+            return;
+        };
+        let port = self.adapter.poll_port();
+        self.poll_tracker
+            .send_request(ctx, device_node, port, request, POLL_TIMEOUT, 1);
+    }
+}
+
+impl Node for DeviceProxyNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.register(ctx);
+        ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
+        if let Some(interval) = self.config.poll_interval {
+            ctx.set_timer(interval, TAG_POLL);
+        }
+        if self.config.retention.is_some() {
+            ctx.set_timer(RETENTION_PERIOD, TAG_RETENTION);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        match pkt.port {
+            crate::DEVICE_UPLINK_PORT => match self.adapter.decode_uplink(&pkt.payload) {
+                Ok(samples) => self.ingest(ctx, samples),
+                Err(_) => self.stats.decode_errors += 1,
+            },
+            OPCUA_PORT | crate::COAP_PORT => {
+                if let Some(RpcEvent::ResponseReceived { body, .. }) =
+                    self.poll_tracker.accept(&pkt)
+                {
+                    match self.adapter.decode_poll(&body) {
+                        Ok(samples) => self.ingest(ctx, samples),
+                        Err(_) => self.stats.decode_errors += 1,
+                    }
+                }
+            }
+            PUBSUB_PORT => {
+                if let Some(pubsub) = &mut self.pubsub {
+                    pubsub.accept(ctx, &pkt);
+                }
+            }
+            WS_PORT => {
+                // A packet on the WS port is either the master's response
+                // to our registration/heartbeat, or a client request.
+                if let Some(event) = self.ws_client.accept(&pkt) {
+                    if let WsClientEvent::Response { response, .. } = event {
+                        if response.is_ok() {
+                            self.registered = true;
+                        }
+                    }
+                    return;
+                }
+                if let Some(call) = self.ws.accept(ctx, &pkt) {
+                    self.serve(ctx, call);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        match tag {
+            TAG_POLL => {
+                self.poll(ctx);
+                if let Some(interval) = self.config.poll_interval {
+                    ctx.set_timer(interval, TAG_POLL);
+                }
+            }
+            TAG_RETENTION => {
+                if let Some(retention) = self.config.retention {
+                    let unix = unix_millis_at(self.config.epoch_offset_millis, ctx.now());
+                    let horizon = unix - retention.as_nanos() as i64 / 1_000_000;
+                    self.store.apply_retention(horizon);
+                }
+                ctx.set_timer(RETENTION_PERIOD, TAG_RETENTION);
+            }
+            TAG_HEARTBEAT => {
+                if self.registered {
+                    let body = crate::registration::ProxyRef {
+                        proxy: self.config.proxy.clone(),
+                        district: self.config.district.clone(),
+                    }
+                    .to_value();
+                    let request = WsRequest::post("/heartbeat", body);
+                    self.ws_client.request(ctx, self.config.master, &request);
+                } else {
+                    // Registration response never came: retry now.
+                    self.register(ctx);
+                }
+                ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
+            }
+            TAG_REGISTER_RETRY => self.register(ctx),
+            tag if tag.0 >= POLL_TAGS => {
+                self.poll_tracker.on_timer(ctx, tag);
+            }
+            tag if tag.0 >= PUBSUB_TAGS => {
+                if let Some(pubsub) = &mut self.pubsub {
+                    pubsub.on_timer(ctx, tag);
+                }
+            }
+            tag if tag.0 >= WS_CLIENT_TAGS => {
+                self.ws_client.on_timer(ctx, tag);
+            }
+            _ => {}
+        }
+    }
+}

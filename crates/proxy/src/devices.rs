@@ -1,0 +1,419 @@
+//! Simulated field devices as network nodes.
+//!
+//! [`UplinkDeviceNode`] wraps a push device (802.15.4, ZigBee, EnOcean):
+//! on a timer it samples its energy profile and transmits the encoded
+//! frame to its Device-proxy. [`OpcUaFieldNode`] wraps the polled OPC UA
+//! field server. Both substitute the physical hardware of the paper's
+//! test sites.
+
+use models::profiles::EnergyProfile;
+use protocols::device::{CoapFieldServer, OpcUaFieldServer, UplinkDevice};
+use simnet::rpc::{self, RpcFrame};
+use simnet::{Context, Node, Packet, SimDuration, SimTime, TimerTag};
+
+use crate::{COAP_PORT, DEVICE_UPLINK_PORT, OPCUA_PORT};
+
+/// Converts simulated time to unix milliseconds given the scenario's
+/// epoch offset (the unix time at simulation start).
+pub fn unix_millis_at(epoch_offset_millis: i64, now: SimTime) -> i64 {
+    epoch_offset_millis + (now.as_nanos() / 1_000_000) as i64
+}
+
+const TAG_EMIT: TimerTag = TimerTag(1);
+
+/// A push device: samples its profile every `interval` and transmits the
+/// protocol frame to its proxy.
+pub struct UplinkDeviceNode {
+    device: Box<dyn UplinkDevice>,
+    profile: EnergyProfile,
+    proxy: simnet::NodeId,
+    interval: SimDuration,
+    epoch_offset_millis: i64,
+    /// Frames transmitted so far.
+    pub frames_sent: u64,
+    /// Raw actuation frames received from the proxy (most recent last).
+    pub actuations: Vec<Vec<u8>>,
+    /// The last value sampled (for test introspection).
+    pub last_value: f64,
+}
+
+impl std::fmt::Debug for UplinkDeviceNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UplinkDeviceNode")
+            .field("protocol", &self.device.protocol())
+            .field("quantity", &self.device.quantity())
+            .field("frames_sent", &self.frames_sent)
+            .finish()
+    }
+}
+
+impl UplinkDeviceNode {
+    /// Creates a device that reports to `proxy` every `interval`.
+    pub fn new(
+        device: Box<dyn UplinkDevice>,
+        profile: EnergyProfile,
+        proxy: simnet::NodeId,
+        interval: SimDuration,
+        epoch_offset_millis: i64,
+    ) -> Self {
+        UplinkDeviceNode {
+            device,
+            profile,
+            proxy,
+            interval,
+            epoch_offset_millis,
+            frames_sent: 0,
+            actuations: Vec::new(),
+            last_value: 0.0,
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Context<'_>) {
+        let unix = unix_millis_at(self.epoch_offset_millis, ctx.now());
+        let value = self.profile.sample(unix);
+        self.last_value = value;
+        let bytes = self.device.emit(value);
+        ctx.send(self.proxy, DEVICE_UPLINK_PORT, bytes);
+        self.frames_sent += 1;
+    }
+}
+
+impl Node for UplinkDeviceNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        // Desynchronize devices: first emission at a random fraction of
+        // the interval, then periodic.
+        let offset = ctx.rng().next_bounded(self.interval.as_nanos().max(1));
+        ctx.set_timer(SimDuration::from_nanos(offset), TAG_EMIT);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+        // Downlink actuation frames from the proxy.
+        self.actuations.push(pkt.payload);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TAG_EMIT {
+            self.emit(ctx);
+            ctx.set_timer(self.interval, TAG_EMIT);
+        }
+    }
+}
+
+/// A polled OPC UA field server: updates its live value every `interval`
+/// and answers poll requests from its proxy.
+pub struct OpcUaFieldNode {
+    server: OpcUaFieldServer,
+    profile: EnergyProfile,
+    interval: SimDuration,
+    epoch_offset_millis: i64,
+    /// Polls answered so far.
+    pub polls_answered: u64,
+}
+
+impl std::fmt::Debug for OpcUaFieldNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpcUaFieldNode")
+            .field("quantity", &self.server.quantity())
+            .field("polls_answered", &self.polls_answered)
+            .finish()
+    }
+}
+
+impl OpcUaFieldNode {
+    /// Creates a field node refreshing its value every `interval`.
+    pub fn new(
+        server: OpcUaFieldServer,
+        profile: EnergyProfile,
+        interval: SimDuration,
+        epoch_offset_millis: i64,
+    ) -> Self {
+        OpcUaFieldNode {
+            server,
+            profile,
+            interval,
+            epoch_offset_millis,
+            polls_answered: 0,
+        }
+    }
+
+    /// The wrapped server (e.g. to read its value node id).
+    pub fn server(&self) -> &OpcUaFieldServer {
+        &self.server
+    }
+
+    fn refresh(&mut self, now_millis: i64) {
+        let value = self.profile.sample(now_millis);
+        self.server.update(value, now_millis);
+    }
+}
+
+impl Node for OpcUaFieldNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.refresh(unix_millis_at(self.epoch_offset_millis, ctx.now()));
+        ctx.set_timer(self.interval, TAG_EMIT);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port != OPCUA_PORT {
+            return;
+        }
+        // Poll requests arrive in rpc framing from the proxy's tracker.
+        if let Ok(RpcFrame::Request { id, body }) = rpc::decode(&pkt.payload) {
+            if let Ok(response) = self.server.handle_bytes(&body) {
+                ctx.send(pkt.src, OPCUA_PORT, rpc::encode_response(id, &response));
+                self.polls_answered += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TAG_EMIT {
+            self.refresh(unix_millis_at(self.epoch_offset_millis, ctx.now()));
+            ctx.set_timer(self.interval, TAG_EMIT);
+        }
+    }
+}
+
+/// A polled CoAP mote: refreshes its reading every `interval` and
+/// answers CoAP GET/POST requests from its proxy.
+pub struct CoapFieldNode {
+    server: CoapFieldServer,
+    profile: EnergyProfile,
+    interval: SimDuration,
+    epoch_offset_millis: i64,
+    /// Requests answered so far.
+    pub requests_answered: u64,
+}
+
+impl std::fmt::Debug for CoapFieldNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoapFieldNode")
+            .field("quantity", &self.server.quantity())
+            .field("requests_answered", &self.requests_answered)
+            .finish()
+    }
+}
+
+impl CoapFieldNode {
+    /// Creates a mote refreshing its value every `interval`.
+    pub fn new(
+        server: CoapFieldServer,
+        profile: EnergyProfile,
+        interval: SimDuration,
+        epoch_offset_millis: i64,
+    ) -> Self {
+        CoapFieldNode {
+            server,
+            profile,
+            interval,
+            epoch_offset_millis,
+            requests_answered: 0,
+        }
+    }
+
+    /// The wrapped server (e.g. to read received actuations).
+    pub fn server(&self) -> &CoapFieldServer {
+        &self.server
+    }
+
+    fn refresh(&mut self, now_millis: i64) {
+        let value = self.profile.sample(now_millis);
+        self.server.update(value, now_millis);
+    }
+}
+
+impl Node for CoapFieldNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.refresh(unix_millis_at(self.epoch_offset_millis, ctx.now()));
+        ctx.set_timer(self.interval, TAG_EMIT);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        match pkt.port {
+            COAP_PORT => {
+                // Proxy polls arrive in rpc framing.
+                if let Ok(RpcFrame::Request { id, body }) = rpc::decode(&pkt.payload) {
+                    if let Ok(response) = self.server.handle_bytes(&body) {
+                        ctx.send(pkt.src, COAP_PORT, rpc::encode_response(id, &response));
+                        self.requests_answered += 1;
+                    }
+                }
+            }
+            crate::DEVICE_DOWNLINK_PORT => {
+                // Raw actuation frames (no rpc framing) from /actuate.
+                if self.server.handle_bytes(&pkt.payload).is_ok() {
+                    self.requests_answered += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TAG_EMIT {
+            self.refresh(unix_millis_at(self.epoch_offset_millis, ctx.now()));
+            ctx.set_timer(self.interval, TAG_EMIT);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_core::QuantityKind;
+    use protocols::device::ZigbeeSensor;
+    use protocols::zigbee::ZigbeeFrame;
+    use simnet::{LinkModel, SimConfig, Simulator};
+
+    #[derive(Default)]
+    struct Sink {
+        frames: Vec<Vec<u8>>,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            self.frames.push(pkt.payload);
+        }
+    }
+
+    #[test]
+    fn uplink_device_emits_periodically() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 5,
+            default_link: LinkModel::ideal(),
+        });
+        let sink = sim.add_node("proxy", Sink::default());
+        let dev = sim.add_node(
+            "dev",
+            UplinkDeviceNode::new(
+                Box::new(ZigbeeSensor::new(0x10, QuantityKind::Temperature)),
+                EnergyProfile::for_quantity(QuantityKind::Temperature, 1),
+                sink,
+                SimDuration::from_secs(60),
+                1_420_416_000_000,
+            ),
+        );
+        sim.run_for(SimDuration::from_secs(600));
+        let frames = &sim.node_ref::<Sink>(sink).unwrap().frames;
+        // 10 minutes at 1/min: 9-11 frames depending on the start offset.
+        assert!((9..=11).contains(&frames.len()), "{}", frames.len());
+        assert_eq!(
+            sim.node_ref::<UplinkDeviceNode>(dev).unwrap().frames_sent as usize,
+            frames.len()
+        );
+        // Every frame is a decodable ZigBee report.
+        for f in frames {
+            ZigbeeFrame::decode(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn opcua_field_node_answers_polls() {
+        use protocols::opcua::{AttributeId, Message, ReadValueId};
+
+        struct Poller {
+            target: simnet::NodeId,
+            value_node: protocols::opcua::NodeId,
+            responses: Vec<Vec<u8>>,
+        }
+        impl Node for Poller {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let req = Message::ReadRequest {
+                    nodes: vec![ReadValueId {
+                        node_id: self.value_node.clone(),
+                        attribute: AttributeId::Value,
+                    }],
+                }
+                .encode();
+                ctx.send(self.target, OPCUA_PORT, rpc::encode_request(0, &req));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                if let Ok(RpcFrame::Response { body, .. }) = rpc::decode(&pkt.payload) {
+                    self.responses.push(body);
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = OpcUaFieldServer::new(QuantityKind::ThermalEnergy);
+        let value_node = server.value_node().clone();
+        let field = sim.add_node(
+            "plc",
+            OpcUaFieldNode::new(
+                server,
+                EnergyProfile::for_quantity(QuantityKind::ThermalEnergy, 2),
+                SimDuration::from_secs(10),
+                0,
+            ),
+        );
+        let poller = sim.add_node(
+            "poller",
+            Poller {
+                target: field,
+                value_node,
+                responses: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        let p = sim.node_ref::<Poller>(poller).unwrap();
+        assert_eq!(p.responses.len(), 1);
+        match Message::decode(&p.responses[0]).unwrap() {
+            Message::ReadResponse { results } => {
+                assert!(results[0].status.is_good());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(sim.node_ref::<OpcUaFieldNode>(field).unwrap().polls_answered, 1);
+    }
+
+    #[test]
+    fn coap_field_node_answers_polls() {
+        use protocols::coap::{CoapCode, CoapMessage};
+
+        struct Poller {
+            target: simnet::NodeId,
+            responses: Vec<Vec<u8>>,
+        }
+        impl Node for Poller {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let req = CoapMessage::get(1, vec![9], "sensor").encode();
+                ctx.send(self.target, COAP_PORT, rpc::encode_request(0, &req));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                if let Ok(RpcFrame::Response { body, .. }) = rpc::decode(&pkt.payload) {
+                    self.responses.push(body);
+                }
+            }
+        }
+
+        let mut sim = Simulator::new(SimConfig::default());
+        let mote = sim.add_node(
+            "mote",
+            CoapFieldNode::new(
+                CoapFieldServer::new(QuantityKind::Co2),
+                EnergyProfile::for_quantity(QuantityKind::Co2, 4),
+                SimDuration::from_secs(10),
+                0,
+            ),
+        );
+        let poller = sim.add_node("poller", Poller { target: mote, responses: vec![] });
+        sim.run_for(SimDuration::from_secs(5));
+        let p = sim.node_ref::<Poller>(poller).unwrap();
+        assert_eq!(p.responses.len(), 1);
+        let msg = CoapMessage::decode(&p.responses[0]).unwrap();
+        assert_eq!(msg.code, CoapCode::CONTENT);
+        assert_eq!(
+            sim.node_ref::<CoapFieldNode>(mote).unwrap().requests_answered,
+            1
+        );
+    }
+
+    #[test]
+    fn unix_time_mapping() {
+        assert_eq!(unix_millis_at(1_000, SimTime::ZERO), 1_000);
+        assert_eq!(
+            unix_millis_at(1_000, SimTime::from_secs(2)),
+            3_000
+        );
+    }
+}

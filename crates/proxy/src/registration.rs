@@ -1,0 +1,216 @@
+//! Registration bodies exchanged with the master node.
+//!
+//! On startup every proxy POSTs `/register` on the master with one of
+//! these bodies; on shutdown it POSTs `/deregister`. Liveness is
+//! maintained by periodic `/heartbeat` POSTs.
+
+use dimmer_core::{CoreError, DistrictId, ProxyId, Uri, Value};
+use ontology::{DeviceLeaf, EntityNode};
+
+/// What kind of data source a registering proxy fronts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyRole {
+    /// A Device-proxy fronting one device; the leaf goes under
+    /// `entity_id` in the district tree.
+    Device {
+        /// The entity (building/network) the device belongs to.
+        entity_id: String,
+        /// The device leaf to add to the ontology.
+        leaf: DeviceLeaf,
+    },
+    /// A Database-proxy fronting a BIM or SIM database; the entity node
+    /// goes directly under the district root.
+    EntityDatabase {
+        /// The entity node to add to the ontology.
+        entity: EntityNode,
+    },
+    /// A Database-proxy fronting a GIS database (registered on the
+    /// district root).
+    Gis,
+    /// A Database-proxy fronting a measurement archive (registered on
+    /// the district root).
+    MeasurementArchive,
+}
+
+impl ProxyRole {
+    fn kind_str(&self) -> &'static str {
+        match self {
+            ProxyRole::Device { .. } => "device",
+            ProxyRole::EntityDatabase { .. } => "entity_database",
+            ProxyRole::Gis => "gis",
+            ProxyRole::MeasurementArchive => "measurement_archive",
+        }
+    }
+}
+
+/// The `/register` body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// The registering proxy.
+    pub proxy: ProxyId,
+    /// The district the data source belongs to.
+    pub district: DistrictId,
+    /// The proxy's Web-Service URI (what the master hands to clients).
+    pub uri: Uri,
+    /// What the proxy fronts.
+    pub role: ProxyRole,
+}
+
+impl Registration {
+    /// Translates to the common data format.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::object([
+            ("proxy", Value::from(self.proxy.as_str())),
+            ("district", Value::from(self.district.as_str())),
+            ("uri", Value::from(self.uri.to_string())),
+            ("kind", Value::from(self.role.kind_str())),
+        ]);
+        match &self.role {
+            ProxyRole::Device { entity_id, leaf } => {
+                v.insert("entity_id", Value::from(entity_id.as_str()));
+                v.insert("leaf", leaf.to_value());
+            }
+            ProxyRole::EntityDatabase { entity } => {
+                v.insert("entity", entity.to_value());
+            }
+            ProxyRole::Gis | ProxyRole::MeasurementArchive => {}
+        }
+        v
+    }
+
+    /// Decodes a value produced by [`Registration::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on the wrong shape.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        const T: &str = "registration";
+        let role = match v.require_str(T, "kind")? {
+            "device" => ProxyRole::Device {
+                entity_id: v.require_str(T, "entity_id")?.to_owned(),
+                leaf: DeviceLeaf::from_value(v.require(T, "leaf")?)?,
+            },
+            "entity_database" => ProxyRole::EntityDatabase {
+                entity: EntityNode::from_value(v.require(T, "entity")?)?,
+            },
+            "gis" => ProxyRole::Gis,
+            "measurement_archive" => ProxyRole::MeasurementArchive,
+            other => {
+                return Err(CoreError::Shape {
+                    target: T,
+                    reason: format!("unknown proxy kind {other:?}"),
+                })
+            }
+        };
+        Ok(Registration {
+            proxy: ProxyId::new(v.require_str(T, "proxy")?)?,
+            district: DistrictId::new(v.require_str(T, "district")?)?,
+            uri: Uri::parse(v.require_str(T, "uri")?)?,
+            role,
+        })
+    }
+}
+
+/// The `/deregister` and `/heartbeat` body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyRef {
+    /// The proxy.
+    pub proxy: ProxyId,
+    /// Its district.
+    pub district: DistrictId,
+}
+
+impl ProxyRef {
+    /// Translates to the common data format.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("proxy", Value::from(self.proxy.as_str())),
+            ("district", Value::from(self.district.as_str())),
+        ])
+    }
+
+    /// Decodes a value produced by [`ProxyRef::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on the wrong shape.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        const T: &str = "proxy ref";
+        Ok(ProxyRef {
+            proxy: ProxyId::new(v.require_str(T, "proxy")?)?,
+            district: DistrictId::new(v.require_str(T, "district")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmer_core::{BuildingId, DeviceId, QuantityKind};
+
+    fn uri(s: &str) -> Uri {
+        Uri::parse(s).unwrap()
+    }
+
+    #[test]
+    fn device_registration_round_trip() {
+        let reg = Registration {
+            proxy: ProxyId::new("p1").unwrap(),
+            district: DistrictId::new("d1").unwrap(),
+            uri: uri("sim://n9/"),
+            role: ProxyRole::Device {
+                entity_id: "b1".into(),
+                leaf: DeviceLeaf::new(
+                    DeviceId::new("dev1").unwrap(),
+                    "zigbee",
+                    QuantityKind::Temperature,
+                    uri("sim://n9/data"),
+                ),
+            },
+        };
+        assert_eq!(Registration::from_value(&reg.to_value()).unwrap(), reg);
+    }
+
+    #[test]
+    fn database_registrations_round_trip() {
+        for role in [
+            ProxyRole::EntityDatabase {
+                entity: EntityNode::building(
+                    BuildingId::new("b1").unwrap(),
+                    uri("sim://n3/model"),
+                ),
+            },
+            ProxyRole::Gis,
+            ProxyRole::MeasurementArchive,
+        ] {
+            let reg = Registration {
+                proxy: ProxyId::new("p2").unwrap(),
+                district: DistrictId::new("d1").unwrap(),
+                uri: uri("sim://n3/"),
+                role,
+            };
+            assert_eq!(Registration::from_value(&reg.to_value()).unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn proxy_ref_round_trip() {
+        let r = ProxyRef {
+            proxy: ProxyId::new("p1").unwrap(),
+            district: DistrictId::new("d1").unwrap(),
+        };
+        assert_eq!(ProxyRef::from_value(&r.to_value()).unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Registration::from_value(&Value::Null).is_err());
+        let mut v = ProxyRef {
+            proxy: ProxyId::new("p").unwrap(),
+            district: DistrictId::new("d").unwrap(),
+        }
+        .to_value();
+        v.insert("proxy", Value::from("bad id!"));
+        assert!(ProxyRef::from_value(&v).is_err());
+    }
+}

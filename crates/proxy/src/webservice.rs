@@ -1,0 +1,633 @@
+//! The Web-Service layer shared by every proxy and the master node.
+//!
+//! Requests are REST-shaped — a method, a path, query parameters and a
+//! common-data-format body — serialized in the client's chosen open
+//! format (JSON or XML, one marker byte ahead of the text) and carried by
+//! the [`simnet::rpc`] request/response framing. Servers route paths
+//! against [`PathPattern`]s with `{param}` captures.
+
+use std::collections::BTreeMap;
+
+use dimmer_core::codec::{self, DataFormat};
+use dimmer_core::{CoreError, Value};
+use simnet::rpc::{RequestTracker, RpcEvent};
+use simnet::{Context, NodeId, Packet, SimDuration, TimerTag};
+
+use crate::WS_PORT;
+
+/// Default request timeout.
+pub const REQUEST_TIMEOUT: SimDuration = SimDuration::from_secs(3);
+/// Default retry count.
+pub const REQUEST_RETRIES: u32 = 2;
+
+/// Common status codes.
+pub mod status {
+    /// Success.
+    pub const OK: u16 = 200;
+    /// Malformed request.
+    pub const BAD_REQUEST: u16 = 400;
+    /// Unknown path or resource.
+    pub const NOT_FOUND: u16 = 404;
+    /// The server failed internally.
+    pub const INTERNAL_ERROR: u16 = 500;
+}
+
+/// The request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Method {
+    /// Retrieve data.
+    #[default]
+    Get,
+    /// Mutate state (registration, actuation).
+    Post,
+}
+
+impl Method {
+    /// The canonical name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+
+    /// Parses a canonical name.
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+/// A Web-Service request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsRequest {
+    /// The method.
+    pub method: Method,
+    /// The path, starting with `/`.
+    pub path: String,
+    /// Query parameters.
+    pub query: BTreeMap<String, String>,
+    /// The body in the common data format (often `Null` for GET).
+    pub body: Value,
+    /// The open format this request (and its response) is encoded in.
+    pub format: DataFormat,
+}
+
+impl WsRequest {
+    /// A GET request for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        WsRequest {
+            method: Method::Get,
+            path: path.into(),
+            query: BTreeMap::new(),
+            body: Value::Null,
+            format: DataFormat::Json,
+        }
+    }
+
+    /// A POST request for `path` carrying `body`.
+    pub fn post(path: impl Into<String>, body: Value) -> Self {
+        WsRequest {
+            method: Method::Post,
+            path: path.into(),
+            query: BTreeMap::new(),
+            body,
+            format: DataFormat::Json,
+        }
+    }
+
+    /// Adds a query parameter.
+    pub fn with_query(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.query.insert(key.into(), value.into());
+        self
+    }
+
+    /// Selects the open format (JSON default).
+    pub fn with_format(mut self, format: DataFormat) -> Self {
+        self.format = format;
+        self
+    }
+
+    /// A query parameter.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// Serializes: one format byte, then the envelope in that format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let envelope = Value::object([
+            ("method", Value::from(self.method.as_str())),
+            ("path", Value::from(self.path.as_str())),
+            (
+                "query",
+                Value::object(
+                    self.query
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::from(v.as_str()))),
+                ),
+            ),
+            ("body", self.body.clone()),
+        ]);
+        encode_with_marker(&envelope, self.format)
+    }
+
+    /// Deserializes bytes produced by [`WsRequest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an unknown marker or malformed envelope.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (envelope, format) = decode_with_marker(bytes)?;
+        const T: &str = "ws request";
+        let method = Method::parse(envelope.require_str(T, "method")?).ok_or_else(|| {
+            CoreError::Shape {
+                target: T,
+                reason: "unknown method".into(),
+            }
+        })?;
+        let mut query = BTreeMap::new();
+        if let Some(map) = envelope.require(T, "query")?.as_object() {
+            for (k, v) in map {
+                query.insert(
+                    k.clone(),
+                    v.as_str()
+                        .ok_or_else(|| CoreError::Shape {
+                            target: T,
+                            reason: "query values must be strings".into(),
+                        })?
+                        .to_owned(),
+                );
+            }
+        }
+        Ok(WsRequest {
+            method,
+            path: envelope.require_str(T, "path")?.to_owned(),
+            query,
+            body: envelope.get("body").cloned().unwrap_or(Value::Null),
+            format,
+        })
+    }
+}
+
+/// A Web-Service response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsResponse {
+    /// The status code.
+    pub status: u16,
+    /// The body in the common data format.
+    pub body: Value,
+}
+
+impl WsResponse {
+    /// A 200 response with `body`.
+    pub fn ok(body: Value) -> Self {
+        WsResponse {
+            status: status::OK,
+            body,
+        }
+    }
+
+    /// An error response carrying a `{error: reason}` body.
+    pub fn error(status: u16, reason: impl Into<String>) -> Self {
+        WsResponse {
+            status,
+            body: Value::object([("error", Value::from(reason.into()))]),
+        }
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// Serializes in `format` (the request's format).
+    pub fn to_bytes(&self, format: DataFormat) -> Vec<u8> {
+        let envelope = Value::object([
+            ("status", Value::from(i64::from(self.status))),
+            ("body", self.body.clone()),
+        ]);
+        encode_with_marker(&envelope, format)
+    }
+
+    /// Deserializes bytes produced by [`WsResponse::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an unknown marker or malformed envelope.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let (envelope, _) = decode_with_marker(bytes)?;
+        const T: &str = "ws response";
+        let status = envelope.require_i64(T, "status")?;
+        if !(100..600).contains(&status) {
+            return Err(CoreError::Shape {
+                target: T,
+                reason: "status out of range".into(),
+            });
+        }
+        Ok(WsResponse {
+            status: status as u16,
+            body: envelope.get("body").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn encode_with_marker(envelope: &Value, format: DataFormat) -> Vec<u8> {
+    let text = codec::encode_value(envelope, format);
+    let mut out = Vec::with_capacity(text.len() + 1);
+    out.push(match format {
+        DataFormat::Json => 0,
+        DataFormat::Xml => 1,
+    });
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+fn decode_with_marker(bytes: &[u8]) -> Result<(Value, DataFormat), CoreError> {
+    let (&marker, text) = bytes.split_first().ok_or(CoreError::Shape {
+        target: "ws envelope",
+        reason: "empty payload".into(),
+    })?;
+    let format = match marker {
+        0 => DataFormat::Json,
+        1 => DataFormat::Xml,
+        other => {
+            return Err(CoreError::Shape {
+                target: "ws envelope",
+                reason: format!("unknown format marker {other}"),
+            })
+        }
+    };
+    let text = std::str::from_utf8(text).map_err(|_| CoreError::Shape {
+        target: "ws envelope",
+        reason: "payload is not utf-8".into(),
+    })?;
+    Ok((codec::decode_value(text, format)?, format))
+}
+
+/// A path pattern with `{param}` captures, e.g.
+/// `/district/{id}/area`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPattern {
+    segments: Vec<PatternSeg>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PatternSeg {
+    Literal(String),
+    Param(String),
+}
+
+impl PathPattern {
+    /// Parses a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty pattern or empty segments — patterns are
+    /// compile-time constants in practice.
+    pub fn new(pattern: &str) -> Self {
+        assert!(pattern.starts_with('/'), "pattern must start with '/'");
+        let segments = pattern[1..]
+            .split('/')
+            .map(|seg| {
+                assert!(!seg.is_empty(), "empty segment in pattern {pattern:?}");
+                if let Some(name) = seg.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+                    PatternSeg::Param(name.to_owned())
+                } else {
+                    PatternSeg::Literal(seg.to_owned())
+                }
+            })
+            .collect();
+        PathPattern { segments }
+    }
+
+    /// Matches `path`, returning captured parameters on success.
+    pub fn matches(&self, path: &str) -> Option<BTreeMap<String, String>> {
+        let path = path.strip_prefix('/')?;
+        let parts: Vec<&str> = if path.is_empty() {
+            Vec::new()
+        } else {
+            path.split('/').collect()
+        };
+        if parts.len() != self.segments.len() {
+            return None;
+        }
+        let mut params = BTreeMap::new();
+        for (seg, part) in self.segments.iter().zip(parts) {
+            match seg {
+                PatternSeg::Literal(lit) if lit == part => {}
+                PatternSeg::Literal(_) => return None,
+                PatternSeg::Param(name) => {
+                    params.insert(name.clone(), part.to_owned());
+                }
+            }
+        }
+        Some(params)
+    }
+}
+
+/// An incoming call a server must answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WsCall {
+    /// Correlation id (pass back to [`WsServer::respond`]).
+    pub id: u64,
+    /// The requesting node.
+    pub from: NodeId,
+    /// The decoded request.
+    pub request: WsRequest,
+}
+
+/// Server half of the Web-Service layer; embed in a [`simnet::Node`].
+#[derive(Debug)]
+pub struct WsServer {
+    tracker: RequestTracker,
+}
+
+impl WsServer {
+    /// Creates a server (servers never originate requests, so no tag
+    /// namespace is needed).
+    pub fn new() -> Self {
+        WsServer {
+            tracker: RequestTracker::new(u64::MAX / 2),
+        }
+    }
+
+    /// Feeds an incoming packet; returns a call when it was a valid
+    /// request. Malformed requests are answered with 400 automatically.
+    pub fn accept(&mut self, ctx: &mut Context<'_>, pkt: &Packet) -> Option<WsCall> {
+        match self.tracker.accept(pkt)? {
+            RpcEvent::IncomingRequest { id, from, body, .. } => {
+                match WsRequest::from_bytes(&body) {
+                    Ok(request) => Some(WsCall { id, from, request }),
+                    Err(e) => {
+                        let resp =
+                            WsResponse::error(status::BAD_REQUEST, e.to_string());
+                        self.tracker.respond(
+                            ctx,
+                            from,
+                            WS_PORT,
+                            id,
+                            &resp.to_bytes(DataFormat::Json),
+                        );
+                        None
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Sends the response for a previously accepted call.
+    pub fn respond(&self, ctx: &mut Context<'_>, call: &WsCall, response: WsResponse) {
+        self.tracker.respond(
+            ctx,
+            call.from,
+            WS_PORT,
+            call.id,
+            &response.to_bytes(call.request.format),
+        );
+    }
+}
+
+impl Default for WsServer {
+    fn default() -> Self {
+        WsServer::new()
+    }
+}
+
+/// Client-side events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WsClientEvent {
+    /// The response to request `id` arrived.
+    Response {
+        /// Correlation id from [`WsClient::request`].
+        id: u64,
+        /// The decoded response (500 synthesized on decode failure).
+        response: WsResponse,
+    },
+    /// Request `id` timed out after retries.
+    TimedOut {
+        /// Correlation id from [`WsClient::request`].
+        id: u64,
+    },
+}
+
+/// Client half of the Web-Service layer; embed in a [`simnet::Node`].
+#[derive(Debug)]
+pub struct WsClient {
+    tracker: RequestTracker,
+}
+
+impl WsClient {
+    /// Creates a client whose timers use tags from `tag_base`.
+    pub fn new(tag_base: u64) -> Self {
+        WsClient {
+            tracker: RequestTracker::new(tag_base),
+        }
+    }
+
+    /// Number of requests in flight.
+    pub fn outstanding(&self) -> usize {
+        self.tracker.outstanding()
+    }
+
+    /// Sends `request` to the Web Service on `server`; returns the
+    /// correlation id.
+    pub fn request(&mut self, ctx: &mut Context<'_>, server: NodeId, request: &WsRequest) -> u64 {
+        self.tracker.send_request(
+            ctx,
+            server,
+            WS_PORT,
+            request.to_bytes(),
+            REQUEST_TIMEOUT,
+            REQUEST_RETRIES,
+        )
+    }
+
+    /// Feeds an incoming packet through the client.
+    pub fn accept(&mut self, pkt: &Packet) -> Option<WsClientEvent> {
+        match self.tracker.accept(pkt)? {
+            RpcEvent::ResponseReceived { id, body } => {
+                let response = WsResponse::from_bytes(&body).unwrap_or_else(|e| {
+                    WsResponse::error(status::INTERNAL_ERROR, e.to_string())
+                });
+                Some(WsClientEvent::Response { id, response })
+            }
+            _ => None,
+        }
+    }
+
+    /// Feeds a fired timer through the client.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) -> Option<WsClientEvent> {
+        match self.tracker.on_timer(ctx, tag)? {
+            RpcEvent::RequestTimedOut { id } => Some(WsClientEvent::TimedOut { id }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_both_formats() {
+        for format in DataFormat::all() {
+            let req = WsRequest::get("/data")
+                .with_query("from", "0")
+                .with_query("to", "100")
+                .with_format(format);
+            let back = WsRequest::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(back, req, "{format}");
+        }
+    }
+
+    #[test]
+    fn post_body_round_trip() {
+        let req = WsRequest::post(
+            "/register",
+            Value::object([("proxy", Value::from("p1"))]),
+        );
+        let back = WsRequest::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(back.method, Method::Post);
+        assert_eq!(
+            back.body.get("proxy").and_then(Value::as_str),
+            Some("p1")
+        );
+    }
+
+    #[test]
+    fn response_round_trip() {
+        for format in DataFormat::all() {
+            let resp = WsResponse::ok(Value::object([("x", Value::from(1))]));
+            let back = WsResponse::from_bytes(&resp.to_bytes(format)).unwrap();
+            assert_eq!(back, resp);
+        }
+        let err = WsResponse::error(status::NOT_FOUND, "no such device");
+        assert!(!err.is_ok());
+        let back = WsResponse::from_bytes(&err.to_bytes(DataFormat::Json)).unwrap();
+        assert_eq!(back.status, 404);
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(WsRequest::from_bytes(&[]).is_err());
+        assert!(WsRequest::from_bytes(&[9, b'{', b'}']).is_err());
+        assert!(WsRequest::from_bytes(&[0, b'{', b'}']).is_err(), "missing members");
+        assert!(WsRequest::from_bytes(&[0, 0xFF, 0xFE]).is_err(), "not utf-8");
+        assert!(WsResponse::from_bytes(&[0]).is_err());
+    }
+
+    #[test]
+    fn path_patterns() {
+        let p = PathPattern::new("/district/{id}/area");
+        let params = p.matches("/district/d1/area").unwrap();
+        assert_eq!(params["id"], "d1");
+        assert!(p.matches("/district/d1").is_none());
+        assert!(p.matches("/district/d1/area/extra").is_none());
+        assert!(p.matches("/other/d1/area").is_none());
+        assert!(p.matches("district/d1/area").is_none(), "missing leading slash");
+
+        let root = PathPattern::new("/info");
+        assert!(root.matches("/info").is_some());
+        assert!(root.matches("/").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "start with")]
+    fn pattern_requires_leading_slash() {
+        PathPattern::new("no-slash");
+    }
+
+    // End-to-end over the simulator.
+    use simnet::{Node, SimConfig, Simulator};
+
+    struct EchoServer {
+        server: WsServer,
+    }
+
+    impl Node for EchoServer {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+            if let Some(call) = self.server.accept(ctx, &pkt) {
+                let response = match call.request.path.as_str() {
+                    "/info" => WsResponse::ok(Value::object([(
+                        "echo",
+                        Value::from(call.request.query("q").unwrap_or("")),
+                    )])),
+                    _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
+                };
+                self.server.respond(ctx, &call, response);
+            }
+        }
+    }
+
+    struct TestClient {
+        client: WsClient,
+        server: NodeId,
+        request: WsRequest,
+        responses: Vec<WsResponse>,
+        timeouts: usize,
+    }
+
+    impl Node for TestClient {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let request = self.request.clone();
+            self.client.request(ctx, self.server, &request);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            if let Some(WsClientEvent::Response { response, .. }) = self.client.accept(&pkt) {
+                self.responses.push(response);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+            if let Some(WsClientEvent::TimedOut { .. }) = self.client.on_timer(ctx, tag) {
+                self.timeouts += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_over_network() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("server", EchoServer { server: WsServer::new() });
+        let client = sim.add_node(
+            "client",
+            TestClient {
+                client: WsClient::new(1000),
+                server,
+                request: WsRequest::get("/info").with_query("q", "hello"),
+                responses: vec![],
+                timeouts: 0,
+            },
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        let c = sim.node_ref::<TestClient>(client).unwrap();
+        assert_eq!(c.responses.len(), 1);
+        assert!(c.responses[0].is_ok());
+        assert_eq!(
+            c.responses[0].body.get("echo").and_then(Value::as_str),
+            Some("hello")
+        );
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_xml_works() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("server", EchoServer { server: WsServer::new() });
+        let client = sim.add_node(
+            "client",
+            TestClient {
+                client: WsClient::new(1000),
+                server,
+                request: WsRequest::get("/ghost").with_format(DataFormat::Xml),
+                responses: vec![],
+                timeouts: 0,
+            },
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        let c = sim.node_ref::<TestClient>(client).unwrap();
+        assert_eq!(c.responses[0].status, status::NOT_FOUND);
+    }
+}

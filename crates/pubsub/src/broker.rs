@@ -1,0 +1,227 @@
+//! The middleware broker node.
+
+use std::collections::HashMap;
+
+use simnet::{Context, Node, Packet as NetPacket, SimDuration, TimerTag};
+
+use crate::topic::SubscriptionTrie;
+use crate::wire::{Packet, QoS};
+use crate::{Topic, TopicFilter};
+
+/// How long the broker waits before redelivering an unacked QoS 1
+/// message.
+const RETRY_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+/// How many redeliveries before a QoS 1 message is dropped.
+const MAX_RETRIES: u32 = 3;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Subscription {
+    node: simnet::NodeId,
+    qos: QoS,
+}
+
+#[derive(Debug)]
+struct PendingDelivery {
+    to: simnet::NodeId,
+    bytes: Vec<u8>,
+    retries_left: u32,
+}
+
+/// Counters the broker exposes for experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Publish packets received.
+    pub published: u64,
+    /// Deliver packets sent (including retries).
+    pub delivered: u64,
+    /// QoS 1 deliveries acknowledged.
+    pub acked: u64,
+    /// QoS 1 redelivery attempts.
+    pub retries: u64,
+    /// QoS 1 deliveries abandoned after retry exhaustion.
+    pub dropped: u64,
+    /// Topics currently retained.
+    pub retained: u64,
+}
+
+/// A SEEMPubS-style broker running as a [`simnet::Node`].
+///
+/// Clients talk to it on [`PUBSUB_PORT`](crate::PUBSUB_PORT) with
+/// [`Packet`](crate::WirePacket)s; the [`PubSubClient`](crate::PubSubClient)
+/// helper wraps that protocol.
+#[derive(Debug, Default)]
+pub struct BrokerNode {
+    subscriptions: SubscriptionTrie<Subscription>,
+    /// topic text → (topic, last retained payload).
+    retained: HashMap<String, (Topic, Vec<u8>)>,
+    pending: HashMap<u64, PendingDelivery>,
+    next_delivery_id: u64,
+    stats: BrokerStats,
+}
+
+impl BrokerNode {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        BrokerNode::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            retained: self.retained.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Number of QoS 1 deliveries awaiting acknowledgement.
+    pub fn pending_deliveries(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn deliver(
+        &mut self,
+        ctx: &mut Context<'_>,
+        to: simnet::NodeId,
+        topic: &Topic,
+        payload: &[u8],
+        qos: QoS,
+    ) {
+        let id = self.next_delivery_id;
+        self.next_delivery_id += 1;
+        let packet = Packet::Deliver {
+            id,
+            topic: topic.clone(),
+            payload: payload.to_vec(),
+            qos,
+        };
+        let bytes = packet.encode();
+        ctx.send(to, crate::PUBSUB_PORT, bytes.clone());
+        self.stats.delivered += 1;
+        if qos == QoS::AtLeastOnce {
+            self.pending.insert(
+                id,
+                PendingDelivery {
+                    to,
+                    bytes,
+                    retries_left: MAX_RETRIES,
+                },
+            );
+            ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
+        }
+    }
+
+    fn on_publish(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: simnet::NodeId,
+        id: u64,
+        topic: Topic,
+        payload: Vec<u8>,
+        retain: bool,
+        qos: QoS,
+    ) {
+        self.stats.published += 1;
+        if qos == QoS::AtLeastOnce {
+            ctx.send(from, crate::PUBSUB_PORT, Packet::PubAck { id }.encode());
+        }
+        if retain {
+            if payload.is_empty() {
+                self.retained.remove(topic.as_str());
+            } else {
+                self.retained
+                    .insert(topic.as_str().to_owned(), (topic.clone(), payload.clone()));
+            }
+        }
+        let targets: Vec<Subscription> = self
+            .subscriptions
+            .matches(&topic)
+            .into_iter()
+            .cloned()
+            .collect();
+        for sub in targets {
+            // Effective delivery guarantee: the weaker of the two ends.
+            let effective = if qos == QoS::AtLeastOnce && sub.qos == QoS::AtLeastOnce {
+                QoS::AtLeastOnce
+            } else {
+                QoS::AtMostOnce
+            };
+            self.deliver(ctx, sub.node, &topic, &payload, effective);
+        }
+    }
+
+    fn on_subscribe(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: simnet::NodeId,
+        filter: TopicFilter,
+        qos: QoS,
+    ) {
+        self.subscriptions
+            .insert(&filter, Subscription { node: from, qos });
+        // Hand the new subscriber any retained messages it now matches.
+        let matching: Vec<(Topic, Vec<u8>)> = self
+            .retained
+            .values()
+            .filter(|(topic, _)| filter.matches(topic))
+            .cloned()
+            .collect();
+        for (topic, payload) in matching {
+            self.deliver(ctx, from, &topic, &payload, qos);
+        }
+    }
+}
+
+impl Node for BrokerNode {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
+        let Ok(packet) = Packet::decode(&pkt.payload) else {
+            return; // malformed traffic is dropped, as a real broker would
+        };
+        match packet {
+            Packet::Subscribe { filter, qos } => self.on_subscribe(ctx, pkt.src, filter, qos),
+            Packet::Unsubscribe { filter } => {
+                // Remove every subscription this node holds on the filter.
+                self.subscriptions
+                    .remove_where(&filter, |sub| sub.node == pkt.src);
+            }
+            Packet::Publish {
+                id,
+                topic,
+                payload,
+                retain,
+                qos,
+            } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos),
+            Packet::DeliverAck { id } => {
+                if self.pending.remove(&id).is_some() {
+                    self.stats.acked += 1;
+                }
+            }
+            Packet::PubAck { .. } | Packet::Deliver { .. } => {
+                // Not broker-bound; ignore.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        let id = tag.0;
+        let Some(pending) = self.pending.get_mut(&id) else {
+            return; // already acked
+        };
+        if pending.retries_left == 0 {
+            self.pending.remove(&id);
+            self.stats.dropped += 1;
+            return;
+        }
+        pending.retries_left -= 1;
+        let (to, bytes) = (pending.to, pending.bytes.clone());
+        ctx.send(to, crate::PUBSUB_PORT, bytes);
+        self.stats.retries += 1;
+        self.stats.delivered += 1;
+        ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
+    }
+}
+

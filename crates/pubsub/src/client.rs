@@ -1,0 +1,523 @@
+//! The client half of the middleware, embedded in nodes.
+
+use std::collections::HashMap;
+
+use simnet::{Context, NodeId, Packet as NetPacket, SimDuration, TimerTag};
+
+use crate::wire::{Packet, QoS};
+use crate::{Topic, TopicFilter, PUBSUB_PORT};
+
+/// Publisher-side retry interval for unacked QoS 1 publishes.
+const PUBLISH_RETRY: SimDuration = SimDuration::from_secs(2);
+const MAX_PUBLISH_RETRIES: u32 = 3;
+
+/// Events surfaced by [`PubSubClient::accept`] and
+/// [`PubSubClient::on_timer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PubSubEvent {
+    /// A message arrived on a subscribed topic.
+    Message {
+        /// The topic it was published under.
+        topic: Topic,
+        /// The payload.
+        payload: Vec<u8>,
+    },
+    /// A QoS 1 publish was acknowledged by the broker.
+    Published {
+        /// The id returned by [`PubSubClient::publish`].
+        id: u64,
+    },
+    /// A QoS 1 publish exhausted its retries without acknowledgement.
+    PublishTimedOut {
+        /// The id returned by [`PubSubClient::publish`].
+        id: u64,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct PendingPublish {
+    bytes: Vec<u8>,
+    retries_left: u32,
+}
+
+/// Middleware client state a [`simnet::Node`] embeds.
+///
+/// The owning node must:
+/// * route packets arriving on [`PUBSUB_PORT`] to
+///   [`PubSubClient::accept`] (it auto-acknowledges QoS 1 deliveries);
+/// * route timers whose tag the client [`owns`](PubSubClient::owns_tag)
+///   to [`PubSubClient::on_timer`].
+#[derive(Debug)]
+pub struct PubSubClient {
+    broker: NodeId,
+    tag_base: u64,
+    next_publish_id: u64,
+    pending: HashMap<u64, PendingPublish>,
+}
+
+impl PubSubClient {
+    /// Creates a client talking to `broker`, using timer tags starting at
+    /// `tag_base`.
+    pub fn new(broker: NodeId, tag_base: u64) -> Self {
+        PubSubClient {
+            broker,
+            tag_base,
+            next_publish_id: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The broker this client talks to.
+    pub fn broker(&self) -> NodeId {
+        self.broker
+    }
+
+    /// Number of QoS 1 publishes awaiting acknowledgement.
+    pub fn pending_publishes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Subscribes to `filter` with the given delivery guarantee.
+    pub fn subscribe(&self, ctx: &mut Context<'_>, filter: TopicFilter, qos: QoS) {
+        ctx.send(
+            self.broker,
+            PUBSUB_PORT,
+            Packet::Subscribe { filter, qos }.encode(),
+        );
+    }
+
+    /// Drops all of the node's subscriptions on `filter`.
+    pub fn unsubscribe(&self, ctx: &mut Context<'_>, filter: TopicFilter) {
+        ctx.send(
+            self.broker,
+            PUBSUB_PORT,
+            Packet::Unsubscribe { filter }.encode(),
+        );
+    }
+
+    /// Publishes `payload` under `topic`. Returns the publish id; for
+    /// QoS 1 the id later appears in [`PubSubEvent::Published`] or
+    /// [`PubSubEvent::PublishTimedOut`].
+    pub fn publish(
+        &mut self,
+        ctx: &mut Context<'_>,
+        topic: Topic,
+        payload: Vec<u8>,
+        retain: bool,
+        qos: QoS,
+    ) -> u64 {
+        let id = self.next_publish_id;
+        self.next_publish_id += 1;
+        let bytes = Packet::Publish {
+            id,
+            topic,
+            payload,
+            retain,
+            qos,
+        }
+        .encode();
+        ctx.send(self.broker, PUBSUB_PORT, bytes.clone());
+        if qos == QoS::AtLeastOnce {
+            self.pending.insert(
+                id,
+                PendingPublish {
+                    bytes,
+                    retries_left: MAX_PUBLISH_RETRIES,
+                },
+            );
+            ctx.set_timer(PUBLISH_RETRY, TimerTag(self.tag_base + id));
+        }
+        id
+    }
+
+    /// Feeds an incoming packet through the client. QoS 1 deliveries are
+    /// acknowledged automatically.
+    pub fn accept(&mut self, ctx: &mut Context<'_>, pkt: &NetPacket) -> Option<PubSubEvent> {
+        match Packet::decode(&pkt.payload).ok()? {
+            Packet::Deliver {
+                id,
+                topic,
+                payload,
+                qos,
+            } => {
+                if qos == QoS::AtLeastOnce {
+                    ctx.send(pkt.src, PUBSUB_PORT, Packet::DeliverAck { id }.encode());
+                }
+                Some(PubSubEvent::Message { topic, payload })
+            }
+            Packet::PubAck { id } => {
+                self.pending.remove(&id)?;
+                Some(PubSubEvent::Published { id })
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a timer tag belongs to this client.
+    pub fn owns_tag(&self, tag: TimerTag) -> bool {
+        tag.0
+            .checked_sub(self.tag_base)
+            .is_some_and(|id| self.pending.contains_key(&id))
+    }
+
+    /// Feeds a fired timer through the client.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) -> Option<PubSubEvent> {
+        let id = tag.0.checked_sub(self.tag_base)?;
+        let pending = self.pending.get_mut(&id)?;
+        if pending.retries_left == 0 {
+            self.pending.remove(&id);
+            return Some(PubSubEvent::PublishTimedOut { id });
+        }
+        pending.retries_left -= 1;
+        let bytes = pending.bytes.clone();
+        ctx.send(self.broker, PUBSUB_PORT, bytes);
+        ctx.set_timer(PUBLISH_RETRY, TimerTag(self.tag_base + id));
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BrokerNode;
+    use simnet::{LinkModel, Node, SimConfig, Simulator};
+
+    /// A test node that subscribes on start and records everything.
+    struct Subscriber {
+        client: PubSubClient,
+        filter: TopicFilter,
+        qos: QoS,
+        messages: Vec<(Topic, Vec<u8>)>,
+    }
+
+    impl Node for Subscriber {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.client.subscribe(ctx, self.filter.clone(), self.qos);
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
+            if let Some(PubSubEvent::Message { topic, payload }) = self.client.accept(ctx, &pkt)
+            {
+                self.messages.push((topic, payload));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+            self.client.on_timer(ctx, tag);
+        }
+    }
+
+    /// A test node that publishes a fixed message on start.
+    struct Publisher {
+        client: PubSubClient,
+        topic: Topic,
+        payload: Vec<u8>,
+        retain: bool,
+        qos: QoS,
+        acks: Vec<u64>,
+        timeouts: Vec<u64>,
+    }
+
+    impl Node for Publisher {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.client.publish(
+                ctx,
+                self.topic.clone(),
+                self.payload.clone(),
+                self.retain,
+                self.qos,
+            );
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
+            match self.client.accept(ctx, &pkt) {
+                Some(PubSubEvent::Published { id }) => self.acks.push(id),
+                Some(PubSubEvent::PublishTimedOut { id }) => self.timeouts.push(id),
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+            if let Some(PubSubEvent::PublishTimedOut { id }) = self.client.on_timer(ctx, tag) {
+                self.timeouts.push(id);
+            }
+        }
+    }
+
+    fn topic(s: &str) -> Topic {
+        Topic::new(s).unwrap()
+    }
+
+    fn filter(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+
+    fn build(link: LinkModel) -> (Simulator, simnet::NodeId) {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 42,
+            default_link: link,
+        });
+        let broker = sim.add_node("broker", BrokerNode::new());
+        (sim, broker)
+    }
+
+    #[test]
+    fn publish_reaches_matching_subscribers() {
+        let (mut sim, broker) = build(LinkModel::lan());
+        let sub_a = sim.add_node(
+            "sub_a",
+            Subscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("d1/#"),
+                qos: QoS::AtMostOnce,
+                messages: vec![],
+            },
+        );
+        let sub_b = sim.add_node(
+            "sub_b",
+            Subscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("d2/#"),
+                qos: QoS::AtMostOnce,
+                messages: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        let _pub = sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/b1/temp"),
+                payload: b"21.5".to_vec(),
+                retain: false,
+                qos: QoS::AtMostOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.node_ref::<Subscriber>(sub_a).unwrap().messages,
+            vec![(topic("d1/b1/temp"), b"21.5".to_vec())]
+        );
+        assert!(sim.node_ref::<Subscriber>(sub_b).unwrap().messages.is_empty());
+        let stats = sim.node_ref::<BrokerNode>(broker).unwrap().stats();
+        assert_eq!(stats.published, 1);
+        assert_eq!(stats.delivered, 1);
+    }
+
+    #[test]
+    fn qos1_publish_is_acked() {
+        let (mut sim, broker) = build(LinkModel::lan());
+        let p = sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/x"),
+                payload: b"1".to_vec(),
+                retain: false,
+                qos: QoS::AtLeastOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let p = sim.node_ref::<Publisher>(p).unwrap();
+        assert_eq!(p.acks, vec![0]);
+        assert_eq!(p.client.pending_publishes(), 0);
+    }
+
+    #[test]
+    fn qos1_delivery_retries_on_loss() {
+        // 70% loss: retries push through eventually (or drop after 3).
+        let (mut sim, broker) = build(LinkModel::builder().loss(0.5).build());
+        let s = sim.add_node(
+            "sub",
+            Subscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("#"),
+                qos: QoS::AtLeastOnce,
+                messages: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_millis(100));
+        for i in 0..20 {
+            sim.add_node(
+                format!("pub{i}"),
+                Publisher {
+                    client: PubSubClient::new(broker, 100),
+                    topic: topic("d1/x"),
+                    payload: vec![i],
+                    retain: false,
+                    qos: QoS::AtLeastOnce,
+                    acks: vec![],
+                    timeouts: vec![],
+                },
+            );
+        }
+        sim.run_for(SimDuration::from_secs(60));
+        let stats = sim.node_ref::<BrokerNode>(broker).unwrap().stats();
+        let sub = sim.node_ref::<Subscriber>(s).unwrap();
+        // With 50% loss and publisher retries, most publishes arrive; all
+        // that the broker accepted are either delivered+acked or dropped.
+        assert!(stats.published > 0);
+        assert!(stats.retries > 0, "loss must trigger retries: {stats:?}");
+        assert!(!sub.messages.is_empty());
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker).unwrap().pending_deliveries(),
+            0,
+            "all deliveries settle within the horizon"
+        );
+    }
+
+    #[test]
+    fn retained_message_reaches_late_subscriber() {
+        let (mut sim, broker) = build(LinkModel::lan());
+        let _pub = sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/b1/temp"),
+                payload: b"latest".to_vec(),
+                retain: true,
+                qos: QoS::AtMostOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let late = sim.add_node(
+            "late",
+            Subscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("d1/+/temp"),
+                qos: QoS::AtMostOnce,
+                messages: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.node_ref::<Subscriber>(late).unwrap().messages,
+            vec![(topic("d1/b1/temp"), b"latest".to_vec())]
+        );
+        assert_eq!(sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained, 1);
+    }
+
+    #[test]
+    fn empty_retained_payload_clears() {
+        let (mut sim, broker) = build(LinkModel::lan());
+        sim.add_node(
+            "pub1",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/t"),
+                payload: b"x".to_vec(),
+                retain: true,
+                qos: QoS::AtMostOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        sim.add_node(
+            "pub2",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/t"),
+                payload: vec![],
+                retain: true,
+                qos: QoS::AtMostOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        let late = sim.add_node(
+            "late",
+            Subscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("#"),
+                qos: QoS::AtMostOnce,
+                messages: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.node_ref::<Subscriber>(late).unwrap().messages.is_empty());
+        assert_eq!(sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained, 0);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        struct FickleSubscriber {
+            client: PubSubClient,
+            messages: usize,
+        }
+        impl Node for FickleSubscriber {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.client.subscribe(ctx, filter("d1/#"), QoS::AtMostOnce);
+                // Unsubscribe shortly after.
+                ctx.set_timer(SimDuration::from_millis(500), TimerTag(1));
+            }
+            fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
+                if let Some(PubSubEvent::Message { .. }) = self.client.accept(ctx, &pkt) {
+                    self.messages += 1;
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+                if tag == TimerTag(1) {
+                    self.client.unsubscribe(ctx, filter("d1/#"));
+                }
+            }
+        }
+        let (mut sim, broker) = build(LinkModel::lan());
+        let s = sim.add_node(
+            "fickle",
+            FickleSubscriber {
+                client: PubSubClient::new(broker, 100),
+                messages: 0,
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker).unwrap().subscription_count(),
+            0
+        );
+        sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/x"),
+                payload: b"1".to_vec(),
+                retain: false,
+                qos: QoS::AtMostOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(1));
+        assert_eq!(sim.node_ref::<FickleSubscriber>(s).unwrap().messages, 0);
+    }
+
+    #[test]
+    fn publish_times_out_without_broker() {
+        // Broker that never answers: black-hole node.
+        struct BlackHole;
+        impl Node for BlackHole {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: NetPacket) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default());
+        let hole = sim.add_node("hole", BlackHole);
+        let p = sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(hole, 100),
+                topic: topic("d1/x"),
+                payload: b"1".to_vec(),
+                retain: false,
+                qos: QoS::AtLeastOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(30));
+        let p = sim.node_ref::<Publisher>(p).unwrap();
+        assert!(p.acks.is_empty());
+        assert_eq!(p.timeouts, vec![0]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Topics and wildcard filters.
+//!
+//! Grammar (MQTT-inspired): a topic is one or more non-empty segments
+//! joined by `/`; segments of topics never contain `+`, `#` or
+//! whitespace. A filter may use `+` for exactly one segment and `#` as
+//! the final segment for the remaining subtree.
+
+use std::fmt;
+
+use crate::PubSubError;
+
+fn valid_segment(seg: &str) -> bool {
+    !seg.is_empty()
+        && !seg.contains(['+', '#'])
+        && !seg.chars().any(char::is_whitespace)
+}
+
+/// A concrete topic, e.g. `district/d1/building/b7/temperature`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Topic {
+    text: String,
+}
+
+impl Topic {
+    /// Parses a topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidTopic`] for empty topics, empty
+    /// segments, wildcards or whitespace.
+    pub fn new(text: impl Into<String>) -> Result<Self, PubSubError> {
+        let text = text.into();
+        let err = |reason| PubSubError::InvalidTopic {
+            input: text.clone(),
+            reason,
+        };
+        if text.is_empty() {
+            return Err(err("empty topic"));
+        }
+        if text.len() > 512 {
+            return Err(err("topic longer than 512 bytes"));
+        }
+        if !text.split('/').all(valid_segment) {
+            return Err(err(
+                "segments must be non-empty and free of '+', '#' and whitespace",
+            ));
+        }
+        Ok(Topic { text })
+    }
+
+    /// The topic text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.text.split('/')
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl std::str::FromStr for Topic {
+    type Err = PubSubError;
+    fn from_str(s: &str) -> Result<Self, PubSubError> {
+        Topic::new(s)
+    }
+}
+
+/// A subscription filter, e.g. `district/+/building/#`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicFilter {
+    text: String,
+}
+
+impl TopicFilter {
+    /// Parses a filter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidFilter`] for empty filters, empty
+    /// segments, a non-final `#`, or segments mixing wildcards with text.
+    pub fn new(text: impl Into<String>) -> Result<Self, PubSubError> {
+        let text = text.into();
+        let err = |reason| PubSubError::InvalidFilter {
+            input: text.clone(),
+            reason,
+        };
+        if text.is_empty() {
+            return Err(err("empty filter"));
+        }
+        if text.len() > 512 {
+            return Err(err("filter longer than 512 bytes"));
+        }
+        let segments: Vec<&str> = text.split('/').collect();
+        for (i, seg) in segments.iter().enumerate() {
+            match *seg {
+                "+" => {}
+                "#" => {
+                    if i != segments.len() - 1 {
+                        return Err(err("'#' must be the final segment"));
+                    }
+                }
+                other => {
+                    if !valid_segment(other) {
+                        return Err(err(
+                            "segments must be non-empty, wildcard-free or exactly '+'/'#'",
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(TopicFilter { text })
+    }
+
+    /// The filter text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.text.split('/')
+    }
+
+    /// Whether `topic` matches this filter.
+    pub fn matches(&self, topic: &Topic) -> bool {
+        let mut filter = self.text.split('/');
+        let mut topic_segs = topic.segments();
+        loop {
+            match (filter.next(), topic_segs.next()) {
+                (None, None) => return true,
+                (Some("#"), _) => return true,
+                (Some("+"), Some(_)) => {}
+                (Some(f), Some(t)) if f == t => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl fmt::Display for TopicFilter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl std::str::FromStr for TopicFilter {
+    type Err = PubSubError;
+    fn from_str(s: &str) -> Result<Self, PubSubError> {
+        TopicFilter::new(s)
+    }
+}
+
+impl From<Topic> for TopicFilter {
+    /// Every topic is a valid (wildcard-free) filter.
+    fn from(topic: Topic) -> Self {
+        TopicFilter { text: topic.text }
+    }
+}
+
+/// A subscription trie mapping filters to subscriber values, answering
+/// "who matches this topic" in time proportional to the topic depth
+/// rather than the subscription count (ablation target of experiment E8).
+#[derive(Debug, Clone)]
+pub struct SubscriptionTrie<T> {
+    root: TrieNode<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct TrieNode<T> {
+    children: std::collections::HashMap<String, TrieNode<T>>,
+    one_level: Option<Box<TrieNode<T>>>,
+    subtree: Vec<T>,
+    here: Vec<T>,
+}
+
+impl<T> Default for TrieNode<T> {
+    fn default() -> Self {
+        TrieNode {
+            children: std::collections::HashMap::new(),
+            one_level: None,
+            subtree: Vec::new(),
+            here: Vec::new(),
+        }
+    }
+}
+
+impl<T: PartialEq> SubscriptionTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        SubscriptionTrie {
+            root: TrieNode::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of subscriptions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the trie holds no subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a subscription.
+    pub fn insert(&mut self, filter: &TopicFilter, value: T) {
+        let mut node = &mut self.root;
+        for seg in filter.segments() {
+            match seg {
+                "#" => {
+                    node.subtree.push(value);
+                    self.len += 1;
+                    return;
+                }
+                "+" => {
+                    node = node.one_level.get_or_insert_with(Default::default);
+                }
+                seg => {
+                    node = node.children.entry(seg.to_owned()).or_default();
+                }
+            }
+        }
+        node.here.push(value);
+        self.len += 1;
+    }
+
+    /// Removes one subscription equal to `value` under `filter`;
+    /// returns whether something was removed.
+    pub fn remove(&mut self, filter: &TopicFilter, value: &T) -> bool {
+        fn remove_from<T: PartialEq>(list: &mut Vec<T>, value: &T) -> bool {
+            if let Some(i) = list.iter().position(|v| v == value) {
+                list.remove(i);
+                true
+            } else {
+                false
+            }
+        }
+        let mut node = &mut self.root;
+        for seg in filter.segments() {
+            match seg {
+                "#" => {
+                    if remove_from(&mut node.subtree, value) {
+                        self.len -= 1;
+                        return true;
+                    }
+                    return false;
+                }
+                "+" => match node.one_level.as_deref_mut() {
+                    Some(next) => node = next,
+                    None => return false,
+                },
+                seg => match node.children.get_mut(seg) {
+                    Some(next) => node = next,
+                    None => return false,
+                },
+            }
+        }
+        if remove_from(&mut node.here, value) {
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes every subscription under exactly `filter` whose value
+    /// satisfies `predicate`; returns how many were removed.
+    pub fn remove_where(
+        &mut self,
+        filter: &TopicFilter,
+        mut predicate: impl FnMut(&T) -> bool,
+    ) -> usize {
+        let mut node = &mut self.root;
+        for seg in filter.segments() {
+            match seg {
+                "#" => {
+                    let before = node.subtree.len();
+                    node.subtree.retain(|v| !predicate(v));
+                    let removed = before - node.subtree.len();
+                    self.len -= removed;
+                    return removed;
+                }
+                "+" => match node.one_level.as_deref_mut() {
+                    Some(next) => node = next,
+                    None => return 0,
+                },
+                seg => match node.children.get_mut(seg) {
+                    Some(next) => node = next,
+                    None => return 0,
+                },
+            }
+        }
+        let before = node.here.len();
+        node.here.retain(|v| !predicate(v));
+        let removed = before - node.here.len();
+        self.len -= removed;
+        removed
+    }
+
+    /// Collects the values of every subscription matching `topic`.
+    pub fn matches<'a>(&'a self, topic: &Topic) -> Vec<&'a T> {
+        let segments: Vec<&str> = topic.segments().collect();
+        let mut out = Vec::new();
+        walk(&self.root, &segments, &mut out);
+        out
+    }
+}
+
+impl<T: PartialEq> Default for SubscriptionTrie<T> {
+    fn default() -> Self {
+        SubscriptionTrie::new()
+    }
+}
+
+fn walk<'a, T>(node: &'a TrieNode<T>, rest: &[&str], out: &mut Vec<&'a T>) {
+    out.extend(node.subtree.iter());
+    match rest.split_first() {
+        None => out.extend(node.here.iter()),
+        Some((seg, tail)) => {
+            if let Some(child) = node.children.get(*seg) {
+                walk(child, tail, out);
+            }
+            if let Some(plus) = &node.one_level {
+                walk(plus, tail, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::new(s).unwrap()
+    }
+
+    fn f(s: &str) -> TopicFilter {
+        TopicFilter::new(s).unwrap()
+    }
+
+    #[test]
+    fn topic_grammar() {
+        assert!(Topic::new("a/b/c").is_ok());
+        assert!(Topic::new("a").is_ok());
+        for bad in ["", "/a", "a/", "a//b", "a/+/b", "a/#", "a b", "a\t"] {
+            assert!(Topic::new(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn filter_grammar() {
+        for ok in ["a/b", "+", "#", "a/+/c", "a/#", "+/+/#"] {
+            assert!(TopicFilter::new(ok).is_ok(), "{ok:?}");
+        }
+        for bad in ["", "a/#/b", "#/a", "a+/b", "a/b#", "a//#", "a b/#"] {
+            assert!(TopicFilter::new(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let cases = [
+            ("a/b/c", "a/b/c", true),
+            ("a/b/c", "a/b", false),
+            ("a/b", "a/b/c", false),
+            ("a/+/c", "a/b/c", true),
+            ("a/+/c", "a/b/d", false),
+            ("a/#", "a/b/c", true),
+            ("a/#", "a", true), // '#' also matches the parent level
+            ("#", "anything/at/all", true),
+            ("+", "one", true),
+            ("+", "one/two", false),
+            ("+/+/#", "a/b", true), // '#' covers the parent level too
+            ("+/+/#", "a", false),
+            ("+/+/#", "a/b/c/d", true),
+        ];
+        for (filter, topic, expected) in cases {
+            assert_eq!(
+                f(filter).matches(&t(topic)),
+                expected,
+                "{filter} vs {topic}"
+            );
+        }
+    }
+
+    #[test]
+    fn topic_is_a_filter() {
+        let filter: TopicFilter = t("a/b").into();
+        assert!(filter.matches(&t("a/b")));
+        assert!(!filter.matches(&t("a/c")));
+    }
+
+    #[test]
+    fn trie_agrees_with_linear_matching() {
+        let filters = [
+            "district/+/building/+/temperature",
+            "district/d1/#",
+            "district/d2/#",
+            "#",
+            "district/d1/building/b1/power",
+            "+/+/building/b2/#",
+        ];
+        let topics = [
+            "district/d1/building/b1/temperature",
+            "district/d1/building/b1/power",
+            "district/d2/building/b2/co2",
+            "other/x",
+            "district/d1",
+        ];
+        let mut trie = SubscriptionTrie::new();
+        for (i, text) in filters.iter().enumerate() {
+            trie.insert(&f(text), i);
+        }
+        assert_eq!(trie.len(), filters.len());
+        for topic in topics {
+            let topic = t(topic);
+            let mut from_trie: Vec<usize> = trie.matches(&topic).into_iter().copied().collect();
+            let mut linear: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, text)| f(text).matches(&topic))
+                .map(|(i, _)| i)
+                .collect();
+            from_trie.sort_unstable();
+            linear.sort_unstable();
+            assert_eq!(from_trie, linear, "{topic}");
+        }
+    }
+
+    #[test]
+    fn trie_remove() {
+        let mut trie = SubscriptionTrie::new();
+        trie.insert(&f("a/#"), 1);
+        trie.insert(&f("a/+"), 2);
+        trie.insert(&f("a/b"), 3);
+        assert_eq!(trie.matches(&t("a/b")).len(), 3);
+        assert!(trie.remove(&f("a/+"), &2));
+        assert!(!trie.remove(&f("a/+"), &2), "double remove is false");
+        assert!(!trie.remove(&f("x/y"), &9), "unknown filter is false");
+        assert_eq!(trie.matches(&t("a/b")).len(), 2);
+        assert_eq!(trie.len(), 2);
+    }
+
+    #[test]
+    fn trie_duplicate_subscriptions_coexist() {
+        let mut trie = SubscriptionTrie::new();
+        trie.insert(&f("a/#"), 7);
+        trie.insert(&f("a/#"), 7);
+        assert_eq!(trie.matches(&t("a/b")).len(), 2);
+        trie.remove(&f("a/#"), &7);
+        assert_eq!(trie.matches(&t("a/b")).len(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The middleware wire protocol.
+//!
+//! A small tagged binary encoding. Strings are u16-length-prefixed,
+//! payloads u32-length-prefixed, integers little-endian.
+
+use simnet::Port;
+
+use crate::{PubSubError, Topic, TopicFilter};
+
+/// The well-known port brokers listen on.
+pub const PUBSUB_PORT: Port = Port(7100);
+
+/// Delivery guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum QoS {
+    /// Fire-and-forget.
+    #[default]
+    AtMostOnce,
+    /// Acknowledged and retried: at-least-once.
+    AtLeastOnce,
+}
+
+impl QoS {
+    fn byte(self) -> u8 {
+        match self {
+            QoS::AtMostOnce => 0,
+            QoS::AtLeastOnce => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, PubSubError> {
+        match b {
+            0 => Ok(QoS::AtMostOnce),
+            1 => Ok(QoS::AtLeastOnce),
+            _ => Err(PubSubError::DecodePacket {
+                reason: "invalid qos",
+            }),
+        }
+    }
+}
+
+/// A middleware wire packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Client → broker: subscribe to a filter.
+    Subscribe {
+        /// The filter.
+        filter: TopicFilter,
+        /// Requested delivery guarantee.
+        qos: QoS,
+    },
+    /// Client → broker: drop a subscription.
+    Unsubscribe {
+        /// The filter to drop.
+        filter: TopicFilter,
+    },
+    /// Client → broker: publish a message.
+    Publish {
+        /// Publisher-chosen id, echoed in [`Packet::PubAck`] for QoS 1.
+        id: u64,
+        /// The topic.
+        topic: Topic,
+        /// Opaque payload (common-data-format text by convention).
+        payload: Vec<u8>,
+        /// Whether the broker retains it for future subscribers.
+        retain: bool,
+        /// Delivery guarantee.
+        qos: QoS,
+    },
+    /// Broker → publisher: QoS 1 publish accepted.
+    PubAck {
+        /// The publisher's id.
+        id: u64,
+    },
+    /// Broker → subscriber: message delivery.
+    Deliver {
+        /// Broker-chosen delivery id (acked for QoS 1).
+        id: u64,
+        /// The topic it was published under.
+        topic: Topic,
+        /// The payload.
+        payload: Vec<u8>,
+        /// Delivery guarantee of this delivery.
+        qos: QoS,
+    },
+    /// Subscriber → broker: QoS 1 delivery received.
+    DeliverAck {
+        /// The broker's delivery id.
+        id: u64,
+    },
+}
+
+fn push_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn push_bytes(b: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, PubSubError> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(PubSubError::DecodePacket { reason: "truncated" })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PubSubError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(PubSubError::DecodePacket { reason: "truncated" });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, PubSubError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len")))
+    }
+
+    fn u32(&mut self) -> Result<u32, PubSubError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len")))
+    }
+
+    fn u64(&mut self) -> Result<u64, PubSubError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
+    }
+
+    fn string(&mut self) -> Result<String, PubSubError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PubSubError::DecodePacket {
+            reason: "invalid utf-8",
+        })
+    }
+
+    fn bytes_field(&mut self) -> Result<Vec<u8>, PubSubError> {
+        let len = self.u32()? as usize;
+        if len > 16 * 1024 * 1024 {
+            return Err(PubSubError::DecodePacket {
+                reason: "implausible payload length",
+            });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn finish(&self) -> Result<(), PubSubError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(PubSubError::DecodePacket {
+                reason: "trailing bytes",
+            })
+        }
+    }
+}
+
+impl Packet {
+    /// Encodes the packet.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match self {
+            Packet::Subscribe { filter, qos } => {
+                out.push(1);
+                push_str(filter.as_str(), &mut out);
+                out.push(qos.byte());
+            }
+            Packet::Unsubscribe { filter } => {
+                out.push(2);
+                push_str(filter.as_str(), &mut out);
+            }
+            Packet::Publish {
+                id,
+                topic,
+                payload,
+                retain,
+                qos,
+            } => {
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+                push_str(topic.as_str(), &mut out);
+                push_bytes(payload, &mut out);
+                out.push(u8::from(*retain));
+                out.push(qos.byte());
+            }
+            Packet::PubAck { id } => {
+                out.push(4);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            Packet::Deliver {
+                id,
+                topic,
+                payload,
+                qos,
+            } => {
+                out.push(5);
+                out.extend_from_slice(&id.to_le_bytes());
+                push_str(topic.as_str(), &mut out);
+                push_bytes(payload, &mut out);
+                out.push(qos.byte());
+            }
+            Packet::DeliverAck { id } => {
+                out.push(6);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a packet produced by [`Packet::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::DecodePacket`] (or a topic/filter grammar
+    /// error) on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, PubSubError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let packet = match c.u8()? {
+            1 => Packet::Subscribe {
+                filter: TopicFilter::new(c.string()?)?,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            2 => Packet::Unsubscribe {
+                filter: TopicFilter::new(c.string()?)?,
+            },
+            3 => Packet::Publish {
+                id: c.u64()?,
+                topic: Topic::new(c.string()?)?,
+                payload: c.bytes_field()?,
+                retain: c.u8()? != 0,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            4 => Packet::PubAck { id: c.u64()? },
+            5 => Packet::Deliver {
+                id: c.u64()?,
+                topic: Topic::new(c.string()?)?,
+                payload: c.bytes_field()?,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            6 => Packet::DeliverAck { id: c.u64()? },
+            _ => {
+                return Err(PubSubError::DecodePacket {
+                    reason: "unknown packet tag",
+                })
+            }
+        };
+        c.finish()?;
+        Ok(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_packets_round_trip() {
+        let packets = [
+            Packet::Subscribe {
+                filter: TopicFilter::new("a/+/#").unwrap(),
+                qos: QoS::AtLeastOnce,
+            },
+            Packet::Unsubscribe {
+                filter: TopicFilter::new("a/b").unwrap(),
+            },
+            Packet::Publish {
+                id: 42,
+                topic: Topic::new("a/b/c").unwrap(),
+                payload: b"{\"v\":1}".to_vec(),
+                retain: true,
+                qos: QoS::AtMostOnce,
+            },
+            Packet::PubAck { id: 42 },
+            Packet::Deliver {
+                id: 7,
+                topic: Topic::new("a/b/c").unwrap(),
+                payload: vec![],
+                qos: QoS::AtLeastOnce,
+            },
+            Packet::DeliverAck { id: 7 },
+        ];
+        for p in &packets {
+            assert_eq!(&Packet::decode(&p.encode()).unwrap(), p, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = Packet::Publish {
+            id: 1,
+            topic: Topic::new("t").unwrap(),
+            payload: b"xyz".to_vec(),
+            retain: false,
+            qos: QoS::AtMostOnce,
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(Packet::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Packet::decode(&[]).is_err());
+        assert!(Packet::decode(&[99]).is_err());
+        let mut bad_qos = Packet::Subscribe {
+            filter: TopicFilter::new("a").unwrap(),
+            qos: QoS::AtMostOnce,
+        }
+        .encode();
+        *bad_qos.last_mut().unwrap() = 9;
+        assert!(Packet::decode(&bad_qos).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = Packet::PubAck { id: 1 }.encode();
+        bytes.push(0);
+        assert!(Packet::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_topic_in_packet_rejected() {
+        // Hand-craft a Publish with a wildcard in the topic.
+        let mut out = vec![3u8];
+        out.extend_from_slice(&1u64.to_le_bytes());
+        push_str("a/+", &mut out);
+        push_bytes(b"", &mut out);
+        out.push(0);
+        out.push(0);
+        assert!(matches!(
+            Packet::decode(&out),
+            Err(PubSubError::InvalidTopic { .. })
+        ));
+    }
+}

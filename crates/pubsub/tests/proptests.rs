@@ -1,0 +1,132 @@
+//! Property-based tests on topics, filters, the subscription trie and
+//! the wire codec.
+
+use proptest::prelude::*;
+use pubsub::{SubscriptionTrie, Topic, TopicFilter, WirePacket};
+
+fn topic_strategy() -> impl Strategy<Value = Topic> {
+    prop::collection::vec("[a-z0-9]{1,6}", 1..6)
+        .prop_map(|segs| Topic::new(segs.join("/")).expect("valid by construction"))
+}
+
+/// A filter derived from a topic: keep/wildcard each segment, maybe a
+/// trailing `#`.
+fn filter_strategy() -> impl Strategy<Value = TopicFilter> {
+    (
+        prop::collection::vec(("[a-z0-9]{1,6}", 0u8..3), 1..6),
+        any::<bool>(),
+    )
+        .prop_map(|(segs, hash)| {
+            let mut parts: Vec<String> = segs
+                .into_iter()
+                .map(|(text, kind)| match kind {
+                    0 => text,
+                    _ => "+".to_owned(),
+                })
+                .collect();
+            if hash {
+                parts.push("#".to_owned());
+            }
+            TopicFilter::new(parts.join("/")).expect("valid by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_topic_matches_itself_and_hash(topic in topic_strategy()) {
+        let exact: TopicFilter = topic.clone().into();
+        prop_assert!(exact.matches(&topic));
+        prop_assert!(TopicFilter::new("#").expect("valid").matches(&topic));
+    }
+
+    #[test]
+    fn trie_agrees_with_linear_matching(
+        filters in prop::collection::vec(filter_strategy(), 0..24),
+        topics in prop::collection::vec(topic_strategy(), 1..8),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        for topic in &topics {
+            let mut from_trie: Vec<usize> =
+                trie.matches(topic).into_iter().copied().collect();
+            let mut linear: Vec<usize> = filters
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.matches(topic))
+                .map(|(i, _)| i)
+                .collect();
+            from_trie.sort_unstable();
+            linear.sort_unstable();
+            prop_assert_eq!(from_trie, linear, "topic {}", topic);
+        }
+    }
+
+    #[test]
+    fn trie_insert_remove_is_identity(
+        filters in prop::collection::vec(filter_strategy(), 1..16),
+        topic in topic_strategy(),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for (i, f) in filters.iter().enumerate() {
+            trie.insert(f, i);
+        }
+        let before: Vec<usize> = trie.matches(&topic).into_iter().copied().collect();
+        // Insert and remove a sentinel under every filter.
+        for f in &filters {
+            trie.insert(f, usize::MAX);
+        }
+        for f in &filters {
+            prop_assert!(trie.remove(f, &usize::MAX));
+        }
+        let after: Vec<usize> = trie.matches(&topic).into_iter().copied().collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(trie.len(), filters.len());
+    }
+
+    #[test]
+    fn remove_where_removes_exactly_the_predicate(
+        filter in filter_strategy(),
+        values in prop::collection::vec(0usize..10, 1..10),
+    ) {
+        let mut trie = SubscriptionTrie::new();
+        for &v in &values {
+            trie.insert(&filter, v);
+        }
+        let evens = values.iter().filter(|v| *v % 2 == 0).count();
+        let removed = trie.remove_where(&filter, |v| v % 2 == 0);
+        prop_assert_eq!(removed, evens);
+        prop_assert_eq!(trie.len(), values.len() - evens);
+    }
+
+    #[test]
+    fn wire_packets_round_trip(
+        id in any::<u64>(),
+        topic in topic_strategy(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        retain in any::<bool>(),
+    ) {
+        let packet = WirePacket::Publish {
+            id,
+            topic,
+            payload,
+            retain,
+            qos: pubsub::QoS::AtLeastOnce,
+        };
+        prop_assert_eq!(WirePacket::decode(&packet.encode()).expect("round trip"), packet);
+    }
+
+    #[test]
+    fn wire_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = WirePacket::decode(&bytes);
+    }
+
+    #[test]
+    fn grammar_rejections_never_panic(text in "\\PC{0,32}") {
+        let _ = Topic::new(text.clone());
+        let _ = TopicFilter::new(text);
+    }
+}

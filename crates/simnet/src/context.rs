@@ -1,0 +1,87 @@
+//! The [`Context`] handed to node callbacks.
+//!
+//! A context buffers the node's side effects (packet sends, timer
+//! operations); the simulator applies them once the callback returns. This
+//! keeps the borrow structure simple and guarantees that effects of one
+//! callback are totally ordered after the event that caused them.
+
+use crate::node::{NodeId, Port, TimerTag};
+use crate::rng::DeterministicRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a pending timer, usable with [`Context::cancel_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+#[derive(Debug)]
+pub(crate) enum Effect {
+    Send {
+        dst: NodeId,
+        port: Port,
+        payload: Vec<u8>,
+    },
+    SetTimer {
+        at: SimTime,
+        tag: TimerTag,
+        id: u64,
+    },
+    CancelTimer(u64),
+}
+
+/// Execution context passed to every [`Node`](crate::Node) callback.
+///
+/// Grants access to virtual time, the node's own deterministic random
+/// stream, packet transmission and timers.
+#[derive(Debug)]
+pub struct Context<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) rng: &'a mut DeterministicRng,
+    pub(crate) effects: &'a mut Vec<Effect>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl Context<'_> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node this callback runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The node's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut DeterministicRng {
+        self.rng
+    }
+
+    /// Queues a packet to `dst` on `port`. Delivery time and loss are
+    /// decided by the link model between the two nodes.
+    pub fn send(&mut self, dst: NodeId, port: Port, payload: Vec<u8>) {
+        self.effects.push(Effect::Send { dst, port, payload });
+    }
+
+    /// Schedules a timer to fire `after` from now, carrying `tag`.
+    pub fn set_timer(&mut self, after: SimDuration, tag: TimerTag) -> TimerId {
+        self.set_timer_at(self.now + after, tag)
+    }
+
+    /// Schedules a timer at an absolute instant, carrying `tag`.
+    ///
+    /// Instants in the past fire at the current time.
+    pub fn set_timer_at(&mut self, at: SimTime, tag: TimerTag) -> TimerId {
+        let id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        let at = at.max(self.now);
+        self.effects.push(Effect::SetTimer { at, tag, id });
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown
+    /// timer is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer(id.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Node identities, packets and the [`Node`] behaviour trait.
+
+use std::any::Any;
+use std::fmt;
+
+use crate::context::Context;
+
+/// Identifies a node within one [`Simulator`](crate::Simulator).
+///
+/// Node ids are dense indices handed out by
+/// [`Simulator::add_node`](crate::Simulator::add_node) in registration
+/// order, which keeps them stable across replays of the same scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a node id from a raw index (e.g. after serialization).
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A service selector on a node, analogous to a UDP port.
+///
+/// The framework reserves a few well-known ports (see the `proxy` and
+/// `pubsub` crates); applications are free to use any value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Port(pub u16);
+
+impl Port {
+    /// Creates a port from its raw number.
+    pub const fn new(raw: u16) -> Self {
+        Port(raw)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// An opaque tag carried by timers so a node can multiplex many timers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimerTag(pub u64);
+
+/// A datagram delivered between two nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The sending node.
+    pub src: NodeId,
+    /// The destination node.
+    pub dst: NodeId,
+    /// The destination service selector.
+    pub port: Port,
+    /// The opaque payload bytes (already encoded by the sender).
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Total size charged to the link, payload plus a fixed header cost.
+    ///
+    /// The 32-byte header approximates the framing overhead of a small
+    /// UDP/6LoWPAN datagram and keeps zero-length payloads from being free.
+    pub fn wire_size(&self) -> usize {
+        self.payload.len() + 32
+    }
+}
+
+/// Behaviour of a simulated node.
+///
+/// All methods receive a [`Context`] granting access to virtual time, the
+/// node's deterministic RNG, packet transmission and timers. The default
+/// implementations of [`Node::on_start`] and [`Node::on_timer`] do nothing.
+///
+/// Implementors must be `'static` so the simulator can store them as trait
+/// objects and hand references back out via downcasting
+/// ([`Simulator::node_ref`](crate::Simulator::node_ref)).
+pub trait Node: Any {
+    /// Called once when the simulation starts (or when the node is added
+    /// to an already-running simulation).
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called for every packet delivered to this node.
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet);
+
+    /// Called when a timer previously set through
+    /// [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        let _ = (ctx, tag);
+    }
+
+    /// Upcast helper used by the simulator for downcasting; implementors
+    /// normally keep the default.
+    fn as_any(&self) -> &dyn Any
+    where
+        Self: Sized,
+    {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::from_index(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(id.to_string(), "n17");
+    }
+
+    #[test]
+    fn packet_wire_size_includes_header() {
+        let pkt = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            port: Port::new(5),
+            payload: vec![0; 10],
+        };
+        assert_eq!(pkt.wire_size(), 42);
+    }
+
+    #[test]
+    fn port_displays_like_socket_suffix() {
+        assert_eq!(Port::new(8080).to_string(), ":8080");
+    }
+}

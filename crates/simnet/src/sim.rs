@@ -1,0 +1,617 @@
+//! The discrete-event [`Simulator`].
+
+use std::collections::{HashMap, HashSet};
+
+use crate::context::{Context, Effect};
+use crate::event::{EventKind, EventQueue};
+use crate::link::LinkModel;
+use crate::node::{Node, NodeId, Packet, Port, TimerTag};
+use crate::rng::DeterministicRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed from which all simulation randomness derives.
+    pub seed: u64,
+    /// Link model applied to node pairs without an explicit override.
+    pub default_link: LinkModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xD1_44_E2,
+            default_link: LinkModel::lan(),
+        }
+    }
+}
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeMetrics {
+    /// Packets handed to the network by this node.
+    pub packets_sent: u64,
+    /// Wire bytes (payload + header) handed to the network.
+    pub bytes_sent: u64,
+    /// Packets delivered to this node.
+    pub packets_received: u64,
+    /// Wire bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Packets this node sent that the link dropped.
+    pub packets_lost: u64,
+}
+
+/// Whole-network counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Total packets handed to the network.
+    pub packets_sent: u64,
+    /// Total packets delivered.
+    pub packets_delivered: u64,
+    /// Total packets dropped by links.
+    pub packets_lost: u64,
+    /// Total wire bytes delivered.
+    pub bytes_delivered: u64,
+    /// Total events processed (deliveries, timers, starts).
+    pub events_processed: u64,
+}
+
+struct Slot {
+    name: String,
+    node: Option<Box<dyn Node>>,
+    rng: DeterministicRng,
+    metrics: NodeMetrics,
+}
+
+/// A deterministic discrete-event network simulator.
+///
+/// See the [crate-level documentation](crate) for a full example.
+pub struct Simulator {
+    now: SimTime,
+    queue: EventQueue,
+    slots: Vec<Slot>,
+    names: HashMap<String, NodeId>,
+    links: HashMap<(NodeId, NodeId), LinkModel>,
+    default_link: LinkModel,
+    link_rng: DeterministicRng,
+    root_rng: DeterministicRng,
+    cancelled_timers: HashSet<u64>,
+    next_timer_id: u64,
+    metrics: NetMetrics,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("nodes", &self.slots.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new(config: SimConfig) -> Self {
+        let root_rng = DeterministicRng::seed_from(config.seed);
+        let link_rng = root_rng.derive(u64::MAX);
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            slots: Vec::new(),
+            names: HashMap::new(),
+            links: HashMap::new(),
+            default_link: config.default_link,
+            link_rng,
+            root_rng,
+            cancelled_timers: HashSet::new(),
+            next_timer_id: 0,
+            metrics: NetMetrics::default(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers a node under a human-readable name and schedules its
+    /// [`Node::on_start`] callback at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already taken.
+    pub fn add_node<N: Node>(&mut self, name: impl Into<String>, node: N) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.slots.len() as u32);
+        let rng = self.root_rng.derive(id.0 as u64);
+        self.slots.push(Slot {
+            name: name.clone(),
+            node: Some(Box::new(node)),
+            rng,
+            metrics: NodeMetrics::default(),
+        });
+        self.names.insert(name, id);
+        self.queue.push(self.now, EventKind::Start(id));
+        id
+    }
+
+    /// The registration name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// Looks a node up by its registration name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Borrows a node, downcast to its concrete type.
+    ///
+    /// Returns `None` if `id` is unknown, the node is currently executing a
+    /// callback, or the concrete type does not match.
+    pub fn node_ref<N: Node>(&self, id: NodeId) -> Option<&N> {
+        let b = self.slots.get(id.index())?.node.as_deref()?;
+        (b as &dyn std::any::Any).downcast_ref::<N>()
+    }
+
+    /// Mutably borrows a node, downcast to its concrete type.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> Option<&mut N> {
+        let b = self.slots.get_mut(id.index())?.node.as_deref_mut()?;
+        (b as &mut dyn std::any::Any).downcast_mut::<N>()
+    }
+
+    /// Overrides the link model for the directed pair `(a, b)` in both
+    /// directions.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, model: LinkModel) {
+        self.links.insert((a, b), model.clone());
+        self.links.insert((b, a), model);
+    }
+
+    /// Overrides the link model for the directed pair `(src, dst)` only.
+    pub fn set_link_directed(&mut self, src: NodeId, dst: NodeId, model: LinkModel) {
+        self.links.insert((src, dst), model);
+    }
+
+    /// The link model in effect from `src` to `dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> &LinkModel {
+        self.links.get(&(src, dst)).unwrap_or(&self.default_link)
+    }
+
+    /// Injects a packet from outside the simulation (src = dst loopback
+    /// semantics are *not* used: the packet carries the destination as its
+    /// source so replies go nowhere). Mostly useful in tests.
+    pub fn inject(&mut self, dst: NodeId, port: Port, payload: Vec<u8>) {
+        self.queue.push(
+            self.now,
+            EventKind::Deliver(Packet {
+                src: dst,
+                dst,
+                port,
+                payload,
+            }),
+        );
+    }
+
+    /// Schedules a timer on `node` from outside the simulation, e.g. to
+    /// kick off a scripted action at a given time.
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: TimerTag) {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.queue.push(
+            at.max(self.now),
+            EventKind::Timer {
+                node,
+                tag,
+                timer_id: id,
+            },
+        );
+    }
+
+    /// Whole-network counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics
+    }
+
+    /// Traffic counters of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn node_metrics(&self, id: NodeId) -> NodeMetrics {
+        self.slots[id.index()].metrics
+    }
+
+    /// Resets all traffic counters (network-wide and per node) to zero.
+    /// Useful to measure only the steady-state phase of an experiment.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = NetMetrics::default();
+        for slot in &mut self.slots {
+            slot.metrics = NodeMetrics::default();
+        }
+    }
+
+    /// Processes a single event, if any is pending. Returns the time of the
+    /// processed event.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let event = self.queue.pop()?;
+        self.now = event.time;
+        self.metrics.events_processed += 1;
+        match event.kind {
+            EventKind::Start(id) => {
+                self.dispatch(id, |node, ctx| node.on_start(ctx));
+            }
+            EventKind::Deliver(pkt) => {
+                let dst = pkt.dst;
+                if dst.index() < self.slots.len() {
+                    let wire = pkt.wire_size() as u64;
+                    self.slots[dst.index()].metrics.packets_received += 1;
+                    self.slots[dst.index()].metrics.bytes_received += wire;
+                    self.metrics.packets_delivered += 1;
+                    self.metrics.bytes_delivered += wire;
+                    self.dispatch(dst, |node, ctx| node.on_packet(ctx, pkt));
+                }
+            }
+            EventKind::Timer {
+                node,
+                tag,
+                timer_id,
+            } => {
+                if !self.cancelled_timers.remove(&timer_id) {
+                    self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
+                }
+            }
+        }
+        Some(self.now)
+    }
+
+    /// Runs until the event queue drains or virtual time would pass
+    /// `deadline`; the clock ends exactly at `deadline` if it was reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `dur` of virtual time from the current instant.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.now + dur;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain. Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `max_events` events as a runaway guard.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while self.step().is_some() {
+            n += 1;
+            assert!(n <= max_events, "simulation did not quiesce within {max_events} events");
+        }
+        n
+    }
+
+    /// Number of events still pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node, &mut Context<'_>),
+    ) {
+        let Some(mut node) = self
+            .slots
+            .get_mut(id.index())
+            .and_then(|s| s.node.take())
+        else {
+            return;
+        };
+        let mut effects = Vec::new();
+        {
+            let slot = &mut self.slots[id.index()];
+            let mut ctx = Context {
+                now: self.now,
+                node: id,
+                rng: &mut slot.rng,
+                effects: &mut effects,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            f(node.as_mut(), &mut ctx);
+        }
+        self.slots[id.index()].node = Some(node);
+        self.apply_effects(id, effects);
+    }
+
+    fn apply_effects(&mut self, src: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { dst, port, payload } => {
+                    let pkt = Packet {
+                        src,
+                        dst,
+                        port,
+                        payload,
+                    };
+                    let wire = pkt.wire_size() as u64;
+                    let m = &mut self.slots[src.index()].metrics;
+                    m.packets_sent += 1;
+                    m.bytes_sent += wire;
+                    self.metrics.packets_sent += 1;
+                    let model = if src == dst {
+                        // Loopback delivery is ideal.
+                        LinkModel::ideal()
+                    } else {
+                        self.link(src, dst).clone()
+                    };
+                    match model.sample_delay(pkt.wire_size(), &mut self.link_rng) {
+                        Some(delay) => {
+                            self.queue
+                                .push(self.now + delay, EventKind::Deliver(pkt));
+                        }
+                        None => {
+                            self.slots[src.index()].metrics.packets_lost += 1;
+                            self.metrics.packets_lost += 1;
+                        }
+                    }
+                }
+                Effect::SetTimer { at, tag, id } => {
+                    self.queue.push(
+                        at,
+                        EventKind::Timer {
+                            node: src,
+                            tag,
+                            timer_id: id,
+                        },
+                    );
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled_timers.insert(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        packets: Vec<(SimTime, Vec<u8>)>,
+        timers: Vec<(SimTime, TimerTag)>,
+    }
+
+    impl Node for Counter {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+            self.packets.push((ctx.now(), pkt.payload));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+            self.timers.push((ctx.now(), tag));
+        }
+    }
+
+    struct Sender {
+        dst: NodeId,
+        n: u32,
+    }
+
+    impl Node for Sender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for i in 0..self.n {
+                ctx.send(self.dst, Port::new(1), vec![i as u8]);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+    }
+
+    fn ideal_sim() -> Simulator {
+        Simulator::new(SimConfig {
+            seed: 1,
+            default_link: LinkModel::ideal(),
+        })
+    }
+
+    #[test]
+    fn packets_flow_between_nodes() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let _tx = sim.add_node("tx", Sender { dst: rx, n: 3 });
+        sim.run_until_idle(1000);
+        let rx = sim.node_ref::<Counter>(rx).unwrap();
+        assert_eq!(rx.packets.len(), 3);
+        assert_eq!(rx.packets[0].1, vec![0]);
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let tx = sim.add_node("tx", Sender { dst: rx, n: 5 });
+        sim.run_until_idle(1000);
+        assert_eq!(sim.node_metrics(tx).packets_sent, 5);
+        assert_eq!(sim.node_metrics(rx).packets_received, 5);
+        assert_eq!(sim.metrics().packets_delivered, 5);
+        sim.reset_metrics();
+        assert_eq!(sim.metrics().packets_delivered, 0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 2,
+            default_link: LinkModel::builder()
+                .latency(SimDuration::from_millis(10))
+                .bandwidth_bps(u64::MAX - 1)
+                .build(),
+        });
+        let rx = sim.add_node("rx", Counter::default());
+        let _tx = sim.add_node("tx", Sender { dst: rx, n: 1 });
+        sim.run_until_idle(1000);
+        let rx = sim.node_ref::<Counter>(rx).unwrap();
+        assert_eq!(rx.packets[0].0, SimTime::ZERO + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn lossy_link_drops() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 3,
+            default_link: LinkModel::builder().loss(1.0).build(),
+        });
+        let rx = sim.add_node("rx", Counter::default());
+        let tx = sim.add_node("tx", Sender { dst: rx, n: 4 });
+        sim.run_until_idle(1000);
+        assert_eq!(sim.node_metrics(tx).packets_lost, 4);
+        assert!(sim.node_ref::<Counter>(rx).unwrap().packets.is_empty());
+    }
+
+    struct TimerNode {
+        fired: Vec<TimerTag>,
+        cancel_second: bool,
+    }
+
+    impl Node for TimerNode {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), TimerTag(1));
+            let t2 = ctx.set_timer(SimDuration::from_secs(2), TimerTag(2));
+            if self.cancel_second {
+                ctx.cancel_timer(t2);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, tag: TimerTag) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = ideal_sim();
+        let n = sim.add_node(
+            "t",
+            TimerNode {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        sim.run_until_idle(100);
+        assert_eq!(
+            sim.node_ref::<TimerNode>(n).unwrap().fired,
+            vec![TimerTag(1), TimerTag(2)]
+        );
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim = ideal_sim();
+        let n = sim.add_node(
+            "t",
+            TimerNode {
+                fired: vec![],
+                cancel_second: true,
+            },
+        );
+        sim.run_until_idle(100);
+        assert_eq!(
+            sim.node_ref::<TimerNode>(n).unwrap().fired,
+            vec![TimerTag(1)]
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim = ideal_sim();
+        sim.run_until(SimTime::from_secs(42));
+        assert_eq!(sim.now(), SimTime::from_secs(42));
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed| {
+            let mut sim = Simulator::new(SimConfig {
+                seed,
+                default_link: LinkModel::wan(),
+            });
+            let rx = sim.add_node("rx", Counter::default());
+            let _tx = sim.add_node("tx", Sender { dst: rx, n: 50 });
+            sim.run_until_idle(10_000);
+            sim.node_ref::<Counter>(rx)
+                .unwrap()
+                .packets
+                .iter()
+                .map(|(t, p)| (t.as_nanos(), p.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn find_node_by_name() {
+        let mut sim = ideal_sim();
+        let id = sim.add_node("alpha", Counter::default());
+        assert_eq!(sim.find_node("alpha"), Some(id));
+        assert_eq!(sim.node_name(id), "alpha");
+        assert!(sim.find_node("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut sim = ideal_sim();
+        sim.add_node("x", Counter::default());
+        sim.add_node("x", Counter::default());
+    }
+
+    #[test]
+    fn wrong_downcast_returns_none() {
+        let mut sim = ideal_sim();
+        let id = sim.add_node("x", Counter::default());
+        assert!(sim.node_ref::<TimerNode>(id).is_none());
+        assert!(sim.node_ref::<Counter>(id).is_some());
+    }
+
+    #[test]
+    fn external_timer_injection() {
+        let mut sim = ideal_sim();
+        let n = sim.add_node(
+            "t",
+            TimerNode {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        sim.run_until_idle(100);
+        sim.schedule_timer(n, SimTime::from_secs(10), TimerTag(99));
+        sim.run_until_idle(100);
+        assert!(sim
+            .node_ref::<TimerNode>(n)
+            .unwrap()
+            .fired
+            .contains(&TimerTag(99)));
+    }
+}

@@ -1,0 +1,294 @@
+//! Small statistics helpers for experiment reporting.
+//!
+//! Experiments accumulate observations (latencies, sizes, counts) into a
+//! [`Summary`] and read back mean/min/max/percentiles. Nothing here is
+//! simulation-specific; the type lives in `simnet` because every layer of
+//! the stack reports through it.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// An online collection of `f64` observations with exact quantiles.
+///
+/// Observations are stored; `percentile` sorts lazily on demand. Intended
+/// for experiment harnesses (thousands to millions of points), not for
+/// unbounded telemetry.
+///
+/// ```
+/// use simnet::stats::Summary;
+/// let mut s = Summary::new("latency_ms");
+/// for x in [1.0, 2.0, 3.0, 4.0, 5.0] { s.record(x); }
+/// assert_eq!(s.mean(), 3.0);
+/// assert_eq!(s.percentile(50.0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Summary {
+            name: name.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The label given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn record(&mut self, value: f64) {
+        assert!(!value.is_nan(), "NaN observation");
+        self.values.push(value);
+    }
+
+    /// Records a duration in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Smallest observation, or 0 for an empty summary.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+    }
+
+    /// Largest observation, or 0 for an empty summary.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max_or_zero()
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Population standard deviation, or 0 with fewer than two points.
+    pub fn stddev(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`.
+    ///
+    /// Returns 0 for an empty summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        sorted[rank]
+    }
+
+    /// Convenience accessor for the median.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+}
+
+trait OrZero {
+    fn min_or_zero(self) -> f64;
+    fn max_or_zero(self) -> f64;
+}
+
+impl OrZero for f64 {
+    fn min_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_or_zero(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: n={} mean={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.name,
+            self.count(),
+            self.mean(),
+            self.min(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+/// A monotonically increasing named counter.
+///
+/// ```
+/// use simnet::stats::Counter;
+/// let mut c = Counter::new("requests");
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.value(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The label given at construction.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn moments() {
+        let mut s = Summary::new("x");
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 2.0);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.sum(), 40.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new("x");
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.median() - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Summary::new("x").record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_range_checked() {
+        Summary::new("x").percentile(150.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = Summary::new("lat");
+        s.record(1.0);
+        let text = s.to_string();
+        assert!(text.starts_with("lat: n=1"));
+        let mut c = Counter::new("req");
+        c.incr();
+        assert_eq!(c.to_string(), "req=1");
+    }
+
+    #[test]
+    fn record_duration_uses_millis() {
+        let mut s = Summary::new("lat");
+        s.record_duration(SimDuration::from_millis(250));
+        assert_eq!(s.mean(), 250.0);
+    }
+}

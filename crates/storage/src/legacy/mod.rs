@@ -1,0 +1,13 @@
+//! Legacy on-disk encodings of the district databases.
+//!
+//! "BIMs, SIMs and GISs are usually exported to different kinds of
+//! databases … each one encoded differently from the others." These
+//! modules are those encodings: a [`csv`] dialect (measurement archives),
+//! [`fixedwidth`] records (mainframe-style SIM exports) and [`ini`]
+//! configuration trees (facility-management metadata). Database-proxies
+//! parse them and translate to the common data format — the translation
+//! the paper's Database-proxy exists to perform.
+
+pub mod csv;
+pub mod fixedwidth;
+pub mod ini;

@@ -1,0 +1,39 @@
+//! # dimmer-storage — storage substrates for the infrastructure
+//!
+//! The paper's infrastructure sits on a zoo of stores:
+//!
+//! * every Device-proxy keeps a **local database** of samples (its middle
+//!   layer) — [`tskv::TimeSeriesStore`];
+//! * BIM/SIM exports behave like **relational dumps** — [`table::Table`];
+//! * GIS features and ontology snapshots are **documents** —
+//!   [`document::DocumentStore`];
+//! * and the legacy databases each arrive in a **different on-disk
+//!   encoding** the Database-proxies must translate — [`legacy`] (CSV,
+//!   fixed-width records, INI).
+//!
+//! Everything is in-memory and deterministic; durability is out of scope
+//! for the reproduction (the paper's evaluation never exercises it).
+//!
+//! ## Example
+//!
+//! ```
+//! use storage::tskv::{TimeSeriesStore, Aggregate};
+//!
+//! let mut store = TimeSeriesStore::new();
+//! for minute in 0..60i64 {
+//!     store.insert("dev1:temperature", minute * 60_000, 20.0 + (minute % 10) as f64);
+//! }
+//! let points = store.range("dev1:temperature", 0, 3_600_000);
+//! assert_eq!(points.len(), 60);
+//! let hourly = store.downsample("dev1:temperature", 0, 3_600_000, 3_600_000, Aggregate::Mean);
+//! assert_eq!(hourly.len(), 1);
+//! ```
+
+pub mod document;
+pub mod legacy;
+pub mod table;
+pub mod tskv;
+
+mod error;
+
+pub use error::StorageError;

@@ -1,0 +1,334 @@
+//! The time-series store backing every Device-proxy's local database.
+//!
+//! Series are keyed by free-form strings (by convention
+//! `<device>:<quantity>`); points are `(unix-millis, f64)` pairs kept in
+//! a `BTreeMap` per series, which gives `O(log n)` inserts and cheap
+//! in-order range scans. The store also implements the two maintenance
+//! operations the Device-proxy's middle layer needs: **retention** (drop
+//! points older than a horizon) and **downsampling** (bucketed
+//! aggregates for coarse-grained district views).
+
+use std::collections::BTreeMap;
+
+/// How a downsampling bucket combines its points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Aggregate {
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Number of points.
+    Count,
+    /// The chronologically last point.
+    Last,
+}
+
+impl Aggregate {
+    /// The lowercase name used in query strings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Aggregate::Mean => "mean",
+            Aggregate::Min => "min",
+            Aggregate::Max => "max",
+            Aggregate::Sum => "sum",
+            Aggregate::Count => "count",
+            Aggregate::Last => "last",
+        }
+    }
+
+    /// Parses a name produced by [`Aggregate::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        [
+            Aggregate::Mean,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Last,
+        ]
+        .into_iter()
+        .find(|a| a.as_str() == s)
+    }
+
+    fn apply(self, points: &[(i64, f64)]) -> f64 {
+        debug_assert!(!points.is_empty());
+        match self {
+            Aggregate::Mean => {
+                points.iter().map(|(_, v)| v).sum::<f64>() / points.len() as f64
+            }
+            Aggregate::Min => points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min),
+            Aggregate::Max => points
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::NEG_INFINITY, f64::max),
+            Aggregate::Sum => points.iter().map(|(_, v)| v).sum(),
+            Aggregate::Count => points.len() as f64,
+            Aggregate::Last => points.last().expect("non-empty").1,
+        }
+    }
+}
+
+/// A per-series, in-memory time-series database.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeriesStore {
+    series: BTreeMap<String, BTreeMap<i64, f64>>,
+}
+
+impl TimeSeriesStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        TimeSeriesStore::default()
+    }
+
+    /// Inserts a point; a point at the same timestamp is overwritten
+    /// (last-writer-wins, matching sensor re-transmissions).
+    pub fn insert(&mut self, series: &str, timestamp_millis: i64, value: f64) {
+        self.series
+            .entry(series.to_owned())
+            .or_default()
+            .insert(timestamp_millis, value);
+    }
+
+    /// Number of points in `series` (0 for unknown series).
+    pub fn series_len(&self, series: &str) -> usize {
+        self.series.get(series).map_or(0, BTreeMap::len)
+    }
+
+    /// Total number of points across all series.
+    pub fn len(&self) -> usize {
+        self.series.values().map(BTreeMap::len).sum()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The names of all series, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The chronologically last point of a series.
+    pub fn latest(&self, series: &str) -> Option<(i64, f64)> {
+        self.series
+            .get(series)?
+            .iter()
+            .next_back()
+            .map(|(&t, &v)| (t, v))
+    }
+
+    /// All points with `from <= t < to`, in chronological order.
+    pub fn range(&self, series: &str, from: i64, to: i64) -> Vec<(i64, f64)> {
+        match self.series.get(series) {
+            Some(points) if from < to => {
+                points.range(from..to).map(|(&t, &v)| (t, v)).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Bucketed aggregates over `[from, to)` with buckets of
+    /// `bucket_millis`, labelled by bucket start. Empty buckets are
+    /// omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_millis` is not positive.
+    pub fn downsample(
+        &self,
+        series: &str,
+        from: i64,
+        to: i64,
+        bucket_millis: i64,
+        aggregate: Aggregate,
+    ) -> Vec<(i64, f64)> {
+        assert!(bucket_millis > 0, "bucket size must be positive");
+        let points = self.range(series, from, to);
+        let mut out = Vec::new();
+        let mut bucket_start = i64::MIN;
+        let mut bucket_points: Vec<(i64, f64)> = Vec::new();
+        for (t, v) in points {
+            let start = from + (t - from).div_euclid(bucket_millis) * bucket_millis;
+            if start != bucket_start && !bucket_points.is_empty() {
+                out.push((bucket_start, aggregate.apply(&bucket_points)));
+                bucket_points.clear();
+            }
+            bucket_start = start;
+            bucket_points.push((t, v));
+        }
+        if !bucket_points.is_empty() {
+            out.push((bucket_start, aggregate.apply(&bucket_points)));
+        }
+        out
+    }
+
+    /// Drops every point strictly older than `horizon_millis` across all
+    /// series; returns how many points were removed. Empty series are
+    /// pruned.
+    pub fn apply_retention(&mut self, horizon_millis: i64) -> usize {
+        let mut removed = 0;
+        self.series.retain(|_, points| {
+            let keep = points.split_off(&horizon_millis);
+            removed += points.len();
+            *points = keep;
+            !points.is_empty()
+        });
+        removed
+    }
+
+    /// Removes a whole series; returns how many points it held.
+    pub fn drop_series(&mut self, series: &str) -> usize {
+        self.series.remove(series).map_or(0, |points| points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(points: &[(i64, f64)]) -> TimeSeriesStore {
+        let mut s = TimeSeriesStore::new();
+        for &(t, v) in points {
+            s.insert("s", t, v);
+        }
+        s
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let s = store_with(&[(10, 1.0), (20, 2.0), (30, 3.0)]);
+        assert_eq!(s.range("s", 10, 30), vec![(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.range("s", 0, 100).len(), 3);
+        assert!(s.range("s", 30, 10).is_empty(), "inverted range is empty");
+        assert!(s.range("missing", 0, 100).is_empty());
+    }
+
+    #[test]
+    fn range_bounds_are_half_open() {
+        let s = store_with(&[(10, 1.0), (20, 2.0)]);
+        assert_eq!(s.range("s", 10, 20), vec![(10, 1.0)]);
+    }
+
+    #[test]
+    fn same_timestamp_overwrites() {
+        let s = store_with(&[(10, 1.0), (10, 9.0)]);
+        assert_eq!(s.series_len("s"), 1);
+        assert_eq!(s.latest("s"), Some((10, 9.0)));
+    }
+
+    #[test]
+    fn latest_is_chronological_max() {
+        let s = store_with(&[(30, 3.0), (10, 1.0), (20, 2.0)]);
+        assert_eq!(s.latest("s"), Some((30, 3.0)));
+        assert_eq!(s.latest("missing"), None);
+    }
+
+    #[test]
+    fn counts_and_names() {
+        let mut s = store_with(&[(1, 1.0)]);
+        s.insert("other", 5, 5.0);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.series_names().collect::<Vec<_>>(), vec!["other", "s"]);
+    }
+
+    #[test]
+    fn downsample_mean() {
+        // Two 10 ms buckets: [0,10) -> 1,3 mean 2; [10,20) -> 5 mean 5.
+        let s = store_with(&[(0, 1.0), (5, 3.0), (12, 5.0)]);
+        assert_eq!(
+            s.downsample("s", 0, 20, 10, Aggregate::Mean),
+            vec![(0, 2.0), (10, 5.0)]
+        );
+    }
+
+    #[test]
+    fn downsample_all_aggregates() {
+        let s = store_with(&[(0, 1.0), (1, 4.0), (2, 2.0)]);
+        let one = |a| s.downsample("s", 0, 10, 10, a);
+        assert_eq!(one(Aggregate::Mean), vec![(0, 7.0 / 3.0)]);
+        assert_eq!(one(Aggregate::Min), vec![(0, 1.0)]);
+        assert_eq!(one(Aggregate::Max), vec![(0, 4.0)]);
+        assert_eq!(one(Aggregate::Sum), vec![(0, 7.0)]);
+        assert_eq!(one(Aggregate::Count), vec![(0, 3.0)]);
+        assert_eq!(one(Aggregate::Last), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn downsample_skips_empty_buckets() {
+        let s = store_with(&[(0, 1.0), (35, 2.0)]);
+        assert_eq!(
+            s.downsample("s", 0, 40, 10, Aggregate::Mean),
+            vec![(0, 1.0), (30, 2.0)]
+        );
+    }
+
+    #[test]
+    fn downsample_buckets_align_to_from() {
+        let s = store_with(&[(7, 1.0), (13, 3.0)]);
+        // from=5, bucket 10: buckets [5,15) containing both.
+        assert_eq!(
+            s.downsample("s", 5, 25, 10, Aggregate::Count),
+            vec![(5, 2.0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size")]
+    fn downsample_rejects_zero_bucket() {
+        TimeSeriesStore::new().downsample("s", 0, 10, 0, Aggregate::Mean);
+    }
+
+    #[test]
+    fn retention_drops_old_points() {
+        let mut s = store_with(&[(0, 1.0), (10, 2.0), (20, 3.0)]);
+        s.insert("fresh", 100, 1.0);
+        let removed = s.apply_retention(10);
+        assert_eq!(removed, 1);
+        assert_eq!(s.range("s", 0, 100), vec![(10, 2.0), (20, 3.0)]);
+        // Retention that empties a series prunes it entirely.
+        let removed = s.apply_retention(1_000);
+        assert_eq!(removed, 3);
+        assert_eq!(s.series_names().count(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn drop_series_reports_size() {
+        let mut s = store_with(&[(0, 1.0), (1, 2.0)]);
+        assert_eq!(s.drop_series("s"), 2);
+        assert_eq!(s.drop_series("s"), 0);
+    }
+
+    #[test]
+    fn aggregate_names_round_trip() {
+        for a in [
+            Aggregate::Mean,
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Count,
+            Aggregate::Last,
+        ] {
+            assert_eq!(Aggregate::parse(a.as_str()), Some(a));
+        }
+        assert_eq!(Aggregate::parse("median"), None);
+    }
+
+    #[test]
+    fn negative_timestamps_supported() {
+        let s = store_with(&[(-20, 1.0), (-10, 2.0), (0, 3.0)]);
+        assert_eq!(s.range("s", -20, 0), vec![(-20, 1.0), (-10, 2.0)]);
+        assert_eq!(
+            s.downsample("s", -20, 0, 10, Aggregate::Count),
+            vec![(-20, 1.0), (-10, 1.0)]
+        );
+    }
+}

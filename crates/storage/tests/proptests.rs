@@ -1,0 +1,176 @@
+//! Property-based tests on the storage substrates.
+
+use proptest::prelude::*;
+use storage::legacy::csv::CsvDocument;
+use storage::legacy::fixedwidth::{FieldSpec, RecordLayout};
+use storage::legacy::ini::IniDocument;
+use storage::table::{Cell, Column, ColumnType, CompareOp, Predicate, Table};
+use storage::tskv::{Aggregate, TimeSeriesStore};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn tskv_range_equals_filter(
+        points in prop::collection::vec((any::<i32>(), -1e6f64..1e6), 0..200),
+        from in any::<i32>(),
+        len in 0i64..1_000_000,
+    ) {
+        let mut store = TimeSeriesStore::new();
+        let mut reference = std::collections::BTreeMap::new();
+        for &(t, v) in &points {
+            store.insert("s", i64::from(t), v);
+            reference.insert(i64::from(t), v);
+        }
+        let from = i64::from(from);
+        let to = from + len;
+        let got = store.range("s", from, to);
+        let expected: Vec<(i64, f64)> = reference
+            .range(from..to)
+            .map(|(&t, &v)| (t, v))
+            .collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(store.series_len("s"), reference.len());
+    }
+
+    #[test]
+    fn tskv_downsample_conserves_count(
+        points in prop::collection::vec((0i64..100_000, -1e3f64..1e3), 1..200),
+        bucket in 1i64..10_000,
+    ) {
+        let mut store = TimeSeriesStore::new();
+        for &(t, v) in &points {
+            store.insert("s", t, v);
+        }
+        let total = store.series_len("s");
+        let counted: f64 = store
+            .downsample("s", 0, 100_000, bucket, Aggregate::Count)
+            .iter()
+            .map(|(_, c)| c)
+            .sum();
+        prop_assert_eq!(counted as usize, total);
+        // Mean of each bucket lies within [min, max] of that bucket.
+        let means = store.downsample("s", 0, 100_000, bucket, Aggregate::Mean);
+        let mins = store.downsample("s", 0, 100_000, bucket, Aggregate::Min);
+        let maxs = store.downsample("s", 0, 100_000, bucket, Aggregate::Max);
+        for ((tm, mean), ((_, lo), (_, hi))) in
+            means.iter().zip(mins.iter().zip(maxs.iter()))
+        {
+            prop_assert!(lo - 1e-9 <= *mean && *mean <= hi + 1e-9, "bucket {tm}");
+        }
+    }
+
+    #[test]
+    fn tskv_retention_keeps_only_newer(
+        points in prop::collection::vec((any::<i16>(), 0.0f64..1.0), 0..100),
+        horizon in any::<i16>(),
+    ) {
+        let mut store = TimeSeriesStore::new();
+        for &(t, v) in &points {
+            store.insert("s", i64::from(t), v);
+        }
+        let before = store.series_len("s");
+        let removed = store.apply_retention(i64::from(horizon));
+        prop_assert_eq!(store.len() + removed, before);
+        for (t, _) in store.range("s", i64::MIN, i64::MAX) {
+            prop_assert!(t >= i64::from(horizon));
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_arbitrary_fields(
+        header in prop::collection::vec("[a-z]{1,8}", 1..5),
+        rows in prop::collection::vec(prop::collection::vec("\\PC{0,16}", 1..5), 0..20),
+    ) {
+        let width = header.len();
+        let mut doc = CsvDocument::new(header);
+        for mut row in rows {
+            row.resize(width, String::new());
+            doc.push(row).expect("width fixed");
+        }
+        prop_assert_eq!(CsvDocument::parse(&doc.encode()).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn csv_parser_never_panics(text in "\\PC{0,128}") {
+        let _ = CsvDocument::parse(&text);
+    }
+
+    #[test]
+    fn fixedwidth_round_trips(
+        widths in prop::collection::vec(1usize..12, 1..5),
+        seed_rows in prop::collection::vec(prop::collection::vec("[a-zA-Z0-9._-]{0,11}", 1..5), 0..10),
+    ) {
+        let layout = RecordLayout::new(
+            widths
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| FieldSpec::new(format!("f{i}"), w))
+                .collect(),
+        );
+        let rows: Vec<Vec<String>> = seed_rows
+            .into_iter()
+            .map(|mut row| {
+                row.resize(widths.len(), String::new());
+                row.iter()
+                    .zip(&widths)
+                    .map(|(value, &w)| {
+                        // Truncate to width and drop trailing spaces (they
+                        // cannot survive the padding round trip).
+                        value.chars().take(w).collect::<String>().trim_end().to_owned()
+                    })
+                    .collect()
+            })
+            .collect();
+        let text = layout.encode_document(&rows).expect("values fit");
+        prop_assert_eq!(layout.parse_document(&text).expect("round trip"), rows);
+    }
+
+    #[test]
+    fn ini_round_trips(
+        entries in prop::collection::btree_map(
+            "[a-z]{1,8}",
+            prop::collection::btree_map("[a-z]{1,8}", "[a-zA-Z0-9 ._/:-]{0,16}", 1..5),
+            0..5,
+        ),
+    ) {
+        let mut doc = IniDocument::new();
+        for (section, kv) in &entries {
+            for (k, v) in kv {
+                doc.set(section.clone(), k.clone(), v.trim().to_owned());
+            }
+        }
+        prop_assert_eq!(IniDocument::parse(&doc.encode()).expect("round trip"), doc);
+    }
+
+    #[test]
+    fn table_scan_matches_manual_filter(
+        values in prop::collection::vec((any::<i64>(), -1e6f64..1e6), 0..100),
+        pivot in any::<i64>(),
+    ) {
+        let mut table = Table::new(
+            "t",
+            vec![
+                Column::new("i", ColumnType::Int),
+                Column::new("f", ColumnType::Float),
+            ],
+        );
+        for &(i, f) in &values {
+            table.insert(vec![Cell::Int(i), Cell::Float(f)]).expect("schema ok");
+        }
+        let got = table
+            .scan(&Predicate::cmp("i", CompareOp::Ge, pivot))
+            .len();
+        let expected = values.iter().filter(|(i, _)| *i >= pivot).count();
+        prop_assert_eq!(got, expected);
+
+        // Indexed lookup agrees with scan for any value.
+        let mut indexed = table.clone();
+        indexed.create_index("i").expect("column exists");
+        let probe = values.first().map_or(0, |(i, _)| *i);
+        prop_assert_eq!(
+            indexed.lookup("i", &Cell::Int(probe)).expect("indexed").len(),
+            table.scan(&Predicate::eq("i", probe)).len()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! # dimmer — a distributed framework for integration of district energy data from heterogeneous devices
+//!
+//! A full reproduction of Brundu et al., *“A new distributed framework
+//! for integration of district energy data from heterogeneous devices”*
+//! (DATE 2015): the master node + ontology, Device-proxies for IEEE
+//! 802.15.4 / ZigBee / EnOcean / OPC UA, Database-proxies for BIM / SIM /
+//! GIS / measurement archives, the publish/subscribe middleware, the
+//! JSON/XML common data format — all running on a deterministic
+//! discrete-event network simulation.
+//!
+//! This crate is the facade: it re-exports every subsystem under one
+//! name. See the [`district`] module for the quickest entry point and
+//! `examples/quickstart.rs` for a complete walkthrough.
+//!
+//! ```
+//! use dimmer::district::scenario::ScenarioConfig;
+//! use dimmer::district::deploy::Deployment;
+//! use dimmer::simnet::{Simulator, SimConfig, SimDuration};
+//!
+//! let scenario = ScenarioConfig::small().build();
+//! let mut sim = Simulator::new(SimConfig::default());
+//! let deployment = Deployment::build(&mut sim, &scenario);
+//! sim.run_for(SimDuration::from_secs(60));
+//! assert_eq!(deployment.node_count(), sim.node_count());
+//! ```
+
+pub use dimmer_core as core;
+pub use district;
+pub use gis;
+pub use master;
+pub use models;
+pub use ontology;
+pub use protocols;
+pub use proxy;
+pub use pubsub;
+pub use simnet;
+pub use storage;

@@ -1,0 +1,210 @@
+//! Failure-injection tests: lossy links, silent proxies, late arrivals.
+
+use dimmer::district::client::ClientNode;
+use dimmer::district::deploy::Deployment;
+use dimmer::district::scenario::ScenarioConfig;
+use dimmer::master::MasterNode;
+use dimmer::proxy::device_proxy::DeviceProxyNode;
+use dimmer::simnet::{LinkModel, SimConfig, SimDuration, Simulator};
+
+#[test]
+fn lossy_network_still_converges() {
+    // 5% packet loss everywhere: registrations and WS requests retry,
+    // the system still assembles and answers.
+    let scenario = ScenarioConfig::small().build();
+    let mut sim = Simulator::new(SimConfig {
+        seed: 99,
+        default_link: LinkModel::builder()
+            .latency(SimDuration::from_millis(5))
+            .bandwidth_bps(10_000_000)
+            .loss(0.05)
+            .build(),
+    });
+    let deployment = Deployment::build(&mut sim, &scenario);
+    sim.run_for(SimDuration::from_secs(900));
+
+    let master = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+    assert_eq!(
+        master.ontology().device_count(),
+        12,
+        "all devices eventually registered despite loss"
+    );
+
+    let client = ClientNode::spawn(
+        &mut sim,
+        &deployment,
+        scenario.districts[0].district.clone(),
+        scenario.districts[0].bbox(),
+    );
+    sim.run_for(SimDuration::from_secs(120));
+    let snapshot = sim
+        .node_ref::<ClientNode>(client)
+        .unwrap()
+        .latest_snapshot()
+        .unwrap()
+        .clone();
+    // Individual fetches may fail even after retries; the snapshot is
+    // still produced and mostly complete.
+    assert!(
+        !snapshot.measurements.is_empty(),
+        "snapshot carried no data at all"
+    );
+    assert!(
+        snapshot.resolution.entities.len() >= 4,
+        "resolution too incomplete: {}",
+        snapshot.resolution.entities.len()
+    );
+}
+
+#[test]
+fn wireless_sensor_links_degrade_gracefully() {
+    // Device → proxy links with degraded 802.15.4-class quality (5%
+    // loss, 250 kbit/s): some frames are lost, the rest still flow.
+    let scenario = ScenarioConfig::small().build();
+    let mut sim = Simulator::new(SimConfig::default());
+    let deployment = Deployment::build(&mut sim, &scenario);
+    let lossy = LinkModel::builder()
+        .latency(SimDuration::from_millis(5))
+        .bandwidth_bps(250_000)
+        .jitter(SimDuration::from_millis(2))
+        .loss(0.05)
+        .build();
+    for (proxy, device) in deployment.districts[0]
+        .device_proxies
+        .iter()
+        .zip(&deployment.districts[0].devices)
+    {
+        sim.set_link(*device, *proxy, lossy.clone());
+    }
+    sim.run_for(SimDuration::from_secs(1200));
+
+    let mut ingested = 0u64;
+    for p in deployment.device_proxies() {
+        ingested += sim
+            .node_ref::<DeviceProxyNode>(p)
+            .unwrap()
+            .stats()
+            .samples_ingested;
+    }
+    // 12 devices * 20 minutes * 1/min = 240 expected pushes; with 1%
+    // loss plus OPC UA polling most arrive.
+    assert!(ingested > 180, "only {ingested} samples made it");
+    assert!(sim.metrics().packets_lost > 0, "loss model was exercised");
+}
+
+#[test]
+fn late_proxy_joins_running_system() {
+    use dimmer::core::{DeviceId, ProxyId, QuantityKind};
+    use dimmer::models::profiles::EnergyProfile;
+    use dimmer::protocols::device::ZigbeeSensor;
+    use dimmer::proxy::adapters::ZigbeeAdapter;
+    use dimmer::proxy::device_proxy::DeviceProxyConfig;
+    use dimmer::proxy::devices::UplinkDeviceNode;
+    use dimmer::pubsub::QoS;
+
+    let scenario = ScenarioConfig::small().build();
+    let mut sim = Simulator::new(SimConfig::default());
+    let deployment = Deployment::build(&mut sim, &scenario);
+    sim.run_for(SimDuration::from_secs(300));
+
+    let before = sim
+        .node_ref::<MasterNode>(deployment.master)
+        .unwrap()
+        .ontology()
+        .device_count();
+
+    // A new sensor is installed mid-run.
+    let proxy = sim.add_node(
+        "late-proxy",
+        DeviceProxyNode::new(
+            DeviceProxyConfig {
+                proxy: ProxyId::new("late-proxy").unwrap(),
+                district: scenario.districts[0].district.clone(),
+                entity_id: scenario.districts[0].buildings[0].building.as_str().to_owned(),
+                device: DeviceId::new("late-device").unwrap(),
+                primary_quantity: QuantityKind::Co2,
+                master: deployment.master,
+                broker: Some(deployment.broker),
+                device_node: None,
+                poll_interval: None,
+                retention: None,
+                location: Some(scenario.districts[0].buildings[0].location),
+                epoch_offset_millis: scenario.config.epoch_offset_millis,
+                publish_qos: QoS::AtMostOnce,
+            },
+            Box::new(ZigbeeAdapter::new(0x9999)),
+        ),
+    );
+    let device = sim.add_node(
+        "late-device",
+        UplinkDeviceNode::new(
+            Box::new(ZigbeeSensor::new(0x9999, QuantityKind::Temperature)),
+            EnergyProfile::for_quantity(QuantityKind::Temperature, 77),
+            proxy,
+            SimDuration::from_secs(30),
+            scenario.config.epoch_offset_millis,
+        ),
+    );
+    sim.node_mut::<DeviceProxyNode>(proxy)
+        .unwrap()
+        .set_device_node(device);
+    sim.run_for(SimDuration::from_secs(120));
+
+    let master = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+    assert_eq!(master.ontology().device_count(), before + 1);
+    assert!(sim.node_ref::<DeviceProxyNode>(proxy).unwrap().is_registered());
+    assert!(
+        sim.node_ref::<DeviceProxyNode>(proxy)
+            .unwrap()
+            .stats()
+            .samples_ingested
+            > 0
+    );
+
+    // A fresh area query sees the newcomer.
+    let client = ClientNode::spawn(
+        &mut sim,
+        &deployment,
+        scenario.districts[0].district.clone(),
+        scenario.districts[0].bbox(),
+    );
+    sim.run_for(SimDuration::from_secs(30));
+    let snapshot = sim
+        .node_ref::<ClientNode>(client)
+        .unwrap()
+        .latest_snapshot()
+        .unwrap()
+        .clone();
+    assert!(snapshot
+        .resolution
+        .devices
+        .iter()
+        .any(|d| d.device().as_str() == "late-device"));
+}
+
+#[test]
+fn dead_device_proxy_disappears_from_the_ontology() {
+    // Deploy, then surgically cut one proxy's heartbeats by replacing
+    // its link to the master with a total-loss link.
+    let scenario = ScenarioConfig::small().build();
+    let mut sim = Simulator::new(SimConfig::default());
+    let deployment = Deployment::build(&mut sim, &scenario);
+    sim.run_for(SimDuration::from_secs(60));
+
+    let victim = deployment.districts[0].device_proxies[0];
+    sim.set_link(
+        victim,
+        deployment.master,
+        LinkModel::builder().loss(1.0).build(),
+    );
+    // Liveness horizon is 100 s; run well past it.
+    sim.run_for(SimDuration::from_secs(400));
+
+    let master = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+    assert!(master.stats().evictions >= 1, "{:?}", master.stats());
+    assert_eq!(
+        master.ontology().device_count(),
+        11,
+        "the victim's leaf is gone"
+    );
+}
