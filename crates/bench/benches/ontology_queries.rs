@@ -1,6 +1,6 @@
 //! Criterion micro-benches for ontology resolution (E6 companion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_support::criterion::{criterion_group, criterion_main, Criterion};
 use dimmer_core::{BuildingId, DeviceId, DistrictId, QuantityKind, Uri};
 use gis::geo::{BoundingBox, GeoPoint};
 use ontology::{DeviceLeaf, EntityNode, Ontology};
@@ -35,8 +35,7 @@ fn build(buildings: usize, devices_per_building: usize) -> (Ontology, DistrictId
                     } else {
                         QuantityKind::ActivePower
                     },
-                    Uri::parse(&format!("sim://n{b}x{v}/data").replace('x', "0"))
-                        .expect("valid"),
+                    Uri::parse(&format!("sim://n{b}x{v}/data").replace('x', "0")).expect("valid"),
                 ),
             )
             .expect("entity exists");

@@ -1,6 +1,6 @@
 //! Criterion micro-benches for the protocol codecs (E3 companion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_support::criterion::{criterion_group, criterion_main, Criterion};
 use dimmer_core::QuantityKind;
 use protocols::device::{EnoceanSensor, Ieee802154Sensor, UplinkDevice, ZigbeeSensor};
 use protocols::enocean::{Eep, Erp1Telegram};
@@ -18,7 +18,9 @@ fn bench_frames(c: &mut Criterion) {
         b.iter(|| MacFrame::decode(black_box(&frame)).expect("valid"))
     });
     let decoded = MacFrame::decode(&frame).expect("valid");
-    group.bench_function("ieee802154/encode", |b| b.iter(|| black_box(&decoded).encode()));
+    group.bench_function("ieee802154/encode", |b| {
+        b.iter(|| black_box(&decoded).encode())
+    });
 
     let mut dev = ZigbeeSensor::new(0x42, QuantityKind::Temperature);
     let frame = dev.emit(21.5);
@@ -34,7 +36,9 @@ fn bench_frames(c: &mut Criterion) {
         b.iter(|| Erp1Telegram::from_esp3(black_box(&packet)).expect("valid"))
     });
     let telegram = Erp1Telegram::from_esp3(&packet).expect("valid");
-    group.bench_function("enocean/to_esp3", |b| b.iter(|| black_box(&telegram).to_esp3()));
+    group.bench_function("enocean/to_esp3", |b| {
+        b.iter(|| black_box(&telegram).to_esp3())
+    });
 
     let request = Message::ReadRequest {
         nodes: vec![ReadValueId {
@@ -53,7 +57,9 @@ fn bench_frames(c: &mut Criterion) {
     group.bench_function("opcua/decode_response", |b| {
         b.iter(|| Message::decode(black_box(&response_bytes)).expect("valid"))
     });
-    group.bench_function("opcua/encode_response", |b| b.iter(|| black_box(&response).encode()));
+    group.bench_function("opcua/encode_response", |b| {
+        b.iter(|| black_box(&response).encode())
+    });
 
     group.finish();
 }

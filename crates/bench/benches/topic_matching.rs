@@ -2,7 +2,7 @@
 //! subscription trie against a linear filter scan — the design choice
 //! DESIGN.md calls out for the broker.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench_support::criterion::{criterion_group, criterion_main, Criterion};
 use pubsub::{SubscriptionTrie, Topic, TopicFilter};
 use std::hint::black_box;
 
@@ -10,7 +10,12 @@ fn filters(n: usize) -> Vec<TopicFilter> {
     (0..n)
         .map(|i| {
             let text = match i % 4 {
-                0 => format!("district/d{}/entity/b{}/device/dev{}/temperature", i % 3, i % 50, i),
+                0 => format!(
+                    "district/d{}/entity/b{}/device/dev{}/temperature",
+                    i % 3,
+                    i % 50,
+                    i
+                ),
                 1 => format!("district/d{}/#", i % 3),
                 2 => format!("district/+/entity/b{}/#", i % 50),
                 _ => "district/+/entity/+/device/+/active_power".to_owned(),
@@ -22,8 +27,7 @@ fn filters(n: usize) -> Vec<TopicFilter> {
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("topic_matching");
-    let topic =
-        Topic::new("district/d1/entity/b17/device/dev17/temperature").expect("valid topic");
+    let topic = Topic::new("district/d1/entity/b17/device/dev17/temperature").expect("valid topic");
     for &n in &[10usize, 100, 1000] {
         let fs = filters(n);
         let mut trie = SubscriptionTrie::new();
@@ -34,11 +38,7 @@ fn bench_matching(c: &mut Criterion) {
             b.iter(|| trie.matches(black_box(&topic)).len())
         });
         group.bench_function(format!("linear/{n}_subs"), |b| {
-            b.iter(|| {
-                fs.iter()
-                    .filter(|f| f.matches(black_box(&topic)))
-                    .count()
-            })
+            b.iter(|| fs.iter().filter(|f| f.matches(black_box(&topic))).count())
         });
     }
     group.finish();

@@ -1,14 +1,18 @@
 //! Criterion micro-benches for the Device-proxy local store (E7
 //! companion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench_support::criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use storage::tskv::{Aggregate, TimeSeriesStore};
 
 fn filled(points: usize) -> TimeSeriesStore {
     let mut store = TimeSeriesStore::new();
     for p in 0..points {
-        store.insert("dev:temperature", p as i64 * 60_000, 20.0 + (p % 50) as f64 * 0.1);
+        store.insert(
+            "dev:temperature",
+            p as i64 * 60_000,
+            20.0 + (p % 50) as f64 * 0.1,
+        );
     }
     store
 }
@@ -26,7 +30,11 @@ fn bench_store(c: &mut Criterion) {
             )
         });
         group.bench_function(format!("range_1h/{points}_points"), |b| {
-            b.iter(|| store.range("dev:temperature", black_box(end - 3_600_000), end).len())
+            b.iter(|| {
+                store
+                    .range("dev:temperature", black_box(end - 3_600_000), end)
+                    .len()
+            })
         });
         group.bench_function(format!("downsample_24h/{points}_points"), |b| {
             b.iter(|| {

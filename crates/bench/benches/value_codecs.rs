@@ -1,7 +1,7 @@
 //! Criterion micro-benches for the common-data-format codecs (E4
 //! companion).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench_support::criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dimmer_core::codec::{self, DataFormat};
 use dimmer_core::{DeviceId, Measurement, MeasurementBatch, QuantityKind, Timestamp};
 use std::hint::black_box;

@@ -29,8 +29,7 @@ fn main() {
         let config = ScenarioConfig::small()
             .with_buildings(buildings)
             .with_devices_per_building(2);
-        let (mut sim, deployment, scenario) =
-            deploy_warm(config, SimDuration::from_secs(300));
+        let (mut sim, deployment, scenario) = deploy_warm(config, SimDuration::from_secs(300));
         sim.reset_metrics();
         let snapshots = run_queries(&mut sim, &deployment, &scenario, 5);
         let mut latency = Summary::new("latency");

@@ -42,7 +42,9 @@ fn qos_under_loss(table: &mut Table, horizon: SimDuration) {
                 .stats()
                 .samples_ingested;
         }
-        let broker = sim.node_ref::<BrokerNode>(deployment.broker).expect("broker");
+        let broker = sim
+            .node_ref::<BrokerNode>(deployment.broker)
+            .expect("broker");
         table.row([
             format!("{} (10% loss)", scenario.device_count()),
             match qos {
@@ -87,7 +89,9 @@ fn main() {
                 samples += proxy.stats().samples_ingested;
                 errors += proxy.stats().decode_errors;
             }
-            let broker = sim.node_ref::<BrokerNode>(deployment.broker).expect("broker");
+            let broker = sim
+                .node_ref::<BrokerNode>(deployment.broker)
+                .expect("broker");
             table.row([
                 scenario.device_count().to_string(),
                 match qos {

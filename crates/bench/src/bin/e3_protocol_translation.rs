@@ -122,8 +122,7 @@ fn main() {
     }
     .encode();
     let response = server.handle_bytes(&request).expect("server answers");
-    let mut adapter =
-        OpcUaAdapter::new(server.value_node().clone(), QuantityKind::ThermalEnergy);
+    let mut adapter = OpcUaAdapter::new(server.value_node().clone(), QuantityKind::ThermalEnergy);
     let (_, ns) = time_it(ITERATIONS, || {
         let samples = adapter.decode_poll(&response).expect("valid response");
         samples

@@ -74,7 +74,10 @@ fn main() {
                 scenario.districts[0].bbox(),
             );
             sim.run_for(SimDuration::from_secs(30));
-            if let Some(s) = sim.node_ref::<ClientNode>(client).and_then(ClientNode::latest_snapshot) {
+            if let Some(s) = sim
+                .node_ref::<ClientNode>(client)
+                .and_then(ClientNode::latest_snapshot)
+            {
                 latency.record_duration(s.latency());
             }
             client_rx += sim.node_metrics(client).bytes_received;
@@ -91,8 +94,7 @@ fn main() {
         ]);
 
         // --- Relay: everything through one aggregation point.
-        let (mut sim, deployment, scenario) =
-            deploy_warm(config, SimDuration::from_secs(300));
+        let (mut sim, deployment, scenario) = deploy_warm(config, SimDuration::from_secs(300));
         let relay = sim.add_node("relay", RelayNode::new(deployment.master));
         sim.run_for(SimDuration::from_secs(5));
         sim.reset_metrics();

@@ -38,8 +38,11 @@ fn build_ontology(buildings: usize, devices_per_building: usize) -> (Ontology, D
                     DeviceId::new(format!("b{b}-d{v}")).expect("valid"),
                     "zigbee",
                     quantity,
-                    Uri::parse(&format!("sim://n{}/data", buildings + b * devices_per_building + v))
-                        .expect("valid"),
+                    Uri::parse(&format!(
+                        "sim://n{}/data",
+                        buildings + b * devices_per_building + v
+                    ))
+                    .expect("valid"),
                 ),
             )
             .expect("entity exists");
@@ -68,10 +71,16 @@ fn main() {
         let full_box = BoundingBox::new(GeoPoint::new(44.9, 7.5), GeoPoint::new(45.2, 7.8));
         let iters = if buildings >= 1000 { 200 } else { 2000 };
         let (_, small_ns) = time_it(iters, || {
-            onto.resolve_area(&district, &small_box).expect("district exists").entities.len()
+            onto.resolve_area(&district, &small_box)
+                .expect("district exists")
+                .entities
+                .len()
         });
         let (_, full_ns) = time_it(iters, || {
-            onto.resolve_area(&district, &full_box).expect("district exists").devices.len()
+            onto.resolve_area(&district, &full_box)
+                .expect("district exists")
+                .devices
+                .len()
         });
         let (_, quantity_ns) = time_it(iters, || {
             onto.devices_by_quantity(&district, QuantityKind::Temperature)

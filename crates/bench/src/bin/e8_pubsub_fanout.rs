@@ -4,13 +4,22 @@
 //! subscribers without the publisher knowing them. Measures delivery
 //! latency and broker load as the subscriber population grows, with
 //! exact and wildcard filters.
+//!
+//! The binary also demonstrates the telemetry stack: each run ends with
+//! a metrics snapshot (counters + bounded-histogram percentiles), and a
+//! flight-recorder demo deploys a small district and reconstructs one
+//! measurement's device → proxy → broker → subscriber journey from its
+//! trace id. Set `DIMMER_TRACE=<file|->` to dump the raw trace as JSON
+//! lines.
 
-use district::report::{fmt_f64, Table};
+use district::deploy::Deployment;
+use district::report::{dump_trace_if_requested, fmt_f64, metrics_report, Table};
+use district::scenario::ScenarioConfig;
 use pubsub::{BrokerNode, PubSubClient, PubSubEvent, QoS, Topic, TopicFilter, PUBSUB_PORT};
 use simnet::stats::Summary;
-use simnet::{
-    Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag,
-};
+use simnet::telemetry::flight::reconstruct;
+use simnet::telemetry::MetricsSnapshot;
+use simnet::{Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag};
 
 struct Sub {
     client: PubSubClient,
@@ -54,12 +63,14 @@ impl Node for Pub {
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
         if tag == TimerTag(1) {
             self.published_at = Some(ctx.now());
-            self.client.publish(
+            let trace = ctx.telemetry().tracer.next_trace_id();
+            self.client.publish_traced(
                 ctx,
                 Topic::new("district/d0/entity/b0/device/dev0/temperature").expect("valid"),
                 b"{\"value\":21.5}".to_vec(),
                 false,
                 QoS::AtMostOnce,
+                trace,
             );
         } else {
             self.client.on_timer(ctx, tag);
@@ -67,7 +78,7 @@ impl Node for Pub {
     }
 }
 
-fn run(subscribers: usize, wildcard_fraction: usize) -> (f64, f64, u64) {
+fn run(subscribers: usize, wildcard_fraction: usize) -> (f64, f64, u64, MetricsSnapshot) {
     let mut sim = Simulator::new(SimConfig::default());
     let broker = sim.add_node("broker", BrokerNode::new());
     let subs: Vec<NodeId> = (0..subscribers)
@@ -114,7 +125,60 @@ fn run(subscribers: usize, wildcard_fraction: usize) -> (f64, f64, u64) {
         latency.mean(),
         delivered as f64 / subscribers as f64,
         broker_stats.delivered,
+        sim.telemetry().metrics.snapshot(),
     )
+}
+
+/// Deploys a small district and follows one measurement end to end:
+/// device → device-proxy → broker → subscriber, by trace id.
+fn flight_recorder_demo() {
+    let mut sim = Simulator::new(SimConfig::default());
+    let scenario = ScenarioConfig::small().build();
+    let deployment = Deployment::build(&mut sim, &scenario);
+    let sub = sim.add_node(
+        "monitor",
+        Sub {
+            client: PubSubClient::new(deployment.broker, 100),
+            filter: "district/#",
+            received: vec![],
+        },
+    );
+    sim.run_for(SimDuration::from_secs(180));
+
+    let received = sim.node_ref::<Sub>(sub).expect("monitor").received.len();
+    println!("## E8 flight recorder: small district, 180 s, monitor received {received} messages");
+    let telemetry = sim.telemetry();
+    print!(
+        "{}",
+        metrics_report("E8 flight recorder", &telemetry.metrics.snapshot())
+    );
+
+    let events = telemetry.tracer.events();
+    let full_path = [
+        "device.sample",
+        "proxy.ingest",
+        "broker.publish",
+        "broker.deliver",
+        "sub.receive",
+    ];
+    match reconstruct(&events)
+        .into_iter()
+        .find(|p| p.visits(&full_path))
+    {
+        Some(path) => {
+            println!(
+                "one measurement end to end (trace {} of {} recorded, {} dropped):",
+                path.trace_id,
+                events.len(),
+                telemetry.tracer.dropped()
+            );
+            println!("{path}");
+        }
+        None => println!("no complete device→proxy→broker→subscriber path recorded"),
+    }
+    if let Some(dest) = dump_trace_if_requested(telemetry) {
+        println!("trace dumped to {dest}");
+    }
 }
 
 fn main() {
@@ -128,9 +192,10 @@ fn main() {
             "mean_latency_ms",
         ],
     );
+    let mut last_snapshot = None;
     for &subscribers in &[1usize, 10, 100, 500, 1000] {
         for &(label, wf) in &[("none", 0usize), ("1_in_4", 4)] {
-            let (mean_ms, coverage, deliveries) = run(subscribers, wf);
+            let (mean_ms, coverage, deliveries, snapshot) = run(subscribers, wf);
             table.row([
                 subscribers.to_string(),
                 label.to_owned(),
@@ -138,8 +203,16 @@ fn main() {
                 fmt_f64(coverage, 2),
                 fmt_f64(mean_ms, 3),
             ]);
+            last_snapshot = Some(snapshot);
         }
     }
     println!("{table}");
     println!("# series (csv)\n{}", table.to_csv());
+    if let Some(snapshot) = last_snapshot {
+        print!(
+            "{}",
+            metrics_report("E8 largest run (1000 subs)", &snapshot)
+        );
+    }
+    flight_recorder_demo();
 }

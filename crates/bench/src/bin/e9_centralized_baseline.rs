@@ -13,9 +13,7 @@ use district::report::{fmt_bytes, fmt_f64, Table};
 use district::scenario::ScenarioConfig;
 use proxy::device_proxy::DeviceProxyNode;
 use proxy::webservice::{WsClient, WsClientEvent, WsRequest};
-use simnet::{
-    Context, Node, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag,
-};
+use simnet::{Context, Node, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag};
 
 struct AreaProbe {
     client: WsClient,
@@ -87,7 +85,10 @@ fn main() {
     // Sanity: every proxy decoded cleanly.
     for p in deployment.device_proxies() {
         assert_eq!(
-            sim.node_ref::<DeviceProxyNode>(p).expect("proxy").stats().decode_errors,
+            sim.node_ref::<DeviceProxyNode>(p)
+                .expect("proxy")
+                .stats()
+                .decode_errors,
             0
         );
     }
@@ -123,7 +124,9 @@ fn main() {
         .latency
         .map(|d| d.as_millis_f64())
         .unwrap_or(f64::NAN);
-    let server = sim.node_ref::<CentralServerNode>(deployment.server).expect("server");
+    let server = sim
+        .node_ref::<CentralServerNode>(deployment.server)
+        .expect("server");
     table.row([
         "centralized".to_owned(),
         scenario.device_count().to_string(),

@@ -57,7 +57,9 @@ fn main() {
     }
     println!("{topology}");
 
-    let master = sim.node_ref::<MasterNode>(deployment.master).expect("master");
+    let master = sim
+        .node_ref::<MasterNode>(deployment.master)
+        .expect("master");
     println!(
         "master node: {} proxies registered, ontology = {} districts / {} entities / {} devices\n",
         master.proxy_count(),
@@ -103,7 +105,10 @@ fn main() {
         );
     }
     if snapshot.resolution.devices.len() > 3 {
-        println!("   … {} more device fetches", snapshot.resolution.devices.len() - 3);
+        println!(
+            "   … {} more device fetches",
+            snapshot.resolution.devices.len() - 3
+        );
     }
     println!(
         "5. client integrates: {} entity models + {} measurements in {} requests, {:?} end-to-end, {} errors",

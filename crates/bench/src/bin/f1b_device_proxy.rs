@@ -19,7 +19,11 @@ fn main() {
     let sender_id = 0x0180_92AB;
     let mut bench_device = EnoceanSensor::new(sender_id, Eep::A50401);
     let frame = bench_device.emit(21.5);
-    println!("device emits ESP3 packet     : {} bytes, sync={:#04x}", frame.len(), frame[0]);
+    println!(
+        "device emits ESP3 packet     : {} bytes, sync={:#04x}",
+        frame.len(),
+        frame[0]
+    );
     let telegram = Erp1Telegram::from_esp3(&frame).expect("valid packet");
     println!(
         "  ERP1 telegram                : rorg={:#04x} sender={:#010x} data={:02x?}",
@@ -31,7 +35,10 @@ fn main() {
     // Layer 1 — dedicated layer: protocol-specific decode + translation.
     let mut adapter = EnoceanAdapter::new(sender_id, Eep::A50401);
     let samples = adapter.decode_uplink(&frame).expect("valid frame");
-    println!("layer 1 (dedicated)          : {} samples decoded:", samples.len());
+    println!(
+        "layer 1 (dedicated)          : {} samples decoded:",
+        samples.len()
+    );
     for (q, v) in &samples {
         println!("  {q} = {v:.2} {}", q.canonical_unit());
     }
@@ -39,7 +46,10 @@ fn main() {
     // Now the same flow live on the network, to show layers 2 and 3.
     let mut sim = Simulator::new(SimConfig::default());
     let district = DistrictId::new("d0").expect("valid");
-    let master = sim.add_node("master", MasterNode::new([(district.clone(), "Demo".into())]));
+    let master = sim.add_node(
+        "master",
+        MasterNode::new([(district.clone(), "Demo".into())]),
+    );
     let broker = sim.add_node("broker", BrokerNode::new());
     let proxy = sim.add_node(
         "device-proxy",
@@ -78,7 +88,10 @@ fn main() {
     sim.run_for(SimDuration::from_secs(600));
 
     let p = sim.node_ref::<DeviceProxyNode>(proxy).expect("proxy");
-    println!("\nlayer 2 (local database)     : series {:?}", p.store().series_names().collect::<Vec<_>>());
+    println!(
+        "\nlayer 2 (local database)     : series {:?}",
+        p.store().series_names().collect::<Vec<_>>()
+    );
     for name in p.store().series_names() {
         let (t, v) = p.store().latest(name).expect("non-empty series");
         println!(

@@ -1,0 +1,190 @@
+//! A minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The workspace builds with no network access, so the real `criterion`
+//! cannot be fetched from a registry. The `benches/*.rs` targets only
+//! use a small slice of its API (`benchmark_group`, `bench_function`,
+//! `iter`, `iter_batched`); this module provides that slice with a
+//! simple calibrating timer: each benchmark runs with a geometrically
+//! growing iteration count until the measured window exceeds ~20 ms,
+//! then reports nanoseconds per iteration. It is *not* a statistically
+//! rigorous harness — it exists so `cargo bench` keeps producing useful
+//! relative numbers offline.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum measured window before a result is accepted.
+const TARGET_WINDOW: Duration = Duration::from_millis(20);
+/// Iteration-count ceiling, so a sub-nanosecond body cannot spin forever.
+const MAX_ITERS: u64 = 1 << 22;
+
+/// Mirrors `criterion::BatchSize`; only used as a hint, all variants
+/// behave identically here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives one benchmark body; handed to the closure of `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` back-to-back, auto-scaling the iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET_WINDOW || n >= MAX_ITERS {
+                self.per_iter_ns = dt.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            if dt >= TARGET_WINDOW || n >= 1 << 14 {
+                self.per_iter_ns = dt.as_nanos() as f64 / n as f64;
+                self.iters = n;
+                return;
+            }
+            n = n.saturating_mul(4);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    println!(
+        "{name:<52} {:>12}/iter  ({} iters)",
+        fmt_ns(b.per_iter_ns),
+        b.iters
+    );
+}
+
+/// Mirrors the `criterion::Criterion` entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// Mirrors `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into
+/// one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::criterion::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench target entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.per_iter_ns > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+}

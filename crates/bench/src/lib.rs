@@ -5,6 +5,8 @@
 //! centralizes the common moves: deploying a scenario, spawning probe
 //! clients, and collecting per-query statistics.
 
+pub mod criterion;
+
 use district::client::{AreaSnapshot, ClientConfig, ClientNode};
 use district::deploy::Deployment;
 use district::scenario::{Scenario, ScenarioConfig};

@@ -99,10 +99,7 @@ pub fn encode_batch(batch: &MeasurementBatch, format: DataFormat) -> String {
 /// # Errors
 ///
 /// Returns a parse error or a [`CoreError::Shape`] error.
-pub fn decode_batch(
-    text: &str,
-    format: DataFormat,
-) -> Result<MeasurementBatch, CoreError> {
+pub fn decode_batch(text: &str, format: DataFormat) -> Result<MeasurementBatch, CoreError> {
     MeasurementBatch::from_value(&decode_value(text, format)?)
 }
 

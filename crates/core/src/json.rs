@@ -110,7 +110,11 @@ fn push_indent(out: &mut String, levels: usize) {
 fn write_float(f: f64, out: &mut String) {
     if f.is_infinite() {
         // JSON has no infinity; clamp to the largest finite value.
-        out.push_str(if f > 0.0 { "1.7976931348623157e308" } else { "-1.7976931348623157e308" });
+        out.push_str(if f > 0.0 {
+            "1.7976931348623157e308"
+        } else {
+            "-1.7976931348623157e308"
+        });
     } else if f == f.trunc() && f.abs() < 1e15 {
         // Keep a trailing ".0" so the value round-trips as a float.
         out.push_str(&format!("{f:.1}"));
@@ -318,28 +322,22 @@ impl Parser<'_> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                                     .ok_or_else(|| self.err("invalid code point"))?
                             } else if (0xDC00..0xE000).contains(&hi) {
                                 return Err(self.err("unpaired low surrogate"));
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid code point"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
                             };
                             s.push(c);
                         }
                         other => {
-                            return Err(
-                                self.err(format!("invalid escape \\{}", other as char))
-                            )
+                            return Err(self.err(format!("invalid escape \\{}", other as char)))
                         }
                     }
                 }
-                Some(b) if b < 0x20 => {
-                    return Err(self.err("raw control character in string"))
-                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control character in string")),
                 _ => return Err(self.err("unterminated string")),
             }
         }
@@ -348,7 +346,9 @@ impl Parser<'_> {
     fn parse_hex4(&mut self) -> Result<u32, CoreError> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;
@@ -396,8 +396,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {
                 return Ok(Value::Int(i));
@@ -472,10 +472,7 @@ mod tests {
 
     #[test]
     fn unicode_escapes() {
-        assert_eq!(
-            from_str(r#""Aé🌍""#).unwrap(),
-            Value::Str("Aé🌍".into())
-        );
+        assert_eq!(from_str(r#""Aé🌍""#).unwrap(), Value::Str("Aé🌍".into()));
     }
 
     #[test]

@@ -102,10 +102,8 @@ impl Timestamp {
         assert!(hour < 24 && minute < 60 && second < 60, "time out of range");
         assert!(millisecond < 1000, "millisecond out of range");
         let days = days_from_civil(year, month, day);
-        let secs = days * 86_400
-            + i64::from(hour) * 3_600
-            + i64::from(minute) * 60
-            + i64::from(second);
+        let secs =
+            days * 86_400 + i64::from(hour) * 3_600 + i64::from(minute) * 60 + i64::from(second);
         Timestamp(secs * 1000 + i64::from(millisecond))
     }
 

@@ -180,7 +180,7 @@ impl Unit {
         }
         // Convert through the dimension's base unit.
         let base = self.to_base(value);
-        Ok(to.from_base(base))
+        Ok(to.convert_from_base(base))
     }
 
     /// Converts a value in `self` to the dimension's base unit
@@ -201,7 +201,7 @@ impl Unit {
     }
 
     /// Converts a value in the dimension's base unit to `self`.
-    fn from_base(self, v: f64) -> f64 {
+    fn convert_from_base(self, v: f64) -> f64 {
         match self {
             Unit::Celsius => v - 273.15,
             Unit::Kelvin => v,
@@ -246,9 +246,7 @@ mod tests {
     #[test]
     fn temperature_conversions() {
         assert_eq!(Unit::Celsius.convert(25.0, Unit::Kelvin).unwrap(), 298.15);
-        assert!(
-            (Unit::Kelvin.convert(300.0, Unit::Celsius).unwrap() - 26.85).abs() < 1e-9
-        );
+        assert!((Unit::Kelvin.convert(300.0, Unit::Celsius).unwrap() - 26.85).abs() < 1e-9);
     }
 
     #[test]
@@ -258,12 +256,8 @@ mod tests {
             2000.0
         );
         // 1 kWh = 3.6 MJ
-        assert!(
-            (Unit::KilowattHour.convert(1.0, Unit::Megajoule).unwrap() - 3.6).abs() < 1e-9
-        );
-        assert!(
-            (Unit::Megajoule.convert(3.6, Unit::KilowattHour).unwrap() - 1.0).abs() < 1e-9
-        );
+        assert!((Unit::KilowattHour.convert(1.0, Unit::Megajoule).unwrap() - 3.6).abs() < 1e-9);
+        assert!((Unit::Megajoule.convert(3.6, Unit::KilowattHour).unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -102,7 +102,9 @@ impl Uri {
             input: input.to_owned(),
             reason,
         };
-        let (scheme, rest) = input.split_once("://").ok_or_else(|| err("missing '://'"))?;
+        let (scheme, rest) = input
+            .split_once("://")
+            .ok_or_else(|| err("missing '://'"))?;
         let (authority, path_query) = match rest.find('/') {
             Some(i) => (&rest[..i], &rest[i..]),
             None => (rest, "/"),
@@ -121,7 +123,9 @@ impl Uri {
         let mut uri = Uri::new(scheme, host, port, path)?;
         if let Some(q) = query_str {
             for pair in q.split('&').filter(|p| !p.is_empty()) {
-                let (k, v) = pair.split_once('=').ok_or_else(|| err("query pair missing '='"))?;
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| err("query pair missing '='"))?;
                 if k.is_empty() {
                     return Err(err("empty query key"));
                 }

@@ -22,9 +22,10 @@ use crate::CoreError;
 /// ]);
 /// assert_eq!(v.get("floors").and_then(Value::as_i64), Some(4));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The absent value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -47,12 +48,7 @@ impl Value {
         K: Into<String>,
         I: IntoIterator<Item = (K, Value)>,
     {
-        Value::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.into(), v))
-                .collect(),
-        )
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
     /// Builds an array from values.
@@ -210,11 +206,7 @@ impl Value {
     /// # Errors
     ///
     /// Returns [`CoreError::Shape`] if absent or not an array.
-    pub fn require_array(
-        &self,
-        target: &'static str,
-        key: &str,
-    ) -> Result<&[Value], CoreError> {
+    pub fn require_array(&self, target: &'static str, key: &str) -> Result<&[Value], CoreError> {
         self.require(target, key)?
             .as_array()
             .ok_or_else(|| CoreError::Shape {
@@ -259,12 +251,6 @@ impl Value {
             Value::Object(map) => map.values().map(Value::leaf_count).sum(),
             _ => 1,
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -350,7 +336,10 @@ mod tests {
         assert_eq!(v.get("id").and_then(Value::as_str), Some("b1"));
         assert_eq!(v.get("floors").and_then(Value::as_i64), Some(4));
         assert_eq!(v.get("area").and_then(Value::as_f64), Some(1250.5));
-        assert_eq!(v.get("rooms").and_then(|r| r.at(1)).and_then(Value::as_str), Some("r2"));
+        assert_eq!(
+            v.get("rooms").and_then(|r| r.at(1)).and_then(Value::as_str),
+            Some("r2")
+        );
         assert!(v.get("nope").is_none());
         assert!(Value::Null.is_null());
     }
@@ -358,7 +347,10 @@ mod tests {
     #[test]
     fn pointer_paths() {
         let v = sample();
-        assert_eq!(v.pointer("meta/heated").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            v.pointer("meta/heated").and_then(Value::as_bool),
+            Some(true)
+        );
         assert_eq!(v.pointer("rooms/0").and_then(Value::as_str), Some("r1"));
         assert!(v.pointer("rooms/7").is_none());
         assert!(v.pointer("rooms/x").is_none());

@@ -273,8 +273,7 @@ impl XmlParser<'_> {
         if self.pos == start {
             return Err(self.err("expected a name"));
         }
-        Ok(String::from_utf8(self.bytes[start..self.pos].to_vec())
-            .expect("name bytes are ascii"))
+        Ok(String::from_utf8(self.bytes[start..self.pos].to_vec()).expect("name bytes are ascii"))
     }
 
     /// Parses one element, returning the value and the element tag.
@@ -410,21 +409,16 @@ impl XmlParser<'_> {
                         "false" => Value::Bool(false),
                         _ => return Err(self.err("bool must be 'true' or 'false'")),
                     },
-                    "int" => Value::Int(
-                        text.parse::<i64>().map_err(|_| self.err("invalid int"))?,
-                    ),
+                    "int" => Value::Int(text.parse::<i64>().map_err(|_| self.err("invalid int"))?),
                     "float" => {
-                        let f: f64 =
-                            text.parse().map_err(|_| self.err("invalid float"))?;
+                        let f: f64 = text.parse().map_err(|_| self.err("invalid float"))?;
                         if f.is_nan() {
                             return Err(self.err("invalid float"));
                         }
                         Value::Float(f)
                     }
                     "string" => Value::Str(text),
-                    other => {
-                        return Err(self.err(format!("unknown type {other:?}")))
-                    }
+                    other => return Err(self.err(format!("unknown type {other:?}"))),
                 }
             }
         };
@@ -435,9 +429,7 @@ impl XmlParser<'_> {
         self.pos += 2;
         let closing = self.parse_name()?;
         if closing != tag {
-            return Err(self.err(format!(
-                "mismatched closing tag </{closing}> for <{tag}>"
-            )));
+            return Err(self.err(format!("mismatched closing tag </{closing}> for <{tag}>")));
         }
         self.skip_ws();
         if self.peek() != Some(b'>') {
@@ -475,19 +467,13 @@ impl XmlParser<'_> {
                 _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                     let code = u32::from_str_radix(&entity[2..], 16)
                         .map_err(|_| self.err("invalid character reference"))?;
-                    out.push(
-                        char::from_u32(code)
-                            .ok_or_else(|| self.err("invalid code point"))?,
-                    );
+                    out.push(char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?);
                 }
                 _ if entity.starts_with('#') => {
                     let code: u32 = entity[1..]
                         .parse()
                         .map_err(|_| self.err("invalid character reference"))?;
-                    out.push(
-                        char::from_u32(code)
-                            .ok_or_else(|| self.err("invalid code point"))?,
-                    );
+                    out.push(char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?);
                 }
                 other => return Err(self.err(format!("unknown entity &{other};"))),
             }
@@ -554,7 +540,10 @@ mod tests {
     fn null_is_self_closing() {
         assert_eq!(to_string(&Value::Null), r#"<value type="null"/>"#);
         assert_eq!(from_str(r#"<value type="null"/>"#).unwrap(), Value::Null);
-        assert_eq!(from_str(r#"<value type="null"></value>"#).unwrap(), Value::Null);
+        assert_eq!(
+            from_str(r#"<value type="null"></value>"#).unwrap(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -1,104 +1,191 @@
-//! Property-based tests on the common data format codecs.
+//! Randomized tests on the common data format codecs.
+//!
+//! Driven by `simnet::rng::DeterministicRng` instead of an external
+//! property-testing crate so the workspace builds with no network
+//! access; the fixed seeds make every run reproducible.
 
 use dimmer_core::codec::{self, DataFormat};
 use dimmer_core::{json, xml, Timestamp, Uri, Value};
-use proptest::prelude::*;
+use simnet::rng::DeterministicRng;
 
-/// A strategy producing arbitrary common-data-format values.
-fn value_strategy() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        // Finite, non-NaN floats only: the format forbids NaN.
-        any::<f64>()
-            .prop_filter("finite", |f| f.is_finite())
-            .prop_map(Value::Float),
-        // Strings including escapes, control chars and non-ASCII.
-        "\\PC{0,20}".prop_map(Value::from),
-    ];
-    leaf.prop_recursive(4, 64, 8, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..8).prop_map(Value::Array),
-            prop::collection::btree_map("[a-zA-Z0-9 _<>&\"']{0,12}", inner, 0..8)
-                .prop_map(Value::Object),
-        ]
-    })
+const CASES: usize = 256;
+
+fn string_from(rng: &mut DeterministicRng, charset: &str, lo: usize, hi: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    let len = rng.next_range(lo as u64, hi as u64) as usize;
+    (0..len)
+        .map(|_| chars[rng.next_bounded(chars.len() as u64) as usize])
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// Printable text including escapes, quotes and non-ASCII.
+fn printable_string(rng: &mut DeterministicRng, max_len: usize) -> String {
+    let len = rng.next_bounded(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| match rng.next_bounded(8) {
+            0 => '"',
+            1 => '\\',
+            2..=5 => char::from_u32(0x20 + rng.next_bounded(0x5f) as u32).unwrap(),
+            6 => char::from_u32(0x00A1 + rng.next_bounded(0x500) as u32).unwrap(),
+            _ => ['é', '✓', '中', 'Ω', 'ß', '€', 'λ', '→'][rng.next_bounded(8) as usize],
+        })
+        .collect()
+}
 
-    #[test]
-    fn json_round_trip(v in value_strategy()) {
-        let text = json::to_string(&v);
-        let back = json::from_str(&text).unwrap();
-        prop_assert_eq!(back, v);
-    }
+/// Arbitrary text, including control characters, for parser-robustness.
+fn any_text(rng: &mut DeterministicRng, max_len: usize) -> String {
+    let len = rng.next_bounded(max_len as u64 + 1) as usize;
+    (0..len)
+        .filter_map(|_| char::from_u32(rng.next_bounded(0x3000) as u32))
+        .collect()
+}
 
-    #[test]
-    fn json_pretty_round_trip(v in value_strategy()) {
-        let text = json::to_string_pretty(&v);
-        let back = json::from_str(&text).unwrap();
-        prop_assert_eq!(back, v);
-    }
-
-    #[test]
-    fn xml_round_trip(v in value_strategy()) {
-        let text = xml::to_string(&v);
-        let back = xml::from_str(&text).unwrap();
-        prop_assert_eq!(back, v);
-    }
-
-    #[test]
-    fn xml_pretty_round_trip(v in value_strategy()) {
-        let text = xml::to_string_pretty(&v);
-        let back = xml::from_str(&text).unwrap();
-        prop_assert_eq!(back, v);
-    }
-
-    #[test]
-    fn both_formats_agree(v in value_strategy()) {
-        // Encoding through either format must preserve the same value.
-        let via_json = codec::decode_value(
-            &codec::encode_value(&v, DataFormat::Json), DataFormat::Json).unwrap();
-        let via_xml = codec::decode_value(
-            &codec::encode_value(&v, DataFormat::Xml), DataFormat::Xml).unwrap();
-        prop_assert_eq!(via_json, via_xml);
-    }
-
-    #[test]
-    fn json_parser_never_panics(text in "\\PC{0,64}") {
-        let _ = json::from_str(&text);
-    }
-
-    #[test]
-    fn xml_parser_never_panics(text in "\\PC{0,64}") {
-        let _ = xml::from_str(&text);
-    }
-
-    #[test]
-    fn timestamp_civil_round_trip(millis in -4_102_444_800_000i64..4_102_444_800_000i64) {
-        // 1840..2100 roughly.
-        let t = Timestamp::from_unix_millis(millis);
-        let text = t.to_string();
-        let back = Timestamp::parse(&text).unwrap();
-        prop_assert_eq!(back, t);
-    }
-
-    #[test]
-    fn uri_display_parse_round_trip(
-        host in "[a-z][a-z0-9.-]{0,12}",
-        port in proptest::option::of(any::<u16>()),
-        path in "(/[a-zA-Z0-9._-]{1,8}){0,3}",
-        params in prop::collection::btree_map("[a-z]{1,6}", "[a-zA-Z0-9,._-]{0,8}", 0..4),
-    ) {
-        let mut uri = Uri::new("sim", host, port, path).unwrap();
-        for (k, v) in params {
-            uri = uri.with_query(k, v);
+/// An arbitrary common-data-format value with nesting up to `depth`.
+fn rand_value(rng: &mut DeterministicRng, depth: u32) -> Value {
+    let pick = rng.next_bounded(if depth == 0 { 5 } else { 7 });
+    match pick {
+        0 => Value::Null,
+        1 => Value::Bool(rng.next_u64() & 1 == 0),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => {
+            // Finite, non-NaN floats only: the format forbids NaN.
+            let f = f64::from_bits(rng.next_u64());
+            Value::Float(if f.is_finite() {
+                f
+            } else {
+                rng.next_f64_range(-1e9, 1e9)
+            })
         }
-        let text = uri.to_string();
-        let back = Uri::parse(&text).unwrap();
-        prop_assert_eq!(back, uri);
+        4 => Value::from(printable_string(rng, 20)),
+        5 => Value::Array(
+            (0..rng.next_bounded(5))
+                .map(|_| rand_value(rng, depth - 1))
+                .collect(),
+        ),
+        _ => Value::Object(
+            (0..rng.next_bounded(5))
+                .map(|_| {
+                    (
+                        string_from(rng, "abcXYZ019 _<>&\"'", 0, 12),
+                        rand_value(rng, depth - 1),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+#[test]
+fn json_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0001);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng, 3);
+        let back = json::from_str(&json::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}
+
+#[test]
+fn json_pretty_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0002);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng, 3);
+        let back = json::from_str(&json::to_string_pretty(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}
+
+#[test]
+fn xml_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0003);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng, 3);
+        let back = xml::from_str(&xml::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}
+
+#[test]
+fn xml_pretty_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0004);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng, 3);
+        let back = xml::from_str(&xml::to_string_pretty(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+}
+
+#[test]
+fn both_formats_agree() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0005);
+    for _ in 0..CASES {
+        let v = rand_value(&mut rng, 3);
+        // Encoding through either format must preserve the same value.
+        let via_json =
+            codec::decode_value(&codec::encode_value(&v, DataFormat::Json), DataFormat::Json)
+                .unwrap();
+        let via_xml =
+            codec::decode_value(&codec::encode_value(&v, DataFormat::Xml), DataFormat::Xml)
+                .unwrap();
+        assert_eq!(via_json, via_xml);
+    }
+}
+
+#[test]
+fn json_parser_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0006);
+    for _ in 0..CASES {
+        let _ = json::from_str(&any_text(&mut rng, 64));
+    }
+}
+
+#[test]
+fn xml_parser_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0007);
+    for _ in 0..CASES {
+        let _ = xml::from_str(&any_text(&mut rng, 64));
+    }
+}
+
+#[test]
+fn timestamp_civil_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0008);
+    for _ in 0..CASES {
+        // 1840..2100 roughly.
+        let span = 2 * 4_102_444_800_000u64;
+        let millis = rng.next_bounded(span) as i64 - 4_102_444_800_000;
+        let t = Timestamp::from_unix_millis(millis);
+        let back = Timestamp::parse(&t.to_string()).unwrap();
+        assert_eq!(back, t);
+    }
+}
+
+#[test]
+fn uri_display_parse_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0xC0DE_0009);
+    for _ in 0..CASES {
+        let host = format!(
+            "{}{}",
+            string_from(&mut rng, "abcdefghij", 1, 1),
+            string_from(&mut rng, "abcxyz019.-", 0, 12)
+        );
+        let port = if rng.chance(0.5) {
+            Some(rng.next_u64() as u16)
+        } else {
+            None
+        };
+        let segments = rng.next_bounded(4);
+        let path: String = (0..segments)
+            .map(|_| format!("/{}", string_from(&mut rng, "abcXYZ019._-", 1, 8)))
+            .collect();
+        let mut uri = Uri::new("sim", host, port, path).unwrap();
+        for _ in 0..rng.next_bounded(4) {
+            uri = uri.with_query(
+                string_from(&mut rng, "abcdef", 1, 6),
+                string_from(&mut rng, "abcXYZ019,._-", 0, 8),
+            );
+        }
+        let back = Uri::parse(&uri.to_string()).unwrap();
+        assert_eq!(back, uri);
     }
 }

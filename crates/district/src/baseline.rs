@@ -12,9 +12,7 @@
 
 use std::collections::HashMap;
 
-use dimmer_core::{
-    DeviceId, Measurement, MeasurementBatch, QuantityKind, Timestamp, Value,
-};
+use dimmer_core::{DeviceId, Measurement, MeasurementBatch, QuantityKind, Timestamp, Value};
 use gis::geo::{BoundingBox, GeoPoint};
 use models::profiles::EnergyProfile;
 use protocols::device::{
@@ -24,11 +22,10 @@ use protocols::enocean::Eep;
 use protocols::ieee802154::PanId;
 use protocols::ProtocolKind;
 use proxy::adapters::{
-    CoapAdapter, DeviceAdapter, EnoceanAdapter, Ieee802154Adapter, OpcUaAdapter,
-    ZigbeeAdapter,
+    CoapAdapter, DeviceAdapter, EnoceanAdapter, Ieee802154Adapter, OpcUaAdapter, ZigbeeAdapter,
 };
 use proxy::devices::{unix_millis_at, CoapFieldNode, OpcUaFieldNode, UplinkDeviceNode};
-use proxy::webservice::{status, WsServer, WsResponse};
+use proxy::webservice::{status, WsResponse, WsServer};
 use proxy::{DEVICE_UPLINK_PORT, OPCUA_PORT, WS_PORT};
 use simnet::rpc::{RequestTracker, RpcEvent};
 use simnet::{Context, Node, NodeId, Packet, SimDuration, Simulator, TimerTag};
@@ -157,10 +154,7 @@ impl CentralServerNode {
             .iter()
             .filter(|(_, loc, _)| bbox.contains(loc))
             .map(|(id, _, model)| {
-                Value::object([
-                    ("id", Value::from(id.as_str())),
-                    ("model", model.clone()),
-                ])
+                Value::object([("id", Value::from(id.as_str())), ("model", model.clone())])
             })
             .collect();
         let mut batch = MeasurementBatch::new();
@@ -183,7 +177,14 @@ impl CentralServerNode {
         }
         Value::object([
             ("entities", Value::Array(entities)),
-            ("measurements", batch.to_value().get("measurements").cloned().unwrap_or(Value::Array(vec![]))),
+            (
+                "measurements",
+                batch
+                    .to_value()
+                    .get("measurements")
+                    .cloned()
+                    .unwrap_or(Value::Array(vec![])),
+            ),
         ])
     }
 }
@@ -234,22 +235,15 @@ impl Node for CentralServerNode {
             WS_PORT => {
                 if let Some(call) = self.ws.accept(ctx, &pkt) {
                     let response = match call.request.path.as_str() {
-                        "/area" => match call
-                            .request
-                            .query("bbox")
-                            .map(BoundingBox::parse_query)
-                        {
+                        "/area" => match call.request.query("bbox").map(BoundingBox::parse_query) {
                             Some(Ok(bbox)) => {
                                 self.stats.queries += 1;
                                 WsResponse::ok(self.area(&bbox))
                             }
-                            Some(Err(e)) => {
-                                WsResponse::error(status::BAD_REQUEST, e.to_string())
+                            Some(Err(e)) => WsResponse::error(status::BAD_REQUEST, e.to_string()),
+                            None => {
+                                WsResponse::error(status::BAD_REQUEST, "bbox parameter required")
                             }
-                            None => WsResponse::error(
-                                status::BAD_REQUEST,
-                                "bbox parameter required",
-                            ),
                         },
                         _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
                     };
@@ -387,10 +381,8 @@ impl CentralDeployment {
                             }
                             ProtocolKind::OpcUa => {
                                 let field = OpcUaFieldServer::new(dev.quantity);
-                                let adapter = OpcUaAdapter::new(
-                                    field.value_node().clone(),
-                                    dev.quantity,
-                                );
+                                let adapter =
+                                    OpcUaAdapter::new(field.value_node().clone(), dev.quantity);
                                 (
                                     Box::new(adapter),
                                     sim.add_node(
@@ -472,7 +464,9 @@ mod tests {
         let deployment = CentralDeployment::build(&mut sim, &scenario);
         sim.run_for(SimDuration::from_secs(600));
 
-        let server = sim.node_ref::<CentralServerNode>(deployment.server).unwrap();
+        let server = sim
+            .node_ref::<CentralServerNode>(deployment.server)
+            .unwrap();
         assert!(server.stats().samples > 50, "{:?}", server.stats());
         assert_eq!(server.stats().decode_errors, 0);
 

@@ -145,10 +145,7 @@ impl ClientNode {
 
     /// Number of queries still in progress.
     pub fn queries_in_flight(&self) -> usize {
-        self.queries
-            .iter()
-            .filter(|q| q.outstanding > 0)
-            .count()
+        self.queries.iter().filter(|q| q.outstanding > 0).count()
     }
 
     fn issue_query(&mut self, ctx: &mut Context<'_>) {
@@ -166,7 +163,8 @@ impl ClientNode {
             .with_query("bbox", self.config.bbox.to_query())
             .with_format(self.config.format);
         let id = self.ws.request(ctx, self.config.master, &request);
-        self.in_flight.insert(id, (query_index, FetchKind::Resolution));
+        self.in_flight
+            .insert(id, (query_index, FetchKind::Resolution));
     }
 
     fn on_resolution(&mut self, ctx: &mut Context<'_>, query_index: usize, response: WsResponse) {
@@ -180,7 +178,11 @@ impl ClientNode {
         for entity in &resolution.entities {
             if let Some(node) = uri_node(entity.db_proxy()) {
                 let request = WsRequest::get("/model").with_format(self.config.format);
-                fetches.push((node, request, FetchKind::EntityModel(entity.id().to_owned())));
+                fetches.push((
+                    node,
+                    request,
+                    FetchKind::EntityModel(entity.id().to_owned()),
+                ));
             }
         }
         for device in &resolution.devices {
@@ -223,12 +225,10 @@ impl ClientNode {
                     FetchKind::EntityModel(entity_id) => {
                         query.entities.insert(entity_id, response.body);
                     }
-                    FetchKind::DeviceData => {
-                        match MeasurementBatch::from_value(&response.body) {
-                            Ok(batch) => query.measurements.extend(batch),
-                            Err(_) => query.errors += 1,
-                        }
-                    }
+                    FetchKind::DeviceData => match MeasurementBatch::from_value(&response.body) {
+                        Ok(batch) => query.measurements.extend(batch),
+                        Err(_) => query.errors += 1,
+                    },
                     FetchKind::Resolution => unreachable!("handled in on_resolution"),
                 },
                 _ => query.errors += 1,
@@ -342,7 +342,12 @@ mod tests {
             .entities
             .get("d0-b0")
             .expect("building model fetched");
-        assert!(bim.get("heat_loss_w_per_k").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            bim.get("heat_loss_w_per_k")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
         // Devices reported for 10 minutes: data flowed through proxies.
         assert_eq!(snapshot.resolution.devices.len(), 12);
         assert!(

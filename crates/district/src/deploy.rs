@@ -10,15 +10,13 @@ use dimmer_core::{ProxyId, QuantityKind};
 use master::MasterNode;
 use models::profiles::EnergyProfile;
 use protocols::device::{
-    CoapFieldServer, EnoceanSensor, Ieee802154Sensor, OpcUaFieldServer, UplinkDevice,
-    ZigbeeSensor,
+    CoapFieldServer, EnoceanSensor, Ieee802154Sensor, OpcUaFieldServer, UplinkDevice, ZigbeeSensor,
 };
 use protocols::enocean::Eep;
 use protocols::ieee802154::PanId;
 use protocols::ProtocolKind;
 use proxy::adapters::{
-    CoapAdapter, DeviceAdapter, EnoceanAdapter, Ieee802154Adapter, OpcUaAdapter,
-    ZigbeeAdapter,
+    CoapAdapter, DeviceAdapter, EnoceanAdapter, Ieee802154Adapter, OpcUaAdapter, ZigbeeAdapter,
 };
 use proxy::database_proxy::{
     BimSource, DatabaseProxyNode, GisSource, MeasurementArchiveSource, SimSource,
@@ -87,7 +85,9 @@ impl Deployment {
 
     /// Every Device-proxy across districts.
     pub fn device_proxies(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.districts.iter().flat_map(|d| d.device_proxies.iter().copied())
+        self.districts
+            .iter()
+            .flat_map(|d| d.device_proxies.iter().copied())
     }
 
     /// Every Database-proxy across districts.
@@ -241,9 +241,7 @@ fn deploy_device(
     let config = &scenario.config;
     let pan = PanId(0x2300 + district_pan_offset(district));
     let adapter: Box<dyn DeviceAdapter> = match dev.protocol {
-        ProtocolKind::Ieee802154 => {
-            Box::new(Ieee802154Adapter::new(pan, dev.address as u16))
-        }
+        ProtocolKind::Ieee802154 => Box::new(Ieee802154Adapter::new(pan, dev.address as u16)),
         ProtocolKind::Zigbee => Box::new(ZigbeeAdapter::new(dev.address as u16)),
         ProtocolKind::EnOcean => Box::new(EnoceanAdapter::new(
             dev.address,
@@ -300,11 +298,9 @@ fn deploy_device(
         ),
         push => {
             let device: Box<dyn UplinkDevice> = match push {
-                ProtocolKind::Ieee802154 => Box::new(Ieee802154Sensor::new(
-                    pan,
-                    dev.address as u16,
-                    dev.quantity,
-                )),
+                ProtocolKind::Ieee802154 => {
+                    Box::new(Ieee802154Sensor::new(pan, dev.address as u16, dev.quantity))
+                }
                 ProtocolKind::Zigbee => {
                     Box::new(ZigbeeSensor::new(dev.address as u16, dev.quantity))
                 }
@@ -334,12 +330,9 @@ fn deploy_device(
 
 fn district_pan_offset(district: &DistrictSpec) -> u16 {
     // Stable per-district PAN: hash the id into a small offset.
-    district
-        .district
-        .as_str()
-        .bytes()
-        .fold(0u16, |acc, b| acc.wrapping_mul(31).wrapping_add(u16::from(b)))
-        % 0x100
+    district.district.as_str().bytes().fold(0u16, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(u16::from(b))
+    }) % 0x100
 }
 
 /// Synthesizes the historical CSV archive of a district.
@@ -419,7 +412,9 @@ mod tests {
         }
         for p in deployment.database_proxies() {
             assert!(
-                sim.node_ref::<DatabaseProxyNode>(p).unwrap().is_registered(),
+                sim.node_ref::<DatabaseProxyNode>(p)
+                    .unwrap()
+                    .is_registered(),
                 "{}",
                 sim.node_name(p)
             );

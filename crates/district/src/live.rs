@@ -58,12 +58,7 @@ pub struct LiveMonitorNode {
 
 impl LiveMonitorNode {
     /// Creates a monitor for `bbox` in `district`.
-    pub fn new(
-        master: NodeId,
-        broker: NodeId,
-        district: DistrictId,
-        bbox: BoundingBox,
-    ) -> Self {
+    pub fn new(master: NodeId, broker: NodeId, district: DistrictId, bbox: BoundingBox) -> Self {
         LiveMonitorNode {
             master,
             broker,
@@ -140,9 +135,7 @@ impl Node for LiveMonitorNode {
                 }
             }
             PUBSUB_PORT => {
-                if let Some(PubSubEvent::Message { payload, .. }) =
-                    self.pubsub.accept(ctx, &pkt)
-                {
+                if let Some(PubSubEvent::Message { payload, .. }) = self.pubsub.accept(ctx, &pkt) {
                     self.stats.updates += 1;
                     let decoded = std::str::from_utf8(&payload)
                         .ok()
@@ -156,13 +149,9 @@ impl Node for LiveMonitorNode {
                             );
                             // Middleware redeliveries can arrive out of
                             // order; keep the chronologically newest.
-                            let newer = self
-                                .latest
-                                .get(&key)
-                                .is_none_or(|old| {
-                                    measurement.timestamp()
-                                        >= old.measurement.timestamp()
-                                });
+                            let newer = self.latest.get(&key).is_none_or(|old| {
+                                measurement.timestamp() >= old.measurement.timestamp()
+                            });
                             if newer {
                                 self.latest.insert(
                                     key,
@@ -223,10 +212,7 @@ mod tests {
             let m = sim.node_ref::<LiveMonitorNode>(monitor).unwrap();
             assert!(m.resolution().is_some(), "area resolved");
             assert_eq!(m.stats().subscriptions, 12);
-            assert!(
-                !m.series().is_empty(),
-                "retained messages prime the cache"
-            );
+            assert!(!m.series().is_empty(), "retained messages prime the cache");
         }
         // Values keep refreshing without any further WS traffic.
         sim.run_for(SimDuration::from_secs(300));

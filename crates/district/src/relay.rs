@@ -13,9 +13,7 @@ use std::collections::HashMap;
 use dimmer_core::{MeasurementBatch, Value};
 use gis::geo::BoundingBox;
 use ontology::AreaResolution;
-use proxy::webservice::{
-    status, WsCall, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer,
-};
+use proxy::webservice::{status, WsCall, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer};
 use proxy::{uri_node, WS_PORT};
 use simnet::{Context, Node, NodeId, Packet, TimerTag};
 
@@ -133,8 +131,7 @@ impl RelayNode {
             if let Some(node) = uri_node(device.proxy()) {
                 fetches.push((
                     node,
-                    WsRequest::get("/data")
-                        .with_query("quantity", device.quantity().as_str()),
+                    WsRequest::get("/data").with_query("quantity", device.quantity().as_str()),
                     FetchKind::DeviceData,
                 ));
             }
@@ -163,12 +160,10 @@ impl RelayNode {
                     FetchKind::EntityModel(id) => {
                         query.entities.insert(id, response.body);
                     }
-                    FetchKind::DeviceData => {
-                        match MeasurementBatch::from_value(&response.body) {
-                            Ok(batch) => query.measurements.extend(batch),
-                            Err(_) => query.errors += 1,
-                        }
-                    }
+                    FetchKind::DeviceData => match MeasurementBatch::from_value(&response.body) {
+                        Ok(batch) => query.measurements.extend(batch),
+                        Err(_) => query.errors += 1,
+                    },
                     FetchKind::Resolution => unreachable!("handled separately"),
                 },
                 _ => query.errors += 1,
@@ -192,10 +187,7 @@ impl RelayNode {
         }
         let query = self.queries[index].take().expect("checked above");
         let body = Value::object([
-            (
-                "entities",
-                Value::object(query.entities.into_iter().map(|(k, v)| (k, v))),
-            ),
+            ("entities", Value::object(query.entities)),
             (
                 "measurements",
                 query
@@ -314,12 +306,14 @@ mod tests {
             .clone()
             .expect("relay answered");
         assert!(response.is_ok());
+        assert_eq!(response.body.get("errors").and_then(Value::as_i64), Some(0));
         assert_eq!(
-            response.body.get("errors").and_then(Value::as_i64),
-            Some(0)
-        );
-        assert_eq!(
-            response.body.get("entities").and_then(Value::as_object).unwrap().len(),
+            response
+                .body
+                .get("entities")
+                .and_then(Value::as_object)
+                .unwrap()
+                .len(),
             5
         );
         assert!(

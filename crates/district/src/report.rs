@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use simnet::telemetry::{MetricsSnapshot, Telemetry};
+
 /// A column-aligned table that prints like the tables in a paper.
 ///
 /// ```
@@ -28,7 +30,7 @@ impl Table {
         Table {
             title: title.into(),
             headers: headers.into_iter().map(Into::into).collect(),
-        rows: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
@@ -99,6 +101,70 @@ impl fmt::Display for Table {
     }
 }
 
+/// Renders a metrics snapshot as two tables: counters + gauges, then
+/// histogram percentiles. Empty sections are omitted.
+pub fn metrics_report(title: &str, snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() || !snapshot.gauges.is_empty() {
+        let mut t = Table::new(format!("{title}: counters"), ["metric", "value"]);
+        for (name, value) in &snapshot.counters {
+            t.row([name.clone(), value.to_string()]);
+        }
+        for (name, value) in &snapshot.gauges {
+            t.row([name.clone(), fmt_f64(*value, 3)]);
+        }
+        out.push_str(&t.to_string());
+    }
+    if !snapshot.histograms.is_empty() {
+        let mut t = Table::new(
+            format!("{title}: histograms"),
+            [
+                "metric", "count", "mean", "min", "p50", "p90", "p99", "p999", "max",
+            ],
+        );
+        for (name, h) in &snapshot.histograms {
+            t.row([
+                name.clone(),
+                h.count.to_string(),
+                fmt_f64(h.mean, 3),
+                fmt_f64(h.min, 3),
+                fmt_f64(h.p50, 3),
+                fmt_f64(h.p90, 3),
+                fmt_f64(h.p99, 3),
+                fmt_f64(h.p999, 3),
+                fmt_f64(h.max, 3),
+            ]);
+        }
+        out.push_str(&t.to_string());
+    }
+    out
+}
+
+/// Dumps the flight-recorder trace as JSON lines when the `DIMMER_TRACE`
+/// environment variable is set: to stdout for `-` or `1`, else to the
+/// file it names. Returns a description of where the trace went, or
+/// `None` when no dump was requested (or the write failed; the error
+/// goes to stderr).
+pub fn dump_trace_if_requested(telemetry: &Telemetry) -> Option<String> {
+    let target = std::env::var("DIMMER_TRACE").ok()?;
+    if target.is_empty() {
+        return None;
+    }
+    let lines = telemetry.tracer.to_json_lines();
+    if target == "-" || target == "1" {
+        print!("{lines}");
+        Some(format!("stdout ({} events)", telemetry.tracer.len()))
+    } else {
+        match std::fs::write(&target, &lines) {
+            Ok(()) => Some(format!("{target} ({} events)", telemetry.tracer.len())),
+            Err(e) => {
+                eprintln!("DIMMER_TRACE: cannot write {target}: {e}");
+                None
+            }
+        }
+    }
+}
+
 /// Formats a float with `decimals` places (tables want strings).
 pub fn fmt_f64(x: f64, decimals: usize) -> String {
     format!("{x:.decimals$}")
@@ -145,6 +211,29 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = Table::new("T", ["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn metrics_report_renders_counters_and_histograms() {
+        let telemetry = Telemetry::new();
+        telemetry.metrics.incr("pubsub.publish");
+        telemetry
+            .metrics
+            .set_gauge("pubsub.pending_deliveries", 2.0);
+        for v in 1..=100 {
+            telemetry.metrics.observe("net.link_delay_ns", f64::from(v));
+        }
+        let text = metrics_report("E8", &telemetry.metrics.snapshot());
+        assert!(text.contains("E8: counters"));
+        assert!(text.contains("pubsub.publish"));
+        assert!(text.contains("pubsub.pending_deliveries"));
+        assert!(text.contains("E8: histograms"));
+        assert!(text.contains("net.link_delay_ns"));
+        // An empty snapshot renders nothing.
+        assert_eq!(
+            metrics_report("x", &Telemetry::new().metrics.snapshot()),
+            ""
+        );
     }
 
     #[test]

@@ -82,9 +82,7 @@ impl DistrictSpec {
     /// A bounding box covering all buildings with a margin.
     pub fn bbox(&self) -> BoundingBox {
         BoundingBox::around(self.buildings.iter().map(|b| &b.location))
-            .unwrap_or_else(|| {
-                BoundingBox::new(self.center, self.center)
-            })
+            .unwrap_or_else(|| BoundingBox::new(self.center, self.center))
             .expanded(0.002)
     }
 
@@ -258,10 +256,7 @@ impl ScenarioConfig {
         let mut next_address: u32 = 0x100;
         for d in 0..self.districts {
             let district = DistrictId::new(format!("d{d}")).expect("grammatical");
-            let center = GeoPoint::new(
-                self.center.lat,
-                self.center.lon + 0.03 * d as f64,
-            );
+            let center = GeoPoint::new(self.center.lat, self.center.lon + 0.03 * d as f64);
             let mut buildings = Vec::with_capacity(self.buildings_per_district);
             for b in 0..self.buildings_per_district {
                 let building = BuildingId::new(format!("d{d}-b{b}")).expect("grammatical");
@@ -269,10 +264,8 @@ impl ScenarioConfig {
                 let grid = (self.buildings_per_district as f64).sqrt().ceil() as usize;
                 let row = b / grid;
                 let col = b % grid;
-                let lat = center.lat + 0.001 * row as f64
-                    + rng.next_f64_range(-2e-4, 2e-4);
-                let lon = center.lon + 0.0012 * col as f64
-                    + rng.next_f64_range(-2e-4, 2e-4);
+                let lat = center.lat + 0.001 * row as f64 + rng.next_f64_range(-2e-4, 2e-4);
+                let lon = center.lon + 0.0012 * col as f64 + rng.next_f64_range(-2e-4, 2e-4);
                 let location = GeoPoint::new(lat, lon);
                 let storeys = 2 + (rng.next_bounded(4) as usize);
                 let spaces = 2 + (rng.next_bounded(5) as usize);
@@ -318,8 +311,7 @@ impl ScenarioConfig {
                     let address = next_address;
                     next_address += 1;
                     devices.push(DeviceSpec {
-                        device: DeviceId::new(format!("d{d}-b{b}-dev{v}"))
-                            .expect("grammatical"),
+                        device: DeviceId::new(format!("d{d}-b{b}-dev{v}")).expect("grammatical"),
                         protocol,
                         quantity,
                         eep,
@@ -340,8 +332,7 @@ impl ScenarioConfig {
             }
             let mut networks = Vec::with_capacity(self.networks_per_district);
             for n in 0..self.networks_per_district {
-                let network =
-                    NetworkId::new(format!("d{d}-net{n}")).expect("grammatical");
+                let network = NetworkId::new(format!("d{d}-net{n}")).expect("grammatical");
                 let kind = if n % 2 == 0 {
                     NetworkKind::DistrictHeating
                 } else {

@@ -184,9 +184,7 @@ impl GisDatabase {
 
     /// Fetches a feature by id.
     pub fn get(&self, id: &str) -> Option<Feature> {
-        self.docs
-            .get(id)
-            .and_then(|v| Feature::from_value(v).ok())
+        self.docs.get(id).and_then(|v| Feature::from_value(v).ok())
     }
 
     /// All features whose reference point falls inside `bbox`.

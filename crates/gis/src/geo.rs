@@ -43,8 +43,7 @@ impl GeoPoint {
         let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
         let dlat = lat2 - lat1;
         let dlon = lon2 - lon1;
-        let a = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 
@@ -332,7 +331,11 @@ mod tests {
     fn point_value_round_trip() {
         let p = GeoPoint::new(45.0703, 7.6869);
         assert_eq!(GeoPoint::from_value(&p.to_value()).unwrap(), p);
-        assert!(GeoPoint::from_value(&Value::object([("lat", Value::from(99.0)), ("lon", Value::from(0.0))])).is_err());
+        assert!(GeoPoint::from_value(&Value::object([
+            ("lat", Value::from(99.0)),
+            ("lon", Value::from(0.0))
+        ]))
+        .is_err());
         assert!(GeoPoint::from_value(&Value::Null).is_err());
     }
 
@@ -340,7 +343,10 @@ mod tests {
     fn bbox_contains_and_intersects() {
         let b = BoundingBox::new(GeoPoint::new(45.0, 7.6), GeoPoint::new(45.1, 7.7));
         assert!(b.contains(&GeoPoint::new(45.05, 7.65)));
-        assert!(b.contains(&b.min()) && b.contains(&b.max()), "edges inclusive");
+        assert!(
+            b.contains(&b.min()) && b.contains(&b.max()),
+            "edges inclusive"
+        );
         assert!(!b.contains(&GeoPoint::new(44.99, 7.65)));
         let c = BoundingBox::new(GeoPoint::new(45.05, 7.65), GeoPoint::new(45.2, 7.8));
         assert!(b.intersects(&c) && c.intersects(&b));

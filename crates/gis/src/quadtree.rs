@@ -162,7 +162,13 @@ fn insert_into<T>(node: &mut Node<T>, bounds: BoundingBox, point: GeoPoint, item
             ]);
             for (p, t) in old {
                 let q = quadrant_of(bounds, p);
-                insert_into(&mut children[q], quadrant_bounds(bounds, q), p, t, depth + 1);
+                insert_into(
+                    &mut children[q],
+                    quadrant_bounds(bounds, q),
+                    p,
+                    t,
+                    depth + 1,
+                );
             }
             *node = Node::Branch(children);
             insert_into(node, bounds, point, item, depth);
@@ -254,10 +260,7 @@ mod tests {
     #[test]
     fn empty_region_query_is_empty() {
         let tree = grid_tree(10);
-        let q = BoundingBox::new(
-            GeoPoint::new(0.0, 0.0),
-            GeoPoint::new(0.01, 0.01),
-        );
+        let q = BoundingBox::new(GeoPoint::new(0.0, 0.0), GeoPoint::new(0.01, 0.01));
         assert!(tree.query(&q).is_empty());
     }
 

@@ -247,6 +247,7 @@ impl MasterNode {
     }
 
     fn handle(&mut self, ctx: &mut Context<'_>, call: WsCall) {
+        ctx.telemetry().metrics.incr("master.requests");
         let request = &call.request;
         let response = match (request.method, request.path.as_str()) {
             (proxy::webservice::Method::Post, "/register") => self.post_register(ctx, request),
@@ -277,7 +278,10 @@ impl MasterNode {
                 WsResponse::ok(self.ontology.to_value())
             }
             (proxy::webservice::Method::Get, "/stats") => WsResponse::ok(Value::object([
-                ("registrations", Value::from(self.stats.registrations as i64)),
+                (
+                    "registrations",
+                    Value::from(self.stats.registrations as i64),
+                ),
                 ("heartbeats", Value::from(self.stats.heartbeats as i64)),
                 ("queries", Value::from(self.stats.queries as i64)),
                 ("evictions", Value::from(self.stats.evictions as i64)),
@@ -295,10 +299,13 @@ impl MasterNode {
             Ok(registration) => {
                 let proxy = registration.proxy.clone();
                 match self.apply_registration(registration, ctx.now()) {
-                    Ok(()) => WsResponse::ok(Value::object([(
-                        "registered",
-                        Value::from(proxy.as_str()),
-                    )])),
+                    Ok(()) => {
+                        ctx.telemetry().metrics.incr("master.registrations");
+                        ctx.telemetry()
+                            .metrics
+                            .set_gauge("master.proxies", self.registry.len() as f64);
+                        WsResponse::ok(Value::object([("registered", Value::from(proxy.as_str()))]))
+                    }
                     Err(e) => WsResponse::error(status::INTERNAL_ERROR, e.to_string()),
                 }
             }
@@ -328,6 +335,7 @@ impl MasterNode {
                 Some(record) => {
                     record.last_seen = ctx.now();
                     self.stats.heartbeats += 1;
+                    ctx.telemetry().metrics.incr("master.heartbeats");
                     WsResponse::ok(Value::Null)
                 }
                 None => WsResponse::error(status::NOT_FOUND, "unknown proxy"),
@@ -409,9 +417,7 @@ impl MasterNode {
                     Ok(quantity) => self.ontology.devices_by_quantity(&district, quantity),
                     Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
                 },
-                (None, Some(protocol)) => {
-                    self.ontology.devices_by_protocol(&district, protocol)
-                }
+                (None, Some(protocol)) => self.ontology.devices_by_protocol(&district, protocol),
                 (None, None) => {
                     return WsResponse::error(
                         status::BAD_REQUEST,
@@ -449,19 +455,22 @@ impl MasterNode {
         WsResponse::error(status::NOT_FOUND, "unknown endpoint")
     }
 
-    fn sweep_liveness(&mut self, now: SimTime) {
+    fn sweep_liveness(&mut self, now: SimTime) -> u64 {
         let dead: Vec<ProxyId> = self
             .registry
             .iter()
             .filter(|(_, record)| now.saturating_since(record.last_seen) > LIVENESS_HORIZON)
             .map(|(id, _)| id.clone())
             .collect();
+        let mut evicted = 0;
         for id in dead {
             if let Some(record) = self.registry.remove(&id) {
                 self.remove_contribution(&record);
                 self.stats.evictions += 1;
+                evicted += 1;
             }
         }
+        evicted
     }
 }
 
@@ -481,7 +490,13 @@ impl Node for MasterNode {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
         if tag == TAG_LIVENESS {
-            self.sweep_liveness(ctx.now());
+            let evicted = self.sweep_liveness(ctx.now());
+            if evicted > 0 {
+                ctx.telemetry().metrics.add("master.evictions", evicted);
+                ctx.telemetry()
+                    .metrics
+                    .set_gauge("master.proxies", self.registry.len() as f64);
+            }
             ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
         }
     }

@@ -110,14 +110,27 @@ fn run_script(requests: Vec<WsRequest>) -> (Simulator, simnet::NodeId, simnet::N
 #[test]
 fn register_then_resolve_area() {
     let (sim, master, script) = run_script(vec![
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
-        WsRequest::post("/register", building_registration("p-b2", "b2", 45.55).to_value()),
-        WsRequest::post("/register", device_registration("p-dev1", "b1", "dev1").to_value()),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b2", "b2", 45.55).to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            device_registration("p-dev1", "b1", "dev1").to_value(),
+        ),
         WsRequest::get("/district/d1/area").with_query("bbox", "45.0,7.6,45.1,7.7"),
     ]);
     let s = sim.node_ref::<Script>(script).unwrap();
     assert_eq!(s.responses.len(), 4);
-    assert!(s.responses.iter().all(WsResponse::is_ok), "{:?}", s.responses);
+    assert!(
+        s.responses.iter().all(WsResponse::is_ok),
+        "{:?}",
+        s.responses
+    );
     let resolution = AreaResolution::from_value(&s.responses[3].body).unwrap();
     assert_eq!(resolution.entities.len(), 1, "only b1 is inside the bbox");
     assert_eq!(resolution.entities[0].id(), "b1");
@@ -132,14 +145,24 @@ fn register_then_resolve_area() {
 fn device_before_entity_is_parked_then_applied() {
     let (sim, master, script) = run_script(vec![
         // Device first: its building is unknown, so it parks.
-        WsRequest::post("/register", device_registration("p-dev1", "b1", "dev1").to_value()),
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
+        WsRequest::post(
+            "/register",
+            device_registration("p-dev1", "b1", "dev1").to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
         WsRequest::get("/district/d1/devices").with_query("quantity", "temperature"),
     ]);
     let s = sim.node_ref::<Script>(script).unwrap();
     assert!(s.responses.iter().all(WsResponse::is_ok));
     let devices = s.responses[2].body.require_array("t", "devices").unwrap();
-    assert_eq!(devices.len(), 1, "parked device applied once entity arrived");
+    assert_eq!(
+        devices.len(),
+        1,
+        "parked device applied once entity arrived"
+    );
     let m = sim.node_ref::<MasterNode>(master).unwrap();
     assert_eq!(m.stats().parked_devices, 1);
     assert_eq!(m.ontology().device_count(), 1);
@@ -148,8 +171,14 @@ fn device_before_entity_is_parked_then_applied() {
 #[test]
 fn deregister_removes_contribution() {
     let (sim, master, script) = run_script(vec![
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
-        WsRequest::post("/register", device_registration("p-dev1", "b1", "dev1").to_value()),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            device_registration("p-dev1", "b1", "dev1").to_value(),
+        ),
         WsRequest::post(
             "/deregister",
             ProxyRef {
@@ -170,7 +199,10 @@ fn deregister_removes_contribution() {
 #[test]
 fn queries_cover_all_read_endpoints() {
     let (sim, _master, script) = run_script(vec![
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
         WsRequest::get("/districts"),
         WsRequest::get("/district/d1"),
         WsRequest::get("/district/d1/entities").with_query("kind", "building"),
@@ -196,15 +228,25 @@ fn queries_cover_all_read_endpoints() {
 #[test]
 fn devices_filtered_by_protocol() {
     let (sim, _master, script) = run_script(vec![
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
-        WsRequest::post("/register", device_registration("p-dev1", "b1", "dev1").to_value()),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            device_registration("p-dev1", "b1", "dev1").to_value(),
+        ),
         WsRequest::get("/district/d1/devices").with_query("protocol", "zigbee"),
         WsRequest::get("/district/d1/devices").with_query("protocol", "enocean"),
     ]);
     let s = sim.node_ref::<Script>(script).unwrap();
     assert!(s.responses.iter().all(WsResponse::is_ok));
     assert_eq!(
-        s.responses[2].body.require_array("t", "devices").unwrap().len(),
+        s.responses[2]
+            .body
+            .require_array("t", "devices")
+            .unwrap()
+            .len(),
         1
     );
     assert!(s.responses[3]
@@ -261,8 +303,14 @@ fn re_registration_replaces_device_leaf() {
         );
     }
     let (sim, master, script) = run_script(vec![
-        WsRequest::post("/register", building_registration("p-b1", "b1", 45.05).to_value()),
-        WsRequest::post("/register", device_registration("p-dev1", "b1", "dev1").to_value()),
+        WsRequest::post(
+            "/register",
+            building_registration("p-b1", "b1", 45.05).to_value(),
+        ),
+        WsRequest::post(
+            "/register",
+            device_registration("p-dev1", "b1", "dev1").to_value(),
+        ),
         WsRequest::post("/register", reg2.to_value()),
     ]);
     let s = sim.node_ref::<Script>(script).unwrap();
@@ -278,10 +326,7 @@ fn silent_proxy_is_evicted() {
     // Register one device proxy and never heartbeat: after the liveness
     // horizon the master evicts it and its leaf disappears.
     let mut sim = Simulator::new(SimConfig::default());
-    let master = sim.add_node(
-        "master",
-        MasterNode::new([(did("d1"), "D1".to_owned())]),
-    );
+    let master = sim.add_node("master", MasterNode::new([(did("d1"), "D1".to_owned())]));
     let script = sim.add_node(
         "script",
         Script::new(
@@ -301,7 +346,11 @@ fn silent_proxy_is_evicted() {
     sim.run_for(SimDuration::from_secs(300));
     let _ = script;
     let m = sim.node_ref::<MasterNode>(master).unwrap();
-    assert!(m.stats().evictions >= 2, "evictions: {}", m.stats().evictions);
+    assert!(
+        m.stats().evictions >= 2,
+        "evictions: {}",
+        m.stats().evictions
+    );
     assert_eq!(m.proxy_count(), 0);
     assert_eq!(m.ontology().device_count(), 0);
 }

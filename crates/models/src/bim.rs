@@ -357,9 +357,7 @@ impl BuildingModel {
                     eq.id.as_str().into(),
                     eq.kind.as_str().into(),
                     eq.rated_w.into(),
-                    eq.space_id
-                        .as_deref()
-                        .map_or(Cell::Null, Cell::from),
+                    eq.space_id.as_deref().map_or(Cell::Null, Cell::from),
                 ])
                 .expect("schema is static");
         }
@@ -532,9 +530,7 @@ impl BuildingModel {
                                 ("rated_w", Value::from(e.rated_w)),
                                 (
                                     "space_id",
-                                    e.space_id
-                                        .as_deref()
-                                        .map_or(Value::Null, Value::from),
+                                    e.space_id.as_deref().map_or(Value::Null, Value::from),
                                 ),
                             ])
                         })

@@ -271,9 +271,7 @@ mod tests {
         let mut a = EnergyProfile::for_quantity(QuantityKind::ActivePower, 1);
         let mut b = EnergyProfile::for_quantity(QuantityKind::ActivePower, 2);
         let same = (0..24)
-            .filter(|h| {
-                (a.sample(MONDAY + h * HOUR) - b.sample(MONDAY + h * HOUR)).abs() < 1e-12
-            })
+            .filter(|h| (a.sample(MONDAY + h * HOUR) - b.sample(MONDAY + h * HOUR)).abs() < 1e-12)
             .count();
         assert!(same < 4);
     }

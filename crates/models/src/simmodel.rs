@@ -136,7 +136,12 @@ impl NetworkModel {
 
     /// A deterministic sample network: one plant, `substations`
     /// substations in a line, each feeding `consumers_each` consumers.
-    pub fn sample(network: &NetworkId, kind: NetworkKind, substations: usize, consumers_each: usize) -> Self {
+    pub fn sample(
+        network: &NetworkId,
+        kind: NetworkKind,
+        substations: usize,
+        consumers_each: usize,
+    ) -> Self {
         let mut m = NetworkModel::new(network.clone(), kind);
         m.add_node(NetNode {
             id: "PLT0".into(),
@@ -282,10 +287,7 @@ impl NetworkModel {
         self.nodes
             .iter()
             .filter(|n| n.kind == NodeKind::Consumer)
-            .filter_map(|n| {
-                dist.get(n.id.as_str())
-                    .map(|d| (n.id.clone(), (-d).exp()))
-            })
+            .filter_map(|n| dist.get(n.id.as_str()).map(|d| (n.id.clone(), (-d).exp())))
             .collect()
     }
 
@@ -301,13 +303,13 @@ impl NetworkModel {
     /// The fixed-width layout of legacy SIM records.
     pub fn record_layout() -> RecordLayout {
         RecordLayout::new(vec![
-            FieldSpec::new("rec", 1),      // N or E
-            FieldSpec::new("net", 12),     // network id
-            FieldSpec::new("kind", 2),     // EL / DH
-            FieldSpec::new("a", 12),       // node id / edge from
-            FieldSpec::new("b", 12),       // node kind code / edge to
-            FieldSpec::new("x", 12),       // rated kW / length m
-            FieldSpec::new("y", 12),       // building / loss per km
+            FieldSpec::new("rec", 1),  // N or E
+            FieldSpec::new("net", 12), // network id
+            FieldSpec::new("kind", 2), // EL / DH
+            FieldSpec::new("a", 12),   // node id / edge from
+            FieldSpec::new("b", 12),   // node kind code / edge to
+            FieldSpec::new("x", 12),   // rated kW / length m
+            FieldSpec::new("y", 12),   // building / loss per km
         ])
     }
 
@@ -354,8 +356,8 @@ impl NetworkModel {
         let records = layout.parse_document(text)?;
         let mut model: Option<NetworkModel> = None;
         for rec in records {
-            let [recty, net, kind, a, b, x, y] = <[String; 7]>::try_from(rec)
-                .map_err(|_| StorageError::ParseLegacy {
+            let [recty, net, kind, a, b, x, y] =
+                <[String; 7]>::try_from(rec).map_err(|_| StorageError::ParseLegacy {
                     format: "sim",
                     line: 0,
                     reason: "wrong field count".into(),
@@ -591,9 +593,7 @@ mod tests {
         assert_eq!(back.edges().len(), m.edges().len());
         // Floats travel through %.3f / %.6f formatting.
         assert!((back.nodes()[0].rated_kw - m.nodes()[0].rated_kw).abs() < 1e-3);
-        assert!(
-            (back.edges()[0].loss_per_km - m.edges()[0].loss_per_km).abs() < 1e-6
-        );
+        assert!((back.edges()[0].loss_per_km - m.edges()[0].loss_per_km).abs() < 1e-6);
     }
 
     #[test]
@@ -613,10 +613,7 @@ mod tests {
         let v = m.to_value();
         assert_eq!(v.get("kind").and_then(Value::as_str), Some("electrical"));
         assert_eq!(v.require_array("sim", "nodes").unwrap().len(), 4);
-        assert_eq!(
-            v.get("total_demand_kw").and_then(Value::as_f64),
-            Some(80.0)
-        );
+        assert_eq!(v.get("total_demand_kw").and_then(Value::as_f64), Some(80.0));
     }
 
     #[test]

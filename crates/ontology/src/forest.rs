@@ -176,7 +176,10 @@ impl Ontology {
 
     /// Total number of device leaves across districts.
     pub fn device_count(&self) -> usize {
-        self.districts.values().map(DistrictTree::device_count).sum()
+        self.districts
+            .values()
+            .map(DistrictTree::device_count)
+            .sum()
     }
 
     /// Adds an empty district.
@@ -379,7 +382,11 @@ impl Ontology {
         let tree = self
             .district(district)
             .ok_or_else(|| OntologyError::UnknownDistrict(district.clone()))?;
-        Ok(tree.entities().iter().filter(|e| e.kind() == kind).collect())
+        Ok(tree
+            .entities()
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .collect())
     }
 
     /// All device leaves reporting `quantity` in a district, with their
@@ -455,7 +462,12 @@ impl Ontology {
     pub fn to_value(&self) -> Value {
         Value::object([(
             "districts",
-            Value::Array(self.districts.values().map(DistrictTree::to_value).collect()),
+            Value::Array(
+                self.districts
+                    .values()
+                    .map(DistrictTree::to_value)
+                    .collect(),
+            ),
         )])
     }
 
@@ -617,11 +629,15 @@ mod tests {
         let onto = sample();
         let d = did("d1");
         assert_eq!(
-            onto.entities_of_kind(&d, EntityKind::Building).unwrap().len(),
+            onto.entities_of_kind(&d, EntityKind::Building)
+                .unwrap()
+                .len(),
             3
         );
         assert_eq!(
-            onto.entities_of_kind(&d, EntityKind::Network).unwrap().len(),
+            onto.entities_of_kind(&d, EntityKind::Network)
+                .unwrap()
+                .len(),
             1
         );
         let temps = onto
@@ -683,7 +699,9 @@ mod tests {
         let hit = onto.resolve_area(&d, &bbox).unwrap();
         assert!(hit.entities.is_empty());
         assert_eq!(
-            onto.entities_of_kind(&d, EntityKind::Building).unwrap().len(),
+            onto.entities_of_kind(&d, EntityKind::Building)
+                .unwrap()
+                .len(),
             1,
             "still reachable by kind"
         );

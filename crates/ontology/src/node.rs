@@ -1,8 +1,7 @@
 //! The node types of a district tree.
 
 use dimmer_core::{
-    BuildingId, CoreError, DeviceId, DistrictId, EntityKind, NetworkId, QuantityKind, Uri,
-    Value,
+    BuildingId, CoreError, DeviceId, DistrictId, EntityKind, NetworkId, QuantityKind, Uri, Value,
 };
 use gis::geo::GeoPoint;
 
@@ -426,12 +425,10 @@ mod tests {
         tree.add_gis_proxy(uri("sim://n2/gis"));
         tree.add_measurement_proxy(uri("sim://n4/measurements"));
         tree.set_properties(Value::object([("city", Value::from("Turin"))]));
-        let mut building = EntityNode::building(
-            BuildingId::new("b1").unwrap(),
-            uri("sim://n3/bim"),
-        )
-        .with_gis_feature("feat-b1")
-        .with_location(GeoPoint::new(45.07, 7.68));
+        let mut building =
+            EntityNode::building(BuildingId::new("b1").unwrap(), uri("sim://n3/bim"))
+                .with_gis_feature("feat-b1")
+                .with_location(GeoPoint::new(45.07, 7.68));
         building.devices_mut().push(
             DeviceLeaf::new(
                 DeviceId::new("dev1").unwrap(),

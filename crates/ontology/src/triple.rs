@@ -90,11 +90,7 @@ fn property_triples(subject: &str, properties: &Value, out: &mut Vec<Triple>) {
                 Value::Str(s) => format!("{s:?}"),
                 other => other.to_string(),
             };
-            out.push(Triple::new(
-                subject,
-                format!("dimmer:{key}"),
-                literal,
-            ));
+            out.push(Triple::new(subject, format!("dimmer:{key}"), literal));
         }
     }
 }
@@ -247,10 +243,7 @@ mod tests {
         );
         assert!(none.is_empty());
 
-        assert_eq!(
-            query(&triples, &TriplePattern::any()).len(),
-            triples.len()
-        );
+        assert_eq!(query(&triples, &TriplePattern::any()).len(), triples.len());
     }
 
     #[test]

@@ -123,7 +123,11 @@ impl CoapMessage {
             code: CoapCode::GET,
             message_id,
             token,
-            uri_path: path.split('/').filter(|s| !s.is_empty()).map(String::from).collect(),
+            uri_path: path
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
             content_format: None,
             payload: Vec::new(),
         }
@@ -136,7 +140,11 @@ impl CoapMessage {
             code: CoapCode::POST,
             message_id,
             token,
-            uri_path: path.split('/').filter(|s| !s.is_empty()).map(String::from).collect(),
+            uri_path: path
+                .split('/')
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
             content_format: Some(content_format::JSON),
             payload,
         }
@@ -238,21 +246,18 @@ impl CoapMessage {
             }
             let delta = decode_option_part(byte >> 4, &mut r)?;
             let length = decode_option_part(byte & 0x0F, &mut r)? as usize;
-            option_number =
-                option_number
-                    .checked_add(delta)
-                    .ok_or(ProtocolError::Malformed {
-                        reason: "option delta overflow",
-                    })?;
+            option_number = option_number
+                .checked_add(delta)
+                .ok_or(ProtocolError::Malformed {
+                    reason: "option delta overflow",
+                })?;
             let value = r.take(length)?;
             match option_number {
-                11 => uri_path.push(
-                    String::from_utf8(value.to_vec()).map_err(|_| {
-                        ProtocolError::Malformed {
-                            reason: "uri-path is not utf-8",
-                        }
-                    })?,
-                ),
+                11 => uri_path.push(String::from_utf8(value.to_vec()).map_err(|_| {
+                    ProtocolError::Malformed {
+                        reason: "uri-path is not utf-8",
+                    }
+                })?),
                 12 => {
                     content_format = Some(match value.len() {
                         0 => 0,
@@ -333,7 +338,11 @@ mod tests {
 
     #[test]
     fn get_round_trips() {
-        round_trip(&CoapMessage::get(0x1234, vec![0xAA, 0xBB], "sensors/temperature"));
+        round_trip(&CoapMessage::get(
+            0x1234,
+            vec![0xAA, 0xBB],
+            "sensors/temperature",
+        ));
         round_trip(&CoapMessage::get(0, vec![], "v"));
     }
 

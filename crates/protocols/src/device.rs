@@ -202,9 +202,7 @@ impl ZigbeeSensor {
             // watts
             QuantityKind::ActivePower => ZclValue::I16(value as i16),
             // metering: 0.01 kWh ticks
-            QuantityKind::ElectricalEnergy => {
-                ZclValue::U48((value * 100.0).max(0.0) as u64)
-            }
+            QuantityKind::ElectricalEnergy => ZclValue::U48((value * 100.0).max(0.0) as u64),
             _ => ZclValue::Bool(value != 0.0),
         }
     }
@@ -487,10 +485,7 @@ mod tests {
         assert_eq!(frame.cluster, ClusterId::TEMPERATURE_MEASUREMENT);
         assert_eq!(frame.attributes[0].value, ZclValue::I16(2157));
         assert_eq!(
-            ZigbeeSensor::scale_from_wire(
-                QuantityKind::Temperature,
-                frame.attributes[0].value
-            ),
+            ZigbeeSensor::scale_from_wire(QuantityKind::Temperature, frame.attributes[0].value),
             21.57
         );
     }
@@ -564,11 +559,12 @@ mod tests {
         let resp = CoapMessage::decode(&server.handle_bytes(&get.encode()).unwrap()).unwrap();
         assert_eq!(resp.code, CoapCode::CONTENT);
         assert_eq!(resp.token, vec![7]);
-        let body = dimmer_core::json::from_str(
-            std::str::from_utf8(&resp.payload).unwrap(),
-        )
-        .unwrap();
-        assert_eq!(body.get("value").and_then(dimmer_core::Value::as_f64), Some(417.0));
+        let body =
+            dimmer_core::json::from_str(std::str::from_utf8(&resp.payload).unwrap()).unwrap();
+        assert_eq!(
+            body.get("value").and_then(dimmer_core::Value::as_f64),
+            Some(417.0)
+        );
 
         let post = CoapMessage::post_json(2, vec![8], "actuate", b"{\"value\":1.0}".to_vec());
         let resp = CoapMessage::decode(&server.handle_bytes(&post.encode()).unwrap()).unwrap();
@@ -576,8 +572,7 @@ mod tests {
         assert_eq!(server.actuations, vec![1.0]);
 
         let missing = CoapMessage::get(3, vec![], "ghost");
-        let resp =
-            CoapMessage::decode(&server.handle_bytes(&missing.encode()).unwrap()).unwrap();
+        let resp = CoapMessage::decode(&server.handle_bytes(&missing.encode()).unwrap()).unwrap();
         assert_eq!(resp.code, CoapCode::NOT_FOUND);
         assert!(server.handle_bytes(&[0xFF, 0x00]).is_err());
     }

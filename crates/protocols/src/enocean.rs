@@ -317,21 +317,18 @@ impl Eep {
                 let hraw = (h / 100.0 * 250.0).round() as u8;
                 let traw = (t / 40.0 * 250.0).round() as u8;
                 // DB0 bit3 data telegram, bit1 temperature available.
-                Erp1Telegram::new(
-                    Rorg::FourBs,
-                    vec![0, hraw, traw, 0x0A],
-                    sender_id,
-                    0,
-                )
+                Erp1Telegram::new(Rorg::FourBs, vec![0, hraw, traw, 0x0A], sender_id, 0)
             }
-            (Eep::A51201, EepReading::MeterReading {
-                kilowatt_hours,
-                channel,
-            }) => {
+            (
+                Eep::A51201,
+                EepReading::MeterReading {
+                    kilowatt_hours,
+                    channel,
+                },
+            ) => {
                 assert!(*channel < 16, "meter channel out of range");
                 // 24-bit counter, divisor fixed at 10 (0.1 kWh units).
-                let counter =
-                    ((kilowatt_hours * 10.0).round().clamp(0.0, 16_777_215.0)) as u32;
+                let counter = ((kilowatt_hours * 10.0).round().clamp(0.0, 16_777_215.0)) as u32;
                 let db0 = 0x08 // data telegram (LRN bit set)
                     | 0x01 // divisor 10 (DIV field DB0.0-1 = 01)
                     | ((channel & 0x0F) << 4);
@@ -363,7 +360,10 @@ impl Eep {
                 Erp1Telegram::new(Rorg::Rps, vec![byte], sender_id, 0x30)
             }
             (profile, reading) => {
-                panic!("reading {reading:?} does not match profile {}", profile.name())
+                panic!(
+                    "reading {reading:?} does not match profile {}",
+                    profile.name()
+                )
             }
         }
     }
@@ -514,10 +514,7 @@ mod tests {
     #[test]
     fn temperature_profile_round_trip() {
         for t in [0.0, 10.5, 21.3, 39.9, 40.0] {
-            let tel = Eep::A50205.encode_reading(
-                &EepReading::Temperature { celsius: t },
-                1,
-            );
+            let tel = Eep::A50205.encode_reading(&EepReading::Temperature { celsius: t }, 1);
             match Eep::A50205.decode_reading(&tel).unwrap() {
                 EepReading::Temperature { celsius } => {
                     // 8-bit quantization over 40 degC: ±0.08 degC.
@@ -530,10 +527,7 @@ mod tests {
 
     #[test]
     fn temperature_out_of_range_clamped() {
-        let tel = Eep::A50205.encode_reading(
-            &EepReading::Temperature { celsius: 99.0 },
-            1,
-        );
+        let tel = Eep::A50205.encode_reading(&EepReading::Temperature { celsius: 99.0 }, 1);
         match Eep::A50205.decode_reading(&tel).unwrap() {
             EepReading::Temperature { celsius } => assert!((celsius - 40.0).abs() < 1e-9),
             other => panic!("unexpected {other:?}"),

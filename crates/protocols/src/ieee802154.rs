@@ -120,13 +120,7 @@ pub struct MacFrame {
 impl MacFrame {
     /// Builds an intra-PAN data frame with ack-request set, the common
     /// shape for sensor uplinks.
-    pub fn data(
-        pan: PanId,
-        dest: Address,
-        src: Address,
-        sequence: u8,
-        payload: Vec<u8>,
-    ) -> Self {
+    pub fn data(pan: PanId, dest: Address, src: Address, sequence: u8, payload: Vec<u8>) -> Self {
         MacFrame {
             frame_type: FrameType::Data,
             ack_request: true,
@@ -172,9 +166,7 @@ impl MacFrame {
 
     /// Whether PAN-id compression (src PAN elided) applies.
     fn pan_compression(&self) -> bool {
-        self.dest_pan.is_some()
-            && self.src_pan.is_none()
-            && !matches!(self.src, Address::None)
+        self.dest_pan.is_some() && self.src_pan.is_none() && !matches!(self.src, Address::None)
     }
 
     /// Encodes the frame including the trailing FCS.
@@ -190,9 +182,7 @@ impl MacFrame {
             "destination address requires a destination PAN"
         );
         assert!(
-            matches!(self.src, Address::None)
-                || self.src_pan.is_some()
-                || self.pan_compression(),
+            matches!(self.src, Address::None) || self.src_pan.is_some() || self.pan_compression(),
             "source address requires a source PAN or PAN-id compression"
         );
         let mut out = Vec::with_capacity(

@@ -618,8 +618,20 @@ impl AddressSpace {
     }
 
     /// Adds an object (folder) node, optionally under `parent`.
-    pub fn add_object(&mut self, id: NodeId, browse_name: impl Into<String>, parent: Option<&NodeId>) {
-        self.add(id, browse_name.into(), NodeClass::Object, None, false, parent);
+    pub fn add_object(
+        &mut self,
+        id: NodeId,
+        browse_name: impl Into<String>,
+        parent: Option<&NodeId>,
+    ) {
+        self.add(
+            id,
+            browse_name.into(),
+            NodeClass::Object,
+            None,
+            false,
+            parent,
+        );
     }
 
     /// Adds a variable node, optionally under `parent`.
@@ -737,12 +749,8 @@ impl AddressSpace {
                 .value
                 .clone()
                 .unwrap_or_else(|| DataValue::bad(StatusCode::BAD_ATTRIBUTE_ID_INVALID)),
-            AttributeId::BrowseName => {
-                DataValue::good(Variant::Str(node.browse_name.clone()), 0)
-            }
-            AttributeId::NodeClass => {
-                DataValue::good(Variant::Int32(node.node_class.id()), 0)
-            }
+            AttributeId::BrowseName => DataValue::good(Variant::Str(node.browse_name.clone()), 0),
+            AttributeId::NodeClass => DataValue::good(Variant::Int32(node.node_class.id()), 0),
         }
     }
 

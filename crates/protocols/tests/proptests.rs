@@ -1,8 +1,8 @@
-//! Property-based tests on the protocol codecs: encode/decode round
-//! trips with arbitrary field values, and decoder robustness against
-//! arbitrary byte soup.
+//! Randomized tests on the protocol codecs: encode/decode round trips
+//! with arbitrary field values, and decoder robustness against
+//! arbitrary byte soup. Driven by `simnet::rng::DeterministicRng`
+//! (reproducible, no external property-testing dependency).
 
-use proptest::prelude::*;
 use protocols::coap::{CoapCode, CoapMessage, CoapType};
 use protocols::enocean::{Eep, EepReading, Erp1Telegram, Rorg};
 use protocols::ieee802154::{Address, FrameType, MacFrame, PanId};
@@ -10,61 +10,78 @@ use protocols::opcua::{
     AttributeId, DataValue, Message, NodeId, ReadValueId, StatusCode, Variant, WriteValue,
 };
 use protocols::zigbee::{report_builder, ClusterId, ZclAttribute, ZclValue, ZigbeeFrame};
+use simnet::rng::DeterministicRng;
 
-fn address_strategy() -> impl Strategy<Value = Address> {
-    prop_oneof![
-        Just(Address::None),
-        any::<u16>().prop_map(Address::Short),
-        any::<u64>().prop_map(Address::Extended),
-    ]
+const CASES: usize = 256;
+
+fn rand_bytes(rng: &mut DeterministicRng, max_len: usize) -> Vec<u8> {
+    let len = rng.next_bounded(max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
 }
 
-fn zcl_value_strategy() -> impl Strategy<Value = ZclValue> {
-    prop_oneof![
-        any::<bool>().prop_map(ZclValue::Bool),
-        any::<u8>().prop_map(ZclValue::U8),
-        any::<u16>().prop_map(ZclValue::U16),
-        any::<u32>().prop_map(ZclValue::U32),
-        (0u64..(1 << 48)).prop_map(ZclValue::U48),
-        any::<i16>().prop_map(ZclValue::I16),
-        any::<i32>().prop_map(ZclValue::I32),
-    ]
+fn string_from(rng: &mut DeterministicRng, charset: &str, lo: usize, hi: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    let len = rng.next_range(lo as u64, hi as u64) as usize;
+    (0..len)
+        .map(|_| chars[rng.next_bounded(chars.len() as u64) as usize])
+        .collect()
 }
 
-fn variant_strategy() -> impl Strategy<Value = Variant> {
-    prop_oneof![
-        any::<bool>().prop_map(Variant::Boolean),
-        any::<i32>().prop_map(Variant::Int32),
-        any::<i64>().prop_map(Variant::Int64),
-        any::<f64>()
-            .prop_filter("no NaN (PartialEq)", |f| !f.is_nan())
-            .prop_map(Variant::Double),
-        "\\PC{0,16}".prop_map(Variant::Str),
-        any::<i64>().prop_map(Variant::DateTime),
-    ]
+fn rand_address(rng: &mut DeterministicRng) -> Address {
+    match rng.next_bounded(3) {
+        0 => Address::None,
+        1 => Address::Short(rng.next_u64() as u16),
+        _ => Address::Extended(rng.next_u64()),
+    }
 }
 
-fn node_id_strategy() -> impl Strategy<Value = NodeId> {
-    prop_oneof![
-        (any::<u16>(), any::<u32>()).prop_map(|(ns, id)| NodeId::numeric(ns, id)),
-        (any::<u16>(), "[a-z.]{0,12}").prop_map(|(ns, id)| NodeId::string(ns, id)),
-    ]
+fn rand_zcl_value(rng: &mut DeterministicRng) -> ZclValue {
+    match rng.next_bounded(7) {
+        0 => ZclValue::Bool(rng.chance(0.5)),
+        1 => ZclValue::U8(rng.next_u64() as u8),
+        2 => ZclValue::U16(rng.next_u64() as u16),
+        3 => ZclValue::U32(rng.next_u64() as u32),
+        4 => ZclValue::U48(rng.next_bounded(1 << 48)),
+        5 => ZclValue::I16(rng.next_u64() as i16),
+        _ => ZclValue::I32(rng.next_u64() as i32),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn rand_variant(rng: &mut DeterministicRng) -> Variant {
+    match rng.next_bounded(6) {
+        0 => Variant::Boolean(rng.chance(0.5)),
+        1 => Variant::Int32(rng.next_u64() as i32),
+        2 => Variant::Int64(rng.next_u64() as i64),
+        3 => {
+            // No NaN (PartialEq).
+            let f = f64::from_bits(rng.next_u64());
+            Variant::Double(if f.is_nan() { 0.5 } else { f })
+        }
+        4 => Variant::Str(string_from(rng, "abcXYZ019 ._é✓", 0, 16)),
+        _ => Variant::DateTime(rng.next_u64() as i64),
+    }
+}
 
-    #[test]
-    fn mac_frame_round_trip(
-        seq in any::<u8>(),
-        pan in any::<u16>(),
-        dest in address_strategy(),
-        src in address_strategy(),
-        payload in prop::collection::vec(any::<u8>(), 0..100),
-        ack in any::<bool>(),
-        pending in any::<bool>(),
-    ) {
-        let dest_pan = if dest == Address::None { None } else { Some(PanId(pan)) };
+fn rand_node_id(rng: &mut DeterministicRng) -> NodeId {
+    if rng.chance(0.5) {
+        NodeId::numeric(rng.next_u64() as u16, rng.next_u64() as u32)
+    } else {
+        NodeId::string(rng.next_u64() as u16, string_from(rng, "abcdefgh.", 0, 12))
+    }
+}
+
+#[test]
+fn mac_frame_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0001);
+    for _ in 0..CASES {
+        let pan = rng.next_u64() as u16;
+        let dest = rand_address(&mut rng);
+        let src = rand_address(&mut rng);
+        let dest_pan = if dest == Address::None {
+            None
+        } else {
+            Some(PanId(pan))
+        };
         // Wire consistency: a present source needs a PAN, either its own
         // or via PAN-id compression (which requires a destination PAN).
         let src_pan = if src != Address::None && dest_pan.is_none() {
@@ -74,101 +91,137 @@ proptest! {
         };
         let frame = MacFrame {
             frame_type: FrameType::Data,
-            ack_request: ack,
-            frame_pending: pending,
-            sequence: seq,
+            ack_request: rng.chance(0.5),
+            frame_pending: rng.chance(0.5),
+            sequence: rng.next_u64() as u8,
             dest_pan,
             dest,
             src_pan,
             src,
-            payload,
+            payload: rand_bytes(&mut rng, 99),
         };
         let back = MacFrame::decode(&frame.encode()).unwrap();
-        prop_assert_eq!(back, frame);
+        assert_eq!(back, frame);
     }
+}
 
-    #[test]
-    fn mac_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
-        let _ = MacFrame::decode(&bytes);
+#[test]
+fn mac_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0002);
+    for _ in 0..CASES {
+        let _ = MacFrame::decode(&rand_bytes(&mut rng, 63));
     }
+}
 
-    #[test]
-    fn mac_bit_flips_never_yield_wrong_frames(
-        payload in prop::collection::vec(any::<u8>(), 1..40),
-        flip_bit in any::<u16>(),
-    ) {
+#[test]
+fn mac_bit_flips_never_yield_wrong_frames() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0003);
+    for _ in 0..CASES {
+        let mut payload = rand_bytes(&mut rng, 39);
+        if payload.is_empty() {
+            payload.push(0);
+        }
         let frame = MacFrame::data(PanId(7), Address::Short(1), Address::Short(2), 1, payload);
         let mut bytes = frame.encode();
-        let bit = usize::from(flip_bit) % (bytes.len() * 8);
+        let bit = rng.next_bounded((bytes.len() * 8) as u64) as usize;
         bytes[bit / 8] ^= 1 << (bit % 8);
         // A flipped bit must either fail the FCS or (never) decode to the
         // original; silently yielding a *different* valid frame is the
         // 1-in-65536 CRC collision, impossible for single-bit flips.
-        match MacFrame::decode(&bytes) {
-            Ok(decoded) => prop_assert_ne!(decoded, frame),
-            Err(_) => {}
+        if let Ok(decoded) = MacFrame::decode(&bytes) {
+            assert_ne!(decoded, frame);
         }
     }
+}
 
-    #[test]
-    fn zigbee_round_trip(
-        nwk in any::<u16>(),
-        seq in any::<u8>(),
-        values in prop::collection::vec(zcl_value_strategy(), 0..6),
-    ) {
+#[test]
+fn zigbee_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0004);
+    for _ in 0..CASES {
+        let nwk = rng.next_u64() as u16;
+        let seq = rng.next_u64() as u8;
+        let values: Vec<ZclValue> = (0..rng.next_bounded(6))
+            .map(|_| rand_zcl_value(&mut rng))
+            .collect();
         let mut b = report_builder(nwk, ClusterId::SIMPLE_METERING).sequence(seq);
         for (i, v) in values.iter().enumerate() {
             b = b.attribute(ZclAttribute::new(i as u16, *v));
         }
         let frame = b.build();
         let back = ZigbeeFrame::decode(&frame.encode()).unwrap();
-        prop_assert_eq!(back, frame);
+        assert_eq!(back, frame);
     }
+}
 
-    #[test]
-    fn zigbee_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
-        let _ = ZigbeeFrame::decode(&bytes);
+#[test]
+fn zigbee_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0005);
+    for _ in 0..CASES {
+        let _ = ZigbeeFrame::decode(&rand_bytes(&mut rng, 63));
     }
+}
 
-    #[test]
-    fn erp1_esp3_round_trip(
-        sender in any::<u32>(),
-        status in any::<u8>(),
-        data4 in prop::collection::vec(any::<u8>(), 4),
-    ) {
-        let t = Erp1Telegram::new(Rorg::FourBs, data4, sender, status);
+#[test]
+fn erp1_esp3_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0006);
+    for _ in 0..CASES {
+        let data4: Vec<u8> = (0..4).map(|_| rng.next_u64() as u8).collect();
+        let t = Erp1Telegram::new(
+            Rorg::FourBs,
+            data4,
+            rng.next_u64() as u32,
+            rng.next_u64() as u8,
+        );
         let back = Erp1Telegram::from_esp3(&t.to_esp3()).unwrap();
-        prop_assert_eq!(back, t);
+        assert_eq!(back, t);
     }
+}
 
-    #[test]
-    fn esp3_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
-        let _ = Erp1Telegram::from_esp3(&bytes);
+#[test]
+fn esp3_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0007);
+    for _ in 0..CASES {
+        let _ = Erp1Telegram::from_esp3(&rand_bytes(&mut rng, 63));
     }
+}
 
-    #[test]
-    fn enocean_temperature_quantization_bounded(t in 0.0f64..40.0) {
+#[test]
+fn enocean_temperature_quantization_bounded() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0008);
+    for _ in 0..CASES {
+        let t = rng.next_f64_range(0.0, 40.0);
         let tel = Eep::A50205.encode_reading(&EepReading::Temperature { celsius: t }, 1);
         match Eep::A50205.decode_reading(&tel).unwrap() {
             EepReading::Temperature { celsius } => {
-                prop_assert!((celsius - t).abs() <= 40.0 / 255.0 / 2.0 + 1e-9);
+                assert!((celsius - t).abs() <= 40.0 / 255.0 / 2.0 + 1e-9);
             }
-            other => prop_assert!(false, "unexpected {other:?}"),
+            other => panic!("unexpected {other:?}"),
         }
     }
+}
 
-    #[test]
-    fn opcua_messages_round_trip(
-        reads in prop::collection::vec(node_id_strategy(), 0..5),
-        variants in prop::collection::vec(variant_strategy(), 0..5),
-        statuses in prop::collection::vec(any::<u32>(), 0..5),
-    ) {
+#[test]
+fn opcua_messages_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x0154_0009);
+    for _ in 0..CASES {
+        let reads: Vec<NodeId> = (0..rng.next_bounded(5))
+            .map(|_| rand_node_id(&mut rng))
+            .collect();
+        let variants: Vec<Variant> = (0..rng.next_bounded(5))
+            .map(|_| rand_variant(&mut rng))
+            .collect();
+        let statuses: Vec<u32> = (0..rng.next_bounded(5))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
         let messages = [
             Message::ReadRequest {
                 nodes: reads
                     .iter()
                     .cloned()
-                    .map(|node_id| ReadValueId { node_id, attribute: AttributeId::Value })
+                    .map(|node_id| ReadValueId {
+                        node_id,
+                        attribute: AttributeId::Value,
+                    })
                     .collect(),
             },
             Message::ReadResponse {
@@ -195,44 +248,54 @@ proptest! {
             },
         ];
         for m in &messages {
-            prop_assert_eq!(&Message::decode(&m.encode()).unwrap(), m);
+            assert_eq!(&Message::decode(&m.encode()).unwrap(), m);
         }
     }
+}
 
-    #[test]
-    fn opcua_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
-        let _ = Message::decode(&bytes);
+#[test]
+fn opcua_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x0154_000A);
+    for _ in 0..CASES {
+        let _ = Message::decode(&rand_bytes(&mut rng, 95));
     }
+}
 
-    #[test]
-    fn coap_round_trip(
-        message_id in any::<u16>(),
-        token in prop::collection::vec(any::<u8>(), 0..=8),
-        path in prop::collection::vec("[a-zA-Z0-9._-]{1,24}", 0..5),
-        payload in prop::collection::vec(any::<u8>(), 0..64),
-        cf in proptest::option::of(any::<u16>()),
-        mtype in 0u8..4,
-        code in prop_oneof![Just(CoapCode::GET), Just(CoapCode::POST), Just(CoapCode::CONTENT)],
-    ) {
+#[test]
+fn coap_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x0154_000B);
+    for _ in 0..CASES {
+        let path: Vec<String> = (0..rng.next_bounded(5))
+            .map(|_| string_from(&mut rng, "abcXYZ019._-", 1, 24))
+            .collect();
         let msg = CoapMessage {
-            mtype: match mtype {
+            mtype: match rng.next_bounded(4) {
                 0 => CoapType::Confirmable,
                 1 => CoapType::NonConfirmable,
                 2 => CoapType::Acknowledgement,
                 _ => CoapType::Reset,
             },
-            code,
-            message_id,
-            token,
+            code: *[CoapCode::GET, CoapCode::POST, CoapCode::CONTENT]
+                .get(rng.next_bounded(3) as usize)
+                .unwrap(),
+            message_id: rng.next_u64() as u16,
+            token: rand_bytes(&mut rng, 8),
             uri_path: path,
-            content_format: cf,
-            payload,
+            content_format: if rng.chance(0.5) {
+                Some(rng.next_u64() as u16)
+            } else {
+                None
+            },
+            payload: rand_bytes(&mut rng, 63),
         };
-        prop_assert_eq!(CoapMessage::decode(&msg.encode()).expect("round trip"), msg);
+        assert_eq!(CoapMessage::decode(&msg.encode()).expect("round trip"), msg);
     }
+}
 
-    #[test]
-    fn coap_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..96)) {
-        let _ = CoapMessage::decode(&bytes);
+#[test]
+fn coap_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x0154_000C);
+    for _ in 0..CASES {
+        let _ = CoapMessage::decode(&rand_bytes(&mut rng, 95));
     }
 }

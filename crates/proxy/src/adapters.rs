@@ -157,9 +157,8 @@ impl DeviceAdapter for ZigbeeAdapter {
             .attributes
             .iter()
             .filter_map(|attr| {
-                ZigbeeAdapter::quantity_of(frame.cluster, attr.id).map(|q| {
-                    (q, ZigbeeSensor::scale_from_wire(q, attr.value))
-                })
+                ZigbeeAdapter::quantity_of(frame.cluster, attr.id)
+                    .map(|q| (q, ZigbeeSensor::scale_from_wire(q, attr.value)))
             })
             .collect())
     }
@@ -214,14 +213,12 @@ impl DeviceAdapter for EnoceanAdapter {
             EepReading::MeterReading { kilowatt_hours, .. } => {
                 vec![(QuantityKind::ElectricalEnergy, kilowatt_hours)]
             }
-            EepReading::Contact { closed } => vec![(
-                QuantityKind::SwitchState,
-                f64::from(u8::from(closed)),
-            )],
-            EepReading::Rocker { pressed, .. } => vec![(
-                QuantityKind::SwitchState,
-                f64::from(u8::from(pressed)),
-            )],
+            EepReading::Contact { closed } => {
+                vec![(QuantityKind::SwitchState, f64::from(u8::from(closed)))]
+            }
+            EepReading::Rocker { pressed, .. } => {
+                vec![(QuantityKind::SwitchState, f64::from(u8::from(pressed)))]
+            }
         })
     }
 
@@ -401,7 +398,9 @@ impl DeviceAdapter for CoapAdapter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use protocols::device::{EnoceanSensor, OpcUaFieldServer, UplinkDevice, ZigbeeSensor as ZbSensor};
+    use protocols::device::{
+        EnoceanSensor, OpcUaFieldServer, UplinkDevice, ZigbeeSensor as ZbSensor,
+    };
 
     #[test]
     fn ieee802154_uplink_and_filtering() {

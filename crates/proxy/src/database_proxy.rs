@@ -81,8 +81,7 @@ impl BimSource {
 
 impl SourceTranslator for BimSource {
     fn role(&self, proxy_uri: &dimmer_core::Uri) -> ProxyRole {
-        let mut entity =
-            EntityNode::building(self.model.building().clone(), proxy_uri.clone());
+        let mut entity = EntityNode::building(self.model.building().clone(), proxy_uri.clone());
         if let Some(loc) = self.location {
             entity = entity.with_location(loc);
         }
@@ -90,7 +89,10 @@ impl SourceTranslator for BimSource {
             entity = entity.with_gis_feature(feat.clone());
         }
         entity = entity.with_properties(Value::object([
-            ("floor_area_m2", Value::from(self.model.total_floor_area_m2())),
+            (
+                "floor_area_m2",
+                Value::from(self.model.total_floor_area_m2()),
+            ),
             (
                 "heat_loss_w_per_k",
                 Value::from(self.model.heat_loss_w_per_k()),
@@ -108,9 +110,7 @@ impl SourceTranslator for BimSource {
             Some("spaces") => WsResponse::ok(self.tables.spaces.to_value()),
             Some("envelope") => WsResponse::ok(self.tables.envelope.to_value()),
             Some("equipment") => WsResponse::ok(self.tables.equipment.to_value()),
-            Some(other) => {
-                WsResponse::error(status::NOT_FOUND, format!("unknown table {other:?}"))
-            }
+            Some(other) => WsResponse::error(status::NOT_FOUND, format!("unknown table {other:?}")),
             None => WsResponse::error(status::BAD_REQUEST, "table parameter required"),
         }
     }
@@ -145,8 +145,7 @@ impl SimSource {
 
 impl SourceTranslator for SimSource {
     fn role(&self, proxy_uri: &dimmer_core::Uri) -> ProxyRole {
-        let mut entity =
-            EntityNode::network(self.model.network().clone(), proxy_uri.clone());
+        let mut entity = EntityNode::network(self.model.network().clone(), proxy_uri.clone());
         if let Some(loc) = self.location {
             entity = entity.with_location(loc);
         }
@@ -176,9 +175,7 @@ impl SourceTranslator for SimSource {
                     .map(Value::from)
                     .collect(),
             )),
-            Some(other) => {
-                WsResponse::error(status::NOT_FOUND, format!("unknown view {other:?}"))
-            }
+            Some(other) => WsResponse::error(status::NOT_FOUND, format!("unknown view {other:?}")),
             None => WsResponse::error(status::BAD_REQUEST, "view parameter required"),
         }
     }
@@ -226,9 +223,7 @@ impl SourceTranslator for GisSource {
                     Some(f) => WsResponse::ok(f.to_value()),
                     None => WsResponse::error(status::NOT_FOUND, "unknown feature"),
                 },
-                None => {
-                    WsResponse::error(status::BAD_REQUEST, "bbox or id parameter required")
-                }
+                None => WsResponse::error(status::BAD_REQUEST, "bbox or id parameter required"),
             },
         }
     }
@@ -454,12 +449,14 @@ mod tests {
                 assert_eq!(entity.id(), "b1");
                 assert!(entity.location().is_some());
                 assert_eq!(entity.gis_feature(), Some("feat-1"));
-                assert!(entity
-                    .properties()
-                    .get("heat_loss_w_per_k")
-                    .and_then(Value::as_f64)
-                    .unwrap()
-                    > 0.0);
+                assert!(
+                    entity
+                        .properties()
+                        .get("heat_loss_w_per_k")
+                        .and_then(Value::as_f64)
+                        .unwrap()
+                        > 0.0
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -508,9 +505,7 @@ mod tests {
         ))
         .unwrap();
         let source = GisSource::new(db);
-        let resp = source.query(
-            &WsRequest::get("/query").with_query("bbox", "45.0,7.6,45.1,7.7"),
-        );
+        let resp = source.query(&WsRequest::get("/query").with_query("bbox", "45.0,7.6,45.1,7.7"));
         assert!(resp.is_ok());
         assert_eq!(resp.body.require_array("t", "features").unwrap().len(), 1);
         let resp = source.query(&WsRequest::get("/query").with_query("id", "f2"));
@@ -532,9 +527,7 @@ mod tests {
         let resp = source.query(&WsRequest::get("/query").with_query("device", "dev1"));
         let batch = MeasurementBatch::from_value(&resp.body).unwrap();
         assert_eq!(batch.len(), 2);
-        let resp = source.query(
-            &WsRequest::get("/query").with_query("quantity", "active_power"),
-        );
+        let resp = source.query(&WsRequest::get("/query").with_query("quantity", "active_power"));
         let batch = MeasurementBatch::from_value(&resp.body).unwrap();
         assert_eq!(batch.len(), 1);
 

@@ -15,8 +15,7 @@
 //! heartbeats periodically.
 
 use dimmer_core::{
-    DeviceId, DistrictId, Measurement, MeasurementBatch, ProxyId, QuantityKind, Timestamp,
-    Value,
+    DeviceId, DistrictId, Measurement, MeasurementBatch, ProxyId, QuantityKind, Timestamp, Value,
 };
 use gis::geo::GeoPoint;
 use ontology::DeviceLeaf;
@@ -188,11 +187,19 @@ impl DeviceProxyNode {
         self.ws_client.request(ctx, self.config.master, &request);
     }
 
-    fn ingest(&mut self, ctx: &mut Context<'_>, samples: Vec<(QuantityKind, f64)>) {
+    fn ingest(&mut self, ctx: &mut Context<'_>, samples: Vec<(QuantityKind, f64)>, trace: u64) {
         let unix = unix_millis_at(self.config.epoch_offset_millis, ctx.now());
         for (quantity, value) in samples {
             self.store.insert(quantity.as_str(), unix, value);
             self.stats.samples_ingested += 1;
+            ctx.telemetry().metrics.incr("proxy.samples_ingested");
+            if trace != 0 {
+                ctx.trace_hop(
+                    "proxy.ingest",
+                    trace,
+                    format!("device={} quantity={quantity}", self.config.device),
+                );
+            }
             if let Some(pubsub) = &mut self.pubsub {
                 let topic = Topic::new(format!(
                     "district/{}/entity/{}/device/{}/{}",
@@ -206,20 +213,23 @@ impl DeviceProxyNode {
                     quantity.canonical_unit(),
                     Timestamp::from_unix_millis(unix),
                 );
-                pubsub.publish(
+                pubsub.publish_traced(
                     ctx,
                     topic,
                     dimmer_core::json::to_string(&measurement.to_value()).into_bytes(),
                     true,
                     self.config.publish_qos,
+                    trace,
                 );
                 self.stats.published += 1;
+                ctx.telemetry().metrics.incr("proxy.published");
             }
         }
     }
 
     fn serve(&mut self, ctx: &mut Context<'_>, call: crate::webservice::WsCall) {
         self.stats.ws_requests += 1;
+        ctx.telemetry().metrics.incr("proxy.ws_requests");
         let request = &call.request;
         let response = match request.path.as_str() {
             "/info" => self.info(ctx),
@@ -240,12 +250,7 @@ impl DeviceProxyNode {
             ("protocol", Value::from(self.adapter.protocol().as_str())),
             (
                 "series",
-                Value::Array(
-                    self.store
-                        .series_names()
-                        .map(Value::from)
-                        .collect(),
-                ),
+                Value::Array(self.store.series_names().map(Value::from).collect()),
             ),
             (
                 "uri",
@@ -301,9 +306,9 @@ impl DeviceProxyNode {
         let parse_millis = |key: &str, default: i64| -> Result<i64, WsResponse> {
             match request.query(key) {
                 None => Ok(default),
-                Some(raw) => raw.parse().map_err(|_| {
-                    WsResponse::error(status::BAD_REQUEST, format!("invalid {key}"))
-                }),
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| WsResponse::error(status::BAD_REQUEST, format!("invalid {key}"))),
             }
         };
         let from = match parse_millis("from", i64::MIN) {
@@ -359,6 +364,7 @@ impl DeviceProxyNode {
             Some(bytes) => {
                 ctx.send(device_node, DEVICE_DOWNLINK_PORT, bytes);
                 self.stats.actuations += 1;
+                ctx.telemetry().metrics.incr("proxy.actuations");
                 WsResponse::ok(Value::object([("actuated", Value::from(value))]))
             }
             None => WsResponse::error(status::BAD_REQUEST, "device is not actuatable"),
@@ -379,6 +385,7 @@ impl DeviceProxyNode {
 
 impl Node for DeviceProxyNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.store.attach_metrics(ctx.telemetry().metrics.clone());
         self.register(ctx);
         ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
         if let Some(interval) = self.config.poll_interval {
@@ -392,16 +399,22 @@ impl Node for DeviceProxyNode {
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         match pkt.port {
             crate::DEVICE_UPLINK_PORT => match self.adapter.decode_uplink(&pkt.payload) {
-                Ok(samples) => self.ingest(ctx, samples),
-                Err(_) => self.stats.decode_errors += 1,
+                Ok(samples) => self.ingest(ctx, samples, pkt.trace),
+                Err(_) => {
+                    self.stats.decode_errors += 1;
+                    ctx.telemetry().metrics.incr("proxy.decode_errors");
+                }
             },
             OPCUA_PORT | crate::COAP_PORT => {
                 if let Some(RpcEvent::ResponseReceived { body, .. }) =
                     self.poll_tracker.accept(&pkt)
                 {
                     match self.adapter.decode_poll(&body) {
-                        Ok(samples) => self.ingest(ctx, samples),
-                        Err(_) => self.stats.decode_errors += 1,
+                        Ok(samples) => self.ingest(ctx, samples, pkt.trace),
+                        Err(_) => {
+                            self.stats.decode_errors += 1;
+                            ctx.telemetry().metrics.incr("proxy.decode_errors");
+                        }
                     }
                 }
             }

@@ -73,7 +73,21 @@ impl UplinkDeviceNode {
         let value = self.profile.sample(unix);
         self.last_value = value;
         let bytes = self.device.emit(value);
-        ctx.send(self.proxy, DEVICE_UPLINK_PORT, bytes);
+        // Every reading starts a fresh flight-recorder trace; the proxy
+        // propagates the id into the pub/sub publish so the measurement
+        // can be followed device → proxy → broker → subscriber.
+        let trace = ctx.telemetry().tracer.next_trace_id();
+        ctx.trace_hop(
+            "device.sample",
+            trace,
+            format!(
+                "protocol={:?} quantity={:?} value={value:.3}",
+                self.device.protocol(),
+                self.device.quantity()
+            ),
+        );
+        ctx.telemetry().metrics.incr("device.samples");
+        ctx.send_traced(self.proxy, DEVICE_UPLINK_PORT, bytes, trace);
         self.frames_sent += 1;
     }
 }
@@ -239,11 +253,9 @@ impl Node for CoapFieldNode {
                     }
                 }
             }
-            crate::DEVICE_DOWNLINK_PORT => {
-                // Raw actuation frames (no rpc framing) from /actuate.
-                if self.server.handle_bytes(&pkt.payload).is_ok() {
-                    self.requests_answered += 1;
-                }
+            // Raw actuation frames (no rpc framing) from /actuate.
+            crate::DEVICE_DOWNLINK_PORT if self.server.handle_bytes(&pkt.payload).is_ok() => {
+                self.requests_answered += 1;
             }
             _ => {}
         }
@@ -363,7 +375,12 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(sim.node_ref::<OpcUaFieldNode>(field).unwrap().polls_answered, 1);
+        assert_eq!(
+            sim.node_ref::<OpcUaFieldNode>(field)
+                .unwrap()
+                .polls_answered,
+            1
+        );
     }
 
     #[test]
@@ -396,14 +413,22 @@ mod tests {
                 0,
             ),
         );
-        let poller = sim.add_node("poller", Poller { target: mote, responses: vec![] });
+        let poller = sim.add_node(
+            "poller",
+            Poller {
+                target: mote,
+                responses: vec![],
+            },
+        );
         sim.run_for(SimDuration::from_secs(5));
         let p = sim.node_ref::<Poller>(poller).unwrap();
         assert_eq!(p.responses.len(), 1);
         let msg = CoapMessage::decode(&p.responses[0]).unwrap();
         assert_eq!(msg.code, CoapCode::CONTENT);
         assert_eq!(
-            sim.node_ref::<CoapFieldNode>(mote).unwrap().requests_answered,
+            sim.node_ref::<CoapFieldNode>(mote)
+                .unwrap()
+                .requests_answered,
             1
         );
     }
@@ -411,9 +436,6 @@ mod tests {
     #[test]
     fn unix_time_mapping() {
         assert_eq!(unix_millis_at(1_000, SimTime::ZERO), 1_000);
-        assert_eq!(
-            unix_millis_at(1_000, SimTime::from_secs(2)),
-            3_000
-        );
+        assert_eq!(unix_millis_at(1_000, SimTime::from_secs(2)), 3_000);
     }
 }

@@ -175,10 +175,7 @@ mod tests {
     fn database_registrations_round_trip() {
         for role in [
             ProxyRole::EntityDatabase {
-                entity: EntityNode::building(
-                    BuildingId::new("b1").unwrap(),
-                    uri("sim://n3/model"),
-                ),
+                entity: EntityNode::building(BuildingId::new("b1").unwrap(), uri("sim://n3/model")),
             },
             ProxyRole::Gis,
             ProxyRole::MeasurementArchive,

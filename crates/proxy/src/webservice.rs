@@ -142,12 +142,11 @@ impl WsRequest {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
         let (envelope, format) = decode_with_marker(bytes)?;
         const T: &str = "ws request";
-        let method = Method::parse(envelope.require_str(T, "method")?).ok_or_else(|| {
-            CoreError::Shape {
+        let method =
+            Method::parse(envelope.require_str(T, "method")?).ok_or_else(|| CoreError::Shape {
                 target: T,
                 reason: "unknown method".into(),
-            }
-        })?;
+            })?;
         let mut query = BTreeMap::new();
         if let Some(map) = envelope.require(T, "query")?.as_object() {
             for (k, v) in map {
@@ -362,8 +361,7 @@ impl WsServer {
                 match WsRequest::from_bytes(&body) {
                     Ok(request) => Some(WsCall { id, from, request }),
                     Err(e) => {
-                        let resp =
-                            WsResponse::error(status::BAD_REQUEST, e.to_string());
+                        let resp = WsResponse::error(status::BAD_REQUEST, e.to_string());
                         self.tracker.respond(
                             ctx,
                             from,
@@ -450,9 +448,8 @@ impl WsClient {
     pub fn accept(&mut self, pkt: &Packet) -> Option<WsClientEvent> {
         match self.tracker.accept(pkt)? {
             RpcEvent::ResponseReceived { id, body } => {
-                let response = WsResponse::from_bytes(&body).unwrap_or_else(|e| {
-                    WsResponse::error(status::INTERNAL_ERROR, e.to_string())
-                });
+                let response = WsResponse::from_bytes(&body)
+                    .unwrap_or_else(|e| WsResponse::error(status::INTERNAL_ERROR, e.to_string()));
                 Some(WsClientEvent::Response { id, response })
             }
             _ => None,
@@ -486,16 +483,10 @@ mod tests {
 
     #[test]
     fn post_body_round_trip() {
-        let req = WsRequest::post(
-            "/register",
-            Value::object([("proxy", Value::from("p1"))]),
-        );
+        let req = WsRequest::post("/register", Value::object([("proxy", Value::from("p1"))]));
         let back = WsRequest::from_bytes(&req.to_bytes()).unwrap();
         assert_eq!(back.method, Method::Post);
-        assert_eq!(
-            back.body.get("proxy").and_then(Value::as_str),
-            Some("p1")
-        );
+        assert_eq!(back.body.get("proxy").and_then(Value::as_str), Some("p1"));
     }
 
     #[test]
@@ -515,8 +506,14 @@ mod tests {
     fn malformed_bytes_rejected() {
         assert!(WsRequest::from_bytes(&[]).is_err());
         assert!(WsRequest::from_bytes(&[9, b'{', b'}']).is_err());
-        assert!(WsRequest::from_bytes(&[0, b'{', b'}']).is_err(), "missing members");
-        assert!(WsRequest::from_bytes(&[0, 0xFF, 0xFE]).is_err(), "not utf-8");
+        assert!(
+            WsRequest::from_bytes(&[0, b'{', b'}']).is_err(),
+            "missing members"
+        );
+        assert!(
+            WsRequest::from_bytes(&[0, 0xFF, 0xFE]).is_err(),
+            "not utf-8"
+        );
         assert!(WsResponse::from_bytes(&[0]).is_err());
     }
 
@@ -528,7 +525,10 @@ mod tests {
         assert!(p.matches("/district/d1").is_none());
         assert!(p.matches("/district/d1/area/extra").is_none());
         assert!(p.matches("/other/d1/area").is_none());
-        assert!(p.matches("district/d1/area").is_none(), "missing leading slash");
+        assert!(
+            p.matches("district/d1/area").is_none(),
+            "missing leading slash"
+        );
 
         let root = PathPattern::new("/info");
         assert!(root.matches("/info").is_some());
@@ -591,7 +591,12 @@ mod tests {
     #[test]
     fn request_response_over_network() {
         let mut sim = Simulator::new(SimConfig::default());
-        let server = sim.add_node("server", EchoServer { server: WsServer::new() });
+        let server = sim.add_node(
+            "server",
+            EchoServer {
+                server: WsServer::new(),
+            },
+        );
         let client = sim.add_node(
             "client",
             TestClient {
@@ -615,7 +620,12 @@ mod tests {
     #[test]
     fn unknown_path_is_404_and_xml_works() {
         let mut sim = Simulator::new(SimConfig::default());
-        let server = sim.add_node("server", EchoServer { server: WsServer::new() });
+        let server = sim.add_node(
+            "server",
+            EchoServer {
+                server: WsServer::new(),
+            },
+        );
         let client = sim.add_node(
             "client",
             TestClient {

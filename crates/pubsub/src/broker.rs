@@ -25,6 +25,7 @@ struct PendingDelivery {
     to: simnet::NodeId,
     bytes: Vec<u8>,
     retries_left: u32,
+    trace: u64,
 }
 
 /// Counters the broker exposes for experiments.
@@ -90,6 +91,7 @@ impl BrokerNode {
         topic: &Topic,
         payload: &[u8],
         qos: QoS,
+        trace: u64,
     ) {
         let id = self.next_delivery_id;
         self.next_delivery_id += 1;
@@ -98,9 +100,14 @@ impl BrokerNode {
             topic: topic.clone(),
             payload: payload.to_vec(),
             qos,
+            trace,
         };
         let bytes = packet.encode();
-        ctx.send(to, crate::PUBSUB_PORT, bytes.clone());
+        ctx.telemetry().metrics.incr("pubsub.deliver");
+        if trace != 0 {
+            ctx.trace_hop("broker.deliver", trace, format!("to={to} topic={topic}"));
+        }
+        ctx.send_traced(to, crate::PUBSUB_PORT, bytes.clone(), trace);
         self.stats.delivered += 1;
         if qos == QoS::AtLeastOnce {
             self.pending.insert(
@@ -109,12 +116,17 @@ impl BrokerNode {
                     to,
                     bytes,
                     retries_left: MAX_RETRIES,
+                    trace,
                 },
             );
+            ctx.telemetry()
+                .metrics
+                .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
             ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Publish wire frame field for field
     fn on_publish(
         &mut self,
         ctx: &mut Context<'_>,
@@ -124,8 +136,17 @@ impl BrokerNode {
         payload: Vec<u8>,
         retain: bool,
         qos: QoS,
+        trace: u64,
     ) {
         self.stats.published += 1;
+        ctx.telemetry().metrics.incr("pubsub.publish");
+        if trace != 0 {
+            ctx.trace_hop(
+                "broker.publish",
+                trace,
+                format!("from={from} topic={topic}"),
+            );
+        }
         if qos == QoS::AtLeastOnce {
             ctx.send(from, crate::PUBSUB_PORT, Packet::PubAck { id }.encode());
         }
@@ -143,6 +164,9 @@ impl BrokerNode {
             .into_iter()
             .cloned()
             .collect();
+        ctx.telemetry()
+            .metrics
+            .observe("pubsub.fanout", targets.len() as f64);
         for sub in targets {
             // Effective delivery guarantee: the weaker of the two ends.
             let effective = if qos == QoS::AtLeastOnce && sub.qos == QoS::AtLeastOnce {
@@ -150,7 +174,7 @@ impl BrokerNode {
             } else {
                 QoS::AtMostOnce
             };
-            self.deliver(ctx, sub.node, &topic, &payload, effective);
+            self.deliver(ctx, sub.node, &topic, &payload, effective, trace);
         }
     }
 
@@ -161,6 +185,7 @@ impl BrokerNode {
         filter: TopicFilter,
         qos: QoS,
     ) {
+        ctx.telemetry().metrics.incr("pubsub.subscribe");
         self.subscriptions
             .insert(&filter, Subscription { node: from, qos });
         // Hand the new subscriber any retained messages it now matches.
@@ -171,7 +196,7 @@ impl BrokerNode {
             .cloned()
             .collect();
         for (topic, payload) in matching {
-            self.deliver(ctx, from, &topic, &payload, qos);
+            self.deliver(ctx, from, &topic, &payload, qos, 0);
         }
     }
 }
@@ -194,10 +219,15 @@ impl Node for BrokerNode {
                 payload,
                 retain,
                 qos,
-            } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos),
+                trace,
+            } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos, trace),
             Packet::DeliverAck { id } => {
                 if self.pending.remove(&id).is_some() {
                     self.stats.acked += 1;
+                    ctx.telemetry().metrics.incr("pubsub.ack");
+                    ctx.telemetry()
+                        .metrics
+                        .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
                 }
             }
             Packet::PubAck { .. } | Packet::Deliver { .. } => {
@@ -214,14 +244,18 @@ impl Node for BrokerNode {
         if pending.retries_left == 0 {
             self.pending.remove(&id);
             self.stats.dropped += 1;
+            ctx.telemetry().metrics.incr("pubsub.drop");
+            ctx.telemetry()
+                .metrics
+                .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
             return;
         }
         pending.retries_left -= 1;
-        let (to, bytes) = (pending.to, pending.bytes.clone());
-        ctx.send(to, crate::PUBSUB_PORT, bytes);
+        let (to, bytes, trace) = (pending.to, pending.bytes.clone(), pending.trace);
+        ctx.send_traced(to, crate::PUBSUB_PORT, bytes, trace);
         self.stats.retries += 1;
         self.stats.delivered += 1;
+        ctx.telemetry().metrics.incr("pubsub.retry");
         ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
     }
 }
-

@@ -6,6 +6,7 @@ use simnet::{Context, NodeId, Packet as NetPacket, SimDuration, TimerTag};
 
 use crate::wire::{Packet, QoS};
 use crate::{Topic, TopicFilter, PUBSUB_PORT};
+use simnet::telemetry::{TraceId, NO_TRACE};
 
 /// Publisher-side retry interval for unacked QoS 1 publishes.
 const PUBLISH_RETRY: SimDuration = SimDuration::from_secs(2);
@@ -21,6 +22,9 @@ pub enum PubSubEvent {
         topic: Topic,
         /// The payload.
         payload: Vec<u8>,
+        /// Flight-recorder trace id of the originating publish
+        /// (`telemetry::NO_TRACE` = 0 when untraced).
+        trace: TraceId,
     },
     /// A QoS 1 publish was acknowledged by the broker.
     Published {
@@ -106,6 +110,21 @@ impl PubSubClient {
         retain: bool,
         qos: QoS,
     ) -> u64 {
+        self.publish_traced(ctx, topic, payload, retain, qos, NO_TRACE)
+    }
+
+    /// Like [`PubSubClient::publish`], but stamps the publish with a
+    /// flight-recorder trace id that the broker propagates to every
+    /// matching delivery (see [`PubSubEvent::Message::trace`]).
+    pub fn publish_traced(
+        &mut self,
+        ctx: &mut Context<'_>,
+        topic: Topic,
+        payload: Vec<u8>,
+        retain: bool,
+        qos: QoS,
+        trace: TraceId,
+    ) -> u64 {
         let id = self.next_publish_id;
         self.next_publish_id += 1;
         let bytes = Packet::Publish {
@@ -114,9 +133,10 @@ impl PubSubClient {
             payload,
             retain,
             qos,
+            trace,
         }
         .encode();
-        ctx.send(self.broker, PUBSUB_PORT, bytes.clone());
+        ctx.send_traced(self.broker, PUBSUB_PORT, bytes.clone(), trace);
         if qos == QoS::AtLeastOnce {
             self.pending.insert(
                 id,
@@ -139,11 +159,19 @@ impl PubSubClient {
                 topic,
                 payload,
                 qos,
+                trace,
             } => {
                 if qos == QoS::AtLeastOnce {
                     ctx.send(pkt.src, PUBSUB_PORT, Packet::DeliverAck { id }.encode());
                 }
-                Some(PubSubEvent::Message { topic, payload })
+                if trace != NO_TRACE {
+                    ctx.trace_hop("sub.receive", trace, format!("topic={topic}"));
+                }
+                Some(PubSubEvent::Message {
+                    topic,
+                    payload,
+                    trace,
+                })
             }
             Packet::PubAck { id } => {
                 self.pending.remove(&id)?;
@@ -195,7 +223,7 @@ mod tests {
             self.client.subscribe(ctx, self.filter.clone(), self.qos);
         }
         fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
-            if let Some(PubSubEvent::Message { topic, payload }) = self.client.accept(ctx, &pkt)
+            if let Some(PubSubEvent::Message { topic, payload, .. }) = self.client.accept(ctx, &pkt)
             {
                 self.messages.push((topic, payload));
             }
@@ -296,7 +324,11 @@ mod tests {
             sim.node_ref::<Subscriber>(sub_a).unwrap().messages,
             vec![(topic("d1/b1/temp"), b"21.5".to_vec())]
         );
-        assert!(sim.node_ref::<Subscriber>(sub_b).unwrap().messages.is_empty());
+        assert!(sim
+            .node_ref::<Subscriber>(sub_b)
+            .unwrap()
+            .messages
+            .is_empty());
         let stats = sim.node_ref::<BrokerNode>(broker).unwrap().stats();
         assert_eq!(stats.published, 1);
         assert_eq!(stats.delivered, 1);
@@ -360,7 +392,9 @@ mod tests {
         assert!(stats.retries > 0, "loss must trigger retries: {stats:?}");
         assert!(!sub.messages.is_empty());
         assert_eq!(
-            sim.node_ref::<BrokerNode>(broker).unwrap().pending_deliveries(),
+            sim.node_ref::<BrokerNode>(broker)
+                .unwrap()
+                .pending_deliveries(),
             0,
             "all deliveries settle within the horizon"
         );
@@ -396,7 +430,10 @@ mod tests {
             sim.node_ref::<Subscriber>(late).unwrap().messages,
             vec![(topic("d1/b1/temp"), b"latest".to_vec())]
         );
-        assert_eq!(sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained, 1);
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained,
+            1
+        );
     }
 
     #[test]
@@ -438,8 +475,15 @@ mod tests {
             },
         );
         sim.run_for(SimDuration::from_secs(1));
-        assert!(sim.node_ref::<Subscriber>(late).unwrap().messages.is_empty());
-        assert_eq!(sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained, 0);
+        assert!(sim
+            .node_ref::<Subscriber>(late)
+            .unwrap()
+            .messages
+            .is_empty());
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker).unwrap().stats().retained,
+            0
+        );
     }
 
     #[test]
@@ -475,7 +519,9 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(1));
         assert_eq!(
-            sim.node_ref::<BrokerNode>(broker).unwrap().subscription_count(),
+            sim.node_ref::<BrokerNode>(broker)
+                .unwrap()
+                .subscription_count(),
             0
         );
         sim.add_node(

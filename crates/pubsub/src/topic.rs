@@ -10,9 +10,7 @@ use std::fmt;
 use crate::PubSubError;
 
 fn valid_segment(seg: &str) -> bool {
-    !seg.is_empty()
-        && !seg.contains(['+', '#'])
-        && !seg.chars().any(char::is_whitespace)
+    !seg.is_empty() && !seg.contains(['+', '#']) && !seg.chars().any(char::is_whitespace)
 }
 
 /// A concrete topic, e.g. `district/d1/building/b7/temperature`.

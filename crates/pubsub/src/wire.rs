@@ -66,6 +66,8 @@ pub enum Packet {
         retain: bool,
         /// Delivery guarantee.
         qos: QoS,
+        /// Flight-recorder trace id carried end to end (0 = untraced).
+        trace: u64,
     },
     /// Broker → publisher: QoS 1 publish accepted.
     PubAck {
@@ -82,6 +84,8 @@ pub enum Packet {
         payload: Vec<u8>,
         /// Delivery guarantee of this delivery.
         qos: QoS,
+        /// Flight-recorder trace id of the originating publish.
+        trace: u64,
     },
     /// Subscriber → broker: QoS 1 delivery received.
     DeliverAck {
@@ -111,14 +115,18 @@ impl<'a> Cursor<'a> {
             .bytes
             .get(self.pos)
             .copied()
-            .ok_or(PubSubError::DecodePacket { reason: "truncated" })?;
+            .ok_or(PubSubError::DecodePacket {
+                reason: "truncated",
+            })?;
         self.pos += 1;
         Ok(b)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], PubSubError> {
         if self.pos + n > self.bytes.len() {
-            return Err(PubSubError::DecodePacket { reason: "truncated" });
+            return Err(PubSubError::DecodePacket {
+                reason: "truncated",
+            });
         }
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
@@ -186,6 +194,7 @@ impl Packet {
                 payload,
                 retain,
                 qos,
+                trace,
             } => {
                 out.push(3);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -193,6 +202,7 @@ impl Packet {
                 push_bytes(payload, &mut out);
                 out.push(u8::from(*retain));
                 out.push(qos.byte());
+                out.extend_from_slice(&trace.to_le_bytes());
             }
             Packet::PubAck { id } => {
                 out.push(4);
@@ -203,12 +213,14 @@ impl Packet {
                 topic,
                 payload,
                 qos,
+                trace,
             } => {
                 out.push(5);
                 out.extend_from_slice(&id.to_le_bytes());
                 push_str(topic.as_str(), &mut out);
                 push_bytes(payload, &mut out);
                 out.push(qos.byte());
+                out.extend_from_slice(&trace.to_le_bytes());
             }
             Packet::DeliverAck { id } => {
                 out.push(6);
@@ -240,6 +252,7 @@ impl Packet {
                 payload: c.bytes_field()?,
                 retain: c.u8()? != 0,
                 qos: QoS::from_byte(c.u8()?)?,
+                trace: c.u64()?,
             },
             4 => Packet::PubAck { id: c.u64()? },
             5 => Packet::Deliver {
@@ -247,6 +260,7 @@ impl Packet {
                 topic: Topic::new(c.string()?)?,
                 payload: c.bytes_field()?,
                 qos: QoS::from_byte(c.u8()?)?,
+                trace: c.u64()?,
             },
             6 => Packet::DeliverAck { id: c.u64()? },
             _ => {
@@ -280,6 +294,7 @@ mod tests {
                 payload: b"{\"v\":1}".to_vec(),
                 retain: true,
                 qos: QoS::AtMostOnce,
+                trace: 9,
             },
             Packet::PubAck { id: 42 },
             Packet::Deliver {
@@ -287,6 +302,7 @@ mod tests {
                 topic: Topic::new("a/b/c").unwrap(),
                 payload: vec![],
                 qos: QoS::AtLeastOnce,
+                trace: 0,
             },
             Packet::DeliverAck { id: 7 },
         ];
@@ -303,6 +319,7 @@ mod tests {
             payload: b"xyz".to_vec(),
             retain: false,
             qos: QoS::AtMostOnce,
+            trace: 1,
         }
         .encode();
         for cut in 0..bytes.len() {
@@ -339,6 +356,7 @@ mod tests {
         push_bytes(b"", &mut out);
         out.push(0);
         out.push(0);
+        out.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             Packet::decode(&out),
             Err(PubSubError::InvalidTopic { .. })

@@ -1,75 +1,97 @@
-//! Property-based tests on topics, filters, the subscription trie and
-//! the wire codec.
+//! Randomized tests on topics, filters, the subscription trie and the
+//! wire codec, driven by `simnet::rng::DeterministicRng` (reproducible,
+//! no external property-testing dependency).
 
-use proptest::prelude::*;
-use pubsub::{SubscriptionTrie, Topic, TopicFilter, WirePacket};
+use pubsub::{QoS, SubscriptionTrie, Topic, TopicFilter, WirePacket};
+use simnet::rng::DeterministicRng;
 
-fn topic_strategy() -> impl Strategy<Value = Topic> {
-    prop::collection::vec("[a-z0-9]{1,6}", 1..6)
-        .prop_map(|segs| Topic::new(segs.join("/")).expect("valid by construction"))
+const CASES: usize = 512;
+
+fn segment(rng: &mut DeterministicRng) -> String {
+    let chars = b"abcxyz0189";
+    let len = rng.next_range(1, 6) as usize;
+    (0..len)
+        .map(|_| chars[rng.next_bounded(chars.len() as u64) as usize] as char)
+        .collect()
 }
 
-/// A filter derived from a topic: keep/wildcard each segment, maybe a
-/// trailing `#`.
-fn filter_strategy() -> impl Strategy<Value = TopicFilter> {
-    (
-        prop::collection::vec(("[a-z0-9]{1,6}", 0u8..3), 1..6),
-        any::<bool>(),
-    )
-        .prop_map(|(segs, hash)| {
-            let mut parts: Vec<String> = segs
-                .into_iter()
-                .map(|(text, kind)| match kind {
-                    0 => text,
-                    _ => "+".to_owned(),
-                })
-                .collect();
-            if hash {
-                parts.push("#".to_owned());
+fn rand_topic(rng: &mut DeterministicRng) -> Topic {
+    let n = rng.next_range(1, 5);
+    let segs: Vec<String> = (0..n).map(|_| segment(rng)).collect();
+    Topic::new(segs.join("/")).expect("valid by construction")
+}
+
+/// A filter with random segments, `+` wildcards, and maybe a trailing `#`.
+fn rand_filter(rng: &mut DeterministicRng) -> TopicFilter {
+    let n = rng.next_range(1, 5);
+    let mut parts: Vec<String> = (0..n)
+        .map(|_| {
+            if rng.next_bounded(3) == 0 {
+                "+".to_owned()
+            } else {
+                segment(rng)
             }
-            TopicFilter::new(parts.join("/")).expect("valid by construction")
         })
+        .collect();
+    if rng.chance(0.5) {
+        parts.push("#".to_owned());
+    }
+    TopicFilter::new(parts.join("/")).expect("valid by construction")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn any_text(rng: &mut DeterministicRng, max_len: usize) -> String {
+    let len = rng.next_bounded(max_len as u64 + 1) as usize;
+    (0..len)
+        .filter_map(|_| char::from_u32(rng.next_bounded(0x500) as u32))
+        .collect()
+}
 
-    #[test]
-    fn every_topic_matches_itself_and_hash(topic in topic_strategy()) {
+#[test]
+fn every_topic_matches_itself_and_hash() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0001);
+    for _ in 0..CASES {
+        let topic = rand_topic(&mut rng);
         let exact: TopicFilter = topic.clone().into();
-        prop_assert!(exact.matches(&topic));
-        prop_assert!(TopicFilter::new("#").expect("valid").matches(&topic));
+        assert!(exact.matches(&topic));
+        assert!(TopicFilter::new("#").expect("valid").matches(&topic));
     }
+}
 
-    #[test]
-    fn trie_agrees_with_linear_matching(
-        filters in prop::collection::vec(filter_strategy(), 0..24),
-        topics in prop::collection::vec(topic_strategy(), 1..8),
-    ) {
+#[test]
+fn trie_agrees_with_linear_matching() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0002);
+    for _ in 0..CASES / 4 {
+        let filters: Vec<TopicFilter> = (0..rng.next_bounded(24))
+            .map(|_| rand_filter(&mut rng))
+            .collect();
         let mut trie = SubscriptionTrie::new();
         for (i, f) in filters.iter().enumerate() {
             trie.insert(f, i);
         }
-        for topic in &topics {
-            let mut from_trie: Vec<usize> =
-                trie.matches(topic).into_iter().copied().collect();
+        for _ in 0..rng.next_range(1, 7) {
+            let topic = rand_topic(&mut rng);
+            let mut from_trie: Vec<usize> = trie.matches(&topic).into_iter().copied().collect();
             let mut linear: Vec<usize> = filters
                 .iter()
                 .enumerate()
-                .filter(|(_, f)| f.matches(topic))
+                .filter(|(_, f)| f.matches(&topic))
                 .map(|(i, _)| i)
                 .collect();
             from_trie.sort_unstable();
             linear.sort_unstable();
-            prop_assert_eq!(from_trie, linear, "topic {}", topic);
+            assert_eq!(from_trie, linear, "topic {topic}");
         }
     }
+}
 
-    #[test]
-    fn trie_insert_remove_is_identity(
-        filters in prop::collection::vec(filter_strategy(), 1..16),
-        topic in topic_strategy(),
-    ) {
+#[test]
+fn trie_insert_remove_is_identity() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0003);
+    for _ in 0..CASES / 4 {
+        let filters: Vec<TopicFilter> = (0..rng.next_range(1, 15))
+            .map(|_| rand_filter(&mut rng))
+            .collect();
+        let topic = rand_topic(&mut rng);
         let mut trie = SubscriptionTrie::new();
         for (i, f) in filters.iter().enumerate() {
             trie.insert(f, i);
@@ -80,52 +102,71 @@ proptest! {
             trie.insert(f, usize::MAX);
         }
         for f in &filters {
-            prop_assert!(trie.remove(f, &usize::MAX));
+            assert!(trie.remove(f, &usize::MAX));
         }
         let after: Vec<usize> = trie.matches(&topic).into_iter().copied().collect();
-        prop_assert_eq!(before, after);
-        prop_assert_eq!(trie.len(), filters.len());
+        assert_eq!(before, after);
+        assert_eq!(trie.len(), filters.len());
     }
+}
 
-    #[test]
-    fn remove_where_removes_exactly_the_predicate(
-        filter in filter_strategy(),
-        values in prop::collection::vec(0usize..10, 1..10),
-    ) {
+#[test]
+fn remove_where_removes_exactly_the_predicate() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0004);
+    for _ in 0..CASES / 4 {
+        let filter = rand_filter(&mut rng);
+        let values: Vec<usize> = (0..rng.next_range(1, 9))
+            .map(|_| rng.next_bounded(10) as usize)
+            .collect();
         let mut trie = SubscriptionTrie::new();
         for &v in &values {
             trie.insert(&filter, v);
         }
         let evens = values.iter().filter(|v| *v % 2 == 0).count();
         let removed = trie.remove_where(&filter, |v| v % 2 == 0);
-        prop_assert_eq!(removed, evens);
-        prop_assert_eq!(trie.len(), values.len() - evens);
+        assert_eq!(removed, evens);
+        assert_eq!(trie.len(), values.len() - evens);
     }
+}
 
-    #[test]
-    fn wire_packets_round_trip(
-        id in any::<u64>(),
-        topic in topic_strategy(),
-        payload in prop::collection::vec(any::<u8>(), 0..256),
-        retain in any::<bool>(),
-    ) {
+#[test]
+fn wire_packets_round_trip() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0005);
+    for _ in 0..CASES {
+        let payload: Vec<u8> = (0..rng.next_bounded(256))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         let packet = WirePacket::Publish {
-            id,
-            topic,
+            id: rng.next_u64(),
+            topic: rand_topic(&mut rng),
             payload,
-            retain,
-            qos: pubsub::QoS::AtLeastOnce,
+            retain: rng.chance(0.5),
+            qos: QoS::AtLeastOnce,
+            trace: rng.next_u64(),
         };
-        prop_assert_eq!(WirePacket::decode(&packet.encode()).expect("round trip"), packet);
+        assert_eq!(
+            WirePacket::decode(&packet.encode()).expect("round trip"),
+            packet
+        );
     }
+}
 
-    #[test]
-    fn wire_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn wire_decoder_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0006);
+    for _ in 0..CASES {
+        let bytes: Vec<u8> = (0..rng.next_bounded(128))
+            .map(|_| rng.next_u64() as u8)
+            .collect();
         let _ = WirePacket::decode(&bytes);
     }
+}
 
-    #[test]
-    fn grammar_rejections_never_panic(text in "\\PC{0,32}") {
+#[test]
+fn grammar_rejections_never_panic() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_0007);
+    for _ in 0..CASES {
+        let text = any_text(&mut rng, 32);
         let _ = Topic::new(text.clone());
         let _ = TopicFilter::new(text);
     }

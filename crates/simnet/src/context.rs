@@ -8,6 +8,7 @@
 use crate::node::{NodeId, Port, TimerTag};
 use crate::rng::DeterministicRng;
 use crate::time::{SimDuration, SimTime};
+use telemetry::{Telemetry, TraceId, NO_TRACE};
 
 /// Handle to a pending timer, usable with [`Context::cancel_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -19,6 +20,7 @@ pub(crate) enum Effect {
         dst: NodeId,
         port: Port,
         payload: Vec<u8>,
+        trace: TraceId,
     },
     SetTimer {
         at: SimTime,
@@ -39,6 +41,7 @@ pub struct Context<'a> {
     pub(crate) rng: &'a mut DeterministicRng,
     pub(crate) effects: &'a mut Vec<Effect>,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) telemetry: &'a Telemetry,
 }
 
 impl Context<'_> {
@@ -57,10 +60,34 @@ impl Context<'_> {
         self.rng
     }
 
+    /// The simulation-wide telemetry handle (metrics + tracer). State is
+    /// behind interior mutability, so `&self` suffices for recording.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
+    }
+
     /// Queues a packet to `dst` on `port`. Delivery time and loss are
     /// decided by the link model between the two nodes.
     pub fn send(&mut self, dst: NodeId, port: Port, payload: Vec<u8>) {
-        self.effects.push(Effect::Send { dst, port, payload });
+        self.send_traced(dst, port, payload, NO_TRACE);
+    }
+
+    /// Like [`Context::send`], but tags the packet with a flight-recorder
+    /// trace id so its journey can be reconstructed hop by hop.
+    pub fn send_traced(&mut self, dst: NodeId, port: Port, payload: Vec<u8>, trace: TraceId) {
+        self.effects.push(Effect::Send {
+            dst,
+            port,
+            payload,
+            trace,
+        });
+    }
+
+    /// Records a flight-recorder hop at the current node and time.
+    pub fn trace_hop(&self, kind: &str, trace: TraceId, detail: impl Into<String>) {
+        self.telemetry
+            .tracer
+            .record(self.now.as_nanos(), self.node.0, kind, trace, detail);
     }
 
     /// Schedules a timer to fire `after` from now, carrying `tag`.

@@ -57,3 +57,6 @@ pub use link::{LinkModel, LinkModelBuilder};
 pub use node::{Node, NodeId, Packet, Port, TimerTag};
 pub use sim::{NetMetrics, NodeMetrics, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
+// Re-export the telemetry bundle so downstream crates can name it
+// without a separate dependency edge.
+pub use telemetry::{self, Telemetry};

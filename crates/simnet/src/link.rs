@@ -228,7 +228,10 @@ mod tests {
         for _ in 0..500 {
             let d = link.sample_delay(1, &mut rng).unwrap();
             assert!(d >= SimDuration::from_millis(7), "{d}");
-            assert!(d <= SimDuration::from_millis(13) + SimDuration::from_nanos(200), "{d}");
+            assert!(
+                d <= SimDuration::from_millis(13) + SimDuration::from_nanos(200),
+                "{d}"
+            );
         }
     }
 

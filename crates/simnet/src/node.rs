@@ -66,6 +66,10 @@ pub struct Packet {
     pub port: Port,
     /// The opaque payload bytes (already encoded by the sender).
     pub payload: Vec<u8>,
+    /// Flight-recorder trace id carried with the packet
+    /// (`telemetry::NO_TRACE` = 0 when the packet is untraced). Set via
+    /// [`Context::send_traced`](crate::Context::send_traced).
+    pub trace: u64,
 }
 
 impl Packet {
@@ -131,6 +135,7 @@ mod tests {
             dst: NodeId(1),
             port: Port::new(5),
             payload: vec![0; 10],
+            trace: 0,
         };
         assert_eq!(pkt.wire_size(), 42);
     }

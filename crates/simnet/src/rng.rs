@@ -53,10 +53,7 @@ impl DeterministicRng {
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -130,8 +127,7 @@ impl DeterministicRng {
             let u = self.next_f64();
             if u > 0.0 {
                 let v = self.next_f64();
-                return (-2.0 * u.ln()).sqrt()
-                    * (2.0 * std::f64::consts::PI * v).cos();
+                return (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos();
             }
         }
     }

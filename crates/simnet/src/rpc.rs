@@ -199,14 +199,7 @@ impl RequestTracker {
     }
 
     /// Sends a response for a previously received request id.
-    pub fn respond(
-        &self,
-        ctx: &mut Context<'_>,
-        to: NodeId,
-        port: Port,
-        id: u64,
-        body: &[u8],
-    ) {
+    pub fn respond(&self, ctx: &mut Context<'_>, to: NodeId, port: Port, id: u64, body: &[u8]) {
         ctx.send(to, port, encode_response(id, body));
     }
 
@@ -305,8 +298,8 @@ mod tests {
 
     // Tracker behaviour is exercised end-to-end in the integration test
     // below using a real simulator.
-    use crate::{Node, SimConfig, Simulator};
     use crate::link::LinkModel;
+    use crate::{Node, SimConfig, Simulator};
 
     struct Server {
         tracker: RequestTracker,
@@ -314,8 +307,12 @@ mod tests {
 
     impl Node for Server {
         fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
-            if let Some(RpcEvent::IncomingRequest { id, from, port, body }) =
-                self.tracker.accept(&pkt)
+            if let Some(RpcEvent::IncomingRequest {
+                id,
+                from,
+                port,
+                body,
+            }) = self.tracker.accept(&pkt)
             {
                 let mut reply = body;
                 reply.reverse();
@@ -450,6 +447,7 @@ mod tests {
             dst: NodeId::from_index(0),
             port: Port::new(1),
             payload: encode_response(99, b"late"),
+            trace: 0,
         };
         assert!(tracker.accept(&pkt).is_none());
     }

@@ -8,6 +8,7 @@ use crate::link::LinkModel;
 use crate::node::{Node, NodeId, Packet, Port, TimerTag};
 use crate::rng::DeterministicRng;
 use crate::time::{SimDuration, SimTime};
+use telemetry::Telemetry;
 
 /// Configuration of a [`Simulator`].
 #[derive(Debug, Clone)]
@@ -79,6 +80,7 @@ pub struct Simulator {
     cancelled_timers: HashSet<u64>,
     next_timer_id: u64,
     metrics: NetMetrics,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -108,6 +110,7 @@ impl Simulator {
             cancelled_timers: HashSet::new(),
             next_timer_id: 0,
             metrics: NetMetrics::default(),
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -134,6 +137,7 @@ impl Simulator {
             "duplicate node name {name:?}"
         );
         let id = NodeId(self.slots.len() as u32);
+        self.telemetry.tracer.register_node(id.0, &name);
         let rng = self.root_rng.derive(id.0 as u64);
         self.slots.push(Slot {
             name: name.clone(),
@@ -203,6 +207,7 @@ impl Simulator {
                 dst,
                 port,
                 payload,
+                trace: 0,
             }),
         );
     }
@@ -225,6 +230,14 @@ impl Simulator {
     /// Whole-network counters.
     pub fn metrics(&self) -> NetMetrics {
         self.metrics
+    }
+
+    /// The simulation-wide telemetry bundle (metrics registry, tracer).
+    ///
+    /// The handle is clonable and internally shared: a clone taken before
+    /// a run observes everything recorded during it.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Traffic counters of one node.
@@ -253,6 +266,7 @@ impl Simulator {
         self.metrics.events_processed += 1;
         match event.kind {
             EventKind::Start(id) => {
+                self.telemetry.metrics.incr("net.node_starts");
                 self.dispatch(id, |node, ctx| node.on_start(ctx));
             }
             EventKind::Deliver(pkt) => {
@@ -263,6 +277,16 @@ impl Simulator {
                     self.slots[dst.index()].metrics.bytes_received += wire;
                     self.metrics.packets_delivered += 1;
                     self.metrics.bytes_delivered += wire;
+                    self.telemetry.metrics.incr("net.packets_delivered");
+                    if pkt.trace != 0 {
+                        self.telemetry.tracer.record(
+                            self.now.as_nanos(),
+                            dst.0,
+                            "net.deliver",
+                            pkt.trace,
+                            format!("from={} port={} bytes={}", pkt.src, pkt.port, wire),
+                        );
+                    }
                     self.dispatch(dst, |node, ctx| node.on_packet(ctx, pkt));
                 }
             }
@@ -271,7 +295,10 @@ impl Simulator {
                 tag,
                 timer_id,
             } => {
-                if !self.cancelled_timers.remove(&timer_id) {
+                if self.cancelled_timers.remove(&timer_id) {
+                    self.telemetry.metrics.incr("net.timers_cancelled");
+                } else {
+                    self.telemetry.metrics.incr("net.timers_fired");
                     self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
                 }
             }
@@ -308,7 +335,10 @@ impl Simulator {
         let mut n = 0;
         while self.step().is_some() {
             n += 1;
-            assert!(n <= max_events, "simulation did not quiesce within {max_events} events");
+            assert!(
+                n <= max_events,
+                "simulation did not quiesce within {max_events} events"
+            );
         }
         n
     }
@@ -318,16 +348,8 @@ impl Simulator {
         self.queue.len()
     }
 
-    fn dispatch(
-        &mut self,
-        id: NodeId,
-        f: impl FnOnce(&mut dyn Node, &mut Context<'_>),
-    ) {
-        let Some(mut node) = self
-            .slots
-            .get_mut(id.index())
-            .and_then(|s| s.node.take())
-        else {
+    fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Context<'_>)) {
+        let Some(mut node) = self.slots.get_mut(id.index()).and_then(|s| s.node.take()) else {
             return;
         };
         let mut effects = Vec::new();
@@ -339,6 +361,7 @@ impl Simulator {
                 rng: &mut slot.rng,
                 effects: &mut effects,
                 next_timer_id: &mut self.next_timer_id,
+                telemetry: &self.telemetry,
             };
             f(node.as_mut(), &mut ctx);
         }
@@ -349,18 +372,37 @@ impl Simulator {
     fn apply_effects(&mut self, src: NodeId, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
-                Effect::Send { dst, port, payload } => {
+                Effect::Send {
+                    dst,
+                    port,
+                    payload,
+                    trace,
+                } => {
                     let pkt = Packet {
                         src,
                         dst,
                         port,
                         payload,
+                        trace,
                     };
                     let wire = pkt.wire_size() as u64;
                     let m = &mut self.slots[src.index()].metrics;
                     m.packets_sent += 1;
                     m.bytes_sent += wire;
                     self.metrics.packets_sent += 1;
+                    self.telemetry.metrics.incr("net.packets_sent");
+                    self.telemetry
+                        .metrics
+                        .observe("net.wire_bytes", wire as f64);
+                    if trace != 0 {
+                        self.telemetry.tracer.record(
+                            self.now.as_nanos(),
+                            src.0,
+                            "net.send",
+                            trace,
+                            format!("to={} port={} bytes={}", dst, port, wire),
+                        );
+                    }
                     let model = if src == dst {
                         // Loopback delivery is ideal.
                         LinkModel::ideal()
@@ -369,12 +411,24 @@ impl Simulator {
                     };
                     match model.sample_delay(pkt.wire_size(), &mut self.link_rng) {
                         Some(delay) => {
-                            self.queue
-                                .push(self.now + delay, EventKind::Deliver(pkt));
+                            self.telemetry
+                                .metrics
+                                .observe_ns("net.link_delay_ns", delay.as_nanos());
+                            self.queue.push(self.now + delay, EventKind::Deliver(pkt));
                         }
                         None => {
                             self.slots[src.index()].metrics.packets_lost += 1;
                             self.metrics.packets_lost += 1;
+                            self.telemetry.metrics.incr("net.packets_lost");
+                            if pkt.trace != 0 {
+                                self.telemetry.tracer.record(
+                                    self.now.as_nanos(),
+                                    src.0,
+                                    "net.drop",
+                                    pkt.trace,
+                                    format!("to={} port={}", pkt.dst, pkt.port),
+                                );
+                            }
                         }
                     }
                 }
@@ -473,7 +527,10 @@ mod tests {
         let _tx = sim.add_node("tx", Sender { dst: rx, n: 1 });
         sim.run_until_idle(1000);
         let rx = sim.node_ref::<Counter>(rx).unwrap();
-        assert_eq!(rx.packets[0].0, SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(
+            rx.packets[0].0,
+            SimTime::ZERO + SimDuration::from_millis(10)
+        );
     }
 
     #[test]

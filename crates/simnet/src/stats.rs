@@ -5,15 +5,23 @@
 //! simulation-specific; the type lives in `simnet` because every layer of
 //! the stack reports through it.
 
+use std::cell::RefCell;
 use std::fmt;
 
 use crate::time::SimDuration;
 
 /// An online collection of `f64` observations with exact quantiles.
 ///
-/// Observations are stored; `percentile` sorts lazily on demand. Intended
-/// for experiment harnesses (thousands to millions of points), not for
-/// unbounded telemetry.
+/// Observations are stored; `percentile` sorts lazily on the first query
+/// and caches the sorted order until the next `record`, so repeated
+/// percentile reads (e.g. a p50/p95/p99 report line) sort only once.
+///
+/// **Memory caveat:** every observation is kept, so memory grows without
+/// bound with the number of points. This is intended for experiment
+/// harnesses reporting *exact* quantiles over thousands to a few million
+/// points. Hot paths that record unboundedly should use the fixed-memory
+/// log-bucketed [`telemetry::Histogram`](telemetry::metrics::Histogram)
+/// (±6% quantile error) instead.
 ///
 /// ```
 /// use simnet::stats::Summary;
@@ -22,10 +30,21 @@ use crate::time::SimDuration;
 /// assert_eq!(s.mean(), 3.0);
 /// assert_eq!(s.percentile(50.0), 3.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     name: String,
     values: Vec<f64>,
+    /// Sorted copy of `values`, built lazily by `percentile` and
+    /// invalidated by `record`. Interior mutability keeps `percentile`
+    /// callable through `&self` (as the `Display` impl requires).
+    sorted: RefCell<Option<Vec<f64>>>,
+}
+
+impl PartialEq for Summary {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is derived state; equality is name + observations.
+        self.name == other.name && self.values == other.values
+    }
 }
 
 impl Summary {
@@ -34,6 +53,7 @@ impl Summary {
         Summary {
             name: name.into(),
             values: Vec::new(),
+            sorted: RefCell::new(None),
         }
     }
 
@@ -50,6 +70,7 @@ impl Summary {
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "NaN observation");
         self.values.push(value);
+        *self.sorted.get_mut() = None;
     }
 
     /// Records a duration in milliseconds.
@@ -78,7 +99,11 @@ impl Summary {
 
     /// Smallest observation, or 0 for an empty summary.
     pub fn min(&self) -> f64 {
-        self.values.iter().copied().fold(f64::INFINITY, f64::min).min_or_zero()
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min_or_zero()
     }
 
     /// Largest observation, or 0 for an empty summary.
@@ -101,12 +126,8 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - m) * (v - m))
-            .sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
@@ -122,8 +143,12 @@ impl Summary {
         if self.values.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut sorted = self.values.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN recorded"));
+            sorted
+        });
         let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
         sorted[rank]
     }
@@ -260,6 +285,23 @@ mod tests {
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(100.0), 100.0);
         assert!((s.median() - 50.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn percentile_cache_invalidates_on_record() {
+        let mut s = Summary::new("x");
+        s.record(1.0);
+        assert_eq!(s.percentile(100.0), 1.0);
+        // A record after a percentile query must invalidate the cached
+        // sorted order.
+        s.record(5.0);
+        assert_eq!(s.percentile(100.0), 5.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+        // Cache state does not affect equality.
+        let mut other = Summary::new("x");
+        other.record(1.0);
+        other.record(5.0);
+        assert_eq!(s, other);
     }
 
     #[test]

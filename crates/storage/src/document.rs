@@ -122,9 +122,7 @@ impl DocumentStore {
                 .get(&index_key(value))
                 .map(|ids| {
                     ids.iter()
-                        .filter_map(|id| {
-                            self.docs.get(id).map(|d| (id.as_str(), d))
-                        })
+                        .filter_map(|id| self.docs.get(id).map(|d| (id.as_str(), d)))
                         .collect()
                 })
                 .unwrap_or_default()
@@ -138,10 +136,7 @@ impl DocumentStore {
     fn index_doc(&mut self, id: &str, doc: &Value) {
         for (field, index) in self.indexes.iter_mut() {
             if let Some(v) = doc.get(field) {
-                index
-                    .entry(index_key(v))
-                    .or_default()
-                    .push(id.to_owned());
+                index.entry(index_key(v)).or_default().push(id.to_owned());
             }
         }
     }
@@ -160,7 +155,10 @@ mod tests {
         let mut s = DocumentStore::new();
         s.insert("a", doc("building", 1)).unwrap();
         assert_eq!(s.len(), 1);
-        assert_eq!(s.get("a").unwrap().get("n").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            s.get("a").unwrap().get("n").and_then(Value::as_i64),
+            Some(1)
+        );
         assert!(s.insert("a", doc("building", 2)).is_err(), "duplicate id");
         let old = s.remove("a").unwrap();
         assert_eq!(old.get("n").and_then(Value::as_i64), Some(1));
@@ -228,8 +226,10 @@ mod tests {
     #[test]
     fn index_distinguishes_value_types() {
         let mut s = DocumentStore::new();
-        s.insert("a", Value::object([("k", Value::from(1))])).unwrap();
-        s.insert("b", Value::object([("k", Value::from("1"))])).unwrap();
+        s.insert("a", Value::object([("k", Value::from(1))]))
+            .unwrap();
+        s.insert("b", Value::object([("k", Value::from("1"))]))
+            .unwrap();
         s.create_index("k");
         assert_eq!(s.find_eq("k", &Value::from(1)).len(), 1);
         assert_eq!(s.find_eq("k", &Value::from("1")).len(), 1);

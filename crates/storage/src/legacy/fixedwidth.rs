@@ -260,9 +260,7 @@ mod tests {
     #[test]
     fn oversized_value_rejected() {
         let l = layout();
-        assert!(l
-            .encode_record(&["WAY-TOO-LONG-NODE", "SUB", "1"])
-            .is_err());
+        assert!(l.encode_record(&["WAY-TOO-LONG-NODE", "SUB", "1"]).is_err());
     }
 
     #[test]

@@ -165,10 +165,8 @@ mod tests {
 
     #[test]
     fn comments_and_blanks_skipped() {
-        let doc = IniDocument::parse(
-            "# comment\n; another\n\n[s]\n  key = value with spaces  \n",
-        )
-        .unwrap();
+        let doc = IniDocument::parse("# comment\n; another\n\n[s]\n  key = value with spaces  \n")
+            .unwrap();
         assert_eq!(doc.get("s", "key"), Some("value with spaces"));
     }
 

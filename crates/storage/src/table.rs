@@ -296,11 +296,7 @@ impl Table {
         if row.len() != self.columns.len() {
             return Err(StorageError::SchemaMismatch {
                 table: self.name.clone(),
-                reason: format!(
-                    "expected {} cells, got {}",
-                    self.columns.len(),
-                    row.len()
-                ),
+                reason: format!("expected {} cells, got {}", self.columns.len(), row.len()),
             });
         }
         for (cell, col) in row.iter().zip(&self.columns) {
@@ -352,12 +348,11 @@ impl Table {
                 })
                 .unwrap_or_default())
         } else {
-            Ok(self
-                .scan(&Predicate::Compare {
-                    column: column.to_owned(),
-                    op: CompareOp::Eq,
-                    literal: literal.clone(),
-                }))
+            Ok(self.scan(&Predicate::Compare {
+                column: column.to_owned(),
+                op: CompareOp::Eq,
+                literal: literal.clone(),
+            }))
         }
     }
 
@@ -492,14 +487,8 @@ mod tests {
     fn null_never_matches() {
         let t = rooms();
         // r4 has NULL area: neither < nor >= anything.
-        assert_eq!(
-            t.scan(&Predicate::cmp("area", CompareOp::Ge, 0.0)).len(),
-            3
-        );
-        assert_eq!(
-            t.scan(&Predicate::cmp("area", CompareOp::Lt, 1e9)).len(),
-            3
-        );
+        assert_eq!(t.scan(&Predicate::cmp("area", CompareOp::Ge, 0.0)).len(), 3);
+        assert_eq!(t.scan(&Predicate::cmp("area", CompareOp::Lt, 1e9)).len(), 3);
     }
 
     #[test]

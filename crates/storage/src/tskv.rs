@@ -10,6 +10,8 @@
 
 use std::collections::BTreeMap;
 
+use telemetry::Registry;
+
 /// How a downsampling bucket combines its points.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Aggregate {
@@ -57,9 +59,7 @@ impl Aggregate {
     fn apply(self, points: &[(i64, f64)]) -> f64 {
         debug_assert!(!points.is_empty());
         match self {
-            Aggregate::Mean => {
-                points.iter().map(|(_, v)| v).sum::<f64>() / points.len() as f64
-            }
+            Aggregate::Mean => points.iter().map(|(_, v)| v).sum::<f64>() / points.len() as f64,
             Aggregate::Min => points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min),
             Aggregate::Max => points
                 .iter()
@@ -75,15 +75,31 @@ impl Aggregate {
 /// A per-series, in-memory time-series database.
 ///
 /// See the [crate-level example](crate) for typical use.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeriesStore {
     series: BTreeMap<String, BTreeMap<i64, f64>>,
+    /// Optional metrics sink (see [`TimeSeriesStore::attach_metrics`]).
+    metrics: Option<Registry>,
+}
+
+impl PartialEq for TimeSeriesStore {
+    fn eq(&self, other: &Self) -> bool {
+        // The metrics sink is observability plumbing, not data.
+        self.series == other.series
+    }
 }
 
 impl TimeSeriesStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         TimeSeriesStore::default()
+    }
+
+    /// Attaches a metrics registry; the store then counts appends and
+    /// scans (`tskv.append`, `tskv.scan`) and sizes result sets
+    /// (`tskv.scan_points`) into it.
+    pub fn attach_metrics(&mut self, metrics: Registry) {
+        self.metrics = Some(metrics);
     }
 
     /// Inserts a point; a point at the same timestamp is overwritten
@@ -93,6 +109,9 @@ impl TimeSeriesStore {
             .entry(series.to_owned())
             .or_default()
             .insert(timestamp_millis, value);
+        if let Some(metrics) = &self.metrics {
+            metrics.incr("tskv.append");
+        }
     }
 
     /// Number of points in `series` (0 for unknown series).
@@ -126,12 +145,15 @@ impl TimeSeriesStore {
 
     /// All points with `from <= t < to`, in chronological order.
     pub fn range(&self, series: &str, from: i64, to: i64) -> Vec<(i64, f64)> {
-        match self.series.get(series) {
-            Some(points) if from < to => {
-                points.range(from..to).map(|(&t, &v)| (t, v)).collect()
-            }
+        let out: Vec<(i64, f64)> = match self.series.get(series) {
+            Some(points) if from < to => points.range(from..to).map(|(&t, &v)| (t, v)).collect(),
             _ => Vec::new(),
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.incr("tskv.scan");
+            metrics.observe("tskv.scan_points", out.len() as f64);
         }
+        out
     }
 
     /// Bucketed aggregates over `[from, to)` with buckets of
@@ -320,6 +342,24 @@ mod tests {
             assert_eq!(Aggregate::parse(a.as_str()), Some(a));
         }
         assert_eq!(Aggregate::parse("median"), None);
+    }
+
+    #[test]
+    fn attached_metrics_count_appends_and_scans() {
+        let mut s = TimeSeriesStore::new();
+        let registry = Registry::new();
+        s.attach_metrics(registry.clone());
+        s.insert("s", 1, 1.0);
+        s.insert("s", 2, 2.0);
+        assert_eq!(s.range("s", 0, 10).len(), 2);
+        assert_eq!(registry.counter("tskv.append"), 2);
+        assert_eq!(registry.counter("tskv.scan"), 1);
+        assert_eq!(registry.histogram("tskv.scan_points").unwrap().count, 1);
+        // Metrics plumbing is invisible to equality.
+        let mut bare = TimeSeriesStore::new();
+        bare.insert("s", 1, 1.0);
+        bare.insert("s", 2, 2.0);
+        assert_eq!(s, bare);
     }
 
     #[test]

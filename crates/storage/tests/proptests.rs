@@ -1,43 +1,73 @@
-//! Property-based tests on the storage substrates.
+//! Randomized tests on the storage substrates, driven by
+//! `simnet::rng::DeterministicRng` (reproducible, no external
+//! property-testing dependency).
 
-use proptest::prelude::*;
+use simnet::rng::DeterministicRng;
 use storage::legacy::csv::CsvDocument;
 use storage::legacy::fixedwidth::{FieldSpec, RecordLayout};
 use storage::legacy::ini::IniDocument;
 use storage::table::{Cell, Column, ColumnType, CompareOp, Predicate, Table};
 use storage::tskv::{Aggregate, TimeSeriesStore};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn tskv_range_equals_filter(
-        points in prop::collection::vec((any::<i32>(), -1e6f64..1e6), 0..200),
-        from in any::<i32>(),
-        len in 0i64..1_000_000,
-    ) {
+fn string_from(rng: &mut DeterministicRng, charset: &str, lo: usize, hi: usize) -> String {
+    let chars: Vec<char> = charset.chars().collect();
+    let len = rng.next_range(lo as u64, hi as u64) as usize;
+    (0..len)
+        .map(|_| chars[rng.next_bounded(chars.len() as u64) as usize])
+        .collect()
+}
+
+/// Printable text including quotes, commas, newlines and non-ASCII.
+fn printable_string(rng: &mut DeterministicRng, max_len: usize) -> String {
+    let len = rng.next_bounded(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| match rng.next_bounded(8) {
+            0 => '"',
+            1 => ',',
+            2..=5 => char::from_u32(0x20 + rng.next_bounded(0x5f) as u32).unwrap(),
+            6 => char::from_u32(0x00A1 + rng.next_bounded(0x500) as u32).unwrap(),
+            _ => ['é', '✓', '中', 'Ω'][rng.next_bounded(4) as usize],
+        })
+        .collect()
+}
+
+#[test]
+fn tskv_range_equals_filter() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0001);
+    for _ in 0..CASES / 4 {
+        let points: Vec<(i64, f64)> = (0..rng.next_bounded(200))
+            .map(|_| (rng.next_u64() as i32 as i64, rng.next_f64_range(-1e6, 1e6)))
+            .collect();
         let mut store = TimeSeriesStore::new();
         let mut reference = std::collections::BTreeMap::new();
         for &(t, v) in &points {
-            store.insert("s", i64::from(t), v);
-            reference.insert(i64::from(t), v);
+            store.insert("s", t, v);
+            reference.insert(t, v);
         }
-        let from = i64::from(from);
-        let to = from + len;
+        let from = rng.next_u64() as i32 as i64;
+        let to = from + rng.next_bounded(1_000_000) as i64;
         let got = store.range("s", from, to);
-        let expected: Vec<(i64, f64)> = reference
-            .range(from..to)
-            .map(|(&t, &v)| (t, v))
-            .collect();
-        prop_assert_eq!(got, expected);
-        prop_assert_eq!(store.series_len("s"), reference.len());
+        let expected: Vec<(i64, f64)> = reference.range(from..to).map(|(&t, &v)| (t, v)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(store.series_len("s"), reference.len());
     }
+}
 
-    #[test]
-    fn tskv_downsample_conserves_count(
-        points in prop::collection::vec((0i64..100_000, -1e3f64..1e3), 1..200),
-        bucket in 1i64..10_000,
-    ) {
+#[test]
+fn tskv_downsample_conserves_count() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0002);
+    for _ in 0..CASES / 4 {
+        let points: Vec<(i64, f64)> = (0..rng.next_range(1, 199))
+            .map(|_| {
+                (
+                    rng.next_bounded(100_000) as i64,
+                    rng.next_f64_range(-1e3, 1e3),
+                )
+            })
+            .collect();
+        let bucket = rng.next_range(1, 9_999) as i64;
         let mut store = TimeSeriesStore::new();
         for &(t, v) in &points {
             store.insert("s", t, v);
@@ -48,59 +78,78 @@ proptest! {
             .iter()
             .map(|(_, c)| c)
             .sum();
-        prop_assert_eq!(counted as usize, total);
+        assert_eq!(counted as usize, total);
         // Mean of each bucket lies within [min, max] of that bucket.
         let means = store.downsample("s", 0, 100_000, bucket, Aggregate::Mean);
         let mins = store.downsample("s", 0, 100_000, bucket, Aggregate::Min);
         let maxs = store.downsample("s", 0, 100_000, bucket, Aggregate::Max);
-        for ((tm, mean), ((_, lo), (_, hi))) in
-            means.iter().zip(mins.iter().zip(maxs.iter()))
-        {
-            prop_assert!(lo - 1e-9 <= *mean && *mean <= hi + 1e-9, "bucket {tm}");
+        for ((tm, mean), ((_, lo), (_, hi))) in means.iter().zip(mins.iter().zip(maxs.iter())) {
+            assert!(lo - 1e-9 <= *mean && *mean <= hi + 1e-9, "bucket {tm}");
         }
     }
+}
 
-    #[test]
-    fn tskv_retention_keeps_only_newer(
-        points in prop::collection::vec((any::<i16>(), 0.0f64..1.0), 0..100),
-        horizon in any::<i16>(),
-    ) {
+#[test]
+fn tskv_retention_keeps_only_newer() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0003);
+    for _ in 0..CASES / 4 {
+        let points: Vec<(i64, f64)> = (0..rng.next_bounded(100))
+            .map(|_| (rng.next_u64() as i16 as i64, rng.next_f64()))
+            .collect();
+        let horizon = rng.next_u64() as i16 as i64;
         let mut store = TimeSeriesStore::new();
         for &(t, v) in &points {
-            store.insert("s", i64::from(t), v);
+            store.insert("s", t, v);
         }
         let before = store.series_len("s");
-        let removed = store.apply_retention(i64::from(horizon));
-        prop_assert_eq!(store.len() + removed, before);
+        let removed = store.apply_retention(horizon);
+        assert_eq!(store.len() + removed, before);
         for (t, _) in store.range("s", i64::MIN, i64::MAX) {
-            prop_assert!(t >= i64::from(horizon));
+            assert!(t >= horizon);
         }
     }
+}
 
-    #[test]
-    fn csv_round_trips_arbitrary_fields(
-        header in prop::collection::vec("[a-z]{1,8}", 1..5),
-        rows in prop::collection::vec(prop::collection::vec("\\PC{0,16}", 1..5), 0..20),
-    ) {
+#[test]
+fn csv_round_trips_arbitrary_fields() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0004);
+    for _ in 0..CASES / 4 {
+        let header: Vec<String> = (0..rng.next_range(1, 4))
+            .map(|_| string_from(&mut rng, "abcdefgh", 1, 8))
+            .collect();
         let width = header.len();
         let mut doc = CsvDocument::new(header);
-        for mut row in rows {
+        for _ in 0..rng.next_bounded(20) {
+            let mut row: Vec<String> = (0..rng.next_range(1, 4))
+                .map(|_| printable_string(&mut rng, 16))
+                .collect();
             row.resize(width, String::new());
+            row.truncate(width);
             doc.push(row).expect("width fixed");
         }
-        prop_assert_eq!(CsvDocument::parse(&doc.encode()).expect("round trip"), doc);
+        assert_eq!(CsvDocument::parse(&doc.encode()).expect("round trip"), doc);
     }
+}
 
-    #[test]
-    fn csv_parser_never_panics(text in "\\PC{0,128}") {
+#[test]
+fn csv_parser_never_panics() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0005);
+    for _ in 0..CASES {
+        let len = rng.next_bounded(129) as usize;
+        let text: String = (0..len)
+            .filter_map(|_| char::from_u32(rng.next_bounded(0x500) as u32))
+            .collect();
         let _ = CsvDocument::parse(&text);
     }
+}
 
-    #[test]
-    fn fixedwidth_round_trips(
-        widths in prop::collection::vec(1usize..12, 1..5),
-        seed_rows in prop::collection::vec(prop::collection::vec("[a-zA-Z0-9._-]{0,11}", 1..5), 0..10),
-    ) {
+#[test]
+fn fixedwidth_round_trips() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0006);
+    for _ in 0..CASES / 4 {
+        let widths: Vec<usize> = (0..rng.next_range(1, 4))
+            .map(|_| rng.next_range(1, 11) as usize)
+            .collect();
         let layout = RecordLayout::new(
             widths
                 .iter()
@@ -108,46 +157,53 @@ proptest! {
                 .map(|(i, &w)| FieldSpec::new(format!("f{i}"), w))
                 .collect(),
         );
-        let rows: Vec<Vec<String>> = seed_rows
-            .into_iter()
-            .map(|mut row| {
-                row.resize(widths.len(), String::new());
-                row.iter()
-                    .zip(&widths)
-                    .map(|(value, &w)| {
-                        // Truncate to width and drop trailing spaces (they
+        let rows: Vec<Vec<String>> = (0..rng.next_bounded(10))
+            .map(|_| {
+                widths
+                    .iter()
+                    .map(|&w| {
+                        // Fit the width and drop trailing spaces (they
                         // cannot survive the padding round trip).
-                        value.chars().take(w).collect::<String>().trim_end().to_owned()
+                        string_from(&mut rng, "abcXYZ019._-", 0, 11)
+                            .chars()
+                            .take(w)
+                            .collect::<String>()
+                            .trim_end()
+                            .to_owned()
                     })
                     .collect()
             })
             .collect();
         let text = layout.encode_document(&rows).expect("values fit");
-        prop_assert_eq!(layout.parse_document(&text).expect("round trip"), rows);
+        assert_eq!(layout.parse_document(&text).expect("round trip"), rows);
     }
+}
 
-    #[test]
-    fn ini_round_trips(
-        entries in prop::collection::btree_map(
-            "[a-z]{1,8}",
-            prop::collection::btree_map("[a-z]{1,8}", "[a-zA-Z0-9 ._/:-]{0,16}", 1..5),
-            0..5,
-        ),
-    ) {
+#[test]
+fn ini_round_trips() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0007);
+    for _ in 0..CASES / 4 {
         let mut doc = IniDocument::new();
-        for (section, kv) in &entries {
-            for (k, v) in kv {
-                doc.set(section.clone(), k.clone(), v.trim().to_owned());
+        for _ in 0..rng.next_bounded(5) {
+            let section = string_from(&mut rng, "abcdefgh", 1, 8);
+            for _ in 0..rng.next_range(1, 4) {
+                let k = string_from(&mut rng, "abcdefgh", 1, 8);
+                let v = string_from(&mut rng, "abcXYZ019 ._/:-", 0, 16);
+                doc.set(section.clone(), k, v.trim().to_owned());
             }
         }
-        prop_assert_eq!(IniDocument::parse(&doc.encode()).expect("round trip"), doc);
+        assert_eq!(IniDocument::parse(&doc.encode()).expect("round trip"), doc);
     }
+}
 
-    #[test]
-    fn table_scan_matches_manual_filter(
-        values in prop::collection::vec((any::<i64>(), -1e6f64..1e6), 0..100),
-        pivot in any::<i64>(),
-    ) {
+#[test]
+fn table_scan_matches_manual_filter() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0008);
+    for _ in 0..CASES / 4 {
+        let values: Vec<(i64, f64)> = (0..rng.next_bounded(100))
+            .map(|_| (rng.next_u64() as i64, rng.next_f64_range(-1e6, 1e6)))
+            .collect();
+        let pivot = rng.next_u64() as i64;
         let mut table = Table::new(
             "t",
             vec![
@@ -156,20 +212,23 @@ proptest! {
             ],
         );
         for &(i, f) in &values {
-            table.insert(vec![Cell::Int(i), Cell::Float(f)]).expect("schema ok");
+            table
+                .insert(vec![Cell::Int(i), Cell::Float(f)])
+                .expect("schema ok");
         }
-        let got = table
-            .scan(&Predicate::cmp("i", CompareOp::Ge, pivot))
-            .len();
+        let got = table.scan(&Predicate::cmp("i", CompareOp::Ge, pivot)).len();
         let expected = values.iter().filter(|(i, _)| *i >= pivot).count();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
 
         // Indexed lookup agrees with scan for any value.
         let mut indexed = table.clone();
         indexed.create_index("i").expect("column exists");
         let probe = values.first().map_or(0, |(i, _)| *i);
-        prop_assert_eq!(
-            indexed.lookup("i", &Cell::Int(probe)).expect("indexed").len(),
+        assert_eq!(
+            indexed
+                .lookup("i", &Cell::Int(probe))
+                .expect("indexed")
+                .len(),
             table.scan(&Predicate::eq("i", probe)).len()
         );
     }

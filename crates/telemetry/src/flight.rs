@@ -1,0 +1,188 @@
+//! The flight recorder: reconstructs the end-to-end path of each traced
+//! measurement from the trace ring buffer.
+//!
+//! Every hop of a traced measurement records a [`TraceEvent`] carrying
+//! the same [`TraceId`] (device sample → proxy ingest → broker publish →
+//! broker deliver → subscriber receive). [`reconstruct`] groups events
+//! by trace id and computes per-hop latencies, giving a breakdown like:
+//!
+//! ```text
+//! trace 42 (total 23.1 ms)
+//!   +0.0 ms  device.sample    dev-z0          seq=18
+//!   +8.2 ms  proxy.ingest     devproxy-0      points=1
+//!   +8.3 ms  broker.publish   broker          topic=district/poli/...
+//!   +8.3 ms  broker.deliver   broker          to=sub-1
+//!   +23.1 ms sub.receive      sub-1           bytes=113
+//! ```
+
+use crate::trace::{TraceEvent, TraceId, NO_TRACE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One hop of a reconstructed flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    pub kind: String,
+    pub node: u32,
+    pub node_name: String,
+    pub time_ns: u64,
+    /// Latency since the previous hop (0 for the first).
+    pub latency_ns: u64,
+    pub detail: String,
+}
+
+/// The full path of one traced measurement, hops in time order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightPath {
+    pub trace_id: TraceId,
+    pub hops: Vec<Hop>,
+    /// Time from the first to the last hop.
+    pub total_ns: u64,
+}
+
+impl FlightPath {
+    /// `true` if the path visits every one of the given event kinds, in
+    /// order (other hops may be interleaved).
+    pub fn visits(&self, kinds: &[&str]) -> bool {
+        let mut want = kinds.iter();
+        let mut next = want.next();
+        for hop in &self.hops {
+            if let Some(k) = next {
+                if hop.kind == *k {
+                    next = want.next();
+                }
+            }
+        }
+        next.is_none()
+    }
+}
+
+impl fmt::Display for FlightPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace {} ({} hops, total {:.3} ms)",
+            self.trace_id,
+            self.hops.len(),
+            self.total_ns as f64 / 1e6
+        )?;
+        let t0 = self.hops.first().map(|h| h.time_ns).unwrap_or(0);
+        for hop in &self.hops {
+            let name = if hop.node_name.is_empty() {
+                format!("node{}", hop.node)
+            } else {
+                hop.node_name.clone()
+            };
+            writeln!(
+                f,
+                "  +{:>9.3} ms  {:<16} {:<18} {}",
+                (hop.time_ns - t0) as f64 / 1e6,
+                hop.kind,
+                name,
+                hop.detail
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Groups events by trace id and computes per-hop latencies.
+///
+/// Events with [`NO_TRACE`] are ignored. Within a trace, events keep
+/// their ring-buffer order (the recorder appends in simulation order,
+/// so equal timestamps preserve causal order). Paths are returned in
+/// ascending trace-id order.
+pub fn reconstruct(events: &[TraceEvent]) -> Vec<FlightPath> {
+    let mut by_trace: BTreeMap<TraceId, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.trace_id != NO_TRACE {
+            by_trace.entry(e.trace_id).or_default().push(e);
+        }
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace_id, evs)| {
+            let mut hops = Vec::with_capacity(evs.len());
+            let mut prev: Option<u64> = None;
+            for e in &evs {
+                hops.push(Hop {
+                    kind: e.kind.clone(),
+                    node: e.node,
+                    node_name: e.node_name.clone(),
+                    time_ns: e.time_ns,
+                    latency_ns: prev.map(|p| e.time_ns.saturating_sub(p)).unwrap_or(0),
+                    detail: e.detail.clone(),
+                });
+                prev = Some(e.time_ns);
+            }
+            let total_ns = match (evs.first(), evs.last()) {
+                (Some(a), Some(b)) => b.time_ns.saturating_sub(a.time_ns),
+                _ => 0,
+            };
+            FlightPath {
+                trace_id,
+                hops,
+                total_ns,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn ev(t: u64, node: u32, kind: &str, id: TraceId) -> TraceEvent {
+        TraceEvent {
+            time_ns: t,
+            node,
+            node_name: format!("n{node}"),
+            kind: kind.to_string(),
+            trace_id: id,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn reconstructs_per_hop_latencies() {
+        let events = vec![
+            ev(0, 1, "device.sample", 9),
+            ev(5_000_000, 2, "proxy.ingest", 9),
+            ev(7_000_000, 3, "broker.publish", 9),
+            ev(12_000_000, 4, "sub.receive", 9),
+            ev(1, 1, "noise", NO_TRACE),
+        ];
+        let paths = reconstruct(&events);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.trace_id, 9);
+        assert_eq!(p.total_ns, 12_000_000);
+        let lat: Vec<u64> = p.hops.iter().map(|h| h.latency_ns).collect();
+        assert_eq!(lat, vec![0, 5_000_000, 2_000_000, 5_000_000]);
+        assert!(p.visits(&["device.sample", "broker.publish", "sub.receive"]));
+        assert!(!p.visits(&["sub.receive", "device.sample"]));
+    }
+
+    #[test]
+    fn separates_traces() {
+        let events = vec![ev(0, 1, "a", 1), ev(1, 1, "a", 2), ev(2, 2, "b", 1)];
+        let paths = reconstruct(&events);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hops.len(), 2);
+        assert_eq!(paths[1].hops.len(), 1);
+    }
+
+    #[test]
+    fn works_from_tracer_events() {
+        let t = Tracer::new();
+        let id = t.next_trace_id();
+        t.register_node(1, "dev");
+        t.record(10, 1, "device.sample", id, "");
+        t.record(20, 2, "proxy.ingest", id, "");
+        let paths = reconstruct(&t.events());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].hops[0].node_name, "dev");
+        assert_eq!(paths[0].hops[1].latency_ns, 10);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dependency-free telemetry for the dimmer workspace.
+//!
+//! Three pieces, all deterministic and all bounded in memory:
+//!
+//! * [`metrics`] — a [`Registry`] of named counters, gauges and
+//!   log-bucketed [`Histogram`]s. Histograms hold a fixed number of
+//!   geometric buckets (plus exact count/sum/min/max), so hot paths can
+//!   record millions of observations in constant memory and still answer
+//!   p50/p90/p99/p999 queries with bounded relative error.
+//! * [`trace`] — a sim-time tracing layer. Events are stamped with a
+//!   nanosecond timestamp and node identity and recorded into a bounded
+//!   ring buffer ([`Tracer`]); when full, the oldest events are dropped
+//!   (and counted). The buffer exports as JSON lines.
+//! * [`flight`] — the flight recorder: given the trace events, it
+//!   reconstructs the path of each traced measurement (device →
+//!   device-proxy → broker → subscriber/master) with a per-hop latency
+//!   breakdown.
+//!
+//! The crate deliberately has no dependencies — not even on `simnet` —
+//! so every layer of the workspace can use it without cycles. Time is
+//! passed in as raw `u64` nanoseconds; `simnet::SimTime::as_nanos()`
+//! provides exactly that.
+//!
+//! All handles are cheap to clone (`Arc<Mutex<..>>` internally): the
+//! simulator owns one [`Telemetry`] and shares it with every node via
+//! the callback context.
+
+pub mod flight;
+pub mod metrics;
+pub mod trace;
+
+pub use flight::{FlightPath, Hop};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use trace::{TraceEvent, TraceId, Tracer, NO_TRACE};
+
+/// The bundle every instrumented component sees: a metrics registry plus
+/// a trace recorder. Cloning shares the underlying state.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    pub metrics: Registry,
+    pub tracer: Tracer,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reconstructs per-trace flight paths from the current ring-buffer
+    /// contents. See [`flight::reconstruct`].
+    pub fn flight_paths(&self) -> Vec<FlightPath> {
+        flight::reconstruct(&self.tracer.events())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_clones_share_state() {
+        let t = Telemetry::new();
+        let t2 = t.clone();
+        t.metrics.incr("a");
+        t2.metrics.incr("a");
+        assert_eq!(t.metrics.counter("a"), 2);
+
+        let id = t.tracer.next_trace_id();
+        t2.tracer.record(5, 0, "x", id, "");
+        assert_eq!(t.tracer.events().len(), 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Metrics registry: counters, gauges, and log-bucketed bounded
+//! histograms.
+//!
+//! The histogram replaces the store-everything `simnet::stats::Summary`
+//! on hot paths: it keeps a fixed array of geometric buckets (16
+//! sub-buckets per power of two), so memory is constant regardless of
+//! how many values are recorded, and quantiles are answered with a
+//! bounded relative error of at most `1/16 ≈ 6.25%` of the value.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Sub-buckets per power of two; relative quantile error is `1/SUB`.
+const SUB_BUCKETS: usize = 16;
+/// Powers of two covered: values in `[1, 2^48)` land in a geometric
+/// bucket. At nanosecond resolution 2^48 ns ≈ 3.3 days, far beyond any
+/// simulated latency; larger values clamp into the last bucket.
+const OCTAVES: usize = 48;
+/// One underflow bucket for `v < 1` plus the geometric range.
+const BUCKETS: usize = 1 + OCTAVES * SUB_BUCKETS;
+
+/// A bounded, log-bucketed histogram of non-negative `f64` samples.
+///
+/// Memory is fixed (`BUCKETS` u64 slots plus exact count/sum/min/max);
+/// recording is O(1); quantile queries are a linear scan over the
+/// bucket array. Negative samples are clamped into the underflow
+/// bucket (min still records the exact value).
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .finish()
+    }
+}
+
+/// Bucket index for a sample. `[0,1)` (and negatives) → bucket 0;
+/// `[2^k · (1 + s/SUB), …)` → `1 + k·SUB + s`, clamped to the top.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        return 0; // underflow, negatives, NaN
+    }
+    let octave = v.log2().floor() as i64;
+    if octave >= OCTAVES as i64 {
+        return BUCKETS - 1;
+    }
+    let base = (octave as f64).exp2();
+    // Position within the octave, 0..SUB_BUCKETS.
+    let sub = ((v / base - 1.0) * SUB_BUCKETS as f64) as usize;
+    let sub = sub.min(SUB_BUCKETS - 1);
+    1 + octave as usize * SUB_BUCKETS + sub
+}
+
+/// Representative value for a bucket: the geometric midpoint of its
+/// bounds, which halves the worst-case relative error.
+fn bucket_value(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.5;
+    }
+    let idx = idx - 1;
+    let octave = (idx / SUB_BUCKETS) as f64;
+    let sub = (idx % SUB_BUCKETS) as f64;
+    let lo = octave.exp2() * (1.0 + sub / SUB_BUCKETS as f64);
+    let hi = octave.exp2() * (1.0 + (sub + 1.0) / SUB_BUCKETS as f64);
+    (lo * hi).sqrt()
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample in O(1).
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, with relative error
+    /// bounded by the bucket width (≈6.25%). Exact `min`/`max` clamp
+    /// the estimate so q=0 / q=1 are exact.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fixed quantile snapshot used by reports.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub p999: f64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared, clonable registry of named metrics.
+///
+/// All methods take `&self`; state lives behind a mutex so the handle
+/// can be cloned into every node of a simulation. Names are free-form
+/// dotted strings (`"pubsub.fanout"`). The maps are `BTreeMap`s so
+/// snapshots iterate in a stable, deterministic order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to a counter, creating it at zero if absent.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut g = self.inner.lock().unwrap();
+        *g.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sets a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current gauge value (0.0 if never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .gauges
+            .get(name)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// Records a sample into a named histogram.
+    pub fn observe(&self, name: &str, v: f64) {
+        let mut g = self.inner.lock().unwrap();
+        g.histograms.entry(name.to_string()).or_default().record(v);
+    }
+
+    /// Convenience for duration observations in nanoseconds.
+    pub fn observe_ns(&self, name: &str, ns: u64) {
+        self.observe(name, ns as f64);
+    }
+
+    /// Snapshot of one histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// A stable-ordered snapshot of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: g.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Everything in a [`Registry`] at one instant, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let mut h = Histogram::new();
+        h.record(100.0);
+        // min/max clamp makes every quantile exact for a single value.
+        assert_eq!(h.quantile(0.0), 100.0);
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        for (q, exact) in [(0.5, 5000.0), (0.9, 9000.0), (0.99, 9900.0)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.07, "q={q}: est {est} vs {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn underflow_and_clamp() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        h.record(0.25);
+        h.record(1e30); // beyond the geometric range
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), -5.0);
+        assert_eq!(h.max(), 1e30);
+        // The huge value clamps into the top bucket but max is exact.
+        assert_eq!(h.quantile(1.0), 1e30);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0;
+        let mut v = 0.5;
+        while v < 1e12 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+            v *= 1.03;
+        }
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let r = Registry::new();
+        r.incr("a");
+        r.add("a", 4);
+        r.set_gauge("g", 2.5);
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.gauge("g"), 2.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn registry_histograms() {
+        let r = Registry::new();
+        for i in 0..100 {
+            r.observe("h", i as f64);
+        }
+        let s = r.histogram("h").unwrap();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 > 30.0 && s.p50 < 70.0);
+        assert!(r.histogram("missing").is_none());
+    }
+}

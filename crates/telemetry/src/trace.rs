@@ -1,0 +1,239 @@
+//! Sim-time tracing: structured events stamped with a nanosecond
+//! timestamp and node identity, recorded into a bounded ring buffer.
+//!
+//! Events carry a [`TraceId`]: a non-zero `u64` minted by
+//! [`Tracer::next_trace_id`] and threaded through packet metadata so a
+//! single measurement can be followed across nodes (the flight
+//! recorder, [`crate::flight`], reconstructs the path). `trace_id == 0`
+//! ([`NO_TRACE`]) marks an event that belongs to no particular flight.
+//!
+//! When the ring buffer is full the *oldest* event is overwritten and a
+//! drop counter incremented, so a long simulation keeps the most recent
+//! window of activity in constant memory.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Identifier threaded through packets to correlate events; 0 = none.
+pub type TraceId = u64;
+
+/// The null trace id: the event/packet is not part of any flight.
+pub const NO_TRACE: TraceId = 0;
+
+/// Default ring capacity; overridable via [`Tracer::set_capacity`].
+const DEFAULT_CAPACITY: usize = 65_536;
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time in nanoseconds.
+    pub time_ns: u64,
+    /// Raw node index (`simnet::NodeId::index()`), `u32::MAX` if none.
+    pub node: u32,
+    /// Human-readable node name, resolved at export time.
+    pub node_name: String,
+    /// Event kind, dotted (`"broker.deliver"`, `"proxy.ingest"`).
+    pub kind: String,
+    /// Correlation id; [`NO_TRACE`] if the event is stand-alone.
+    pub trace_id: TraceId,
+    /// Free-form detail (topic, byte counts, …).
+    pub detail: String,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    names: BTreeMap<u32, String>,
+    next_trace: TraceId,
+}
+
+impl Default for TracerInner {
+    fn default() -> Self {
+        TracerInner {
+            ring: VecDeque::new(),
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+            names: BTreeMap::new(),
+            next_trace: 1,
+        }
+    }
+}
+
+/// Shared, clonable handle to the bounded trace ring buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resizes the ring. Shrinking drops the oldest events (counted).
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock().unwrap();
+        g.capacity = capacity.max(1);
+        while g.ring.len() > g.capacity {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+    }
+
+    /// Associates a node index with a display name used in exports.
+    pub fn register_node(&self, node: u32, name: &str) {
+        let mut g = self.inner.lock().unwrap();
+        g.names.insert(node, name.to_string());
+    }
+
+    /// Mints a fresh non-zero trace id (sequential, deterministic).
+    pub fn next_trace_id(&self) -> TraceId {
+        let mut g = self.inner.lock().unwrap();
+        let id = g.next_trace;
+        g.next_trace += 1;
+        id
+    }
+
+    /// Records one event; O(1), overwrites the oldest when full.
+    pub fn record(
+        &self,
+        time_ns: u64,
+        node: u32,
+        kind: &str,
+        trace_id: TraceId,
+        detail: impl Into<String>,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        let node_name = g.names.get(&node).cloned().unwrap_or_default();
+        if g.ring.len() >= g.capacity {
+            g.ring.pop_front();
+            g.dropped += 1;
+        }
+        g.ring.push_back(TraceEvent {
+            time_ns,
+            node,
+            node_name,
+            kind: kind.to_string(),
+            trace_id,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// Retained events belonging to one trace, oldest first.
+    pub fn events_for(&self, trace_id: TraceId) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .unwrap()
+            .ring
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Exports the retained events as JSON lines (one object per line).
+    pub fn to_json_lines(&self) -> String {
+        let g = self.inner.lock().unwrap();
+        let mut out = String::new();
+        for e in &g.ring {
+            out.push_str(&format!(
+                "{{\"t_ns\":{},\"node\":{},\"name\":\"{}\",\"kind\":\"{}\",\"trace\":{},\"detail\":\"{}\"}}\n",
+                e.time_ns,
+                e.node,
+                escape(&e.node_name),
+                escape(&e.kind),
+                e.trace_id,
+                escape(&e.detail),
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back() {
+        let t = Tracer::new();
+        t.register_node(3, "broker");
+        t.record(10, 3, "broker.publish", 7, "topic=a/b");
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].node_name, "broker");
+        assert_eq!(evs[0].trace_id, 7);
+        assert_eq!(t.events_for(7).len(), 1);
+        assert!(t.events_for(8).is_empty());
+    }
+
+    #[test]
+    fn overflow_keeps_newest_and_counts_drops() {
+        let t = Tracer::new();
+        t.set_capacity(4);
+        for i in 0..10u64 {
+            t.record(i, 0, "e", NO_TRACE, "");
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let times: Vec<u64> = t.events().iter().map(|e| e.time_ns).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn trace_ids_are_sequential() {
+        let t = Tracer::new();
+        assert_eq!(t.next_trace_id(), 1);
+        assert_eq!(t.next_trace_id(), 2);
+    }
+
+    #[test]
+    fn json_lines_escapes() {
+        let t = Tracer::new();
+        t.record(1, 0, "k\"ind", 2, "a\\b\nc");
+        let json = t.to_json_lines();
+        assert!(json.contains("\\\"ind"));
+        assert!(json.contains("a\\\\b\\nc"));
+        assert_eq!(json.lines().count(), 1);
+    }
+}

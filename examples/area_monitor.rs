@@ -56,7 +56,13 @@ fn main() {
     // view the paper motivates).
     let mut trend = Table::new(
         "Dashboard refreshes",
-        ["t_sim_s", "entities", "measurements", "latency_ms", "errors"],
+        [
+            "t_sim_s",
+            "entities",
+            "measurements",
+            "latency_ms",
+            "errors",
+        ],
     );
     for s in &snapshots {
         trend.row([

@@ -37,7 +37,7 @@ impl Node for Monitor {
     }
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         if pkt.port == PUBSUB_PORT {
-            if let Some(PubSubEvent::Message { topic, payload }) = self.client.accept(ctx, &pkt)
+            if let Some(PubSubEvent::Message { topic, payload, .. }) = self.client.accept(ctx, &pkt)
             {
                 self.received.push((
                     topic.to_string(),
@@ -77,7 +77,10 @@ impl Node for Probe {
 fn main() {
     let mut sim = Simulator::new(SimConfig::default());
     let district = DistrictId::new("d0").expect("valid id");
-    let master = sim.add_node("master", MasterNode::new([(district.clone(), "Demo".into())]));
+    let master = sim.add_node(
+        "master",
+        MasterNode::new([(district.clone(), "Demo".into())]),
+    );
     let broker = sim.add_node("broker", BrokerNode::new());
     let monitor = sim.add_node(
         "monitor",
@@ -167,8 +170,14 @@ fn main() {
     );
 
     // Layer 3b: the middleware delivered to the monitoring application.
-    let received = &sim.node_ref::<Monitor>(monitor).expect("monitor node").received;
-    println!("monitor received {} temperature publications", received.len());
+    let received = &sim
+        .node_ref::<Monitor>(monitor)
+        .expect("monitor node")
+        .received;
+    println!(
+        "monitor received {} temperature publications",
+        received.len()
+    );
     println!("  first: {} {}", received[0].0, received[0].1);
     assert!(!received.is_empty());
 
@@ -224,7 +233,10 @@ fn main() {
         .response
         .clone()
         .expect("actuation answered");
-    let frames = &sim.node_ref::<UplinkDeviceNode>(switch).expect("switch").actuations;
+    let frames = &sim
+        .node_ref::<UplinkDeviceNode>(switch)
+        .expect("switch")
+        .actuations;
     println!(
         "POST /actuate -> {} ; device received {} downlink frame(s)",
         actuated.status,

@@ -97,7 +97,13 @@ fn main() {
 
     let mut table = Table::new(
         "District heating: per-building integration",
-        ["building", "heat_loss_w_per_k", "floor_m2", "thermal_samples", "mean_temp_c"],
+        [
+            "building",
+            "heat_loss_w_per_k",
+            "floor_m2",
+            "thermal_samples",
+            "mean_temp_c",
+        ],
     );
     for entity in &snapshot.resolution.entities {
         let Some(model) = snapshot.entities.get(entity.id()) else {

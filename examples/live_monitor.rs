@@ -47,12 +47,21 @@ fn main() {
 
     let poll_metrics = sim.node_metrics(poller);
     let live_metrics = sim.node_metrics(live);
-    let poll_snapshots = sim.node_ref::<ClientNode>(poller).expect("poller").snapshots().len();
+    let poll_snapshots = sim
+        .node_ref::<ClientNode>(poller)
+        .expect("poller")
+        .snapshots()
+        .len();
     let live_node = sim.node_ref::<LiveMonitorNode>(live).expect("live");
 
     let mut table = Table::new(
         "Polling dashboard vs event-driven live monitor (30 min)",
-        ["client", "refreshes/updates", "packets_sent", "bytes_received"],
+        [
+            "client",
+            "refreshes/updates",
+            "packets_sent",
+            "bytes_received",
+        ],
     );
     table.row([
         "polling (60 s)".to_owned(),

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci: ok"

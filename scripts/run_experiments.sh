@@ -6,6 +6,12 @@ set -euo pipefail
 out="${1:-results}"
 mkdir -p "$out"
 
+# Preflight: don't burn experiment time on a tree that fails CI.
+# Skip with DIMMER_SKIP_CI=1 when iterating on a single experiment.
+if [[ "${DIMMER_SKIP_CI:-0}" != "1" ]]; then
+  "$(dirname "$0")/ci.sh"
+fi
+
 bins=(
   e1_query_scaling
   e2_ingest_throughput

@@ -8,8 +8,8 @@ use dimmer::district::scenario::{ProtocolMix, ScenarioConfig};
 use dimmer::ontology::AreaResolution;
 use dimmer::protocols::ProtocolKind;
 use dimmer::proxy::devices::UplinkDeviceNode;
-use dimmer::proxy::webservice::{WsClient, WsClientEvent, WsRequest, WsResponse};
 use dimmer::proxy::uri_node;
+use dimmer::proxy::webservice::{WsClient, WsClientEvent, WsRequest, WsResponse};
 use dimmer::simnet::{Context, Node, NodeId, Packet, SimConfig, SimDuration, Simulator, TimerTag};
 
 /// An operator application: resolves the area, then actuates every

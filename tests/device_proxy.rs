@@ -204,7 +204,16 @@ fn local_store_supports_downsampled_retrieval() {
         },
     );
     sim.run_for(SimDuration::from_secs(10));
-    let bad_response = sim.node_ref::<Probe>(bad).unwrap().response.clone().unwrap();
+    let bad_response = sim
+        .node_ref::<Probe>(bad)
+        .unwrap()
+        .response
+        .clone()
+        .unwrap();
     assert_eq!(bad_response.status, 400);
-    assert!(bad_response.body.get("error").and_then(Value::as_str).is_some());
+    assert!(bad_response
+        .body
+        .get("error")
+        .and_then(Value::as_str)
+        .is_some());
 }

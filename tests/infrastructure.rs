@@ -49,7 +49,11 @@ fn two_districts_register_and_resolve_independently() {
             .unwrap()
             .clone();
         assert_eq!(snapshot.errors, 0);
-        assert_eq!(snapshot.resolution.entities.len(), 4, "3 buildings + 1 network");
+        assert_eq!(
+            snapshot.resolution.entities.len(),
+            4,
+            "3 buildings + 1 network"
+        );
         for entity in &snapshot.resolution.entities {
             assert!(
                 entity.id().starts_with(district.district.as_str()),
@@ -142,11 +146,7 @@ fn both_open_formats_integrate_identically() {
     // The translated content is format-independent (fetch completion
     // order differs, so compare as sorted sets).
     let sorted = |s: &dimmer::district::client::AreaSnapshot| {
-        let mut items: Vec<String> = s
-            .measurements
-            .iter()
-            .map(|m| m.to_string())
-            .collect();
+        let mut items: Vec<String> = s.measurements.iter().map(|m| m.to_string()).collect();
         items.sort();
         items
     };

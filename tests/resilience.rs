@@ -120,7 +120,10 @@ fn late_proxy_joins_running_system() {
             DeviceProxyConfig {
                 proxy: ProxyId::new("late-proxy").unwrap(),
                 district: scenario.districts[0].district.clone(),
-                entity_id: scenario.districts[0].buildings[0].building.as_str().to_owned(),
+                entity_id: scenario.districts[0].buildings[0]
+                    .building
+                    .as_str()
+                    .to_owned(),
                 device: DeviceId::new("late-device").unwrap(),
                 primary_quantity: QuantityKind::Co2,
                 master: deployment.master,
@@ -152,7 +155,10 @@ fn late_proxy_joins_running_system() {
 
     let master = sim.node_ref::<MasterNode>(deployment.master).unwrap();
     assert_eq!(master.ontology().device_count(), before + 1);
-    assert!(sim.node_ref::<DeviceProxyNode>(proxy).unwrap().is_registered());
+    assert!(sim
+        .node_ref::<DeviceProxyNode>(proxy)
+        .unwrap()
+        .is_registered());
     assert!(
         sim.node_ref::<DeviceProxyNode>(proxy)
             .unwrap()

@@ -1,0 +1,128 @@
+//! End-to-end telemetry: flight-recorder traces across the full stack,
+//! and bounded-histogram accuracy against the exact [`Summary`].
+
+use district::deploy::Deployment;
+use district::scenario::ScenarioConfig;
+use pubsub::{PubSubClient, PubSubEvent, QoS, TopicFilter, PUBSUB_PORT};
+use simnet::rng::DeterministicRng;
+use simnet::stats::Summary;
+use simnet::telemetry::flight::reconstruct;
+use simnet::telemetry::metrics::Histogram;
+use simnet::{Context, Node, Packet, SimConfig, SimDuration, Simulator, TimerTag};
+
+/// A monitor node that subscribes to everything and keeps the trace ids
+/// of messages it receives.
+struct Monitor {
+    client: PubSubClient,
+    traces: Vec<u64>,
+}
+
+impl Node for Monitor {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.client.subscribe(
+            ctx,
+            TopicFilter::new("district/#").expect("valid filter"),
+            QoS::AtMostOnce,
+        );
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port == PUBSUB_PORT {
+            if let Some(PubSubEvent::Message { trace, .. }) = self.client.accept(ctx, &pkt) {
+                self.traces.push(trace);
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        self.client.on_timer(ctx, tag);
+    }
+}
+
+#[test]
+fn trace_follows_measurement_device_to_subscriber() {
+    let mut sim = Simulator::new(SimConfig::default());
+    let scenario = ScenarioConfig::small().build();
+    let deployment = Deployment::build(&mut sim, &scenario);
+    let monitor = sim.add_node(
+        "monitor",
+        Monitor {
+            client: PubSubClient::new(deployment.broker, 100),
+            traces: vec![],
+        },
+    );
+    sim.run_for(SimDuration::from_secs(180));
+
+    // The monitor saw traced messages, stamped at the device.
+    let traces = &sim.node_ref::<Monitor>(monitor).expect("monitor").traces;
+    assert!(!traces.is_empty(), "monitor received no messages");
+    assert!(
+        traces.iter().any(|&t| t != 0),
+        "deliveries lost their trace ids"
+    );
+
+    // At least one measurement's full journey is reconstructable.
+    let telemetry = sim.telemetry();
+    let events = telemetry.tracer.events();
+    let full_path = [
+        "device.sample",
+        "proxy.ingest",
+        "broker.publish",
+        "broker.deliver",
+        "sub.receive",
+    ];
+    let paths = reconstruct(&events);
+    let path = paths
+        .iter()
+        .find(|p| p.visits(&full_path))
+        .expect("no complete device→proxy→broker→subscriber path");
+
+    // Hops are stamped with node identity and non-negative per-hop
+    // latency, in chronological order.
+    assert!(path.hops.len() >= full_path.len());
+    assert!(path.total_ns > 0, "a network journey takes sim time");
+    assert_eq!(path.hops[0].latency_ns, 0, "first hop has no predecessor");
+    for pair in path.hops.windows(2) {
+        assert!(pair[1].time_ns >= pair[0].time_ns);
+        assert_eq!(pair[1].latency_ns, pair[1].time_ns - pair[0].time_ns);
+    }
+    for hop in &path.hops {
+        assert!(!hop.node_name.is_empty(), "hops carry node names");
+    }
+
+    // The layers all reported into the metrics registry.
+    let metrics = &telemetry.metrics;
+    assert!(metrics.counter("device.samples") > 0);
+    assert!(metrics.counter("proxy.samples_ingested") > 0);
+    assert!(metrics.counter("tskv.append") > 0);
+    assert!(metrics.counter("pubsub.publish") > 0);
+    assert!(metrics.counter("pubsub.deliver") > 0);
+    assert!(metrics.counter("master.registrations") > 0);
+    assert!(metrics.counter("net.packets_sent") > 0);
+    let delay = metrics.histogram("net.link_delay_ns").expect("recorded");
+    assert!(delay.count > 0 && delay.p50 > 0.0);
+}
+
+#[test]
+fn histogram_quantiles_track_exact_summary() {
+    let mut rng = DeterministicRng::seed_from(0x7E1E_0001);
+    let mut hist = Histogram::new();
+    let mut exact = Summary::new("exact");
+    for _ in 0..20_000 {
+        // Log-uniform over ~5 decades: stresses every octave.
+        let v = 10f64.powf(rng.next_f64() * 5.0);
+        hist.record(v);
+        exact.record(v);
+    }
+    for (q, p) in [(0.5, 50.0), (0.9, 90.0), (0.99, 99.0)] {
+        let approx = hist.quantile(q);
+        let truth = exact.percentile(p);
+        let rel = (approx - truth).abs() / truth;
+        assert!(
+            rel <= 0.07,
+            "q{q}: histogram {approx} vs exact {truth} (rel err {rel:.4})"
+        );
+    }
+    // Endpoints are exact, not bucket representatives.
+    assert_eq!(hist.quantile(0.0), exact.percentile(0.0));
+    assert_eq!(hist.quantile(1.0), exact.percentile(100.0));
+    assert_eq!(hist.count(), exact.count() as u64);
+}
