@@ -68,8 +68,13 @@ struct ProxyRecord {
 
 #[derive(Debug, Clone)]
 enum Contribution {
-    Device { device_id: String },
-    Entity { entity_id: String },
+    Device {
+        device_id: String,
+        entity_id: String,
+    },
+    Entity {
+        entity_id: String,
+    },
     DistrictRoot,
 }
 
@@ -83,6 +88,8 @@ pub struct MasterNode {
     registry: HashMap<ProxyId, ProxyRecord>,
     /// Device registrations whose entity has not registered yet.
     parked: Vec<Registration>,
+    /// District seeds, kept so a restart can rebuild the empty ontology.
+    seeds: Vec<(DistrictId, String)>,
     stats: MasterStats,
 }
 
@@ -103,10 +110,11 @@ impl MasterNode {
     ///
     /// Panics on duplicate district ids in `districts`.
     pub fn new(districts: impl IntoIterator<Item = (DistrictId, String)>) -> Self {
+        let seeds: Vec<(DistrictId, String)> = districts.into_iter().collect();
         let mut ontology = Ontology::new();
-        for (id, name) in districts {
+        for (id, name) in &seeds {
             ontology
-                .add_district(id, name)
+                .add_district(id.clone(), name.clone())
                 .expect("district seeds must be unique");
         }
         MasterNode {
@@ -114,6 +122,7 @@ impl MasterNode {
             ws: WsServer::new(),
             registry: HashMap::new(),
             parked: Vec::new(),
+            seeds,
             stats: MasterStats::default(),
         }
     }
@@ -131,6 +140,11 @@ impl MasterNode {
     /// Number of registered proxies.
     pub fn proxy_count(&self) -> usize {
         self.registry.len()
+    }
+
+    /// Number of device registrations parked waiting for their entity.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
     }
 
     fn ensure_district(&mut self, district: &DistrictId) {
@@ -167,14 +181,31 @@ impl MasterNode {
                     .remove_device(&registration.district, &device_id)?;
                 self.ontology
                     .add_device(&registration.district, entity_id, leaf.clone())?;
-                Contribution::Device { device_id }
+                Contribution::Device {
+                    device_id,
+                    entity_id: entity_id.clone(),
+                }
             }
             ProxyRole::EntityDatabase { entity } => {
                 let entity_id = entity.id().to_owned();
+                // A re-registration (e.g. after a lost response) replaces
+                // the entity node but must not orphan device leaves that
+                // registered under it in the meantime.
+                let leaves: Vec<_> = self
+                    .ontology
+                    .district(&registration.district)
+                    .and_then(|t| t.entity(&entity_id))
+                    .map(|e| e.devices().to_vec())
+                    .unwrap_or_default();
                 self.ontology
                     .remove_entity(&registration.district, &entity_id)?;
                 self.ontology
                     .add_entity(&registration.district, entity.clone())?;
+                for leaf in leaves {
+                    let _ = self
+                        .ontology
+                        .add_device(&registration.district, &entity_id, leaf);
+                }
                 Contribution::Entity { entity_id }
             }
             ProxyRole::Gis => {
@@ -233,11 +264,22 @@ impl MasterNode {
 
     fn remove_contribution(&mut self, record: &ProxyRecord) {
         match &record.contribution {
-            Contribution::Device { device_id } => {
+            Contribution::Device { device_id, .. } => {
                 let _ = self.ontology.remove_device(&record.district, device_id);
             }
             Contribution::Entity { entity_id } => {
                 let _ = self.ontology.remove_entity(&record.district, entity_id);
+                // The entity's device leaves died with it. Forget their
+                // proxies' registrations too, so their next heartbeat is
+                // answered 404 and they re-register (parking until the
+                // entity returns).
+                self.registry.retain(|_, r| {
+                    r.district != record.district
+                        || !matches!(
+                            &r.contribution,
+                            Contribution::Device { entity_id: e, .. } if e == entity_id
+                        )
+                });
             }
             Contribution::DistrictRoot => {
                 // GIS/measurement proxies stay listed on the root; a
@@ -456,12 +498,22 @@ impl MasterNode {
     }
 
     fn sweep_liveness(&mut self, now: SimTime) -> u64 {
-        let dead: Vec<ProxyId> = self
+        let mut dead: Vec<ProxyId> = self
             .registry
             .iter()
             .filter(|(_, record)| now.saturating_since(record.last_seen) > LIVENESS_HORIZON)
             .map(|(id, _)| id.clone())
             .collect();
+        // Evict device proxies before entity proxies (an entity eviction
+        // cascades over its devices' records, which would otherwise hide
+        // their own evictions), and sort for a deterministic sweep.
+        dead.sort_by_cached_key(|id| {
+            let entity = matches!(
+                self.registry.get(id).map(|r| &r.contribution),
+                Some(Contribution::Entity { .. })
+            );
+            (entity, id.as_str().to_owned())
+        });
         let mut evicted = 0;
         for id in dead {
             if let Some(record) = self.registry.remove(&id) {
@@ -477,6 +529,25 @@ impl MasterNode {
 impl Node for MasterNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // The registry, parked queue and ontology are in-memory state:
+        // they die with the process, and only the district seeds come
+        // back. Proxies discover the loss when their next heartbeat is
+        // answered 404 and re-register, repopulating the ontology.
+        // Lifetime counters in `stats` survive, like a persisted log.
+        self.ontology = Ontology::new();
+        for (id, name) in &self.seeds {
+            self.ontology
+                .add_district(id.clone(), name.clone())
+                .expect("seeds were unique at construction");
+        }
+        self.registry.clear();
+        self.parked.clear();
+        ctx.telemetry().metrics.incr("master.restart");
+        ctx.telemetry().metrics.set_gauge("master.proxies", 0.0);
+        self.on_start(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {

@@ -320,6 +320,9 @@ pub struct DatabaseProxyNode {
     ws: WsServer,
     ws_client: WsClient,
     registered: bool,
+    /// Correlation id of the in-flight heartbeat, so a 404 (the master
+    /// evicted or forgot us) can trigger re-registration.
+    heartbeat_req: Option<u64>,
     stats: DatabaseProxyStats,
 }
 
@@ -349,6 +352,7 @@ impl DatabaseProxyNode {
             ws: WsServer::new(),
             ws_client: WsClient::new(WS_CLIENT_TAGS),
             registered: false,
+            heartbeat_req: None,
             stats: DatabaseProxyStats::default(),
         }
     }
@@ -382,14 +386,39 @@ impl Node for DatabaseProxyNode {
         ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
     }
 
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // The source model is durable; the WS session and registration
+        // are not. Re-register from scratch.
+        self.ws_client.reset();
+        self.registered = false;
+        self.heartbeat_req = None;
+        ctx.telemetry().metrics.incr("proxy.restart");
+        self.on_start(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         if pkt.port != WS_PORT {
             return;
         }
         if let Some(event) = self.ws_client.accept(&pkt) {
-            if let WsClientEvent::Response { response, .. } = event {
-                if response.is_ok() {
-                    self.registered = true;
+            match event {
+                WsClientEvent::Response { id, response } => {
+                    if self.heartbeat_req == Some(id) {
+                        self.heartbeat_req = None;
+                        if response.status == status::NOT_FOUND {
+                            // The master no longer knows us: re-register.
+                            self.registered = false;
+                            ctx.telemetry().metrics.incr("proxy.reregister");
+                            self.register(ctx);
+                        }
+                    } else if response.is_ok() {
+                        self.registered = true;
+                    }
+                }
+                WsClientEvent::TimedOut { id } => {
+                    if self.heartbeat_req == Some(id) {
+                        self.heartbeat_req = None;
+                    }
                 }
             }
             return;
@@ -414,8 +443,12 @@ impl Node for DatabaseProxyNode {
                         district: self.district.clone(),
                     }
                     .to_value();
-                    self.ws_client
-                        .request(ctx, self.master, &WsRequest::post("/heartbeat", body));
+                    let id = self.ws_client.request(
+                        ctx,
+                        self.master,
+                        &WsRequest::post("/heartbeat", body),
+                    );
+                    self.heartbeat_req = Some(id);
                 } else {
                     self.register(ctx);
                 }

@@ -14,12 +14,14 @@
 //! On startup the proxy registers itself on the master node; it then
 //! heartbeats periodically.
 
+use std::collections::{HashMap, VecDeque};
+
 use dimmer_core::{
     DeviceId, DistrictId, Measurement, MeasurementBatch, ProxyId, QuantityKind, Timestamp, Value,
 };
 use gis::geo::GeoPoint;
 use ontology::DeviceLeaf;
-use pubsub::{PubSubClient, QoS, Topic, PUBSUB_PORT};
+use pubsub::{PubSubClient, PubSubEvent, QoS, Topic, PUBSUB_PORT};
 use simnet::rpc::{RequestTracker, RpcEvent};
 use simnet::{Context, Node, Packet, SimDuration, TimerTag};
 use storage::tskv::{Aggregate, TimeSeriesStore};
@@ -34,6 +36,7 @@ const TAG_POLL: TimerTag = TimerTag(1);
 const TAG_RETENTION: TimerTag = TimerTag(2);
 const TAG_HEARTBEAT: TimerTag = TimerTag(3);
 const TAG_REGISTER_RETRY: TimerTag = TimerTag(4);
+const TAG_REPLAY: TimerTag = TimerTag(5);
 
 const WS_CLIENT_TAGS: u64 = 1_000_000_000;
 const PUBSUB_TAGS: u64 = 2_000_000_000;
@@ -43,6 +46,15 @@ const POLL_TAGS: u64 = 3_000_000_000;
 pub const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_secs(30);
 const RETENTION_PERIOD: SimDuration = SimDuration::from_hours(1);
 const POLL_TIMEOUT: SimDuration = SimDuration::from_secs(2);
+
+/// Default bounded store-and-forward capacity (QoS 1 samples held while
+/// the broker is unreachable); override with
+/// [`DeviceProxyNode::set_store_forward_capacity`].
+pub const STORE_FORWARD_CAPACITY: usize = 256;
+/// First replay probe delay after the broker is detected down; doubles
+/// (with jitter) up to [`REPLAY_BACKOFF_MAX`] on each failed probe.
+const REPLAY_BACKOFF_BASE: SimDuration = SimDuration::from_secs(2);
+const REPLAY_BACKOFF_MAX: SimDuration = SimDuration::from_secs(60);
 
 /// Static configuration of a Device-proxy.
 #[derive(Debug, Clone)]
@@ -89,6 +101,23 @@ pub struct DeviceProxyStats {
     pub published: u64,
     /// Actuation commands forwarded to the device.
     pub actuations: u64,
+    /// QoS 1 samples parked in the store-and-forward buffer while the
+    /// broker was unreachable.
+    pub buffered: u64,
+    /// Buffered samples successfully re-published after recovery.
+    pub replayed: u64,
+    /// Buffered samples dropped because the buffer overflowed.
+    pub shed: u64,
+}
+
+/// A QoS 1 sample parked while the broker is unreachable, carrying its
+/// original flight-recorder trace so end-to-end reconstruction survives
+/// the outage.
+#[derive(Debug, Clone)]
+struct BufferedSample {
+    topic: Topic,
+    payload: Vec<u8>,
+    trace: u64,
 }
 
 /// The Device-proxy node.
@@ -101,6 +130,18 @@ pub struct DeviceProxyNode {
     pubsub: Option<PubSubClient>,
     poll_tracker: RequestTracker,
     registered: bool,
+    /// Correlation id of the in-flight heartbeat, so a 404 answer (the
+    /// master evicted or forgot us) can trigger re-registration.
+    heartbeat_req: Option<u64>,
+    /// QoS 1 publish id → sample, until the broker acks it.
+    inflight: HashMap<u64, BufferedSample>,
+    /// Bounded store-and-forward buffer (oldest at the front).
+    backlog: VecDeque<BufferedSample>,
+    backlog_capacity: usize,
+    /// Whether the broker is currently considered unreachable.
+    broker_down: bool,
+    /// Current replay probe delay (exponential, jittered).
+    replay_backoff: SimDuration,
     stats: DeviceProxyStats,
 }
 
@@ -130,6 +171,12 @@ impl DeviceProxyNode {
             pubsub,
             poll_tracker: RequestTracker::new(POLL_TAGS),
             registered: false,
+            heartbeat_req: None,
+            inflight: HashMap::new(),
+            backlog: VecDeque::new(),
+            backlog_capacity: STORE_FORWARD_CAPACITY,
+            broker_down: false,
+            replay_backoff: REPLAY_BACKOFF_BASE,
             stats: DeviceProxyStats::default(),
         }
     }
@@ -137,6 +184,17 @@ impl DeviceProxyNode {
     /// Whether the master has acknowledged registration.
     pub fn is_registered(&self) -> bool {
         self.registered
+    }
+
+    /// Overrides the bounded store-and-forward capacity (default
+    /// [`STORE_FORWARD_CAPACITY`] QoS 1 samples).
+    pub fn set_store_forward_capacity(&mut self, capacity: usize) {
+        self.backlog_capacity = capacity;
+    }
+
+    /// QoS 1 samples currently parked waiting for the broker.
+    pub fn backlog_len(&self) -> usize {
+        self.backlog.len()
     }
 
     /// Attaches the device node after construction (deployment builders
@@ -200,7 +258,7 @@ impl DeviceProxyNode {
                     format!("device={} quantity={quantity}", self.config.device),
                 );
             }
-            if let Some(pubsub) = &mut self.pubsub {
+            if self.pubsub.is_some() {
                 let topic = Topic::new(format!(
                     "district/{}/entity/{}/device/{}/{}",
                     self.config.district, self.config.entity_id, self.config.device, quantity
@@ -213,17 +271,117 @@ impl DeviceProxyNode {
                     quantity.canonical_unit(),
                     Timestamp::from_unix_millis(unix),
                 );
-                pubsub.publish_traced(
-                    ctx,
+                let sample = BufferedSample {
                     topic,
-                    dimmer_core::json::to_string(&measurement.to_value()).into_bytes(),
-                    true,
-                    self.config.publish_qos,
+                    payload: dimmer_core::json::to_string(&measurement.to_value()).into_bytes(),
                     trace,
-                );
-                self.stats.published += 1;
-                ctx.telemetry().metrics.incr("proxy.published");
+                };
+                if self.config.publish_qos == QoS::AtLeastOnce && self.broker_down {
+                    self.buffer_sample(ctx, sample);
+                } else {
+                    self.publish_sample(ctx, sample);
+                }
             }
+        }
+    }
+
+    /// Publishes one sample into the middleware, remembering QoS 1
+    /// publishes until the broker acknowledges them.
+    fn publish_sample(&mut self, ctx: &mut Context<'_>, sample: BufferedSample) {
+        let Some(pubsub) = &mut self.pubsub else {
+            return;
+        };
+        let id = pubsub.publish_traced(
+            ctx,
+            sample.topic.clone(),
+            sample.payload.clone(),
+            true,
+            self.config.publish_qos,
+            sample.trace,
+        );
+        self.stats.published += 1;
+        ctx.telemetry().metrics.incr("proxy.published");
+        if self.config.publish_qos == QoS::AtLeastOnce {
+            self.inflight.insert(id, sample);
+        }
+    }
+
+    /// Parks a QoS 1 sample in the bounded store-and-forward buffer,
+    /// shedding the oldest entry on overflow.
+    fn buffer_sample(&mut self, ctx: &mut Context<'_>, sample: BufferedSample) {
+        if self.backlog.len() >= self.backlog_capacity {
+            self.backlog.pop_front();
+            self.stats.shed += 1;
+            ctx.telemetry().metrics.incr("proxy.shed");
+        }
+        if sample.trace != 0 {
+            ctx.trace_hop(
+                "proxy.buffer",
+                sample.trace,
+                format!("backlog={}", self.backlog.len() + 1),
+            );
+        }
+        self.backlog.push_back(sample);
+        self.stats.buffered += 1;
+        ctx.telemetry().metrics.incr("proxy.buffered");
+    }
+
+    /// A QoS 1 publish ran out of retries: the broker is unreachable.
+    fn on_publish_timeout(&mut self, ctx: &mut Context<'_>, id: u64) {
+        if let Some(sample) = self.inflight.remove(&id) {
+            // Requeue at the front — it is older than everything parked.
+            if self.backlog.len() >= self.backlog_capacity {
+                self.stats.shed += 1;
+                ctx.telemetry().metrics.incr("proxy.shed");
+            } else {
+                if sample.trace != 0 {
+                    ctx.trace_hop(
+                        "proxy.buffer",
+                        sample.trace,
+                        format!("backlog={}", self.backlog.len() + 1),
+                    );
+                }
+                self.backlog.push_front(sample);
+                self.stats.buffered += 1;
+                ctx.telemetry().metrics.incr("proxy.buffered");
+            }
+        }
+        if !self.broker_down {
+            self.broker_down = true;
+            self.replay_backoff = REPLAY_BACKOFF_BASE;
+            ctx.telemetry().metrics.incr("proxy.broker_down");
+        }
+        self.arm_replay(ctx);
+    }
+
+    /// Arms the next replay probe with jittered exponential backoff.
+    fn arm_replay(&mut self, ctx: &mut Context<'_>) {
+        let jitter = ctx.rng().next_f64_range(0.75, 1.25);
+        let delay = SimDuration::from_secs_f64(self.replay_backoff.as_secs_f64() * jitter);
+        ctx.set_timer(delay, TAG_REPLAY);
+        self.replay_backoff = SimDuration::from_secs_f64(
+            (self.replay_backoff.as_secs_f64() * 2.0).min(REPLAY_BACKOFF_MAX.as_secs_f64()),
+        );
+    }
+
+    /// The broker acknowledged a publish after an outage: replay the
+    /// whole backlog in order.
+    fn mark_broker_up(&mut self, ctx: &mut Context<'_>) {
+        self.broker_down = false;
+        self.replay_backoff = REPLAY_BACKOFF_BASE;
+        ctx.telemetry().metrics.incr("proxy.broker_up");
+        let parked: Vec<BufferedSample> = self.backlog.drain(..).collect();
+        for sample in parked {
+            if sample.trace != 0 {
+                ctx.trace_hop(
+                    "proxy.replay",
+                    sample.trace,
+                    format!("device={}", self.config.device),
+                );
+            }
+            self.stats.replayed += 1;
+            ctx.telemetry().metrics.incr("proxy.replayed");
+            self.publish_sample(ctx, sample);
         }
     }
 
@@ -396,6 +554,33 @@ impl Node for DeviceProxyNode {
         }
     }
 
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // Volatile across a reboot: protocol trackers, registration and
+        // the middleware session. Durable: the local database (layer 2),
+        // the store-and-forward backlog and the lifetime counters.
+        self.ws_client.reset();
+        self.poll_tracker.reset();
+        self.registered = false;
+        self.heartbeat_req = None;
+        // Unacked publishes were lost with the crash; park them (oldest
+        // first) so they replay once the broker answers again.
+        let mut unacked: Vec<(u64, BufferedSample)> = self.inflight.drain().collect();
+        unacked.sort_by_key(|(id, _)| *id);
+        if let Some(pubsub) = &mut self.pubsub {
+            pubsub.reset();
+        }
+        for (_, sample) in unacked {
+            self.buffer_sample(ctx, sample);
+        }
+        ctx.telemetry().metrics.incr("proxy.restart");
+        self.on_start(ctx);
+        self.broker_down = !self.backlog.is_empty();
+        if self.broker_down {
+            self.replay_backoff = REPLAY_BACKOFF_BASE;
+            self.arm_replay(ctx);
+        }
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         match pkt.port {
             crate::DEVICE_UPLINK_PORT => match self.adapter.decode_uplink(&pkt.payload) {
@@ -419,17 +604,41 @@ impl Node for DeviceProxyNode {
                 }
             }
             PUBSUB_PORT => {
-                if let Some(pubsub) = &mut self.pubsub {
-                    pubsub.accept(ctx, &pkt);
+                let event = match &mut self.pubsub {
+                    Some(pubsub) => pubsub.accept(ctx, &pkt),
+                    None => None,
+                };
+                if let Some(PubSubEvent::Published { id }) = event {
+                    self.inflight.remove(&id);
+                    if self.broker_down {
+                        self.mark_broker_up(ctx);
+                    }
                 }
             }
             WS_PORT => {
                 // A packet on the WS port is either the master's response
                 // to our registration/heartbeat, or a client request.
                 if let Some(event) = self.ws_client.accept(&pkt) {
-                    if let WsClientEvent::Response { response, .. } = event {
-                        if response.is_ok() {
-                            self.registered = true;
+                    match event {
+                        WsClientEvent::Response { id, response } => {
+                            if self.heartbeat_req == Some(id) {
+                                self.heartbeat_req = None;
+                                if response.status == status::NOT_FOUND {
+                                    // The master no longer knows us (it
+                                    // evicted us, or restarted and lost its
+                                    // registry): register again.
+                                    self.registered = false;
+                                    ctx.telemetry().metrics.incr("proxy.reregister");
+                                    self.register(ctx);
+                                }
+                            } else if response.is_ok() {
+                                self.registered = true;
+                            }
+                        }
+                        WsClientEvent::TimedOut { id } => {
+                            if self.heartbeat_req == Some(id) {
+                                self.heartbeat_req = None;
+                            }
                         }
                     }
                     return;
@@ -466,7 +675,8 @@ impl Node for DeviceProxyNode {
                     }
                     .to_value();
                     let request = WsRequest::post("/heartbeat", body);
-                    self.ws_client.request(ctx, self.config.master, &request);
+                    let id = self.ws_client.request(ctx, self.config.master, &request);
+                    self.heartbeat_req = Some(id);
                 } else {
                     // Registration response never came: retry now.
                     self.register(ctx);
@@ -474,12 +684,34 @@ impl Node for DeviceProxyNode {
                 ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
             }
             TAG_REGISTER_RETRY => self.register(ctx),
+            // Probe the broker with the oldest parked sample; its ack
+            // (or timeout) decides whether the backlog drains or the
+            // backoff grows.
+            TAG_REPLAY if self.broker_down => {
+                if let Some(sample) = self.backlog.pop_front() {
+                    if sample.trace != 0 {
+                        ctx.trace_hop(
+                            "proxy.replay",
+                            sample.trace,
+                            format!("device={} probe", self.config.device),
+                        );
+                    }
+                    self.stats.replayed += 1;
+                    ctx.telemetry().metrics.incr("proxy.replayed");
+                    self.publish_sample(ctx, sample);
+                }
+            }
+            TAG_REPLAY => {}
             tag if tag.0 >= POLL_TAGS => {
                 self.poll_tracker.on_timer(ctx, tag);
             }
             tag if tag.0 >= PUBSUB_TAGS => {
-                if let Some(pubsub) = &mut self.pubsub {
-                    pubsub.on_timer(ctx, tag);
+                let event = match &mut self.pubsub {
+                    Some(pubsub) => pubsub.on_timer(ctx, tag),
+                    None => None,
+                };
+                if let Some(PubSubEvent::PublishTimedOut { id }) = event {
+                    self.on_publish_timeout(ctx, id);
                 }
             }
             tag if tag.0 >= WS_CLIENT_TAGS => {

@@ -431,6 +431,12 @@ impl WsClient {
         self.tracker.outstanding()
     }
 
+    /// Forgets every in-flight request; call from a node's `on_restart`
+    /// (the crash already cancelled the retry timers).
+    pub fn reset(&mut self) {
+        self.tracker.reset();
+    }
+
     /// Sends `request` to the Web Service on `server`; returns the
     /// correlation id.
     pub fn request(&mut self, ctx: &mut Context<'_>, server: NodeId, request: &WsRequest) -> u64 {

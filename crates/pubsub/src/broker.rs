@@ -39,10 +39,17 @@ pub struct BrokerStats {
     pub acked: u64,
     /// QoS 1 redelivery attempts.
     pub retries: u64,
-    /// QoS 1 deliveries abandoned after retry exhaustion.
+    /// QoS 1 deliveries abandoned after retry exhaustion (or wiped by a
+    /// broker restart).
     pub dropped: u64,
     /// Topics currently retained.
     pub retained: u64,
+    /// QoS 1 deliveries enqueued for acknowledgement. At any instant the
+    /// conservation invariant `qos1_enqueued == acked + dropped +
+    /// pending_deliveries()` holds.
+    pub qos1_enqueued: u64,
+    /// Malformed wire packets received and discarded.
+    pub decode_errors: u64,
 }
 
 /// A SEEMPubS-style broker running as a [`simnet::Node`].
@@ -53,10 +60,18 @@ pub struct BrokerStats {
 #[derive(Debug, Default)]
 pub struct BrokerNode {
     subscriptions: SubscriptionTrie<Subscription>,
-    /// topic text → (topic, last retained payload).
-    retained: HashMap<String, (Topic, Vec<u8>)>,
+    /// topic text → (topic, last retained payload, its trace id).
+    ///
+    /// Keeping the trace id means a late subscriber's retained delivery
+    /// still shows up in the flight recorder as part of the original
+    /// publication's journey — without it, samples replayed across a
+    /// broker restart would look lost even though they arrived.
+    retained: HashMap<String, (Topic, Vec<u8>, u64)>,
     pending: HashMap<u64, PendingDelivery>,
     next_delivery_id: u64,
+    /// Bumped on every restart; clients learn it via Ping/Pong and use a
+    /// change to detect that their subscriptions were wiped.
+    incarnation: u64,
     stats: BrokerStats,
 }
 
@@ -72,6 +87,11 @@ impl BrokerNode {
             retained: self.retained.len() as u64,
             ..self.stats
         }
+    }
+
+    /// The broker's incarnation number (restarts survived).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// Number of live subscriptions.
@@ -110,6 +130,7 @@ impl BrokerNode {
         ctx.send_traced(to, crate::PUBSUB_PORT, bytes.clone(), trace);
         self.stats.delivered += 1;
         if qos == QoS::AtLeastOnce {
+            self.stats.qos1_enqueued += 1;
             self.pending.insert(
                 id,
                 PendingDelivery {
@@ -154,8 +175,10 @@ impl BrokerNode {
             if payload.is_empty() {
                 self.retained.remove(topic.as_str());
             } else {
-                self.retained
-                    .insert(topic.as_str().to_owned(), (topic.clone(), payload.clone()));
+                self.retained.insert(
+                    topic.as_str().to_owned(),
+                    (topic.clone(), payload.clone(), trace),
+                );
             }
         }
         let targets: Vec<Subscription> = self
@@ -188,15 +211,16 @@ impl BrokerNode {
         ctx.telemetry().metrics.incr("pubsub.subscribe");
         self.subscriptions
             .insert(&filter, Subscription { node: from, qos });
-        // Hand the new subscriber any retained messages it now matches.
-        let matching: Vec<(Topic, Vec<u8>)> = self
+        // Hand the new subscriber any retained messages it now matches,
+        // under the original publication's trace id.
+        let matching: Vec<(Topic, Vec<u8>, u64)> = self
             .retained
             .values()
-            .filter(|(topic, _)| filter.matches(topic))
+            .filter(|(topic, _, _)| filter.matches(topic))
             .cloned()
             .collect();
-        for (topic, payload) in matching {
-            self.deliver(ctx, from, &topic, &payload, qos, 0);
+        for (topic, payload, trace) in matching {
+            self.deliver(ctx, from, &topic, &payload, qos, trace);
         }
     }
 }
@@ -204,7 +228,11 @@ impl BrokerNode {
 impl Node for BrokerNode {
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
         let Ok(packet) = Packet::decode(&pkt.payload) else {
-            return; // malformed traffic is dropped, as a real broker would
+            // Malformed traffic is dropped, as a real broker would — but
+            // counted, so a misbehaving client is visible in the stats.
+            self.stats.decode_errors += 1;
+            ctx.telemetry().metrics.incr("pubsub.decode_error");
+            return;
         };
         match packet {
             Packet::Subscribe { filter, qos } => self.on_subscribe(ctx, pkt.src, filter, qos),
@@ -230,10 +258,38 @@ impl Node for BrokerNode {
                         .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
                 }
             }
-            Packet::PubAck { .. } | Packet::Deliver { .. } => {
+            Packet::Ping => {
+                ctx.send(
+                    pkt.src,
+                    crate::PUBSUB_PORT,
+                    Packet::Pong {
+                        incarnation: self.incarnation,
+                    }
+                    .encode(),
+                );
+            }
+            Packet::PubAck { .. } | Packet::Deliver { .. } | Packet::Pong { .. } => {
                 // Not broker-bound; ignore.
             }
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // The broker's session state is volatile: subscriptions, retained
+        // messages and unacked deliveries die with the process. Wiped
+        // QoS 1 deliveries count as dropped so the conservation invariant
+        // (`qos1_enqueued == acked + dropped + pending`) survives the
+        // restart. Lifetime counters and the delivery-id sequence are kept
+        // so post-restart ids never collide with pre-crash ones.
+        self.subscriptions = SubscriptionTrie::default();
+        self.retained.clear();
+        self.stats.dropped += self.pending.len() as u64;
+        self.pending.clear();
+        self.incarnation += 1;
+        ctx.telemetry().metrics.incr("pubsub.broker_restart");
+        ctx.telemetry()
+            .metrics
+            .set_gauge("pubsub.pending_deliveries", 0.0);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {

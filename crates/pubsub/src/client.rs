@@ -36,6 +36,14 @@ pub enum PubSubEvent {
         /// The id returned by [`PubSubClient::publish`].
         id: u64,
     },
+    /// A keepalive probe revealed that the broker restarted since we last
+    /// heard from it. The client has already re-sent its subscriptions
+    /// (session resumption); the owning node may want to re-publish
+    /// retained state.
+    BrokerRestarted {
+        /// The broker's new incarnation number.
+        incarnation: u64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -55,8 +63,17 @@ struct PendingPublish {
 pub struct PubSubClient {
     broker: NodeId,
     tag_base: u64,
+    /// Publish ids start at 1; `tag_base + 0` is the keepalive timer.
     next_publish_id: u64,
     pending: HashMap<u64, PendingPublish>,
+    /// Subscriptions this client holds, remembered so they can be
+    /// re-sent when the broker restarts (session resumption).
+    subs: Vec<(TopicFilter, QoS)>,
+    /// Broker incarnation seen in the last Pong, if any.
+    last_incarnation: Option<u64>,
+    /// Keepalive probe interval; `None` until
+    /// [`PubSubClient::start_keepalive`].
+    keepalive: Option<SimDuration>,
 }
 
 impl PubSubClient {
@@ -66,8 +83,11 @@ impl PubSubClient {
         PubSubClient {
             broker,
             tag_base,
-            next_publish_id: 0,
+            next_publish_id: 1,
             pending: HashMap::new(),
+            subs: Vec::new(),
+            last_incarnation: None,
+            keepalive: None,
         }
     }
 
@@ -81,22 +101,64 @@ impl PubSubClient {
         self.pending.len()
     }
 
-    /// Subscribes to `filter` with the given delivery guarantee.
-    pub fn subscribe(&self, ctx: &mut Context<'_>, filter: TopicFilter, qos: QoS) {
+    /// Subscriptions this client currently remembers.
+    pub fn subscriptions(&self) -> &[(TopicFilter, QoS)] {
+        &self.subs
+    }
+
+    /// Forgets all in-flight publishes and session state.
+    ///
+    /// Call from the owning node's `on_restart`: pre-crash retry timers
+    /// are gone, so pending entries could never resolve. Remembered
+    /// subscriptions are also cleared — a rebooted node re-subscribes
+    /// itself, and re-arms the keepalive, as part of its boot path.
+    pub fn reset(&mut self) {
+        self.pending.clear();
+        self.subs.clear();
+        self.last_incarnation = None;
+        self.keepalive = None;
+    }
+
+    /// Starts periodic broker keepalive probes (Ping/Pong).
+    ///
+    /// Each Pong carries the broker's incarnation number; when it changes
+    /// the client re-sends every remembered subscription and surfaces
+    /// [`PubSubEvent::BrokerRestarted`]. Without keepalive a subscriber
+    /// that survives a broker restart silently stops receiving messages.
+    pub fn start_keepalive(&mut self, ctx: &mut Context<'_>, interval: SimDuration) {
+        self.keepalive = Some(interval);
+        ctx.send(self.broker, PUBSUB_PORT, Packet::Ping.encode());
+        ctx.set_timer(interval, TimerTag(self.tag_base));
+    }
+
+    /// Subscribes to `filter` with the given delivery guarantee and
+    /// remembers the subscription for resumption after a broker restart.
+    pub fn subscribe(&mut self, ctx: &mut Context<'_>, filter: TopicFilter, qos: QoS) {
         ctx.send(
             self.broker,
             PUBSUB_PORT,
-            Packet::Subscribe { filter, qos }.encode(),
+            Packet::Subscribe {
+                filter: filter.clone(),
+                qos,
+            }
+            .encode(),
         );
+        if !self.subs.iter().any(|(f, q)| *f == filter && *q == qos) {
+            self.subs.push((filter, qos));
+        }
     }
 
     /// Drops all of the node's subscriptions on `filter`.
-    pub fn unsubscribe(&self, ctx: &mut Context<'_>, filter: TopicFilter) {
+    pub fn unsubscribe(&mut self, ctx: &mut Context<'_>, filter: TopicFilter) {
         ctx.send(
             self.broker,
             PUBSUB_PORT,
-            Packet::Unsubscribe { filter }.encode(),
+            Packet::Unsubscribe {
+                filter: filter.clone(),
+            }
+            .encode(),
         );
+        self.subs.retain(|(f, _)| *f != filter);
     }
 
     /// Publishes `payload` under `topic`. Returns the publish id; for
@@ -153,7 +215,14 @@ impl PubSubClient {
     /// Feeds an incoming packet through the client. QoS 1 deliveries are
     /// acknowledged automatically.
     pub fn accept(&mut self, ctx: &mut Context<'_>, pkt: &NetPacket) -> Option<PubSubEvent> {
-        match Packet::decode(&pkt.payload).ok()? {
+        let decoded = match Packet::decode(&pkt.payload) {
+            Ok(p) => p,
+            Err(_) => {
+                ctx.telemetry().metrics.incr("pubsub.decode_error");
+                return None;
+            }
+        };
+        match decoded {
             Packet::Deliver {
                 id,
                 topic,
@@ -177,20 +246,47 @@ impl PubSubClient {
                 self.pending.remove(&id)?;
                 Some(PubSubEvent::Published { id })
             }
+            Packet::Pong { incarnation } => {
+                let restarted = self
+                    .last_incarnation
+                    .is_some_and(|prev| prev != incarnation);
+                self.last_incarnation = Some(incarnation);
+                if !restarted {
+                    return None;
+                }
+                // The broker lost its subscription table; resume the
+                // session by re-sending everything we remember.
+                ctx.telemetry().metrics.incr("pubsub.resubscribe");
+                for (filter, qos) in self.subs.clone() {
+                    ctx.send(
+                        self.broker,
+                        PUBSUB_PORT,
+                        Packet::Subscribe { filter, qos }.encode(),
+                    );
+                }
+                Some(PubSubEvent::BrokerRestarted { incarnation })
+            }
             _ => None,
         }
     }
 
     /// Whether a timer tag belongs to this client.
     pub fn owns_tag(&self, tag: TimerTag) -> bool {
-        tag.0
-            .checked_sub(self.tag_base)
-            .is_some_and(|id| self.pending.contains_key(&id))
+        tag.0.checked_sub(self.tag_base).is_some_and(|id| {
+            (id == 0 && self.keepalive.is_some()) || self.pending.contains_key(&id)
+        })
     }
 
     /// Feeds a fired timer through the client.
     pub fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) -> Option<PubSubEvent> {
         let id = tag.0.checked_sub(self.tag_base)?;
+        if id == 0 {
+            if let Some(interval) = self.keepalive {
+                ctx.send(self.broker, PUBSUB_PORT, Packet::Ping.encode());
+                ctx.set_timer(interval, TimerTag(self.tag_base));
+            }
+            return None;
+        }
         let pending = self.pending.get_mut(&id)?;
         if pending.retries_left == 0 {
             self.pending.remove(&id);
@@ -351,7 +447,7 @@ mod tests {
         );
         sim.run_for(SimDuration::from_secs(1));
         let p = sim.node_ref::<Publisher>(p).unwrap();
-        assert_eq!(p.acks, vec![0]);
+        assert_eq!(p.acks, vec![1], "publish ids start at 1");
         assert_eq!(p.client.pending_publishes(), 0);
     }
 
@@ -540,6 +636,151 @@ mod tests {
         assert_eq!(sim.node_ref::<FickleSubscriber>(s).unwrap().messages, 0);
     }
 
+    /// A subscriber with keepalive enabled; records broker restarts.
+    struct ResumingSubscriber {
+        client: PubSubClient,
+        filter: TopicFilter,
+        messages: Vec<Vec<u8>>,
+        restarts_seen: u32,
+    }
+
+    impl Node for ResumingSubscriber {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.client
+                .subscribe(ctx, self.filter.clone(), QoS::AtLeastOnce);
+            self.client.start_keepalive(ctx, SimDuration::from_secs(5));
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
+            match self.client.accept(ctx, &pkt) {
+                Some(PubSubEvent::Message { payload, .. }) => self.messages.push(payload),
+                Some(PubSubEvent::BrokerRestarted { .. }) => self.restarts_seen += 1,
+                _ => {}
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+            self.client.on_timer(ctx, tag);
+        }
+    }
+
+    #[test]
+    fn keepalive_detects_broker_restart_and_resubscribes() {
+        let (mut sim, broker) = build(LinkModel::lan());
+        let s = sim.add_node(
+            "sub",
+            ResumingSubscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("d1/#"),
+                messages: vec![],
+                restarts_seen: 0,
+            },
+        );
+        sim.run_for(SimDuration::from_secs(10));
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker)
+                .unwrap()
+                .subscription_count(),
+            1
+        );
+        // Crash and reboot the broker: the subscription table is wiped.
+        sim.crash(broker);
+        sim.restart(broker, SimDuration::from_secs(1));
+        sim.run_for(SimDuration::from_secs(2));
+        assert_eq!(
+            sim.node_ref::<BrokerNode>(broker)
+                .unwrap()
+                .subscription_count(),
+            0,
+            "restart wipes subscriptions"
+        );
+        // Within one keepalive interval the client notices the new
+        // incarnation and re-subscribes.
+        sim.run_for(SimDuration::from_secs(10));
+        let broker_node = sim.node_ref::<BrokerNode>(broker).unwrap();
+        assert_eq!(broker_node.subscription_count(), 1, "session resumed");
+        assert_eq!(broker_node.incarnation(), 1);
+        let sub = sim.node_ref::<ResumingSubscriber>(s).unwrap();
+        assert_eq!(sub.restarts_seen, 1);
+        // Messages flow again end to end.
+        sim.add_node(
+            "pub",
+            Publisher {
+                client: PubSubClient::new(broker, 100),
+                topic: topic("d1/after"),
+                payload: b"back".to_vec(),
+                retain: false,
+                qos: QoS::AtLeastOnce,
+                acks: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(5));
+        let sub = sim.node_ref::<ResumingSubscriber>(s).unwrap();
+        assert_eq!(sub.messages, vec![b"back".to_vec()]);
+        assert!(sim.telemetry().metrics.counter("pubsub.resubscribe") >= 1);
+    }
+
+    #[test]
+    fn qos1_accounting_is_conserved_across_a_broker_restart() {
+        // Lossy link + broker restart mid-stream: every QoS 1 delivery the
+        // broker enqueued must end up acked, dropped, or still pending.
+        let (mut sim, broker) = build(LinkModel::builder().loss(0.3).build());
+        sim.add_node(
+            "sub",
+            ResumingSubscriber {
+                client: PubSubClient::new(broker, 100),
+                filter: filter("#"),
+                messages: vec![],
+                restarts_seen: 0,
+            },
+        );
+        sim.run_for(SimDuration::from_secs(2));
+        for i in 0..10 {
+            sim.add_node(
+                format!("pub{i}"),
+                Publisher {
+                    client: PubSubClient::new(broker, 100),
+                    topic: topic("d1/x"),
+                    payload: vec![i],
+                    retain: false,
+                    qos: QoS::AtLeastOnce,
+                    acks: vec![],
+                    timeouts: vec![],
+                },
+            );
+        }
+        sim.run_for(SimDuration::from_secs(3));
+        sim.crash(broker);
+        sim.restart(broker, SimDuration::from_secs(2));
+        sim.run_for(SimDuration::from_secs(60));
+        let b = sim.node_ref::<BrokerNode>(broker).unwrap();
+        let stats = b.stats();
+        assert!(stats.qos1_enqueued > 0);
+        assert_eq!(
+            stats.qos1_enqueued,
+            stats.acked + stats.dropped + b.pending_deliveries() as u64,
+            "conservation violated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_packets_are_counted_not_ignored() {
+        struct Garbler {
+            broker: NodeId,
+        }
+        impl Node for Garbler {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.send(self.broker, PUBSUB_PORT, vec![0xFF, 0x00, 0x01]);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: NetPacket) {}
+        }
+        let (mut sim, broker) = build(LinkModel::lan());
+        sim.add_node("garbler", Garbler { broker });
+        sim.run_for(SimDuration::from_secs(1));
+        let stats = sim.node_ref::<BrokerNode>(broker).unwrap().stats();
+        assert_eq!(stats.decode_errors, 1);
+        assert_eq!(sim.telemetry().metrics.counter("pubsub.decode_error"), 1);
+    }
+
     #[test]
     fn publish_times_out_without_broker() {
         // Broker that never answers: black-hole node.
@@ -564,6 +805,6 @@ mod tests {
         sim.run_for(SimDuration::from_secs(30));
         let p = sim.node_ref::<Publisher>(p).unwrap();
         assert!(p.acks.is_empty());
-        assert_eq!(p.timeouts, vec![0]);
+        assert_eq!(p.timeouts, vec![1]);
     }
 }

@@ -92,6 +92,16 @@ pub enum Packet {
         /// The broker's delivery id.
         id: u64,
     },
+    /// Client → broker: session keepalive probe.
+    Ping,
+    /// Broker → client: keepalive answer carrying the broker's
+    /// incarnation number, which bumps on every broker restart. A client
+    /// that sees the incarnation change knows its subscriptions were
+    /// wiped and must re-subscribe.
+    Pong {
+        /// The broker's current incarnation.
+        incarnation: u64,
+    },
 }
 
 fn push_str(s: &str, out: &mut Vec<u8>) {
@@ -226,6 +236,13 @@ impl Packet {
                 out.push(6);
                 out.extend_from_slice(&id.to_le_bytes());
             }
+            Packet::Ping => {
+                out.push(7);
+            }
+            Packet::Pong { incarnation } => {
+                out.push(8);
+                out.extend_from_slice(&incarnation.to_le_bytes());
+            }
         }
         out
     }
@@ -263,6 +280,10 @@ impl Packet {
                 trace: c.u64()?,
             },
             6 => Packet::DeliverAck { id: c.u64()? },
+            7 => Packet::Ping,
+            8 => Packet::Pong {
+                incarnation: c.u64()?,
+            },
             _ => {
                 return Err(PubSubError::DecodePacket {
                     reason: "unknown packet tag",
@@ -305,6 +326,8 @@ mod tests {
                 trace: 0,
             },
             Packet::DeliverAck { id: 7 },
+            Packet::Ping,
+            Packet::Pong { incarnation: 3 },
         ];
         for p in &packets {
             assert_eq!(&Packet::decode(&p.encode()).unwrap(), p, "{p:?}");

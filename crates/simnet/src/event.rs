@@ -13,13 +13,23 @@ use crate::time::SimTime;
 
 #[derive(Debug)]
 pub(crate) enum EventKind {
-    Deliver(Packet),
+    Deliver {
+        pkt: Packet,
+        /// Destination incarnation at send time; a mismatch at delivery
+        /// time means the node crashed in between and the packet is lost.
+        epoch: u32,
+    },
     Timer {
         node: NodeId,
         tag: TimerTag,
         timer_id: u64,
+        /// Node incarnation at scheduling time; a crash bumps the epoch,
+        /// which silently invalidates every timer armed before it.
+        epoch: u32,
     },
     Start(NodeId),
+    /// Bring a crashed node back up and run its `on_restart` hook.
+    Restart(NodeId),
 }
 
 #[derive(Debug)]

@@ -47,6 +47,7 @@ mod link;
 mod node;
 mod sim;
 
+pub mod chaos;
 pub mod rng;
 pub mod rpc;
 pub mod stats;

@@ -107,6 +107,19 @@ pub trait Node: Any {
         let _ = (ctx, tag);
     }
 
+    /// Called when the node comes back up after a
+    /// [`Simulator::crash`](crate::Simulator::crash) /
+    /// [`Simulator::restart`](crate::Simulator::restart) cycle.
+    ///
+    /// All timers armed before the crash are gone and in-flight packets
+    /// addressed to the node were dropped; the node's own struct state
+    /// survives. Implementors decide what is volatile (wipe it here) and
+    /// what models durable storage (keep it). The default delegates to
+    /// [`Node::on_start`], i.e. a restart behaves like a cold boot.
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        self.on_start(ctx);
+    }
+
     /// Upcast helper used by the simulator for downcasting; implementors
     /// normally keep the default.
     fn as_any(&self) -> &dyn Any

@@ -132,6 +132,56 @@ pub enum RpcEvent {
     },
 }
 
+/// Retry shaping applied by a [`RequestTracker`] to every request it
+/// sends.
+///
+/// The default policy reproduces the original fixed-interval behaviour:
+/// per-request retry budgets, a constant resend interval equal to the
+/// request timeout, and no jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// When `Some`, caps (and overrides) the per-request `retries`
+    /// argument of [`RequestTracker::send_request`] for every request.
+    pub max_retries: Option<u32>,
+    /// Multiplier applied to the resend interval per attempt
+    /// (`timeout * backoff^attempt`). `1.0` keeps the interval constant;
+    /// `2.0` doubles it on every retry.
+    pub backoff: f64,
+    /// Fractional jitter on each retry delay: a delay `d` becomes a
+    /// uniform draw from `d * [1 - jitter, 1 + jitter]`. Jitter decorrelates
+    /// retry storms after a partition heals or a peer restarts.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: None,
+            backoff: 1.0,
+            jitter: 0.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay armed after resend number `attempt` (1-based), jittered
+    /// with the caller's RNG: `base * backoff^attempt`, so the wait
+    /// between the original send and the first resend is `base` and each
+    /// subsequent gap grows by the backoff factor.
+    fn delay(
+        &self,
+        base: SimDuration,
+        attempt: u32,
+        rng: &mut crate::rng::DeterministicRng,
+    ) -> SimDuration {
+        let mut d = base.as_secs_f64() * self.backoff.powi(attempt as i32);
+        if self.jitter > 0.0 {
+            d *= rng.next_f64_range(1.0 - self.jitter, 1.0 + self.jitter);
+        }
+        SimDuration::from_secs_f64(d.max(0.0))
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Pending {
     dst: NodeId,
@@ -139,6 +189,8 @@ struct Pending {
     body: Vec<u8>,
     timeout: SimDuration,
     retries_left: u32,
+    /// Retry attempts already made (0 = only the original send).
+    attempt: u32,
 }
 
 /// Correlates responses with requests; embeds in a [`Node`](crate::Node).
@@ -152,21 +204,39 @@ pub struct RequestTracker {
     tag_base: u64,
     next_id: u64,
     pending: HashMap<u64, Pending>,
+    policy: RetryPolicy,
 }
 
 impl RequestTracker {
-    /// Creates a tracker whose timers use tags `tag_base + request-id`.
+    /// Creates a tracker whose timers use tags `tag_base + request-id`,
+    /// with the default (fixed-interval, unjittered) retry policy.
     pub fn new(tag_base: u64) -> Self {
+        RequestTracker::with_policy(tag_base, RetryPolicy::default())
+    }
+
+    /// Creates a tracker with an explicit [`RetryPolicy`].
+    pub fn with_policy(tag_base: u64, policy: RetryPolicy) -> Self {
         RequestTracker {
             tag_base,
             next_id: 0,
             pending: HashMap::new(),
+            policy,
         }
     }
 
     /// Number of requests still awaiting a response.
     pub fn outstanding(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Forgets every outstanding request without firing events.
+    ///
+    /// Call from a node's `on_restart`: the crash already cancelled the
+    /// retry timers, so pending entries could otherwise never resolve.
+    /// Correlation ids keep increasing across the reset, which makes any
+    /// late response to a pre-crash request fall on the floor.
+    pub fn reset(&mut self) {
+        self.pending.clear();
     }
 
     /// Sends `body` as a request to `dst`:`port`, arming a timeout that
@@ -183,6 +253,10 @@ impl RequestTracker {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        let retries = match self.policy.max_retries {
+            Some(cap) => retries.min(cap),
+            None => retries,
+        };
         ctx.send(dst, port, encode_request(id, &body));
         ctx.set_timer(timeout, TimerTag(self.tag_base + id));
         self.pending.insert(
@@ -193,6 +267,7 @@ impl RequestTracker {
                 body,
                 timeout,
                 retries_left: retries,
+                attempt: 0,
             },
         );
         id
@@ -232,17 +307,21 @@ impl RequestTracker {
         let pending = self.pending.get_mut(&id)?;
         if pending.retries_left == 0 {
             self.pending.remove(&id);
+            ctx.telemetry().metrics.incr("rpc.retry_exhausted");
             return Some(RpcEvent::RequestTimedOut { id });
         }
         pending.retries_left -= 1;
-        let (dst, port, timeout, body) = (
+        pending.attempt += 1;
+        let (dst, port, timeout, attempt, body) = (
             pending.dst,
             pending.port,
             pending.timeout,
+            pending.attempt,
             pending.body.clone(),
         );
+        let delay = self.policy.delay(timeout, attempt, ctx.rng());
         ctx.send(dst, port, encode_request(id, &body));
-        ctx.set_timer(timeout, TimerTag(self.tag_base + id));
+        ctx.set_timer(delay, TimerTag(self.tag_base + id));
         None
     }
 
@@ -436,6 +515,113 @@ mod tests {
         let tracker = RequestTracker::new(500);
         assert!(!tracker.owns_tag(TimerTag(500)), "nothing pending yet");
         assert!(!tracker.owns_tag(TimerTag(0)), "below the namespace");
+    }
+
+    #[test]
+    fn exhausted_retries_emit_a_metric_and_respect_the_policy_cap() {
+        struct Mute;
+        impl Node for Mute {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("mute", Mute);
+        let client = sim.add_node(
+            "client",
+            ClientNode {
+                // The cap overrides the per-request budget of 2 retries.
+                tracker: RequestTracker::with_policy(
+                    1000,
+                    RetryPolicy {
+                        max_retries: Some(0),
+                        ..RetryPolicy::default()
+                    },
+                ),
+                server,
+                responses: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(30));
+        let c = sim.node_ref::<ClientNode>(client).unwrap();
+        assert_eq!(c.timeouts, vec![0], "abandoned after the capped attempt");
+        assert_eq!(sim.telemetry().metrics.counter("rpc.retry_exhausted"), 1);
+        // With max_retries = 0 the request is sent exactly once.
+        assert_eq!(sim.node_metrics(client).packets_sent, 1);
+    }
+
+    #[test]
+    fn backoff_and_jitter_stretch_the_retry_schedule() {
+        struct Recorder {
+            arrivals: Vec<crate::SimTime>,
+        }
+        impl Node for Recorder {
+            fn on_packet(&mut self, ctx: &mut Context<'_>, _pkt: Packet) {
+                self.arrivals.push(ctx.now());
+            }
+        }
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("recorder", Recorder { arrivals: vec![] });
+        let client = sim.add_node(
+            "client",
+            ClientNode {
+                tracker: RequestTracker::with_policy(
+                    1000,
+                    RetryPolicy {
+                        max_retries: None,
+                        backoff: 2.0,
+                        jitter: 0.2,
+                    },
+                ),
+                server,
+                responses: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_secs(60));
+        let arrivals = &sim.node_ref::<Recorder>(server).unwrap().arrivals;
+        // on_start sends with timeout 1s and 2 retries: original send plus
+        // two resends, then abandonment.
+        assert_eq!(arrivals.len(), 3, "{arrivals:?}");
+        let gap1 = arrivals[1].since(arrivals[0]).as_secs_f64();
+        let gap2 = arrivals[2].since(arrivals[1]).as_secs_f64();
+        // First resend after ~1s (±20%), second after ~2s (±20%).
+        assert!((0.8..=1.2).contains(&gap1), "gap1={gap1}");
+        assert!((1.6..=2.4).contains(&gap2), "gap2={gap2}");
+        assert!(
+            (gap1 - 1.0).abs() > 1e-9 || (gap2 - 2.0).abs() > 1e-9,
+            "jitter should perturb at least one delay"
+        );
+        assert_eq!(
+            sim.node_ref::<ClientNode>(client).unwrap().timeouts,
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn reset_forgets_outstanding_requests() {
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("mute", {
+            struct Mute;
+            impl Node for Mute {
+                fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+            }
+            Mute
+        });
+        let client = sim.add_node(
+            "client",
+            ClientNode {
+                tracker: RequestTracker::new(1000),
+                server,
+                responses: vec![],
+                timeouts: vec![],
+            },
+        );
+        sim.run_for(SimDuration::from_millis(10));
+        let c = sim.node_mut::<ClientNode>(client).unwrap();
+        assert_eq!(c.tracker.outstanding(), 1);
+        c.tracker.reset();
+        assert_eq!(c.tracker.outstanding(), 0);
+        assert!(!c.tracker.owns_tag(TimerTag(1000)));
     }
 
     #[test]

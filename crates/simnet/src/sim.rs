@@ -56,6 +56,15 @@ pub struct NetMetrics {
     pub bytes_delivered: u64,
     /// Total events processed (deliveries, timers, starts).
     pub events_processed: u64,
+    /// Packets dropped because the destination was down (or rebooted
+    /// between send and delivery).
+    pub packets_dropped_crashed: u64,
+    /// Packets dropped at the sender by an active network partition.
+    pub packets_dropped_partitioned: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Node restarts completed.
+    pub restarts: u64,
 }
 
 struct Slot {
@@ -63,6 +72,11 @@ struct Slot {
     node: Option<Box<dyn Node>>,
     rng: DeterministicRng,
     metrics: NodeMetrics,
+    /// False while the node is crashed: no packets, timers or callbacks.
+    up: bool,
+    /// Incarnation counter, bumped on every crash. Events carry the epoch
+    /// they were scheduled under and are discarded on mismatch.
+    epoch: u32,
 }
 
 /// A deterministic discrete-event network simulator.
@@ -74,6 +88,9 @@ pub struct Simulator {
     slots: Vec<Slot>,
     names: HashMap<String, NodeId>,
     links: HashMap<(NodeId, NodeId), LinkModel>,
+    /// Active partition groups; cross-group packets are dropped at the
+    /// sender. Empty = no partition. Nodes in no group reach everyone.
+    partitions: Vec<Vec<NodeId>>,
     default_link: LinkModel,
     link_rng: DeterministicRng,
     root_rng: DeterministicRng,
@@ -104,6 +121,7 @@ impl Simulator {
             slots: Vec::new(),
             names: HashMap::new(),
             links: HashMap::new(),
+            partitions: Vec::new(),
             default_link: config.default_link,
             link_rng,
             root_rng,
@@ -144,6 +162,8 @@ impl Simulator {
             node: Some(Box::new(node)),
             rng,
             metrics: NodeMetrics::default(),
+            up: true,
+            epoch: 0,
         });
         self.names.insert(name, id);
         self.queue.push(self.now, EventKind::Start(id));
@@ -202,13 +222,16 @@ impl Simulator {
     pub fn inject(&mut self, dst: NodeId, port: Port, payload: Vec<u8>) {
         self.queue.push(
             self.now,
-            EventKind::Deliver(Packet {
-                src: dst,
-                dst,
-                port,
-                payload,
-                trace: 0,
-            }),
+            EventKind::Deliver {
+                pkt: Packet {
+                    src: dst,
+                    dst,
+                    port,
+                    payload,
+                    trace: 0,
+                },
+                epoch: self.epoch_of(dst),
+            },
         );
     }
 
@@ -223,8 +246,111 @@ impl Simulator {
                 node,
                 tag,
                 timer_id: id,
+                epoch: self.epoch_of(node),
             },
         );
+    }
+
+    fn epoch_of(&self, id: NodeId) -> u32 {
+        self.slots.get(id.index()).map_or(0, |s| s.epoch)
+    }
+
+    /// Whether the node is currently up (i.e. not crashed).
+    ///
+    /// Unknown ids report `false`.
+    pub fn is_up(&self, id: NodeId) -> bool {
+        self.slots.get(id.index()).is_some_and(|s| s.up)
+    }
+
+    /// Crashes a node: from now until a [`Simulator::restart`] completes,
+    /// packets addressed to it are dropped, its pending timers are
+    /// silently discarded (the epoch bump invalidates them) and no
+    /// callbacks run. The node's struct state is untouched — what a
+    /// restart wipes or keeps is decided by
+    /// [`Node::on_restart`](crate::Node::on_restart).
+    ///
+    /// Crashing an already-down node is a no-op. The fault is counted and
+    /// recorded into the telemetry trace stream.
+    pub fn crash(&mut self, id: NodeId) {
+        let Some(slot) = self.slots.get_mut(id.index()) else {
+            return;
+        };
+        if !slot.up {
+            return;
+        }
+        slot.up = false;
+        slot.epoch = slot.epoch.wrapping_add(1);
+        self.metrics.crashes += 1;
+        self.telemetry.metrics.incr("chaos.crash");
+        let trace = self.telemetry.tracer.next_trace_id();
+        self.telemetry.tracer.record(
+            self.now.as_nanos(),
+            id.0,
+            "chaos.crash",
+            trace,
+            format!("node={}", self.slots[id.index()].name),
+        );
+    }
+
+    /// Schedules a crashed node to come back up `after` from now; its
+    /// [`Node::on_restart`](crate::Node::on_restart) hook runs at that
+    /// instant. A restart scheduled for a node that is (still or again)
+    /// up when it fires is ignored.
+    pub fn restart(&mut self, id: NodeId, after: SimDuration) {
+        self.queue.push(self.now + after, EventKind::Restart(id));
+    }
+
+    /// Partitions the network into `groups`: packets between nodes of
+    /// different groups are dropped at the sender until
+    /// [`Simulator::heal`] is called. Nodes not listed in any group keep
+    /// full connectivity. Replaces any previous partition.
+    ///
+    /// The fault is counted and recorded into the telemetry trace stream.
+    pub fn partition(&mut self, groups: Vec<Vec<NodeId>>) {
+        let sizes: Vec<String> = groups.iter().map(|g| g.len().to_string()).collect();
+        self.partitions = groups;
+        self.telemetry.metrics.incr("chaos.partition");
+        let trace = self.telemetry.tracer.next_trace_id();
+        self.telemetry.tracer.record(
+            self.now.as_nanos(),
+            u32::MAX,
+            "chaos.partition",
+            trace,
+            format!("groups=[{}]", sizes.join(",")),
+        );
+    }
+
+    /// Lifts the active partition, restoring full connectivity.
+    pub fn heal(&mut self) {
+        if self.partitions.is_empty() {
+            return;
+        }
+        self.partitions.clear();
+        self.telemetry.metrics.incr("chaos.heal");
+        let trace = self.telemetry.tracer.next_trace_id();
+        self.telemetry
+            .tracer
+            .record(self.now.as_nanos(), u32::MAX, "chaos.heal", trace, "");
+    }
+
+    /// Whether an active partition separates `src` from `dst`.
+    pub fn partitioned(&self, src: NodeId, dst: NodeId) -> bool {
+        let group_of = |n: NodeId| self.partitions.iter().position(|g| g.contains(&n));
+        match (group_of(src), group_of(dst)) {
+            (Some(a), Some(b)) => a != b,
+            _ => false,
+        }
+    }
+
+    /// Records a custom fault-injection event into the telemetry trace
+    /// stream (chaos controllers use this for faults the simulator does
+    /// not apply itself, e.g. link flaps).
+    pub fn record_fault(&self, kind: &str, detail: impl Into<String>) {
+        self.telemetry.metrics.incr(kind);
+        let trace = self.telemetry.tracer.next_trace_id();
+        self.telemetry
+            .tracer
+            .record(self.now.as_nanos(), u32::MAX, kind, trace, detail);
     }
 
     /// Whole-network counters.
@@ -267,11 +393,49 @@ impl Simulator {
         match event.kind {
             EventKind::Start(id) => {
                 self.telemetry.metrics.incr("net.node_starts");
-                self.dispatch(id, |node, ctx| node.on_start(ctx));
+                if self.is_up(id) {
+                    self.dispatch(id, |node, ctx| node.on_start(ctx));
+                }
             }
-            EventKind::Deliver(pkt) => {
+            EventKind::Restart(id) => {
+                let Some(slot) = self.slots.get_mut(id.index()) else {
+                    return Some(self.now);
+                };
+                if !slot.up {
+                    slot.up = true;
+                    self.metrics.restarts += 1;
+                    self.telemetry.metrics.incr("chaos.restart");
+                    let trace = self.telemetry.tracer.next_trace_id();
+                    self.telemetry.tracer.record(
+                        self.now.as_nanos(),
+                        id.0,
+                        "chaos.restart",
+                        trace,
+                        format!("node={}", self.slots[id.index()].name),
+                    );
+                    self.dispatch(id, |node, ctx| node.on_restart(ctx));
+                }
+            }
+            EventKind::Deliver { pkt, epoch } => {
                 let dst = pkt.dst;
                 if dst.index() < self.slots.len() {
+                    let slot = &self.slots[dst.index()];
+                    if !slot.up || slot.epoch != epoch {
+                        // The destination crashed (or rebooted) while the
+                        // packet was in flight: it evaporates.
+                        self.metrics.packets_dropped_crashed += 1;
+                        self.telemetry.metrics.incr("net.crash_drops");
+                        if pkt.trace != 0 {
+                            self.telemetry.tracer.record(
+                                self.now.as_nanos(),
+                                dst.0,
+                                "net.crash_drop",
+                                pkt.trace,
+                                format!("from={} port={}", pkt.src, pkt.port),
+                            );
+                        }
+                        return Some(self.now);
+                    }
                     let wire = pkt.wire_size() as u64;
                     self.slots[dst.index()].metrics.packets_received += 1;
                     self.slots[dst.index()].metrics.bytes_received += wire;
@@ -294,9 +458,17 @@ impl Simulator {
                 node,
                 tag,
                 timer_id,
+                epoch,
             } => {
+                let stale = self
+                    .slots
+                    .get(node.index())
+                    .is_none_or(|s| !s.up || s.epoch != epoch);
                 if self.cancelled_timers.remove(&timer_id) {
                     self.telemetry.metrics.incr("net.timers_cancelled");
+                } else if stale {
+                    // Armed before a crash: the crash cancelled it.
+                    self.telemetry.metrics.incr("net.timers_crashed");
                 } else {
                     self.telemetry.metrics.incr("net.timers_fired");
                     self.dispatch(node, |n, ctx| n.on_timer(ctx, tag));
@@ -403,6 +575,20 @@ impl Simulator {
                             format!("to={} port={} bytes={}", dst, port, wire),
                         );
                     }
+                    if self.partitioned(src, dst) {
+                        self.metrics.packets_dropped_partitioned += 1;
+                        self.telemetry.metrics.incr("net.partition_drops");
+                        if trace != 0 {
+                            self.telemetry.tracer.record(
+                                self.now.as_nanos(),
+                                src.0,
+                                "net.partition_drop",
+                                trace,
+                                format!("to={} port={}", dst, port),
+                            );
+                        }
+                        continue;
+                    }
                     let model = if src == dst {
                         // Loopback delivery is ideal.
                         LinkModel::ideal()
@@ -414,7 +600,9 @@ impl Simulator {
                             self.telemetry
                                 .metrics
                                 .observe_ns("net.link_delay_ns", delay.as_nanos());
-                            self.queue.push(self.now + delay, EventKind::Deliver(pkt));
+                            let epoch = self.epoch_of(pkt.dst);
+                            self.queue
+                                .push(self.now + delay, EventKind::Deliver { pkt, epoch });
                         }
                         None => {
                             self.slots[src.index()].metrics.packets_lost += 1;
@@ -433,12 +621,14 @@ impl Simulator {
                     }
                 }
                 Effect::SetTimer { at, tag, id } => {
+                    let epoch = self.epoch_of(src);
                     self.queue.push(
                         at,
                         EventKind::Timer {
                             node: src,
                             tag,
                             timer_id: id,
+                            epoch,
                         },
                     );
                 }
@@ -670,5 +860,176 @@ mod tests {
             .unwrap()
             .fired
             .contains(&TimerTag(99)));
+    }
+
+    /// Ticks every second; counts restarts through the lifecycle hook.
+    #[derive(Default)]
+    struct Beeper {
+        beeps: Vec<SimTime>,
+        restarts: u32,
+    }
+
+    impl Node for Beeper {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_secs(1), TimerTag(1));
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: TimerTag) {
+            self.beeps.push(ctx.now());
+            ctx.set_timer(SimDuration::from_secs(1), TimerTag(1));
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_>) {
+            self.restarts += 1;
+            self.on_start(ctx);
+        }
+    }
+
+    #[test]
+    fn crash_cancels_timers_until_restart() {
+        let mut sim = ideal_sim();
+        let n = sim.add_node("beeper", Beeper::default());
+        sim.run_until(SimTime::from_secs(3));
+        sim.crash(n);
+        assert!(!sim.is_up(n));
+        sim.run_until(SimTime::from_secs(10));
+        let beeps = sim.node_ref::<Beeper>(n).unwrap().beeps.len();
+        assert_eq!(beeps, 3, "no ticks while down");
+
+        sim.restart(n, SimDuration::from_secs(2));
+        sim.run_until(SimTime::from_secs(20));
+        let b = sim.node_ref::<Beeper>(n).unwrap();
+        assert_eq!(b.restarts, 1);
+        assert!(sim.is_up(n));
+        // Back up at t=12, ticking at 13..=20.
+        assert_eq!(b.beeps.len(), 3 + 8);
+        assert_eq!(sim.metrics().crashes, 1);
+        assert_eq!(sim.metrics().restarts, 1);
+    }
+
+    #[test]
+    fn packets_to_a_crashed_node_are_dropped() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 5,
+            default_link: LinkModel::builder()
+                .latency(SimDuration::from_millis(10))
+                .bandwidth_bps(u64::MAX - 1)
+                .build(),
+        });
+        let rx = sim.add_node("rx", Counter::default());
+        let _tx = sim.add_node("tx", Sender { dst: rx, n: 3 });
+        // Crash the receiver before the packets (in flight) arrive.
+        sim.crash(rx);
+        sim.run_until_idle(1000);
+        assert!(sim.node_ref::<Counter>(rx).unwrap().packets.is_empty());
+        assert_eq!(sim.metrics().packets_dropped_crashed, 3);
+        assert_eq!(sim.metrics().packets_delivered, 0);
+    }
+
+    #[test]
+    fn restart_between_send_and_delivery_still_drops() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 6,
+            default_link: LinkModel::builder()
+                .latency(SimDuration::from_secs(1))
+                .bandwidth_bps(u64::MAX - 1)
+                .build(),
+        });
+        let rx = sim.add_node("rx", Counter::default());
+        let _tx = sim.add_node("tx", Sender { dst: rx, n: 1 });
+        sim.run_until(SimTime::from_millis(1));
+        // The packet is in flight (arrives at t=1s). Reboot quickly: the
+        // epoch bump must still kill the packet.
+        sim.crash(rx);
+        sim.restart(rx, SimDuration::from_millis(10));
+        sim.run_until_idle(1000);
+        assert!(sim.node_ref::<Counter>(rx).unwrap().packets.is_empty());
+        assert_eq!(sim.metrics().packets_dropped_crashed, 1);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_heal() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let tx = sim.add_node("tx", Sender { dst: rx, n: 2 });
+        sim.partition(vec![vec![rx], vec![tx]]);
+        assert!(sim.partitioned(tx, rx));
+        sim.run_until_idle(1000);
+        assert!(sim.node_ref::<Counter>(rx).unwrap().packets.is_empty());
+        assert_eq!(sim.metrics().packets_dropped_partitioned, 2);
+
+        sim.heal();
+        assert!(!sim.partitioned(tx, rx));
+        sim.add_node("tx2", Sender { dst: rx, n: 2 });
+        sim.run_until_idle(1000);
+        assert_eq!(sim.node_ref::<Counter>(rx).unwrap().packets.len(), 2);
+    }
+
+    #[test]
+    fn unlisted_nodes_are_unaffected_by_partition() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let a = sim.add_node("a", Counter::default());
+        let b = sim.add_node("b", Counter::default());
+        sim.partition(vec![vec![a], vec![b]]);
+        // rx is in no group: everyone still reaches it.
+        assert!(!sim.partitioned(a, rx));
+        assert!(!sim.partitioned(rx, b));
+        assert!(sim.partitioned(a, b));
+    }
+
+    #[test]
+    fn faults_appear_in_the_trace_stream() {
+        let mut sim = ideal_sim();
+        let n = sim.add_node("victim", Beeper::default());
+        sim.crash(n);
+        sim.restart(n, SimDuration::from_secs(1));
+        sim.partition(vec![vec![n]]);
+        sim.heal();
+        sim.record_fault("chaos.link_flap", "a=n0 b=n1");
+        sim.run_until(SimTime::from_secs(2));
+        let kinds: Vec<String> = sim
+            .telemetry()
+            .tracer
+            .events()
+            .into_iter()
+            .map(|e| e.kind)
+            .collect();
+        for kind in [
+            "chaos.crash",
+            "chaos.restart",
+            "chaos.partition",
+            "chaos.heal",
+            "chaos.link_flap",
+        ] {
+            assert!(kinds.iter().any(|k| k == kind), "missing {kind}: {kinds:?}");
+        }
+    }
+
+    #[test]
+    fn crashes_replay_identically_under_a_seed() {
+        let run = |seed| {
+            let mut sim = Simulator::new(SimConfig {
+                seed,
+                default_link: LinkModel::wan(),
+            });
+            let rx = sim.add_node("rx", Counter::default());
+            let _tx = sim.add_node("tx", Sender { dst: rx, n: 50 });
+            sim.run_until(SimTime::from_millis(5));
+            sim.crash(rx);
+            sim.restart(rx, SimDuration::from_millis(20));
+            sim.run_until_idle(10_000);
+            let m = sim.metrics();
+            (
+                m.packets_dropped_crashed,
+                m.packets_delivered,
+                sim.node_ref::<Counter>(rx)
+                    .unwrap()
+                    .packets
+                    .iter()
+                    .map(|(t, p)| (t.as_nanos(), p.clone()))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(11), run(11));
     }
 }

@@ -39,6 +39,11 @@ impl SimTime {
         SimTime(nanos)
     }
 
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
     /// Creates an instant `secs` seconds after simulation start.
     pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * 1_000_000_000)

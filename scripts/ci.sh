@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, and the full test suite.
 # Usage: scripts/ci.sh
+#
+# Set DIMMER_SEEDS=n to additionally sweep the failure-injection suites
+# (tests/resilience.rs, tests/chaos.rs) across n simulation seeds —
+# each run shifts every sim seed by DIMMER_SEED, shaking out
+# assertions that only hold for one timing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,5 +18,14 @@ cargo clippy --all-targets -- -D warnings
 
 echo "== cargo test -q"
 cargo test -q
+
+seeds="${DIMMER_SEEDS:-0}"
+if [[ "$seeds" -gt 0 ]]; then
+    echo "== seed sweep: resilience + chaos under $seeds seeds"
+    for s in $(seq 1 "$seeds"); do
+        echo "-- DIMMER_SEED=$s"
+        DIMMER_SEED="$s" cargo test -q --test resilience --test chaos
+    done
+fi
 
 echo "ci: ok"

@@ -22,6 +22,7 @@ bins=(
   e7_local_store
   e8_pubsub_fanout
   e9_centralized_baseline
+  e10_chaos
   f1a_infrastructure
   f1b_device_proxy
 )

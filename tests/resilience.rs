@@ -1,4 +1,8 @@
 //! Failure-injection tests: lossy links, silent proxies, late arrivals.
+//!
+//! All simulations here derive their seed from `DIMMER_SEED` (default
+//! 0), so `scripts/ci.sh` can sweep the suite across seeds and shake
+//! out timing-dependent assertions.
 
 use dimmer::district::client::ClientNode;
 use dimmer::district::deploy::Deployment;
@@ -7,13 +11,29 @@ use dimmer::master::MasterNode;
 use dimmer::proxy::device_proxy::DeviceProxyNode;
 use dimmer::simnet::{LinkModel, SimConfig, SimDuration, Simulator};
 
+/// The test's base seed offset by the `DIMMER_SEED` environment
+/// variable, for CI seed sweeps.
+fn seed(base: u64) -> u64 {
+    base + std::env::var("DIMMER_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+fn sim_with_seed(base: u64) -> Simulator {
+    Simulator::new(SimConfig {
+        seed: seed(base),
+        ..SimConfig::default()
+    })
+}
+
 #[test]
 fn lossy_network_still_converges() {
     // 5% packet loss everywhere: registrations and WS requests retry,
     // the system still assembles and answers.
     let scenario = ScenarioConfig::small().build();
     let mut sim = Simulator::new(SimConfig {
-        seed: 99,
+        seed: seed(99),
         default_link: LinkModel::builder()
             .latency(SimDuration::from_millis(5))
             .bandwidth_bps(10_000_000)
@@ -61,7 +81,7 @@ fn wireless_sensor_links_degrade_gracefully() {
     // Device → proxy links with degraded 802.15.4-class quality (5%
     // loss, 250 kbit/s): some frames are lost, the rest still flow.
     let scenario = ScenarioConfig::small().build();
-    let mut sim = Simulator::new(SimConfig::default());
+    let mut sim = sim_with_seed(1);
     let deployment = Deployment::build(&mut sim, &scenario);
     let lossy = LinkModel::builder()
         .latency(SimDuration::from_millis(5))
@@ -103,7 +123,7 @@ fn late_proxy_joins_running_system() {
     use dimmer::pubsub::QoS;
 
     let scenario = ScenarioConfig::small().build();
-    let mut sim = Simulator::new(SimConfig::default());
+    let mut sim = sim_with_seed(2);
     let deployment = Deployment::build(&mut sim, &scenario);
     sim.run_for(SimDuration::from_secs(300));
 
@@ -193,7 +213,7 @@ fn dead_device_proxy_disappears_from_the_ontology() {
     // Deploy, then surgically cut one proxy's heartbeats by replacing
     // its link to the master with a total-loss link.
     let scenario = ScenarioConfig::small().build();
-    let mut sim = Simulator::new(SimConfig::default());
+    let mut sim = sim_with_seed(3);
     let deployment = Deployment::build(&mut sim, &scenario);
     sim.run_for(SimDuration::from_secs(60));
 
@@ -212,5 +232,57 @@ fn dead_device_proxy_disappears_from_the_ontology() {
         master.ontology().device_count(),
         11,
         "the victim's leaf is gone"
+    );
+}
+
+#[test]
+fn evicted_proxy_reregisters_and_reappears_exactly_once() {
+    // An eviction is not a death sentence: when the proxy's link comes
+    // back, its next heartbeat is answered 404 and it re-registers. The
+    // device leaf must reappear in the ontology exactly once — not
+    // duplicated by the re-registration.
+    let scenario = ScenarioConfig::small().build();
+    let mut sim = sim_with_seed(4);
+    let deployment = Deployment::build(&mut sim, &scenario);
+    sim.run_for(SimDuration::from_secs(60));
+
+    let victim = deployment.districts[0].device_proxies[0];
+    let victim_device = &scenario.districts[0].buildings[0].devices[0];
+    sim.set_link(
+        victim,
+        deployment.master,
+        LinkModel::builder().loss(1.0).build(),
+    );
+    sim.run_for(SimDuration::from_secs(400));
+    assert_eq!(
+        sim.node_ref::<MasterNode>(deployment.master)
+            .unwrap()
+            .ontology()
+            .device_count(),
+        11,
+        "the victim was evicted"
+    );
+
+    // The link heals; the next heartbeat discovers the eviction.
+    sim.set_link(victim, deployment.master, LinkModel::lan());
+    sim.run_for(SimDuration::from_secs(120));
+
+    let master = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+    assert_eq!(master.ontology().device_count(), 12, "{:?}", master.stats());
+    let leaves = master
+        .ontology()
+        .devices_by_quantity(&scenario.districts[0].district, victim_device.quantity)
+        .unwrap();
+    assert_eq!(
+        leaves
+            .iter()
+            .filter(|(_, leaf)| leaf.device() == &victim_device.device)
+            .count(),
+        1,
+        "the re-registered device appears exactly once"
+    );
+    assert!(
+        sim.is_up(victim),
+        "the victim never crashed, only its link did"
     );
 }
