@@ -1,0 +1,94 @@
+//! Criterion micro-benches for the windowed stream operators (E11
+//! companion): the per-sample observe path, multi-pane sliding
+//! assignment, the close drain, and accumulator merging.
+
+use bench_support::criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simnet::rng::DeterministicRng;
+use simnet::telemetry::NO_TRACE;
+use std::hint::black_box;
+use streams::{Accumulator, WindowSpec, WindowedAggregator};
+
+/// `(key, event time, value)` samples with bounded disorder, the shape
+/// the aggregator sees from a district of staggered devices.
+fn samples(n: usize, keys: u64, jitter: i64) -> Vec<(u64, i64, f64)> {
+    let mut rng = DeterministicRng::seed_from(0xBE7C);
+    (0..n)
+        .map(|i| {
+            let t = i as i64 * 50 + rng.next_range(0, jitter as u64) as i64;
+            (rng.next_bounded(keys), t, rng.next_f64_range(-50.0, 50.0))
+        })
+        .collect()
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streams");
+    let feed = samples(10_000, 16, 400);
+
+    group.bench_function("observe_tumbling/10k_samples_16_keys", |b| {
+        b.iter_batched(
+            || WindowedAggregator::new(WindowSpec::tumbling(60_000), 1_000),
+            |mut agg| {
+                for &(key, t, value) in &feed {
+                    agg.observe(key, t, value, NO_TRACE);
+                }
+                black_box(agg.stats())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Sliding with a 4× overlap: every sample lands in four panes.
+    group.bench_function("observe_sliding_4x/10k_samples_16_keys", |b| {
+        b.iter_batched(
+            || WindowedAggregator::new(WindowSpec::sliding(60_000, 15_000), 1_000),
+            |mut agg| {
+                for &(key, t, value) in &feed {
+                    agg.observe(key, t, value, NO_TRACE);
+                }
+                black_box(agg.stats())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("observe_then_drain/10k_samples", |b| {
+        b.iter_batched(
+            || WindowedAggregator::new(WindowSpec::tumbling(60_000), 1_000),
+            |mut agg| {
+                let mut closed = 0usize;
+                for &(key, t, value) in &feed {
+                    agg.observe(key, t, value, NO_TRACE);
+                    closed += agg.close_ready().len();
+                }
+                agg.advance_watermark_to(i64::MAX);
+                closed += agg.close_ready().len();
+                black_box(closed)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("accumulator_merge/64_buildings", |b| {
+        let accs: Vec<Accumulator> = (0..64)
+            .map(|i| {
+                let mut acc = Accumulator::new();
+                for j in 0..32 {
+                    acc.add(f64::from(i * 31 + j) * 0.5, NO_TRACE);
+                }
+                acc
+            })
+            .collect();
+        b.iter(|| {
+            let mut district = Accumulator::new();
+            for acc in &accs {
+                district.merge(acc);
+            }
+            black_box(district.mean())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

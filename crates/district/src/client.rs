@@ -133,6 +133,20 @@ impl ClientNode {
         )
     }
 
+    /// Convenience: adds a one-shot profile client fetching `district`'s
+    /// pre-computed `quantity` rollups over the unix-millis `range`.
+    /// The master redirects to the district aggregator; see
+    /// [`crate::profile`].
+    pub fn profile(
+        sim: &mut simnet::Simulator,
+        deployment: &Deployment,
+        district: DistrictId,
+        quantity: dimmer_core::QuantityKind,
+        range: (i64, i64),
+    ) -> NodeId {
+        crate::profile::ProfileClientNode::spawn(sim, deployment, district, quantity, range)
+    }
+
     /// Completed snapshots, oldest first.
     pub fn snapshots(&self) -> &[AreaSnapshot] {
         &self.snapshots

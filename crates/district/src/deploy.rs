@@ -25,6 +25,7 @@ use proxy::device_proxy::{DeviceProxyConfig, DeviceProxyNode};
 use proxy::devices::{CoapFieldNode, OpcUaFieldNode, UplinkDeviceNode};
 use pubsub::BrokerNode;
 use simnet::{NodeId, SimDuration, Simulator};
+use streams::{AggregatorConfig, AggregatorNode, WindowSpec};
 
 use crate::scenario::{DeviceSpec, DistrictSpec, Scenario};
 
@@ -45,6 +46,8 @@ pub struct DistrictDeployment {
     pub device_proxies: Vec<NodeId>,
     /// The device nodes themselves.
     pub devices: Vec<NodeId>,
+    /// The district aggregator, when the scenario enables aggregation.
+    pub aggregator: Option<NodeId>,
 }
 
 /// A deployed scenario.
@@ -90,6 +93,11 @@ impl Deployment {
             .flat_map(|d| d.device_proxies.iter().copied())
     }
 
+    /// Every aggregator across districts (empty without aggregation).
+    pub fn aggregators(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.districts.iter().filter_map(|d| d.aggregator)
+    }
+
     /// Every Database-proxy across districts.
     pub fn database_proxies(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.districts.iter().flat_map(|d| {
@@ -110,6 +118,7 @@ impl Deployment {
                     + d.sim_proxies.len()
                     + d.device_proxies.len()
                     + d.devices.len()
+                    + usize::from(d.aggregator.is_some())
             })
             .sum::<usize>()
     }
@@ -218,6 +227,20 @@ fn deploy_district(
         }
     }
 
+    // Aggregation tier (opt-in): one windowed aggregator per district.
+    let aggregator = config.aggregation.map(|agg| {
+        let mut agg_config = AggregatorConfig::new(
+            ProxyId::new(format!("agg-{did}")).expect("grammatical"),
+            did.clone(),
+            master,
+            broker,
+            config.epoch_offset_millis,
+        );
+        agg_config.window = WindowSpec::tumbling(agg.window_millis);
+        agg_config.lateness_millis = agg.lateness_millis;
+        sim.add_node(format!("agg-{did}"), AggregatorNode::new(agg_config))
+    });
+
     DistrictDeployment {
         district: did.clone(),
         gis_proxy,
@@ -226,6 +249,7 @@ fn deploy_district(
         sim_proxies,
         device_proxies,
         devices,
+        aggregator,
     }
 }
 

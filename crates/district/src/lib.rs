@@ -13,6 +13,9 @@
 //!   into one [`client::AreaSnapshot`];
 //! * [`live`] — the event-driven extension: resolve an area once, then
 //!   track it through middleware subscriptions instead of polling;
+//! * [`profile`] — the rollup-served profile query: the master
+//!   redirects to the district aggregator, which answers from
+//!   pre-computed windows ([`profile::ProfileSnapshot`]);
 //! * [`baseline`] — the centralized comparison architecture (one server
 //!   ingesting every raw frame and serving every query itself);
 //! * [`relay`] — a master variant that fetches and aggregates data
@@ -48,6 +51,7 @@ pub mod baseline;
 pub mod client;
 pub mod deploy;
 pub mod live;
+pub mod profile;
 pub mod relay;
 pub mod report;
 pub mod scenario;

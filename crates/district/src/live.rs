@@ -14,7 +14,7 @@ use gis::geo::BoundingBox;
 use ontology::AreaResolution;
 use proxy::webservice::{WsClient, WsClientEvent, WsRequest};
 use proxy::WS_PORT;
-use pubsub::{PubSubClient, PubSubEvent, QoS, TopicFilter, PUBSUB_PORT};
+use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, PUBSUB_PORT};
 use simnet::{Context, Node, NodeId, Packet, SimTime, TimerTag};
 
 const WS_TAGS: u64 = 1_000_000_000;
@@ -103,12 +103,9 @@ impl LiveMonitorNode {
         for device in &resolution.devices {
             // One wildcard per device: all its quantities. QoS 1 +
             // retained messages give the monitor an immediate first value.
-            let filter = TopicFilter::new(format!(
-                "district/{}/entity/+/device/{}/#",
-                self.district,
-                device.device()
-            ))
-            .expect("ids satisfy the filter grammar");
+            let filter =
+                MeasurementTopic::device_filter(self.district.as_str(), device.device().as_str())
+                    .expect("ids satisfy the filter grammar");
             self.pubsub.subscribe(ctx, filter, QoS::AtLeastOnce);
             self.stats.subscriptions += 1;
         }

@@ -178,6 +178,36 @@ impl ProtocolMix {
     }
 }
 
+/// Aggregation-tier parameters: when set on a scenario, the
+/// deployment adds one [`streams::AggregatorNode`] per district.
+///
+/// [`streams::AggregatorNode`]: https://docs.rs/dimmer-streams
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregationSpec {
+    /// Tumbling window size in milliseconds.
+    pub window_millis: i64,
+    /// Lateness horizon in milliseconds (how far out of order samples
+    /// may arrive and still be accepted).
+    pub lateness_millis: i64,
+}
+
+impl AggregationSpec {
+    /// Tumbling windows of `window_millis` with a default 30 s
+    /// lateness horizon.
+    pub fn tumbling(window_millis: i64) -> Self {
+        AggregationSpec {
+            window_millis,
+            lateness_millis: 30_000,
+        }
+    }
+
+    /// Overrides the lateness horizon (fluent).
+    pub fn with_lateness(mut self, lateness_millis: i64) -> Self {
+        self.lateness_millis = lateness_millis;
+        self
+    }
+}
+
 /// Scenario generation parameters.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -203,6 +233,9 @@ pub struct ScenarioConfig {
     pub publish_qos: QoS,
     /// Rows of synthetic history per district measurement archive.
     pub archive_rows: usize,
+    /// Optional aggregation tier; `None` (the default) deploys no
+    /// aggregators, preserving the seed topology.
+    pub aggregation: Option<AggregationSpec>,
 }
 
 impl ScenarioConfig {
@@ -221,6 +254,7 @@ impl ScenarioConfig {
             center: GeoPoint::new(45.0703, 7.6869), // Turin
             publish_qos: QoS::AtMostOnce,
             archive_rows: 32,
+            aggregation: None,
         }
     }
 
@@ -239,6 +273,12 @@ impl ScenarioConfig {
     /// Sets the seed (fluent).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the aggregation tier (fluent).
+    pub fn with_aggregation(mut self, aggregation: AggregationSpec) -> Self {
+        self.aggregation = Some(aggregation);
         self
     }
 

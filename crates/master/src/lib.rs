@@ -22,6 +22,7 @@
 //! | `GET /district/{id}/area?bbox=a,b,c,d` | the redirect response ([`ontology::AreaResolution`]) |
 //! | `GET /district/{id}/entities?kind=` | entity nodes of one kind |
 //! | `GET /district/{id}/devices?quantity=` or `?protocol=` | device leaves by quantity or protocol family |
+//! | `GET /district/{id}/profile` | aggregator URIs serving windowed rollups |
 //! | `GET /ontology` | full forest snapshot |
 //! | `GET /stats` | registry counters |
 
@@ -220,6 +221,12 @@ impl MasterNode {
                     .add_measurement_proxy(registration.uri.clone());
                 Contribution::DistrictRoot
             }
+            ProxyRole::Aggregator => {
+                self.ontology
+                    .district_mut(&registration.district)?
+                    .add_aggregator_proxy(registration.uri.clone());
+                Contribution::DistrictRoot
+            }
         };
         self.registry.insert(
             registration.proxy.clone(),
@@ -409,10 +416,35 @@ impl MasterNode {
         let area_pattern = PathPattern::new("/district/{id}/area");
         let entities_pattern = PathPattern::new("/district/{id}/entities");
         let devices_pattern = PathPattern::new("/district/{id}/devices");
+        let profile_pattern = PathPattern::new("/district/{id}/profile");
 
         let parse_district = |params: &std::collections::BTreeMap<String, String>| {
             DistrictId::new(params["id"].as_str())
         };
+
+        if let Some(params) = profile_pattern.matches(path) {
+            self.stats.queries += 1;
+            let Ok(district) = parse_district(&params) else {
+                return WsResponse::error(status::BAD_REQUEST, "invalid district id");
+            };
+            // Redirect principle: hand back the aggregator URIs serving
+            // this district's rollups, never the rollups themselves.
+            return match self.ontology.district(&district) {
+                Some(tree) => WsResponse::ok(Value::object([
+                    ("district", Value::from(district.as_str())),
+                    (
+                        "aggregators",
+                        Value::Array(
+                            tree.aggregator_proxies()
+                                .iter()
+                                .map(|u| Value::from(u.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                ])),
+                None => WsResponse::error(status::NOT_FOUND, "unknown district"),
+            };
+        }
 
         if let Some(params) = area_pattern.matches(path) {
             self.stats.queries += 1;

@@ -369,3 +369,44 @@ fn stray_district_created_on_demand() {
         "unseeded"
     );
 }
+
+#[test]
+fn aggregator_registration_serves_profile_redirects() {
+    let (sim, master, script) = run_script(vec![
+        WsRequest::get("/district/d1/profile"), // before any aggregator
+        WsRequest::post(
+            "/register",
+            Registration {
+                proxy: ProxyId::new("agg-d1").unwrap(),
+                district: did("d1"),
+                uri: uri("sim://n7/"),
+                role: ProxyRole::Aggregator,
+            }
+            .to_value(),
+        ),
+        WsRequest::get("/district/d1/profile"),
+        WsRequest::get("/district/ghost/profile"),
+    ]);
+    let s = sim.node_ref::<Script>(script).unwrap();
+    assert_eq!(s.responses.len(), 4);
+    let aggregators = |r: &WsResponse| {
+        r.body
+            .get("aggregators")
+            .and_then(Value::as_array)
+            .map(<[Value]>::to_vec)
+            .unwrap()
+    };
+    assert!(s.responses[0].is_ok());
+    assert!(aggregators(&s.responses[0]).is_empty());
+    assert!(s.responses[1].is_ok(), "registration accepted");
+    let after = aggregators(&s.responses[2]);
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].as_str(), Some("sim://n7/"));
+    assert_eq!(
+        s.responses[3].status,
+        proxy::webservice::status::NOT_FOUND,
+        "unknown district has no profile"
+    );
+    let m = sim.node_ref::<MasterNode>(master).unwrap();
+    assert_eq!(m.proxy_count(), 1);
+}

@@ -270,6 +270,8 @@ pub struct DistrictTree {
     gis_proxies: Vec<Uri>,
     /// Measurement-database proxy Web Services of this district.
     measurement_proxies: Vec<Uri>,
+    /// Aggregator Web Services serving windowed rollups.
+    aggregator_proxies: Vec<Uri>,
     properties: Value,
     entities: Vec<EntityNode>,
 }
@@ -282,6 +284,7 @@ impl DistrictTree {
             name: name.into(),
             gis_proxies: Vec::new(),
             measurement_proxies: Vec::new(),
+            aggregator_proxies: Vec::new(),
             properties: Value::Null,
             entities: Vec::new(),
         }
@@ -307,6 +310,11 @@ impl DistrictTree {
         &self.measurement_proxies
     }
 
+    /// The aggregator URIs serving windowed rollups.
+    pub fn aggregator_proxies(&self) -> &[Uri] {
+        &self.aggregator_proxies
+    }
+
     /// Root properties.
     pub fn properties(&self) -> &Value {
         &self.properties
@@ -325,6 +333,14 @@ impl DistrictTree {
     /// Registers a measurement-database proxy.
     pub fn add_measurement_proxy(&mut self, uri: Uri) {
         self.measurement_proxies.push(uri);
+    }
+
+    /// Registers an aggregator; re-registrations after a crash are
+    /// idempotent.
+    pub fn add_aggregator_proxy(&mut self, uri: Uri) {
+        if !self.aggregator_proxies.contains(&uri) {
+            self.aggregator_proxies.push(uri);
+        }
     }
 
     /// Sets root properties.
@@ -369,6 +385,15 @@ impl DistrictTree {
                         .collect(),
                 ),
             ),
+            (
+                "aggregator_proxies",
+                Value::Array(
+                    self.aggregator_proxies
+                        .iter()
+                        .map(|u| Value::from(u.to_string()))
+                        .collect(),
+                ),
+            ),
             ("properties", self.properties.clone()),
             (
                 "entities",
@@ -402,6 +427,11 @@ impl DistrictTree {
             name: v.require_str(T, "name")?.to_owned(),
             gis_proxies: uris("gis_proxies")?,
             measurement_proxies: uris("measurement_proxies")?,
+            // Absent in values written before aggregators existed.
+            aggregator_proxies: match v.get("aggregator_proxies") {
+                Some(_) => uris("aggregator_proxies")?,
+                None => Vec::new(),
+            },
             properties: v.get("properties").cloned().unwrap_or(Value::Null),
             entities: v
                 .require_array(T, "entities")?
@@ -424,6 +454,8 @@ mod tests {
         let mut tree = DistrictTree::new(DistrictId::new("d1").unwrap(), "Campus");
         tree.add_gis_proxy(uri("sim://n2/gis"));
         tree.add_measurement_proxy(uri("sim://n4/measurements"));
+        tree.add_aggregator_proxy(uri("sim://n6/rollups"));
+        tree.add_aggregator_proxy(uri("sim://n6/rollups")); // idempotent
         tree.set_properties(Value::object([("city", Value::from("Turin"))]));
         let mut building =
             EntityNode::building(BuildingId::new("b1").unwrap(), uri("sim://n3/bim"))
@@ -459,6 +491,7 @@ mod tests {
         assert_eq!(tree.name(), "Campus");
         assert_eq!(tree.gis_proxies().len(), 1);
         assert_eq!(tree.measurement_proxies().len(), 1);
+        assert_eq!(tree.aggregator_proxies().len(), 1, "duplicate collapsed");
         assert_eq!(tree.entities().len(), 2);
         assert_eq!(tree.device_count(), 1);
         let b = tree.entity("b1").unwrap();

@@ -21,7 +21,7 @@ use dimmer_core::{
 };
 use gis::geo::GeoPoint;
 use ontology::DeviceLeaf;
-use pubsub::{PubSubClient, PubSubEvent, QoS, Topic, PUBSUB_PORT};
+use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, Topic, PUBSUB_PORT};
 use simnet::rpc::{RequestTracker, RpcEvent};
 use simnet::{Context, Node, Packet, SimDuration, TimerTag};
 use storage::tskv::{Aggregate, TimeSeriesStore};
@@ -215,10 +215,13 @@ impl DeviceProxyNode {
 
     /// The topic this proxy publishes `quantity` under.
     pub fn topic_for(&self, quantity: QuantityKind) -> Topic {
-        Topic::new(format!(
-            "district/{}/entity/{}/device/{}/{}",
-            self.config.district, self.config.entity_id, self.config.device, quantity
-        ))
+        MeasurementTopic::new(
+            self.config.district.as_str(),
+            self.config.entity_id.as_str(),
+            self.config.device.as_str(),
+            quantity.as_str(),
+        )
+        .topic()
         .expect("ids satisfy the topic grammar")
     }
 
@@ -259,11 +262,7 @@ impl DeviceProxyNode {
                 );
             }
             if self.pubsub.is_some() {
-                let topic = Topic::new(format!(
-                    "district/{}/entity/{}/device/{}/{}",
-                    self.config.district, self.config.entity_id, self.config.device, quantity
-                ))
-                .expect("ids satisfy the topic grammar");
+                let topic = self.topic_for(quantity);
                 let measurement = Measurement::new(
                     self.config.device.clone(),
                     quantity,

@@ -30,6 +30,9 @@ pub enum ProxyRole {
     /// A Database-proxy fronting a measurement archive (registered on
     /// the district root).
     MeasurementArchive,
+    /// A streaming aggregator serving windowed rollups (registered on
+    /// the district root).
+    Aggregator,
 }
 
 impl ProxyRole {
@@ -39,6 +42,7 @@ impl ProxyRole {
             ProxyRole::EntityDatabase { .. } => "entity_database",
             ProxyRole::Gis => "gis",
             ProxyRole::MeasurementArchive => "measurement_archive",
+            ProxyRole::Aggregator => "aggregator",
         }
     }
 }
@@ -73,7 +77,7 @@ impl Registration {
             ProxyRole::EntityDatabase { entity } => {
                 v.insert("entity", entity.to_value());
             }
-            ProxyRole::Gis | ProxyRole::MeasurementArchive => {}
+            ProxyRole::Gis | ProxyRole::MeasurementArchive | ProxyRole::Aggregator => {}
         }
         v
     }
@@ -95,6 +99,7 @@ impl Registration {
             },
             "gis" => ProxyRole::Gis,
             "measurement_archive" => ProxyRole::MeasurementArchive,
+            "aggregator" => ProxyRole::Aggregator,
             other => {
                 return Err(CoreError::Shape {
                     target: T,
@@ -179,6 +184,7 @@ mod tests {
             },
             ProxyRole::Gis,
             ProxyRole::MeasurementArchive,
+            ProxyRole::Aggregator,
         ] {
             let reg = Registration {
                 proxy: ProxyId::new("p2").unwrap(),

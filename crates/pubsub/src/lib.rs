@@ -33,5 +33,5 @@ mod wire;
 pub use broker::{BrokerNode, BrokerStats};
 pub use client::{PubSubClient, PubSubEvent};
 pub use error::PubSubError;
-pub use topic::{SubscriptionTrie, Topic, TopicFilter};
+pub use topic::{MeasurementTopic, RollupScope, RollupTopic, SubscriptionTrie, Topic, TopicFilter};
 pub use wire::{Packet as WirePacket, QoS, PUBSUB_PORT};

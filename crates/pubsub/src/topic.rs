@@ -162,6 +162,230 @@ impl From<Topic> for TopicFilter {
     }
 }
 
+/// Typed builder/parser for the measurement topic grammar used across
+/// the framework:
+///
+/// ```text
+/// district/<district>/entity/<entity>/device/<device>/<quantity>
+/// ```
+///
+/// Device proxies publish on these topics and the aggregation /
+/// monitoring layers subscribe to them; keeping the grammar in one
+/// place means producers and consumers cannot drift apart.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MeasurementTopic {
+    /// District identifier segment.
+    pub district: String,
+    /// Entity (building / network) identifier segment.
+    pub entity: String,
+    /// Device identifier segment.
+    pub device: String,
+    /// Quantity name segment, e.g. `temperature`.
+    pub quantity: String,
+}
+
+impl MeasurementTopic {
+    /// Builds the typed topic from its segments.
+    pub fn new(
+        district: impl Into<String>,
+        entity: impl Into<String>,
+        device: impl Into<String>,
+        quantity: impl Into<String>,
+    ) -> Self {
+        MeasurementTopic {
+            district: district.into(),
+            entity: entity.into(),
+            device: device.into(),
+            quantity: quantity.into(),
+        }
+    }
+
+    /// Renders the concrete topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidTopic`] when any segment violates
+    /// the topic grammar (empty, wildcard or whitespace).
+    pub fn topic(&self) -> Result<Topic, PubSubError> {
+        Topic::new(format!(
+            "district/{}/entity/{}/device/{}/{}",
+            self.district, self.entity, self.device, self.quantity
+        ))
+    }
+
+    /// Parses a topic back into its typed form; `None` when the topic
+    /// does not follow the measurement grammar.
+    pub fn parse(topic: &Topic) -> Option<Self> {
+        let segs: Vec<&str> = topic.segments().collect();
+        match segs.as_slice() {
+            ["district", district, "entity", entity, "device", device, quantity] => Some(
+                MeasurementTopic::new(*district, *entity, *device, *quantity),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Filter matching every measurement published in `district`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidFilter`] when `district` is not a
+    /// valid segment.
+    pub fn district_filter(district: &str) -> Result<TopicFilter, PubSubError> {
+        TopicFilter::new(format!("district/{district}/entity/+/device/+/+"))
+    }
+
+    /// Filter matching every quantity published by one device in
+    /// `district`, regardless of which entity it sits under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidFilter`] when a segment is invalid.
+    pub fn device_filter(district: &str, device: &str) -> Result<TopicFilter, PubSubError> {
+        TopicFilter::new(format!("district/{district}/entity/+/device/{device}/#"))
+    }
+}
+
+impl fmt::Display for MeasurementTopic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "district/{}/entity/{}/device/{}/{}",
+            self.district, self.entity, self.device, self.quantity
+        )
+    }
+}
+
+/// Scope of a rollup topic: the whole district, or one entity within it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RollupScope {
+    /// District-wide rollup (all entities merged).
+    District,
+    /// Rollup for a single entity (building / network).
+    Entity(String),
+}
+
+/// Typed builder/parser for the aggregation rollup topic grammar:
+///
+/// ```text
+/// district/<district>/agg/district/<quantity>/<window_millis>
+/// district/<district>/agg/entity/<entity>/<quantity>/<window_millis>
+/// ```
+///
+/// Aggregators publish retained rollups on these topics so that late
+/// subscribers immediately see the latest closed window.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RollupTopic {
+    /// District identifier segment.
+    pub district: String,
+    /// District-wide or per-entity scope.
+    pub scope: RollupScope,
+    /// Quantity name segment, e.g. `temperature`.
+    pub quantity: String,
+    /// Window size in milliseconds (strictly positive).
+    pub window_millis: i64,
+}
+
+impl RollupTopic {
+    /// District-wide rollup topic.
+    pub fn district(
+        district: impl Into<String>,
+        quantity: impl Into<String>,
+        window_millis: i64,
+    ) -> Self {
+        RollupTopic {
+            district: district.into(),
+            scope: RollupScope::District,
+            quantity: quantity.into(),
+            window_millis,
+        }
+    }
+
+    /// Per-entity rollup topic.
+    pub fn entity(
+        district: impl Into<String>,
+        entity: impl Into<String>,
+        quantity: impl Into<String>,
+        window_millis: i64,
+    ) -> Self {
+        RollupTopic {
+            district: district.into(),
+            scope: RollupScope::Entity(entity.into()),
+            quantity: quantity.into(),
+            window_millis,
+        }
+    }
+
+    /// Renders the concrete topic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidTopic`] when a segment violates the
+    /// grammar or the window is not strictly positive.
+    pub fn topic(&self) -> Result<Topic, PubSubError> {
+        if self.window_millis <= 0 {
+            return Err(PubSubError::InvalidTopic {
+                input: self.to_string(),
+                reason: "rollup window must be strictly positive",
+            });
+        }
+        Topic::new(self.to_string())
+    }
+
+    /// Parses a topic back into its typed form; `None` when the topic
+    /// does not follow the rollup grammar (including non-numeric or
+    /// non-positive windows).
+    pub fn parse(topic: &Topic) -> Option<Self> {
+        let segs: Vec<&str> = topic.segments().collect();
+        let (district, scope, quantity, window) = match segs.as_slice() {
+            ["district", district, "agg", "district", quantity, window] => {
+                (*district, RollupScope::District, *quantity, *window)
+            }
+            ["district", district, "agg", "entity", entity, quantity, window] => (
+                *district,
+                RollupScope::Entity((*entity).to_owned()),
+                *quantity,
+                *window,
+            ),
+            _ => return None,
+        };
+        let window_millis: i64 = window.parse().ok().filter(|w| *w > 0)?;
+        Some(RollupTopic {
+            district: district.to_owned(),
+            scope,
+            quantity: quantity.to_owned(),
+            window_millis,
+        })
+    }
+
+    /// Filter matching every rollup published for `district`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidFilter`] when `district` is not a
+    /// valid segment.
+    pub fn district_filter(district: &str) -> Result<TopicFilter, PubSubError> {
+        TopicFilter::new(format!("district/{district}/agg/#"))
+    }
+}
+
+impl fmt::Display for RollupTopic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.scope {
+            RollupScope::District => write!(
+                f,
+                "district/{}/agg/district/{}/{}",
+                self.district, self.quantity, self.window_millis
+            ),
+            RollupScope::Entity(entity) => write!(
+                f,
+                "district/{}/agg/entity/{}/{}/{}",
+                self.district, entity, self.quantity, self.window_millis
+            ),
+        }
+    }
+}
+
 /// A subscription trie mapping filters to subscriber values, answering
 /// "who matches this topic" in time proportional to the topic depth
 /// rather than the subscription count (ablation target of experiment E8).
@@ -447,6 +671,103 @@ mod tests {
         assert!(!trie.remove(&f("x/y"), &9), "unknown filter is false");
         assert_eq!(trie.matches(&t("a/b")).len(), 2);
         assert_eq!(trie.len(), 2);
+    }
+
+    #[test]
+    fn measurement_topic_round_trip() {
+        let built = MeasurementTopic::new("d1", "b3", "dev-7", "temperature");
+        let topic = built.topic().unwrap();
+        assert_eq!(
+            topic.as_str(),
+            "district/d1/entity/b3/device/dev-7/temperature"
+        );
+        assert_eq!(MeasurementTopic::parse(&topic), Some(built.clone()));
+        assert_eq!(built.to_string(), topic.as_str());
+
+        // Filters match exactly the topics the builder produces.
+        assert!(MeasurementTopic::district_filter("d1")
+            .unwrap()
+            .matches(&topic));
+        assert!(!MeasurementTopic::district_filter("d2")
+            .unwrap()
+            .matches(&topic));
+        assert!(MeasurementTopic::device_filter("d1", "dev-7")
+            .unwrap()
+            .matches(&topic));
+        assert!(!MeasurementTopic::device_filter("d1", "dev-8")
+            .unwrap()
+            .matches(&topic));
+    }
+
+    #[test]
+    fn measurement_topic_rejects_foreign_shapes() {
+        for text in [
+            "district/d1/entity/b3/device/dev-7", // missing quantity
+            "district/d1/entity/b3/device/dev-7/temperature/extra",
+            "district/d1/building/b3/device/dev-7/temperature",
+            "district/d1/agg/district/temperature/60000",
+            "other/d1/entity/b3/device/dev-7/temperature",
+        ] {
+            assert_eq!(MeasurementTopic::parse(&t(text)), None, "{text}");
+        }
+        // Invalid segments surface as grammar errors at build time.
+        assert!(MeasurementTopic::new("d 1", "b", "dev", "q")
+            .topic()
+            .is_err());
+    }
+
+    #[test]
+    fn rollup_topic_round_trip() {
+        let district = RollupTopic::district("d1", "temperature", 120_000);
+        let topic = district.topic().unwrap();
+        assert_eq!(
+            topic.as_str(),
+            "district/d1/agg/district/temperature/120000"
+        );
+        assert_eq!(RollupTopic::parse(&topic), Some(district));
+
+        let entity = RollupTopic::entity("d1", "b3", "power", 60_000);
+        let topic = entity.topic().unwrap();
+        assert_eq!(topic.as_str(), "district/d1/agg/entity/b3/power/60000");
+        assert_eq!(RollupTopic::parse(&topic), Some(entity));
+
+        assert!(RollupTopic::district_filter("d1").unwrap().matches(&topic));
+        assert!(!RollupTopic::district_filter("d2").unwrap().matches(&topic));
+    }
+
+    #[test]
+    fn rollup_topic_rejects_foreign_shapes() {
+        for text in [
+            "district/d1/agg/district/temperature", // missing window
+            "district/d1/agg/district/temperature/abc",
+            "district/d1/agg/district/temperature/0",
+            "district/d1/agg/district/temperature/-5",
+            "district/d1/agg/building/b3/power/60000",
+            "district/d1/entity/b3/device/dev-7/temperature",
+        ] {
+            assert_eq!(RollupTopic::parse(&t(text)), None, "{text}");
+        }
+        assert!(RollupTopic::district("d1", "temperature", 0)
+            .topic()
+            .is_err());
+    }
+
+    #[test]
+    fn measurement_and_rollup_grammars_are_disjoint() {
+        // An aggregator subscribed to raw measurements must never see
+        // its own rollups echoed back, and vice versa.
+        let measurement = MeasurementTopic::new("d1", "b3", "dev-7", "temperature")
+            .topic()
+            .unwrap();
+        let rollup = RollupTopic::entity("d1", "b3", "temperature", 60_000)
+            .topic()
+            .unwrap();
+        assert!(!MeasurementTopic::district_filter("d1")
+            .unwrap()
+            .matches(&rollup));
+        assert!(!RollupTopic::district_filter("d1")
+            .unwrap()
+            .matches(&measurement));
     }
 
     #[test]

@@ -72,6 +72,18 @@ impl Aggregate {
     }
 }
 
+/// One downsampling bucket: the aggregate value plus how many raw
+/// points produced it (see [`TimeSeriesStore::downsample_counted`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Bucket start (unix millis, aligned to the query's `from`).
+    pub start: i64,
+    /// The aggregated value.
+    pub value: f64,
+    /// How many raw points fell into this bucket.
+    pub count: u64,
+}
+
 /// A per-series, in-memory time-series database.
 ///
 /// See the [crate-level example](crate) for typical use.
@@ -171,23 +183,53 @@ impl TimeSeriesStore {
         bucket_millis: i64,
         aggregate: Aggregate,
     ) -> Vec<(i64, f64)> {
+        self.downsample_counted(series, from, to, bucket_millis, aggregate)
+            .into_iter()
+            .map(|b| (b.start, b.value))
+            .collect()
+    }
+
+    /// Like [`TimeSeriesStore::downsample`], but each bucket also
+    /// carries its raw sample count, so higher aggregation tiers can
+    /// re-combine buckets with correct weights (a count-weighted mean
+    /// of bucket means equals the mean over the raw points, instead of
+    /// an average of averages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_millis` is not positive.
+    pub fn downsample_counted(
+        &self,
+        series: &str,
+        from: i64,
+        to: i64,
+        bucket_millis: i64,
+        aggregate: Aggregate,
+    ) -> Vec<Bucket> {
         assert!(bucket_millis > 0, "bucket size must be positive");
         let points = self.range(series, from, to);
         let mut out = Vec::new();
         let mut bucket_start = i64::MIN;
         let mut bucket_points: Vec<(i64, f64)> = Vec::new();
+        let mut flush = |start: i64, points: &mut Vec<(i64, f64)>| {
+            if !points.is_empty() {
+                out.push(Bucket {
+                    start,
+                    value: aggregate.apply(points),
+                    count: points.len() as u64,
+                });
+                points.clear();
+            }
+        };
         for (t, v) in points {
             let start = from + (t - from).div_euclid(bucket_millis) * bucket_millis;
-            if start != bucket_start && !bucket_points.is_empty() {
-                out.push((bucket_start, aggregate.apply(&bucket_points)));
-                bucket_points.clear();
+            if start != bucket_start {
+                flush(bucket_start, &mut bucket_points);
             }
             bucket_start = start;
             bucket_points.push((t, v));
         }
-        if !bucket_points.is_empty() {
-            out.push((bucket_start, aggregate.apply(&bucket_points)));
-        }
+        flush(bucket_start, &mut bucket_points);
         out
     }
 
@@ -306,6 +348,50 @@ mod tests {
     #[should_panic(expected = "bucket size")]
     fn downsample_rejects_zero_bucket() {
         TimeSeriesStore::new().downsample("s", 0, 10, 0, Aggregate::Mean);
+    }
+
+    #[test]
+    fn downsample_counted_carries_sample_counts() {
+        let s = store_with(&[(0, 1.0), (5, 3.0), (12, 5.0)]);
+        assert_eq!(
+            s.downsample_counted("s", 0, 20, 10, Aggregate::Mean),
+            vec![
+                Bucket {
+                    start: 0,
+                    value: 2.0,
+                    count: 2
+                },
+                Bucket {
+                    start: 10,
+                    value: 5.0,
+                    count: 1
+                },
+            ]
+        );
+        // The plain API is exactly the counted one minus the counts.
+        for a in [Aggregate::Mean, Aggregate::Sum, Aggregate::Last] {
+            let plain = s.downsample("s", 0, 20, 10, a);
+            let counted: Vec<(i64, f64)> = s
+                .downsample_counted("s", 0, 20, 10, a)
+                .into_iter()
+                .map(|b| (b.start, b.value))
+                .collect();
+            assert_eq!(plain, counted);
+        }
+    }
+
+    #[test]
+    fn counted_buckets_make_mean_of_means_exact() {
+        // Buckets with unequal populations: the naive average of bucket
+        // means is wrong, the count-weighted one matches the raw mean.
+        let s = store_with(&[(0, 1.0), (2, 2.0), (4, 3.0), (12, 10.0)]);
+        let buckets = s.downsample_counted("s", 0, 20, 10, Aggregate::Mean);
+        let naive = buckets.iter().map(|b| b.value).sum::<f64>() / buckets.len() as f64;
+        let weighted_sum: f64 = buckets.iter().map(|b| b.value * b.count as f64).sum();
+        let total: u64 = buckets.iter().map(|b| b.count).sum();
+        let weighted = weighted_sum / total as f64;
+        assert_eq!(weighted, 4.0, "raw mean of 1,2,3,10");
+        assert!((naive - 6.0).abs() < 1e-12, "mean of means is biased");
     }
 
     #[test]

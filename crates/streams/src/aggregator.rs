@@ -1,0 +1,623 @@
+//! The aggregator node: the streaming tier between device proxies and
+//! profile clients.
+//!
+//! One aggregator per district subscribes to every measurement topic
+//! through a single wildcard, feeds samples into a keyed
+//! [`WindowedAggregator`] (one pane per `(entity, quantity)` pair) and,
+//! as the watermark closes windows, rolls the building panes up into
+//! exact district aggregates. Closed windows go three places at once:
+//!
+//! 1. **retained middleware publications** on [`RollupTopic`] topics,
+//!    so late subscribers immediately see the latest window;
+//! 2. the aggregator's **local tskv**, serving `/rollups` queries;
+//! 3. the **flight recorder**, as `streams.window_close` hops carrying
+//!    the trace ids of contributing samples.
+//!
+//! Recovery mirrors the Device-proxy's durable/volatile split: the
+//! local store (raw samples, rollups, watermark) survives a crash, the
+//! window state does not — it is rebuilt by replaying the raw tail
+//! newer than `watermark - window size`. Samples that were in flight
+//! during the outage come back through QoS 1 redelivery and the device
+//! proxies' store-and-forward buffers; the raw store deduplicates, so
+//! rollup sample counts are conserved exactly.
+
+use std::collections::BTreeMap;
+
+use dimmer_core::{DistrictId, Measurement, ProxyId, QuantityKind, Value};
+use proxy::devices::unix_millis_at;
+use proxy::registration::{ProxyRef, ProxyRole, Registration};
+use proxy::webservice::{status, WsCall, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer};
+use proxy::{node_uri, WS_PORT};
+use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, PUBSUB_PORT};
+use simnet::{Context, Node, NodeId, Packet, SimDuration, TimerTag};
+use storage::tskv::TimeSeriesStore;
+use telemetry::NO_TRACE;
+
+use crate::rollup::Rollup;
+use crate::window::{Accumulator, WindowSpec, WindowedAggregator, DEFAULT_MAX_OPEN};
+
+const TAG_HEARTBEAT: TimerTag = TimerTag(1);
+const TAG_FLUSH: TimerTag = TimerTag(2);
+const WS_CLIENT_TAGS: u64 = 1_000_000_000;
+const PUBSUB_TAGS: u64 = 2_000_000_000;
+
+/// How often proxies heartbeat the master (matches the Device-proxy).
+const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_secs(30);
+/// Keepalive probing the broker so restarts are noticed and the
+/// wildcard subscription re-established.
+const KEEPALIVE_INTERVAL: SimDuration = SimDuration::from_secs(5);
+/// Default wall-clock flush period (watermark advance + window close).
+pub const DEFAULT_FLUSH_INTERVAL: SimDuration = SimDuration::from_secs(5);
+/// Default tumbling window size.
+pub const DEFAULT_WINDOW_MILLIS: i64 = 300_000;
+/// Default lateness horizon.
+pub const DEFAULT_LATENESS_MILLIS: i64 = 30_000;
+
+/// Series name of the persisted watermark (single point at t=0).
+const WATERMARK_SERIES: &str = "meta/watermark";
+
+fn raw_series(entity: &str, device: &str, quantity: &str) -> String {
+    format!("raw/{entity}/{device}/{quantity}")
+}
+
+/// Base name of the four per-window series (`<base>/{count,sum,min,max}`).
+fn rollup_series_base(entity: Option<&str>, quantity: &str, window_millis: i64) -> String {
+    match entity {
+        Some(entity) => format!("agg/entity/{entity}/{quantity}/{window_millis}"),
+        None => format!("agg/district/{quantity}/{window_millis}"),
+    }
+}
+
+/// Static configuration of an aggregator.
+#[derive(Debug, Clone)]
+pub struct AggregatorConfig {
+    /// The aggregator's proxy id (it registers like any proxy).
+    pub proxy: ProxyId,
+    /// The district whose measurements it rolls up.
+    pub district: DistrictId,
+    /// The master node.
+    pub master: NodeId,
+    /// The middleware broker.
+    pub broker: NodeId,
+    /// Window shape (tumbling by default).
+    pub window: WindowSpec,
+    /// Lateness horizon: how long the watermark trails the newest
+    /// event time, bounding out-of-order acceptance.
+    pub lateness_millis: i64,
+    /// Wall-clock flush period.
+    pub flush_interval: SimDuration,
+    /// Unix time at simulation start.
+    pub epoch_offset_millis: i64,
+    /// Bound on concurrently open `(entity, quantity)` panes.
+    pub max_open_windows: usize,
+}
+
+impl AggregatorConfig {
+    /// A configuration with default window, lateness and flush values.
+    pub fn new(
+        proxy: ProxyId,
+        district: DistrictId,
+        master: NodeId,
+        broker: NodeId,
+        epoch_offset_millis: i64,
+    ) -> Self {
+        AggregatorConfig {
+            proxy,
+            district,
+            master,
+            broker,
+            window: WindowSpec::tumbling(DEFAULT_WINDOW_MILLIS),
+            lateness_millis: DEFAULT_LATENESS_MILLIS,
+            flush_interval: DEFAULT_FLUSH_INTERVAL,
+            epoch_offset_millis,
+            max_open_windows: DEFAULT_MAX_OPEN,
+        }
+    }
+}
+
+/// Lifetime counters of an aggregator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AggregatorStats {
+    /// Measurement messages decoded and stored.
+    pub samples_in: u64,
+    /// Redelivered samples already present in the raw store.
+    pub duplicates: u64,
+    /// Messages that failed to decode.
+    pub decode_errors: u64,
+    /// Building-tier windows closed.
+    pub windows_closed: u64,
+    /// Rollups published into the middleware (both tiers).
+    pub rollups_published: u64,
+    /// Raw samples replayed from the store after a restart.
+    pub recovered: u64,
+    /// Web-Service requests served.
+    pub ws_requests: u64,
+}
+
+/// The per-district streaming aggregator node.
+pub struct AggregatorNode {
+    config: AggregatorConfig,
+    /// Building-tier operator keyed by `(entity, quantity)`.
+    op: WindowedAggregator<(String, String)>,
+    store: TimeSeriesStore,
+    ws: WsServer,
+    ws_client: WsClient,
+    pubsub: PubSubClient,
+    registered: bool,
+    heartbeat_req: Option<u64>,
+    stats: AggregatorStats,
+}
+
+impl std::fmt::Debug for AggregatorNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AggregatorNode")
+            .field("proxy", &self.config.proxy)
+            .field("district", &self.config.district)
+            .field("registered", &self.registered)
+            .field("open_windows", &self.op.open_windows())
+            .finish()
+    }
+}
+
+impl AggregatorNode {
+    /// Creates an aggregator.
+    pub fn new(config: AggregatorConfig) -> Self {
+        let op = WindowedAggregator::new(config.window, config.lateness_millis)
+            .with_max_open(config.max_open_windows);
+        let pubsub = PubSubClient::new(config.broker, PUBSUB_TAGS);
+        AggregatorNode {
+            config,
+            op,
+            store: TimeSeriesStore::new(),
+            ws: WsServer::new(),
+            ws_client: WsClient::new(WS_CLIENT_TAGS),
+            pubsub,
+            registered: false,
+            heartbeat_req: None,
+            stats: AggregatorStats::default(),
+        }
+    }
+
+    /// Whether the master has acknowledged registration.
+    pub fn is_registered(&self) -> bool {
+        self.registered
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> AggregatorStats {
+        self.stats
+    }
+
+    /// The window-operator counters (acceptance conservation etc.).
+    pub fn window_stats(&self) -> crate::window::WindowStats {
+        self.op.stats()
+    }
+
+    /// The local rollup store, for inspection.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// The current event-time watermark.
+    pub fn watermark(&self) -> i64 {
+        self.op.watermark()
+    }
+
+    /// District-tier rollups persisted for `quantity` over
+    /// `[from, to)`, assembled from the local store.
+    pub fn district_rollups(&self, quantity: QuantityKind, from: i64, to: i64) -> Vec<Rollup> {
+        self.assemble_rollups(None, quantity, self.config.window.size_millis(), from, to)
+    }
+
+    fn assemble_rollups(
+        &self,
+        entity: Option<&str>,
+        quantity: QuantityKind,
+        window_millis: i64,
+        from: i64,
+        to: i64,
+    ) -> Vec<Rollup> {
+        let base = rollup_series_base(entity, quantity.as_str(), window_millis);
+        let counts = self.store.range(&format!("{base}/count"), from, to);
+        let sums: BTreeMap<i64, f64> = self
+            .store
+            .range(&format!("{base}/sum"), from, to)
+            .into_iter()
+            .collect();
+        let mins: BTreeMap<i64, f64> = self
+            .store
+            .range(&format!("{base}/min"), from, to)
+            .into_iter()
+            .collect();
+        let maxs: BTreeMap<i64, f64> = self
+            .store
+            .range(&format!("{base}/max"), from, to)
+            .into_iter()
+            .collect();
+        counts
+            .into_iter()
+            .map(|(start, count)| Rollup {
+                district: self.config.district.as_str().to_owned(),
+                entity: entity.map(str::to_owned),
+                quantity,
+                window_start: start,
+                window_millis,
+                count: count as u64,
+                sum: sums.get(&start).copied().unwrap_or(0.0),
+                min: mins.get(&start).copied().unwrap_or(f64::INFINITY),
+                max: maxs.get(&start).copied().unwrap_or(f64::NEG_INFINITY),
+            })
+            .collect()
+    }
+
+    fn register(&mut self, ctx: &mut Context<'_>) {
+        let registration = Registration {
+            proxy: self.config.proxy.clone(),
+            district: self.config.district.clone(),
+            uri: node_uri(ctx.node_id(), "/"),
+            role: ProxyRole::Aggregator,
+        };
+        let request = WsRequest::post("/register", registration.to_value());
+        self.ws_client.request(ctx, self.config.master, &request);
+    }
+
+    fn ingest(
+        &mut self,
+        ctx: &mut Context<'_>,
+        pkt_topic: &pubsub::Topic,
+        payload: &[u8],
+        trace: u64,
+    ) {
+        let Some(topic) = MeasurementTopic::parse(pkt_topic) else {
+            return; // not a measurement topic
+        };
+        let decoded = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| dimmer_core::json::from_str(text).ok())
+            .and_then(|v| Measurement::from_value(&v).ok());
+        let Some(measurement) = decoded else {
+            self.stats.decode_errors += 1;
+            ctx.telemetry().metrics.incr("streams.decode_errors");
+            return;
+        };
+        let t = measurement.timestamp().as_unix_millis();
+        let value = measurement.value();
+        let series = raw_series(&topic.entity, &topic.device, &topic.quantity);
+        // QoS 1 redelivery and post-restart retained replays produce
+        // duplicates; the raw store is the dedup authority.
+        if !self.store.range(&series, t, t.saturating_add(1)).is_empty() {
+            self.stats.duplicates += 1;
+            ctx.telemetry().metrics.incr("streams.duplicates");
+            return;
+        }
+        self.store.insert(&series, t, value);
+        self.stats.samples_in += 1;
+        ctx.telemetry().metrics.incr("streams.samples_in");
+        if trace != NO_TRACE {
+            ctx.trace_hop(
+                "streams.ingest",
+                trace,
+                format!("entity={} device={}", topic.entity, topic.device),
+            );
+        }
+        match self
+            .op
+            .observe((topic.entity, topic.quantity), t, value, trace)
+        {
+            crate::window::Observed::Late => ctx.telemetry().metrics.incr("streams.late_dropped"),
+            crate::window::Observed::Shed => ctx.telemetry().metrics.incr("streams.shed"),
+            crate::window::Observed::Accepted => {}
+        }
+        self.drain(ctx);
+    }
+
+    /// Closes every ready building pane, rolls the same panes up into
+    /// district accumulators, then persists + publishes both tiers.
+    fn drain(&mut self, ctx: &mut Context<'_>) {
+        let closed = self.op.close_ready();
+        if !closed.is_empty() {
+            self.stats.windows_closed += closed.len() as u64;
+            ctx.telemetry()
+                .metrics
+                .add("streams.windows_closed", closed.len() as u64);
+            // Merging the building accumulators that closed for the same
+            // (window, quantity) gives the exact district aggregate: the
+            // watermark is shared, so all panes of a window close in the
+            // same drain.
+            let mut district: BTreeMap<(i64, String), Accumulator> = BTreeMap::new();
+            for w in &closed {
+                let (entity, quantity) = &w.key;
+                self.emit_rollup(ctx, Some(entity.clone()), quantity, w.start, &w.acc);
+                district
+                    .entry((w.start, quantity.clone()))
+                    .or_default()
+                    .merge(&w.acc);
+            }
+            for ((start, quantity), acc) in district {
+                self.emit_rollup(ctx, None, &quantity, start, &acc);
+            }
+        }
+        // Persist progress so recovery never re-closes a closed window.
+        let wm = self.op.watermark();
+        if wm > i64::MIN {
+            self.store.insert(WATERMARK_SERIES, 0, wm as f64);
+        }
+        ctx.telemetry()
+            .metrics
+            .set_gauge("streams.open_windows", self.op.open_windows() as f64);
+    }
+
+    fn emit_rollup(
+        &mut self,
+        ctx: &mut Context<'_>,
+        entity: Option<String>,
+        quantity: &str,
+        start: i64,
+        acc: &Accumulator,
+    ) {
+        let Ok(quantity_kind) = QuantityKind::parse(quantity) else {
+            return; // foreign quantity segment; nothing speaks it downstream
+        };
+        let window_millis = self.config.window.size_millis();
+        let base = rollup_series_base(entity.as_deref(), quantity, window_millis);
+        self.store
+            .insert(&format!("{base}/count"), start, acc.count as f64);
+        self.store.insert(&format!("{base}/sum"), start, acc.sum);
+        self.store.insert(&format!("{base}/min"), start, acc.min);
+        self.store.insert(&format!("{base}/max"), start, acc.max);
+
+        let rollup = Rollup {
+            district: self.config.district.as_str().to_owned(),
+            entity,
+            quantity: quantity_kind,
+            window_start: start,
+            window_millis,
+            count: acc.count,
+            sum: acc.sum,
+            min: acc.min,
+            max: acc.max,
+        };
+        let Ok(topic) = rollup.topic() else {
+            return;
+        };
+        // Tie the closed window into the flight recorder: one hop per
+        // (bounded) contributing sample trace.
+        for &trace in acc.traces() {
+            ctx.trace_hop(
+                "streams.window_close",
+                trace,
+                format!("{topic} start={start} count={}", acc.count),
+            );
+        }
+        let close_trace = acc.traces().first().copied().unwrap_or(NO_TRACE);
+        let payload = dimmer_core::json::to_string(&rollup.to_value()).into_bytes();
+        self.pubsub
+            .publish_traced(ctx, topic, payload, true, QoS::AtMostOnce, close_trace);
+        self.stats.rollups_published += 1;
+        ctx.telemetry().metrics.incr("streams.rollups_published");
+        ctx.telemetry()
+            .metrics
+            .observe("streams.window_samples", acc.count as f64);
+    }
+
+    fn serve(&mut self, ctx: &mut Context<'_>, call: WsCall) {
+        self.stats.ws_requests += 1;
+        ctx.telemetry().metrics.incr("streams.ws_requests");
+        let request = &call.request;
+        let response = match request.path.as_str() {
+            "/info" => self.info(ctx),
+            "/rollups" => self.rollups(request),
+            _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
+        };
+        self.ws.respond(ctx, &call, response);
+    }
+
+    fn info(&self, ctx: &Context<'_>) -> WsResponse {
+        WsResponse::ok(Value::object([
+            ("proxy", Value::from(self.config.proxy.as_str())),
+            ("district", Value::from(self.config.district.as_str())),
+            ("kind", Value::from("aggregator")),
+            (
+                "window_millis",
+                Value::from(self.config.window.size_millis()),
+            ),
+            ("lateness_millis", Value::from(self.config.lateness_millis)),
+            ("watermark", Value::from(self.op.watermark())),
+            ("open_windows", Value::from(self.op.open_windows() as i64)),
+            ("uri", Value::from(node_uri(ctx.node_id(), "/").to_string())),
+        ]))
+    }
+
+    fn rollups(&self, request: &WsRequest) -> WsResponse {
+        let entity = match (
+            request.query("level").unwrap_or("district"),
+            request.query("entity"),
+        ) {
+            ("district", _) => None,
+            ("entity", Some(entity)) => Some(entity.to_owned()),
+            ("entity", None) => {
+                return WsResponse::error(status::BAD_REQUEST, "entity parameter required")
+            }
+            _ => return WsResponse::error(status::BAD_REQUEST, "level must be district or entity"),
+        };
+        let Some(quantity) = request.query("quantity") else {
+            return WsResponse::error(status::BAD_REQUEST, "quantity parameter required");
+        };
+        let quantity = match QuantityKind::parse(quantity) {
+            Ok(q) => q,
+            Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+        };
+        let parse_millis = |key: &str, default: i64| -> Result<i64, WsResponse> {
+            match request.query(key) {
+                None => Ok(default),
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| WsResponse::error(status::BAD_REQUEST, format!("invalid {key}"))),
+            }
+        };
+        let window = match parse_millis("window", self.config.window.size_millis()) {
+            Ok(w) if w > 0 => w,
+            Ok(_) => return WsResponse::error(status::BAD_REQUEST, "invalid window"),
+            Err(r) => return r,
+        };
+        let from = match parse_millis("from", i64::MIN) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let to = match parse_millis("to", i64::MAX) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let rollups = self.assemble_rollups(entity.as_deref(), quantity, window, from, to);
+        WsResponse::ok(Value::object([
+            ("district", Value::from(self.config.district.as_str())),
+            (
+                "rollups",
+                Value::Array(rollups.iter().map(Rollup::to_value).collect()),
+            ),
+        ]))
+    }
+
+    /// Rebuilds the volatile window state from the durable store: seed
+    /// the watermark from its persisted value, then replay every raw
+    /// sample new enough to still belong to an open window.
+    fn recover(&mut self, ctx: &mut Context<'_>) {
+        let mut op = WindowedAggregator::new(self.config.window, self.config.lateness_millis)
+            .with_max_open(self.config.max_open_windows);
+        if let Some((_, wm)) = self.store.latest(WATERMARK_SERIES) {
+            op.advance_watermark_to(wm as i64);
+        }
+        let replay_from = op
+            .watermark()
+            .saturating_sub(self.config.window.size_millis());
+        let mut recovered = 0u64;
+        let raw: Vec<String> = self
+            .store
+            .series_names()
+            .filter(|s| s.starts_with("raw/"))
+            .map(str::to_owned)
+            .collect();
+        for series in raw {
+            let mut parts = series.splitn(4, '/');
+            let (Some("raw"), Some(entity), Some(_device), Some(quantity)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            for (t, v) in self.store.range(&series, replay_from, i64::MAX) {
+                op.restore((entity.to_owned(), quantity.to_owned()), t, v);
+                recovered += 1;
+            }
+        }
+        self.op = op;
+        self.stats.recovered += recovered;
+        ctx.telemetry().metrics.add("streams.recovered", recovered);
+    }
+}
+
+impl Node for AggregatorNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.store.attach_metrics(ctx.telemetry().metrics.clone());
+        self.register(ctx);
+        ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
+        let filter = MeasurementTopic::district_filter(self.config.district.as_str())
+            .expect("district ids satisfy the filter grammar");
+        self.pubsub.subscribe(ctx, filter, QoS::AtLeastOnce);
+        self.pubsub.start_keepalive(ctx, KEEPALIVE_INTERVAL);
+        ctx.set_timer(self.config.flush_interval, TAG_FLUSH);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // Volatile across a reboot: registration, the middleware
+        // session and the open window panes. Durable: the local store
+        // (raw tail, rollups, watermark) and the lifetime counters.
+        self.ws_client.reset();
+        self.pubsub.reset();
+        self.registered = false;
+        self.heartbeat_req = None;
+        self.recover(ctx);
+        ctx.telemetry().metrics.incr("streams.restart");
+        self.on_start(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        match pkt.port {
+            PUBSUB_PORT => {
+                if let Some(PubSubEvent::Message {
+                    topic,
+                    payload,
+                    trace,
+                }) = self.pubsub.accept(ctx, &pkt)
+                {
+                    self.ingest(ctx, &topic, &payload, trace);
+                }
+            }
+            WS_PORT => {
+                if let Some(event) = self.ws_client.accept(&pkt) {
+                    match event {
+                        WsClientEvent::Response { id, response } => {
+                            if self.heartbeat_req == Some(id) {
+                                self.heartbeat_req = None;
+                                if response.status == status::NOT_FOUND {
+                                    // The master evicted or forgot us:
+                                    // register again.
+                                    self.registered = false;
+                                    ctx.telemetry().metrics.incr("streams.reregister");
+                                    self.register(ctx);
+                                }
+                            } else if response.is_ok() {
+                                self.registered = true;
+                            }
+                        }
+                        WsClientEvent::TimedOut { id } => {
+                            if self.heartbeat_req == Some(id) {
+                                self.heartbeat_req = None;
+                            }
+                        }
+                    }
+                    return;
+                }
+                if let Some(call) = self.ws.accept(ctx, &pkt) {
+                    self.serve(ctx, call);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        match tag {
+            TAG_HEARTBEAT => {
+                if self.registered {
+                    let body = ProxyRef {
+                        proxy: self.config.proxy.clone(),
+                        district: self.config.district.clone(),
+                    }
+                    .to_value();
+                    let request = WsRequest::post("/heartbeat", body);
+                    let id = self.ws_client.request(ctx, self.config.master, &request);
+                    self.heartbeat_req = Some(id);
+                } else {
+                    self.register(ctx);
+                }
+                ctx.set_timer(HEARTBEAT_INTERVAL, TAG_HEARTBEAT);
+            }
+            TAG_FLUSH => {
+                // Even with no traffic, wall-clock progress closes
+                // windows: the watermark may not regress, so this only
+                // ever helps.
+                let now_unix = unix_millis_at(self.config.epoch_offset_millis, ctx.now());
+                self.op.advance_watermark(now_unix);
+                self.drain(ctx);
+                ctx.set_timer(self.config.flush_interval, TAG_FLUSH);
+            }
+            tag if tag.0 >= PUBSUB_TAGS => {
+                self.pubsub.on_timer(ctx, tag);
+            }
+            tag if tag.0 >= WS_CLIENT_TAGS => {
+                self.ws_client.on_timer(ctx, tag);
+            }
+            _ => {}
+        }
+    }
+}

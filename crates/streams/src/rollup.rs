@@ -1,0 +1,163 @@
+//! The rollup record — one closed window at one aggregation tier.
+//!
+//! The same shape travels three ways: retained middleware publications
+//! on [`pubsub::RollupTopic`] topics, the aggregator's `/rollups` Web
+//! Service responses, and the profile client's parsed results.
+
+use dimmer_core::{CoreError, QuantityKind, Value};
+use pubsub::{PubSubError, RollupScope, RollupTopic, Topic};
+
+/// One closed window at district or entity scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rollup {
+    /// The district the rollup belongs to.
+    pub district: String,
+    /// `None` for the district tier, `Some(entity)` for one building /
+    /// network.
+    pub entity: Option<String>,
+    /// The measured quantity.
+    pub quantity: QuantityKind,
+    /// Window start (unix millis, inclusive).
+    pub window_start: i64,
+    /// Window length in milliseconds.
+    pub window_millis: i64,
+    /// Raw samples folded into the window.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: f64,
+    /// Minimum sample value.
+    pub min: f64,
+    /// Maximum sample value.
+    pub max: f64,
+}
+
+impl Rollup {
+    /// Window end (unix millis, exclusive).
+    pub fn window_end(&self) -> i64 {
+        self.window_start + self.window_millis
+    }
+
+    /// The count-weighted mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// The retained topic this rollup publishes on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError`] when an id violates the topic grammar.
+    pub fn topic(&self) -> Result<Topic, PubSubError> {
+        RollupTopic {
+            district: self.district.clone(),
+            scope: match &self.entity {
+                None => RollupScope::District,
+                Some(entity) => RollupScope::Entity(entity.clone()),
+            },
+            quantity: self.quantity.as_str().to_owned(),
+            window_millis: self.window_millis,
+        }
+        .topic()
+    }
+
+    /// Translates to the common data format.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("district", Value::from(self.district.as_str())),
+            (
+                "entity",
+                match &self.entity {
+                    Some(e) => Value::from(e.as_str()),
+                    None => Value::Null,
+                },
+            ),
+            ("quantity", Value::from(self.quantity.as_str())),
+            ("window_start", Value::from(self.window_start)),
+            ("window_millis", Value::from(self.window_millis)),
+            ("count", Value::from(self.count as i64)),
+            ("sum", Value::from(self.sum)),
+            ("min", Value::from(self.min)),
+            ("max", Value::from(self.max)),
+            ("mean", Value::from(self.mean())),
+        ])
+    }
+
+    /// Decodes a value produced by [`Rollup::to_value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on the wrong shape.
+    pub fn from_value(v: &Value) -> Result<Self, CoreError> {
+        const T: &str = "rollup";
+        Ok(Rollup {
+            district: v.require_str(T, "district")?.to_owned(),
+            entity: match v.get("entity") {
+                Some(Value::Null) | None => None,
+                Some(e) => Some(
+                    e.as_str()
+                        .ok_or_else(|| CoreError::Shape {
+                            target: T,
+                            reason: "entity must be a string or null".to_owned(),
+                        })?
+                        .to_owned(),
+                ),
+            },
+            quantity: QuantityKind::parse(v.require_str(T, "quantity")?)?,
+            window_start: v.require_i64(T, "window_start")?,
+            window_millis: v.require_i64(T, "window_millis")?,
+            count: v.require_i64(T, "count")?.max(0) as u64,
+            sum: v.require_f64(T, "sum")?,
+            min: v.require_f64(T, "min")?,
+            max: v.require_f64(T, "max")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(entity: Option<&str>) -> Rollup {
+        Rollup {
+            district: "d1".to_owned(),
+            entity: entity.map(str::to_owned),
+            quantity: QuantityKind::Temperature,
+            window_start: 1_425_859_200_000,
+            window_millis: 300_000,
+            count: 12,
+            sum: 252.0,
+            min: 18.5,
+            max: 23.5,
+        }
+    }
+
+    #[test]
+    fn value_round_trip_both_scopes() {
+        for rollup in [sample(None), sample(Some("b3"))] {
+            assert_eq!(Rollup::from_value(&rollup.to_value()).unwrap(), rollup);
+        }
+    }
+
+    #[test]
+    fn derived_fields() {
+        let r = sample(None);
+        assert_eq!(r.window_end(), 1_425_859_500_000);
+        assert_eq!(r.mean(), 21.0);
+        assert_eq!(
+            r.topic().unwrap().as_str(),
+            "district/d1/agg/district/temperature/300000"
+        );
+        assert_eq!(
+            sample(Some("b3")).topic().unwrap().as_str(),
+            "district/d1/agg/entity/b3/temperature/300000"
+        );
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Rollup::from_value(&Value::Null).is_err());
+        let mut v = sample(None).to_value();
+        v.insert("quantity", Value::from("vibes"));
+        assert!(Rollup::from_value(&v).is_err());
+    }
+}

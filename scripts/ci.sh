@@ -3,9 +3,9 @@
 # Usage: scripts/ci.sh
 #
 # Set DIMMER_SEEDS=n to additionally sweep the failure-injection suites
-# (tests/resilience.rs, tests/chaos.rs) across n simulation seeds —
-# each run shifts every sim seed by DIMMER_SEED, shaking out
-# assertions that only hold for one timing.
+# (tests/resilience.rs, tests/chaos.rs, tests/streams.rs) across n
+# simulation seeds — each run shifts every sim seed by DIMMER_SEED,
+# shaking out assertions that only hold for one timing.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,10 +21,10 @@ cargo test -q
 
 seeds="${DIMMER_SEEDS:-0}"
 if [[ "$seeds" -gt 0 ]]; then
-    echo "== seed sweep: resilience + chaos under $seeds seeds"
+    echo "== seed sweep: resilience + chaos + streams under $seeds seeds"
     for s in $(seq 1 "$seeds"); do
         echo "-- DIMMER_SEED=$s"
-        DIMMER_SEED="$s" cargo test -q --test resilience --test chaos
+        DIMMER_SEED="$s" cargo test -q --test resilience --test chaos --test streams
     done
 fi
 

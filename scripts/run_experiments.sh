@@ -23,6 +23,7 @@ bins=(
   e8_pubsub_fanout
   e9_centralized_baseline
   e10_chaos
+  e11_aggregation
   f1a_infrastructure
   f1b_device_proxy
 )

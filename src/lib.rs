@@ -35,3 +35,4 @@ pub use proxy;
 pub use pubsub;
 pub use simnet;
 pub use storage;
+pub use streams;
