@@ -9,15 +9,47 @@
 //! then reports nanoseconds per iteration. It is *not* a statistically
 //! rigorous harness — it exists so `cargo bench` keeps producing useful
 //! relative numbers offline.
+//!
+//! Two environment variables serve the CI perf gate
+//! (`scripts/bench_gate.sh`):
+//!
+//! * `DIMMER_BENCH_QUICK=1` shrinks the calibration window to ~5 ms so
+//!   a full bench target finishes in seconds;
+//! * `DIMMER_BENCH_JSON=<path>` additionally appends one JSON line per
+//!   benchmark — `{"bench":"<name>","median_ns":<f64>}` — where the
+//!   number is the median of five repeated measurements (the median is
+//!   what the gate compares, so one noisy sample cannot fail CI).
 
 use std::fmt::Display;
 use std::hint::black_box;
+use std::io::Write;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Minimum measured window before a result is accepted.
-const TARGET_WINDOW: Duration = Duration::from_millis(20);
+fn target_window() -> Duration {
+    static WINDOW: OnceLock<Duration> = OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        if std::env::var_os("DIMMER_BENCH_QUICK").is_some() {
+            Duration::from_millis(5)
+        } else {
+            Duration::from_millis(20)
+        }
+    })
+}
+
+/// Where JSON-lines results go, when the gate asked for them.
+fn json_path() -> Option<&'static str> {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    PATH.get_or_init(|| std::env::var("DIMMER_BENCH_JSON").ok())
+        .as_deref()
+}
+
 /// Iteration-count ceiling, so a sub-nanosecond body cannot spin forever.
 const MAX_ITERS: u64 = 1 << 22;
+/// Repeated measurements per benchmark in JSON mode; the median is
+/// reported.
+const JSON_SAMPLES: usize = 5;
 
 /// Mirrors `criterion::BatchSize`; only used as a hint, all variants
 /// behave identically here.
@@ -45,7 +77,7 @@ impl Bencher {
                 black_box(f());
             }
             let dt = start.elapsed();
-            if dt >= TARGET_WINDOW || n >= MAX_ITERS {
+            if dt >= target_window() || n >= MAX_ITERS {
                 self.per_iter_ns = dt.as_nanos() as f64 / n as f64;
                 self.iters = n;
                 return;
@@ -70,7 +102,7 @@ impl Bencher {
                 black_box(routine(input));
             }
             let dt = start.elapsed();
-            if dt >= TARGET_WINDOW || n >= 1 << 14 {
+            if dt >= target_window() || n >= 1 << 14 {
                 self.per_iter_ns = dt.as_nanos() as f64 / n as f64;
                 self.iters = n;
                 return;
@@ -93,13 +125,39 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher::default();
-    f(&mut b);
+    let samples = if json_path().is_some() {
+        JSON_SAMPLES
+    } else {
+        1
+    };
+    let mut measured: Vec<Bencher> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b
+        })
+        .collect();
+    measured.sort_by(|a, b| a.per_iter_ns.total_cmp(&b.per_iter_ns));
+    let mid = &measured[measured.len() / 2];
     println!(
         "{name:<52} {:>12}/iter  ({} iters)",
-        fmt_ns(b.per_iter_ns),
-        b.iters
+        fmt_ns(mid.per_iter_ns),
+        mid.iters
     );
+    if let Some(path) = json_path() {
+        // Bench names are plain identifiers with `/` separators; no JSON
+        // escaping needed.
+        let line = format!(
+            "{{\"bench\":\"{name}\",\"median_ns\":{:.1}}}\n",
+            mid.per_iter_ns
+        );
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut file| file.write_all(line.as_bytes()))
+            .unwrap_or_else(|e| panic!("cannot append bench result to {path}: {e}"));
+    }
 }
 
 /// Mirrors the `criterion::Criterion` entry point.

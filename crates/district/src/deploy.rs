@@ -23,7 +23,7 @@ use proxy::database_proxy::{
 };
 use proxy::device_proxy::{DeviceProxyConfig, DeviceProxyNode};
 use proxy::devices::{CoapFieldNode, OpcUaFieldNode, UplinkDeviceNode};
-use pubsub::BrokerNode;
+use pubsub::{BrokerNode, FederationConfig, ShardMap};
 use simnet::{NodeId, SimDuration, Simulator};
 use streams::{AggregatorConfig, AggregatorNode, WindowSpec};
 
@@ -34,6 +34,9 @@ use crate::scenario::{DeviceSpec, DistrictSpec, Scenario};
 pub struct DistrictDeployment {
     /// The district id.
     pub district: dimmer_core::DistrictId,
+    /// The broker shard serving this district (equals the deployment's
+    /// single broker when federation is off).
+    pub broker: NodeId,
     /// The GIS Database-proxy.
     pub gis_proxy: NodeId,
     /// The measurement-archive Database-proxy.
@@ -55,8 +58,12 @@ pub struct DistrictDeployment {
 pub struct Deployment {
     /// The master node.
     pub master: NodeId,
-    /// The middleware broker.
+    /// The middleware broker — shard 0 when the scenario federates, so
+    /// single-broker call sites keep working unchanged.
     pub broker: NodeId,
+    /// Every broker shard, index order (`[broker]` when federation is
+    /// off).
+    pub brokers: Vec<NodeId>,
     /// Per-district node ids.
     pub districts: Vec<DistrictDeployment>,
 }
@@ -73,15 +80,60 @@ impl Deployment {
                     .map(|d| (d.district.clone(), d.name.clone())),
             ),
         );
-        let broker = sim.add_node("broker", BrokerNode::new());
+
+        // Broker tier: the classic single broker, or one labeled broker
+        // per shard bridged into a federation (district i → shard
+        // i % shards, mirroring the scenario's round-robin promise).
+        let brokers: Vec<NodeId> =
+            match scenario.config.federation {
+                None => vec![sim.add_node("broker", BrokerNode::new())],
+                Some(spec) => {
+                    let ids: Vec<NodeId> = (0..spec.shards)
+                        .map(|i| {
+                            sim.add_node(
+                                format!("broker-{i}"),
+                                BrokerNode::with_label(format!("b{i}")),
+                            )
+                        })
+                        .collect();
+                    let mut shard = ShardMap::new(spec.shards);
+                    for (i, d) in scenario.districts.iter().enumerate() {
+                        shard.assign(d.district.as_str(), i % spec.shards);
+                    }
+                    for (i, &id) in ids.iter().enumerate() {
+                        sim.node_mut::<BrokerNode>(id)
+                            .expect("just added")
+                            .federate(FederationConfig {
+                                index: i,
+                                brokers: ids.clone(),
+                                shard: shard.clone(),
+                                batch: spec.batch_policy(),
+                            });
+                    }
+                    sim.node_mut::<MasterNode>(master)
+                        .expect("just added")
+                        .set_shard_owners(
+                            scenario.districts.iter().enumerate().map(|(i, d)| {
+                                (d.district.clone(), format!("b{}", i % spec.shards))
+                            }),
+                        );
+                    ids
+                }
+            };
+
         let districts = scenario
             .districts
             .iter()
-            .map(|d| deploy_district(sim, scenario, d, master, broker))
+            .enumerate()
+            .map(|(i, d)| {
+                let broker = brokers[i % brokers.len()];
+                deploy_district(sim, scenario, d, master, broker)
+            })
             .collect();
         Deployment {
             master,
-            broker,
+            broker: brokers[0],
+            brokers,
             districts,
         }
     }
@@ -110,17 +162,18 @@ impl Deployment {
 
     /// Total node count of the deployment (excluding clients).
     pub fn node_count(&self) -> usize {
-        2 + self
-            .districts
-            .iter()
-            .map(|d| {
-                2 + d.bim_proxies.len()
-                    + d.sim_proxies.len()
-                    + d.device_proxies.len()
-                    + d.devices.len()
-                    + usize::from(d.aggregator.is_some())
-            })
-            .sum::<usize>()
+        1 + self.brokers.len()
+            + self
+                .districts
+                .iter()
+                .map(|d| {
+                    2 + d.bim_proxies.len()
+                        + d.sim_proxies.len()
+                        + d.device_proxies.len()
+                        + d.devices.len()
+                        + usize::from(d.aggregator.is_some())
+                })
+                .sum::<usize>()
     }
 }
 
@@ -243,6 +296,7 @@ fn deploy_district(
 
     DistrictDeployment {
         district: did.clone(),
+        broker,
         gis_proxy,
         archive_proxy,
         bim_proxies,
@@ -470,6 +524,76 @@ mod tests {
         let broker = sim.node_ref::<BrokerNode>(deployment.broker).unwrap();
         assert!(broker.stats().published > 0);
         assert!(broker.stats().retained > 0);
+    }
+
+    #[test]
+    fn federated_deployment_bridges_districts() {
+        use crate::live::LiveMonitorNode;
+        use crate::scenario::FederationSpec;
+
+        let scenario = ScenarioConfig::small()
+            .with_districts(2)
+            .with_federation(FederationSpec::sharded(2))
+            .build();
+        let mut sim = Simulator::new(SimConfig::default());
+        let deployment = Deployment::build(&mut sim, &scenario);
+        assert_eq!(deployment.brokers.len(), 2);
+        assert_eq!(deployment.broker, deployment.brokers[0], "back-compat");
+        assert_eq!(deployment.node_count(), sim.node_count());
+        // Round-robin shard ownership: district 1 lives on broker 1.
+        assert_eq!(deployment.districts[1].broker, deployment.brokers[1]);
+
+        sim.run_for(simnet::SimDuration::from_secs(120));
+
+        // The master's ontology records each district's owning shard.
+        let shards: Vec<Option<String>> = {
+            let m = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+            scenario
+                .districts
+                .iter()
+                .map(|d| {
+                    m.ontology()
+                        .district(&d.district)
+                        .unwrap()
+                        .broker()
+                        .map(str::to_owned)
+                })
+                .collect()
+        };
+        assert_eq!(shards, vec![Some("b0".into()), Some("b1".into())]);
+
+        // Each district's devices publish into their local shard only.
+        for (i, broker) in deployment.brokers.iter().enumerate() {
+            let b = sim.node_ref::<BrokerNode>(*broker).unwrap();
+            assert!(b.stats().published > 0, "shard {i} saw no publishes");
+        }
+
+        // A monitor of district 1 listening on broker 0 receives every
+        // value across the bridge.
+        let monitor = sim.add_node(
+            "monitor",
+            LiveMonitorNode::new(
+                deployment.master,
+                deployment.brokers[0],
+                scenario.districts[1].district.clone(),
+                scenario.districts[1].bbox(),
+            ),
+        );
+        sim.run_for(simnet::SimDuration::from_secs(180));
+        let m = sim.node_ref::<LiveMonitorNode>(monitor).unwrap();
+        assert!(m.resolution().is_some(), "area resolved");
+        assert!(
+            !m.series().is_empty(),
+            "retained messages crossed the bridge: {:?}",
+            m.stats()
+        );
+        assert!(m.stats().updates > 0, "{:?}", m.stats());
+        // The frames actually rode the bridge, batched.
+        let b0 = sim.node_ref::<BrokerNode>(deployment.brokers[0]).unwrap();
+        let b1 = sim.node_ref::<BrokerNode>(deployment.brokers[1]).unwrap();
+        assert!(b0.bridge_stats().frames_received > 0);
+        assert!(b1.bridge_stats().frames_acked > 0);
+        assert_eq!(b1.bridge_stats().frames_dropped, 0);
     }
 
     #[test]

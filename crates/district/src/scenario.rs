@@ -208,6 +208,53 @@ impl AggregationSpec {
     }
 }
 
+/// Broker-federation parameters: when set on a scenario, the deployment
+/// runs `shards` brokers instead of one, assigns district `i` to broker
+/// `i % shards` in the shard map, and bridges the brokers with batched
+/// wire frames (see [`pubsub::federation`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationSpec {
+    /// Number of broker shards (1 = the classic single broker, but
+    /// deployed through the federation path).
+    pub shards: usize,
+    /// Max publishes per bridge batch.
+    pub batch_max_items: usize,
+    /// Max payload bytes per bridge batch.
+    pub batch_max_bytes: usize,
+    /// Max age of a buffered bridge frame before a forced flush.
+    pub batch_max_age: SimDuration,
+}
+
+impl FederationSpec {
+    /// `shards` brokers under the default bridge batch policy.
+    pub fn sharded(shards: usize) -> Self {
+        let policy = simnet::batch::BatchPolicy::default();
+        FederationSpec {
+            shards,
+            batch_max_items: policy.max_items,
+            batch_max_bytes: policy.max_bytes,
+            batch_max_age: policy.max_age,
+        }
+    }
+
+    /// Overrides the bridge flush policy (fluent).
+    pub fn with_batch(mut self, max_items: usize, max_bytes: usize, max_age: SimDuration) -> Self {
+        self.batch_max_items = max_items;
+        self.batch_max_bytes = max_bytes;
+        self.batch_max_age = max_age;
+        self
+    }
+
+    /// The simnet batch policy this spec describes.
+    pub fn batch_policy(&self) -> simnet::batch::BatchPolicy {
+        simnet::batch::BatchPolicy {
+            max_items: self.batch_max_items,
+            max_bytes: self.batch_max_bytes,
+            max_age: self.batch_max_age,
+        }
+    }
+}
+
 /// Scenario generation parameters.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -236,6 +283,9 @@ pub struct ScenarioConfig {
     /// Optional aggregation tier; `None` (the default) deploys no
     /// aggregators, preserving the seed topology.
     pub aggregation: Option<AggregationSpec>,
+    /// Optional broker federation; `None` (the default) deploys the
+    /// classic single broker, preserving the seed topology.
+    pub federation: Option<FederationSpec>,
 }
 
 impl ScenarioConfig {
@@ -255,6 +305,7 @@ impl ScenarioConfig {
             publish_qos: QoS::AtMostOnce,
             archive_rows: 32,
             aggregation: None,
+            federation: None,
         }
     }
 
@@ -279,6 +330,18 @@ impl ScenarioConfig {
     /// Enables the aggregation tier (fluent).
     pub fn with_aggregation(mut self, aggregation: AggregationSpec) -> Self {
         self.aggregation = Some(aggregation);
+        self
+    }
+
+    /// Enables the federated broker tier (fluent).
+    pub fn with_federation(mut self, federation: FederationSpec) -> Self {
+        self.federation = Some(federation);
+        self
+    }
+
+    /// Sets the district count (fluent, for federation sweeps).
+    pub fn with_districts(mut self, n: usize) -> Self {
+        self.districts = n;
         self
     }
 

@@ -91,6 +91,9 @@ pub struct MasterNode {
     parked: Vec<Registration>,
     /// District seeds, kept so a restart can rebuild the empty ontology.
     seeds: Vec<(DistrictId, String)>,
+    /// District → owning broker-shard label, reapplied after restarts
+    /// (empty on single-broker deployments).
+    shard_owners: Vec<(DistrictId, String)>,
     stats: MasterStats,
 }
 
@@ -124,7 +127,27 @@ impl MasterNode {
             registry: HashMap::new(),
             parked: Vec::new(),
             seeds,
+            shard_owners: Vec::new(),
             stats: MasterStats::default(),
+        }
+    }
+
+    /// Records the broker shard owning each listed district. The
+    /// assignment is part of the deployment plan, not learned state, so
+    /// it survives restarts the way seeds do: reapplied when the
+    /// ontology is rebuilt.
+    pub fn set_shard_owners(&mut self, owners: impl IntoIterator<Item = (DistrictId, String)>) {
+        self.shard_owners = owners.into_iter().collect();
+        self.apply_shard_owners();
+    }
+
+    fn apply_shard_owners(&mut self) {
+        for (district, broker) in &self.shard_owners.clone() {
+            self.ensure_district(district);
+            self.ontology
+                .district_mut(district)
+                .expect("just ensured")
+                .set_broker(broker.clone());
         }
     }
 
@@ -575,6 +598,7 @@ impl Node for MasterNode {
                 .add_district(id.clone(), name.clone())
                 .expect("seeds were unique at construction");
         }
+        self.apply_shard_owners();
         self.registry.clear();
         self.parked.clear();
         ctx.telemetry().metrics.incr("master.restart");

@@ -272,6 +272,9 @@ pub struct DistrictTree {
     measurement_proxies: Vec<Uri>,
     /// Aggregator Web Services serving windowed rollups.
     aggregator_proxies: Vec<Uri>,
+    /// Label of the broker shard owning this district's topics (absent
+    /// on single-broker deployments).
+    broker: Option<String>,
     properties: Value,
     entities: Vec<EntityNode>,
 }
@@ -285,6 +288,7 @@ impl DistrictTree {
             gis_proxies: Vec::new(),
             measurement_proxies: Vec::new(),
             aggregator_proxies: Vec::new(),
+            broker: None,
             properties: Value::Null,
             entities: Vec::new(),
         }
@@ -343,6 +347,17 @@ impl DistrictTree {
         }
     }
 
+    /// The label of the broker shard owning this district's topics
+    /// (`None` on single-broker deployments).
+    pub fn broker(&self) -> Option<&str> {
+        self.broker.as_deref()
+    }
+
+    /// Records the owning broker shard.
+    pub fn set_broker(&mut self, broker: impl Into<String>) {
+        self.broker = Some(broker.into());
+    }
+
     /// Sets root properties.
     pub fn set_properties(&mut self, properties: Value) {
         self.properties = properties;
@@ -394,6 +409,12 @@ impl DistrictTree {
                         .collect(),
                 ),
             ),
+            (
+                "broker",
+                self.broker
+                    .as_deref()
+                    .map_or(Value::Null, |b| Value::from(b.to_owned())),
+            ),
             ("properties", self.properties.clone()),
             (
                 "entities",
@@ -432,6 +453,8 @@ impl DistrictTree {
                 Some(_) => uris("aggregator_proxies")?,
                 None => Vec::new(),
             },
+            // Absent in values written before broker federation existed.
+            broker: v.get("broker").and_then(Value::as_str).map(str::to_owned),
             properties: v.get("properties").cloned().unwrap_or(Value::Null),
             entities: v
                 .require_array(T, "entities")?
@@ -456,6 +479,7 @@ mod tests {
         tree.add_measurement_proxy(uri("sim://n4/measurements"));
         tree.add_aggregator_proxy(uri("sim://n6/rollups"));
         tree.add_aggregator_proxy(uri("sim://n6/rollups")); // idempotent
+        tree.set_broker("b1");
         tree.set_properties(Value::object([("city", Value::from("Turin"))]));
         let mut building =
             EntityNode::building(BuildingId::new("b1").unwrap(), uri("sim://n3/bim"))
@@ -483,6 +507,19 @@ mod tests {
         let tree = sample_tree();
         let back = DistrictTree::from_value(&tree.to_value()).unwrap();
         assert_eq!(back, tree);
+        assert_eq!(back.broker(), Some("b1"));
+    }
+
+    #[test]
+    fn tree_from_value_tolerates_missing_broker() {
+        // Values written before broker federation existed carry no
+        // `broker` key; they must still decode.
+        let mut v = sample_tree().to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("broker");
+        }
+        let back = DistrictTree::from_value(&v).unwrap();
+        assert_eq!(back.broker(), None);
     }
 
     #[test]

@@ -2,11 +2,16 @@
 
 use std::collections::HashMap;
 
+use simnet::batch::PushOutcome;
 use simnet::{Context, Node, Packet as NetPacket, SimDuration, TimerTag};
 
+use crate::federation::{
+    FederationConfig, FederationState, BATCH_MAX_RETRIES, BATCH_RETRY_BIT, BATCH_RETRY_TIMEOUT,
+    FLUSH_TIMER_BIT,
+};
 use crate::topic::SubscriptionTrie;
-use crate::wire::{Packet, QoS};
-use crate::{Topic, TopicFilter};
+use crate::wire::{BridgeFrame, Packet, QoS};
+use crate::{BridgeStats, Topic, TopicFilter};
 
 /// How long the broker waits before redelivering an unacked QoS 1
 /// message.
@@ -26,6 +31,79 @@ struct PendingDelivery {
     bytes: Vec<u8>,
     retries_left: u32,
     trace: u64,
+}
+
+/// Per-QoS local subscriber counts for one filter: drives bridge
+/// advertisement (advertise while any local subscriber remains, withdraw
+/// on the last unsubscribe, re-advertise after a peer restart).
+#[derive(Debug)]
+struct AdvertRefs {
+    filter: TopicFilter,
+    at_most: usize,
+    at_least: usize,
+}
+
+impl AdvertRefs {
+    fn total(&self) -> usize {
+        self.at_most + self.at_least
+    }
+
+    fn strongest(&self) -> QoS {
+        if self.at_least > 0 {
+            QoS::AtLeastOnce
+        } else {
+            QoS::AtMostOnce
+        }
+    }
+}
+
+/// Pre-rendered labeled metric names. A federation runs many brokers in
+/// one simulation; unlabeled counters would silently aggregate across
+/// all of them, so a labeled broker emits `<name>.<label>` next to every
+/// global `<name>` counter (the globals stay, for single-broker
+/// deployments and existing dashboards/tests).
+#[derive(Debug)]
+struct LabeledNames {
+    publish: String,
+    deliver: String,
+    ack: String,
+    subscribe: String,
+    retry: String,
+    drop: String,
+    decode_error: String,
+    restart: String,
+    pending: String,
+    fanout: String,
+    bridge_batch_sent: String,
+    bridge_frame_forward: String,
+    bridge_frame_recv: String,
+    bridge_duplicate: String,
+    bridge_retry: String,
+    bridge_drop: String,
+}
+
+impl LabeledNames {
+    fn new(label: &str) -> Self {
+        let n = |name: &str| format!("{name}.{label}");
+        LabeledNames {
+            publish: n("pubsub.publish"),
+            deliver: n("pubsub.deliver"),
+            ack: n("pubsub.ack"),
+            subscribe: n("pubsub.subscribe"),
+            retry: n("pubsub.retry"),
+            drop: n("pubsub.drop"),
+            decode_error: n("pubsub.decode_error"),
+            restart: n("pubsub.broker_restart"),
+            pending: n("pubsub.pending_deliveries"),
+            fanout: n("pubsub.fanout"),
+            bridge_batch_sent: n("pubsub.bridge.batch_sent"),
+            bridge_frame_forward: n("pubsub.bridge.frame_forward"),
+            bridge_frame_recv: n("pubsub.bridge.frame_recv"),
+            bridge_duplicate: n("pubsub.bridge.duplicate"),
+            bridge_retry: n("pubsub.bridge.retry"),
+            bridge_drop: n("pubsub.bridge.drop"),
+        }
+    }
 }
 
 /// Counters the broker exposes for experiments.
@@ -57,6 +135,11 @@ pub struct BrokerStats {
 /// Clients talk to it on [`PUBSUB_PORT`](crate::PUBSUB_PORT) with
 /// [`Packet`](crate::WirePacket)s; the [`PubSubClient`](crate::PubSubClient)
 /// helper wraps that protocol.
+///
+/// A broker can run standalone (the default, exactly the paper's single
+/// entry point) or as one shard of a federation — see
+/// [`BrokerNode::federate`] and the [`federation`](crate::federation)
+/// module.
 #[derive(Debug, Default)]
 pub struct BrokerNode {
     subscriptions: SubscriptionTrie<Subscription>,
@@ -73,6 +156,11 @@ pub struct BrokerNode {
     /// change to detect that their subscriptions were wiped.
     incarnation: u64,
     stats: BrokerStats,
+    /// Filter text → live local subscriber refcounts (advertisement
+    /// bookkeeping; empty while not federated).
+    advert_refs: HashMap<String, AdvertRefs>,
+    labels: Option<LabeledNames>,
+    federation: Option<FederationState>,
 }
 
 impl BrokerNode {
@@ -81,12 +169,51 @@ impl BrokerNode {
         BrokerNode::default()
     }
 
+    /// Creates an empty broker whose telemetry counters additionally
+    /// carry `label` (e.g. `pubsub.publish.b2`), so per-broker rates
+    /// stay distinguishable inside a federation.
+    pub fn with_label(label: impl AsRef<str>) -> Self {
+        BrokerNode {
+            labels: Some(LabeledNames::new(label.as_ref())),
+            ..BrokerNode::default()
+        }
+    }
+
+    /// Makes this broker one shard of a federation. Call before the
+    /// simulation starts (the deployment wires every member with the
+    /// same shard map and broker list).
+    pub fn federate(&mut self, config: FederationConfig) {
+        self.federation = Some(FederationState::new(config));
+    }
+
     /// Current counters.
     pub fn stats(&self) -> BrokerStats {
         BrokerStats {
             retained: self.retained.len() as u64,
             ..self.stats
         }
+    }
+
+    /// Bridge-side counters (all zero while not federated).
+    pub fn bridge_stats(&self) -> BridgeStats {
+        self.federation
+            .as_ref()
+            .map(|f| f.stats)
+            .unwrap_or_default()
+    }
+
+    /// Bridge frames buffered in per-peer batchers, not yet sent.
+    pub fn bridge_buffered(&self) -> usize {
+        self.federation
+            .as_ref()
+            .map_or(0, FederationState::buffered_frames)
+    }
+
+    /// Bridge frames sent and awaiting a batch acknowledgement.
+    pub fn bridge_in_flight(&self) -> usize {
+        self.federation
+            .as_ref()
+            .map_or(0, FederationState::in_flight_frames)
     }
 
     /// The broker's incarnation number (restarts survived).
@@ -102,6 +229,23 @@ impl BrokerNode {
     /// Number of QoS 1 deliveries awaiting acknowledgement.
     pub fn pending_deliveries(&self) -> usize {
         self.pending.len()
+    }
+
+    fn incr(&self, ctx: &mut Context<'_>, global: &str, pick: impl Fn(&LabeledNames) -> &String) {
+        ctx.telemetry().metrics.incr(global);
+        if let Some(l) = &self.labels {
+            ctx.telemetry().metrics.incr(pick(l));
+        }
+    }
+
+    fn gauge_pending(&self, ctx: &mut Context<'_>) {
+        let v = self.pending.len() as f64;
+        ctx.telemetry()
+            .metrics
+            .set_gauge("pubsub.pending_deliveries", v);
+        if let Some(l) = &self.labels {
+            ctx.telemetry().metrics.set_gauge(&l.pending, v);
+        }
     }
 
     fn deliver(
@@ -123,7 +267,7 @@ impl BrokerNode {
             trace,
         };
         let bytes = packet.encode();
-        ctx.telemetry().metrics.incr("pubsub.deliver");
+        self.incr(ctx, "pubsub.deliver", |l| &l.deliver);
         if trace != 0 {
             ctx.trace_hop("broker.deliver", trace, format!("to={to} topic={topic}"));
         }
@@ -140,9 +284,7 @@ impl BrokerNode {
                     trace,
                 },
             );
-            ctx.telemetry()
-                .metrics
-                .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
+            self.gauge_pending(ctx);
             ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
         }
     }
@@ -160,7 +302,7 @@ impl BrokerNode {
         trace: u64,
     ) {
         self.stats.published += 1;
-        ctx.telemetry().metrics.incr("pubsub.publish");
+        self.incr(ctx, "pubsub.publish", |l| &l.publish);
         if trace != 0 {
             ctx.trace_hop(
                 "broker.publish",
@@ -181,15 +323,33 @@ impl BrokerNode {
                 );
             }
         }
+        self.fan_out(ctx, &topic, &payload, qos, trace);
+        self.forward_to_peers(ctx, &topic, &payload, retain, qos, trace);
+    }
+
+    /// Delivers a publish to every matching local subscriber.
+    fn fan_out(
+        &mut self,
+        ctx: &mut Context<'_>,
+        topic: &Topic,
+        payload: &[u8],
+        qos: QoS,
+        trace: u64,
+    ) {
         let targets: Vec<Subscription> = self
             .subscriptions
-            .matches(&topic)
+            .matches(topic)
             .into_iter()
             .cloned()
             .collect();
         ctx.telemetry()
             .metrics
             .observe("pubsub.fanout", targets.len() as f64);
+        if let Some(l) = &self.labels {
+            ctx.telemetry()
+                .metrics
+                .observe(&l.fanout, targets.len() as f64);
+        }
         for sub in targets {
             // Effective delivery guarantee: the weaker of the two ends.
             let effective = if qos == QoS::AtLeastOnce && sub.qos == QoS::AtLeastOnce {
@@ -197,8 +357,212 @@ impl BrokerNode {
             } else {
                 QoS::AtMostOnce
             };
-            self.deliver(ctx, sub.node, &topic, &payload, effective, trace);
+            self.deliver(ctx, sub.node, topic, payload, effective, trace);
         }
+    }
+
+    /// Queues a locally received publish for every peer broker with a
+    /// matching advertised filter. Frames ride per-peer batchers; a full
+    /// batcher flushes inline, otherwise the age timer does.
+    fn forward_to_peers(
+        &mut self,
+        ctx: &mut Context<'_>,
+        topic: &Topic,
+        payload: &[u8],
+        retain: bool,
+        qos: QoS,
+        trace: u64,
+    ) {
+        let Some(fed) = &self.federation else {
+            return;
+        };
+        let mut peers: Vec<usize> = fed
+            .remote_subs
+            .matches(topic)
+            .into_iter()
+            .map(|rs| rs.peer)
+            .collect();
+        peers.sort_unstable();
+        peers.dedup();
+        for peer in peers {
+            if trace != 0 {
+                ctx.trace_hop(
+                    "bridge.forward",
+                    trace,
+                    format!("peer={peer} topic={topic}"),
+                );
+            }
+            self.incr(ctx, "pubsub.bridge.frame_forward", |l| {
+                &l.bridge_frame_forward
+            });
+            let frame = BridgeFrame {
+                topic: topic.clone(),
+                payload: payload.to_vec(),
+                retain,
+                qos,
+                trace,
+            };
+            self.enqueue_frame(ctx, peer, frame);
+        }
+    }
+
+    /// Pushes one frame onto a peer's batcher and acts on the outcome.
+    fn enqueue_frame(&mut self, ctx: &mut Context<'_>, peer: usize, frame: BridgeFrame) {
+        let Some(fed) = &mut self.federation else {
+            return;
+        };
+        fed.stats.frames_enqueued += 1;
+        let cost = frame.topic.as_str().len() + frame.payload.len() + 18;
+        let max_age = fed.config.batch.max_age;
+        match fed.batchers[peer].push(frame, cost) {
+            PushOutcome::Flush => self.flush_peer(ctx, peer),
+            PushOutcome::ArmTimer => {
+                ctx.set_timer(max_age, TimerTag(FLUSH_TIMER_BIT | peer as u64));
+            }
+            PushOutcome::Buffered => {}
+        }
+    }
+
+    /// Cuts the accumulated batch for `peer` and puts it on the wire,
+    /// tracked for retransmission until acknowledged.
+    fn flush_peer(&mut self, ctx: &mut Context<'_>, peer: usize) {
+        let incarnation = self.incarnation;
+        let Some(fed) = &mut self.federation else {
+            return;
+        };
+        let frames = fed.batchers[peer].take();
+        if frames.is_empty() {
+            return; // age timer raced a size flush
+        }
+        let batch_id = fed.next_batch_id;
+        fed.next_batch_id += 1;
+        let bytes = Packet::BridgeBatch {
+            incarnation,
+            batch_id,
+            frames: frames.clone(),
+        }
+        .encode();
+        let dst = fed.config.brokers[peer];
+        fed.stats.batches_sent += 1;
+        ctx.telemetry()
+            .metrics
+            .observe("pubsub.bridge.batch_frames", frames.len() as f64);
+        fed.pending.insert(
+            batch_id,
+            crate::federation::PendingBatch {
+                peer,
+                frames,
+                retries_left: BATCH_MAX_RETRIES,
+            },
+        );
+        ctx.send(dst, crate::PUBSUB_PORT, bytes);
+        ctx.set_timer(BATCH_RETRY_TIMEOUT, TimerTag(BATCH_RETRY_BIT | batch_id));
+        self.incr(ctx, "pubsub.bridge.batch_sent", |l| &l.bridge_batch_sent);
+    }
+
+    /// Sends `BridgeHello` to every peer (start and restart), so peers
+    /// learn this broker's incarnation without waiting for traffic.
+    fn send_hello(&mut self, ctx: &mut Context<'_>) {
+        let incarnation = self.incarnation;
+        let Some(fed) = &self.federation else {
+            return;
+        };
+        let bytes = Packet::BridgeHello { incarnation }.encode();
+        for peer in fed.peer_shards() {
+            ctx.send(fed.config.brokers[peer], crate::PUBSUB_PORT, bytes.clone());
+        }
+    }
+
+    /// Observes `incarnation` from `peer`. Returns `false` for frames
+    /// from a dead incarnation (the caller drops them). A *newer*
+    /// incarnation means the peer restarted: everything it advertised
+    /// and every batch id it ever sent died with it, and it needs our
+    /// advertisements again.
+    fn note_peer_incarnation(
+        &mut self,
+        ctx: &mut Context<'_>,
+        peer: usize,
+        incarnation: u64,
+    ) -> bool {
+        let Some(fed) = &mut self.federation else {
+            return false;
+        };
+        let known = fed.peer_incarnation[peer];
+        if incarnation < known {
+            return false;
+        }
+        if incarnation > known {
+            fed.peer_incarnation[peer] = incarnation;
+            fed.seen_batches[peer].clear();
+            let filters: Vec<TopicFilter> = fed.peer_filters[peer].values().cloned().collect();
+            for f in &filters {
+                fed.remote_subs.remove_where(f, |rs| rs.peer == peer);
+            }
+            fed.peer_filters[peer].clear();
+            ctx.telemetry().metrics.incr("pubsub.bridge.peer_restart");
+            self.readvertise_to(ctx, peer);
+        }
+        true
+    }
+
+    /// Re-sends every live local filter advertisement to one peer.
+    fn readvertise_to(&mut self, ctx: &mut Context<'_>, peer: usize) {
+        let incarnation = self.incarnation;
+        let adverts: Vec<(TopicFilter, QoS)> = self
+            .advert_refs
+            .values()
+            .map(|r| (r.filter.clone(), r.strongest()))
+            .collect();
+        let Some(fed) = &self.federation else {
+            return;
+        };
+        let dst = fed.config.brokers[peer];
+        for (filter, qos) in adverts {
+            let bytes = Packet::BridgeAdvertise {
+                incarnation,
+                filter,
+                qos,
+            }
+            .encode();
+            ctx.send(dst, crate::PUBSUB_PORT, bytes);
+        }
+    }
+
+    /// Applies one bridged publish locally: mirror retained state, fan
+    /// out to local subscribers. Never re-forwarded — the federation is
+    /// a full mesh and every publish crosses at most one bridge hop,
+    /// which is what makes duplicate delivery impossible.
+    fn apply_bridge_frame(&mut self, ctx: &mut Context<'_>, frame: BridgeFrame) {
+        let BridgeFrame {
+            topic,
+            payload,
+            retain,
+            qos,
+            trace,
+        } = frame;
+        if trace != 0 {
+            ctx.trace_hop("bridge.deliver", trace, format!("topic={topic}"));
+        }
+        self.incr(ctx, "pubsub.bridge.frame_recv", |l| &l.bridge_frame_recv);
+        if retain {
+            if payload.is_empty() {
+                self.retained.remove(topic.as_str());
+            } else {
+                if let Some((_, existing, _)) = self.retained.get(topic.as_str()) {
+                    if existing == &payload {
+                        // A mirror of a retained message we already hold
+                        // (e.g. two peers answered the same advertise):
+                        // local subscribers have seen it, don't re-fan.
+                        return;
+                    }
+                }
+                self.retained.insert(
+                    topic.as_str().to_owned(),
+                    (topic.clone(), payload.clone(), trace),
+                );
+            }
+        }
+        self.fan_out(ctx, &topic, &payload, qos, trace);
     }
 
     fn on_subscribe(
@@ -208,9 +572,23 @@ impl BrokerNode {
         filter: TopicFilter,
         qos: QoS,
     ) {
-        ctx.telemetry().metrics.incr("pubsub.subscribe");
+        self.incr(ctx, "pubsub.subscribe", |l| &l.subscribe);
         self.subscriptions
             .insert(&filter, Subscription { node: from, qos });
+        let refs = self
+            .advert_refs
+            .entry(filter.as_str().to_owned())
+            .or_insert_with(|| AdvertRefs {
+                filter: filter.clone(),
+                at_most: 0,
+                at_least: 0,
+            });
+        match qos {
+            QoS::AtMostOnce => refs.at_most += 1,
+            QoS::AtLeastOnce => refs.at_least += 1,
+        }
+        let strongest = refs.strongest();
+        self.advertise(ctx, &filter, strongest);
         // Hand the new subscriber any retained messages it now matches,
         // under the original publication's trace id.
         let matching: Vec<(Topic, Vec<u8>, u64)> = self
@@ -223,24 +601,209 @@ impl BrokerNode {
             self.deliver(ctx, from, &topic, &payload, qos, trace);
         }
     }
+
+    /// Tells every peer this broker wants publishes matching `filter`.
+    /// Idempotent at the receiver (it replaces any previous entry for
+    /// this broker and filter), so it doubles as a QoS upgrade path.
+    fn advertise(&mut self, ctx: &mut Context<'_>, filter: &TopicFilter, qos: QoS) {
+        let incarnation = self.incarnation;
+        let Some(fed) = &self.federation else {
+            return;
+        };
+        let bytes = Packet::BridgeAdvertise {
+            incarnation,
+            filter: filter.clone(),
+            qos,
+        }
+        .encode();
+        for peer in fed.peer_shards() {
+            ctx.send(fed.config.brokers[peer], crate::PUBSUB_PORT, bytes.clone());
+        }
+    }
+
+    fn on_unsubscribe(&mut self, ctx: &mut Context<'_>, from: simnet::NodeId, filter: TopicFilter) {
+        // Remove every subscription this node holds on the filter,
+        // counting per QoS so the advertisement refcounts stay exact.
+        let (mut gone_most, mut gone_least) = (0usize, 0usize);
+        self.subscriptions.remove_where(&filter, |sub| {
+            if sub.node == from {
+                match sub.qos {
+                    QoS::AtMostOnce => gone_most += 1,
+                    QoS::AtLeastOnce => gone_least += 1,
+                }
+                true
+            } else {
+                false
+            }
+        });
+        if gone_most + gone_least == 0 {
+            return;
+        }
+        let Some(refs) = self.advert_refs.get_mut(filter.as_str()) else {
+            return;
+        };
+        refs.at_most = refs.at_most.saturating_sub(gone_most);
+        refs.at_least = refs.at_least.saturating_sub(gone_least);
+        if refs.total() == 0 {
+            self.advert_refs.remove(filter.as_str());
+            let incarnation = self.incarnation;
+            if let Some(fed) = &self.federation {
+                let bytes = Packet::BridgeUnadvertise {
+                    incarnation,
+                    filter: filter.clone(),
+                }
+                .encode();
+                for peer in fed.peer_shards() {
+                    ctx.send(fed.config.brokers[peer], crate::PUBSUB_PORT, bytes.clone());
+                }
+            }
+        } else {
+            // Possibly downgraded (last QoS 1 subscriber left): refresh.
+            let strongest = refs.strongest();
+            self.advertise(ctx, &filter, strongest);
+        }
+    }
+
+    fn on_bridge_advertise(
+        &mut self,
+        ctx: &mut Context<'_>,
+        peer: usize,
+        incarnation: u64,
+        filter: TopicFilter,
+        qos: QoS,
+    ) {
+        if !self.note_peer_incarnation(ctx, peer, incarnation) {
+            return;
+        }
+        let retained_reply: Vec<BridgeFrame>;
+        {
+            let Some(fed) = &mut self.federation else {
+                return;
+            };
+            fed.remote_subs.remove_where(&filter, |rs| rs.peer == peer);
+            fed.remote_subs
+                .insert(&filter, crate::federation::RemoteSub { peer, qos });
+            fed.peer_filters[peer].insert(filter.as_str().to_owned(), filter.clone());
+            // Answer with any retained messages the peer's new filter
+            // matches, so its late subscribers see retained state that
+            // lives on this side of the bridge.
+            retained_reply = self
+                .retained
+                .values()
+                .filter(|(topic, _, _)| filter.matches(topic))
+                .map(|(topic, payload, trace)| BridgeFrame {
+                    topic: topic.clone(),
+                    payload: payload.clone(),
+                    retain: true,
+                    qos,
+                    trace: *trace,
+                })
+                .collect();
+        }
+        for frame in retained_reply {
+            self.enqueue_frame(ctx, peer, frame);
+        }
+    }
+
+    fn on_bridge_batch(
+        &mut self,
+        ctx: &mut Context<'_>,
+        src: simnet::NodeId,
+        peer: usize,
+        incarnation: u64,
+        batch_id: u64,
+        frames: Vec<BridgeFrame>,
+    ) {
+        if !self.note_peer_incarnation(ctx, peer, incarnation) {
+            return; // dead incarnation; its sender no longer waits
+        }
+        // Always acknowledge — also for duplicates, whose original ack
+        // was evidently lost or outrun by the retry timer.
+        ctx.send(
+            src,
+            crate::PUBSUB_PORT,
+            Packet::BridgeBatchAck { batch_id }.encode(),
+        );
+        {
+            let Some(fed) = &mut self.federation else {
+                return;
+            };
+            fed.stats.batches_received += 1;
+            if !fed.seen_batches[peer].insert(batch_id) {
+                fed.stats.duplicate_batches += 1;
+                self.incr(ctx, "pubsub.bridge.duplicate", |l| &l.bridge_duplicate);
+                return;
+            }
+            fed.stats.frames_received += frames.len() as u64;
+        }
+        for frame in frames {
+            self.apply_bridge_frame(ctx, frame);
+        }
+    }
+
+    fn on_batch_retry(&mut self, ctx: &mut Context<'_>, batch_id: u64) {
+        let incarnation = self.incarnation;
+        let mut drop_count = 0u64;
+        let mut resend: Option<(simnet::NodeId, Vec<u8>)> = None;
+        {
+            let Some(fed) = &mut self.federation else {
+                return;
+            };
+            let Some(pending) = fed.pending.get_mut(&batch_id) else {
+                return; // acked in time
+            };
+            if pending.retries_left == 0 {
+                let dead = fed.pending.remove(&batch_id).expect("present");
+                drop_count = dead.frames.len() as u64;
+                fed.stats.frames_dropped += drop_count;
+            } else {
+                pending.retries_left -= 1;
+                fed.stats.retries += 1;
+                let bytes = Packet::BridgeBatch {
+                    incarnation,
+                    batch_id,
+                    frames: pending.frames.clone(),
+                }
+                .encode();
+                resend = Some((fed.config.brokers[pending.peer], bytes));
+            }
+        }
+        if drop_count > 0 {
+            self.incr(ctx, "pubsub.bridge.drop", |l| &l.bridge_drop);
+            return;
+        }
+        if let Some((dst, bytes)) = resend {
+            ctx.send(dst, crate::PUBSUB_PORT, bytes);
+            ctx.set_timer(BATCH_RETRY_TIMEOUT, TimerTag(BATCH_RETRY_BIT | batch_id));
+            self.incr(ctx, "pubsub.bridge.retry", |l| &l.bridge_retry);
+        }
+    }
+
+    /// Resolves the shard index of a packet's source, when the source is
+    /// a federation peer. Bridge frames from anyone else are ignored.
+    fn peer_of(&self, src: simnet::NodeId) -> Option<usize> {
+        let fed = self.federation.as_ref()?;
+        let idx = *fed.peer_index.get(&src)?;
+        (idx != fed.config.index).then_some(idx)
+    }
 }
 
 impl Node for BrokerNode {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.send_hello(ctx);
+    }
+
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
         let Ok(packet) = Packet::decode(&pkt.payload) else {
             // Malformed traffic is dropped, as a real broker would — but
             // counted, so a misbehaving client is visible in the stats.
             self.stats.decode_errors += 1;
-            ctx.telemetry().metrics.incr("pubsub.decode_error");
+            self.incr(ctx, "pubsub.decode_error", |l| &l.decode_error);
             return;
         };
         match packet {
             Packet::Subscribe { filter, qos } => self.on_subscribe(ctx, pkt.src, filter, qos),
-            Packet::Unsubscribe { filter } => {
-                // Remove every subscription this node holds on the filter.
-                self.subscriptions
-                    .remove_where(&filter, |sub| sub.node == pkt.src);
-            }
+            Packet::Unsubscribe { filter } => self.on_unsubscribe(ctx, pkt.src, filter),
             Packet::Publish {
                 id,
                 topic,
@@ -252,10 +815,8 @@ impl Node for BrokerNode {
             Packet::DeliverAck { id } => {
                 if self.pending.remove(&id).is_some() {
                     self.stats.acked += 1;
-                    ctx.telemetry().metrics.incr("pubsub.ack");
-                    ctx.telemetry()
-                        .metrics
-                        .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
+                    self.incr(ctx, "pubsub.ack", |l| &l.ack);
+                    self.gauge_pending(ctx);
                 }
             }
             Packet::Ping => {
@@ -267,6 +828,49 @@ impl Node for BrokerNode {
                     }
                     .encode(),
                 );
+            }
+            Packet::BridgeAdvertise {
+                incarnation,
+                filter,
+                qos,
+            } => {
+                if let Some(peer) = self.peer_of(pkt.src) {
+                    self.on_bridge_advertise(ctx, peer, incarnation, filter, qos);
+                }
+            }
+            Packet::BridgeUnadvertise {
+                incarnation,
+                filter,
+            } => {
+                if let Some(peer) = self.peer_of(pkt.src) {
+                    if self.note_peer_incarnation(ctx, peer, incarnation) {
+                        if let Some(fed) = &mut self.federation {
+                            fed.remote_subs.remove_where(&filter, |rs| rs.peer == peer);
+                            fed.peer_filters[peer].remove(filter.as_str());
+                        }
+                    }
+                }
+            }
+            Packet::BridgeBatch {
+                incarnation,
+                batch_id,
+                frames,
+            } => {
+                if let Some(peer) = self.peer_of(pkt.src) {
+                    self.on_bridge_batch(ctx, pkt.src, peer, incarnation, batch_id, frames);
+                }
+            }
+            Packet::BridgeBatchAck { batch_id } => {
+                if let Some(fed) = &mut self.federation {
+                    if let Some(done) = fed.pending.remove(&batch_id) {
+                        fed.stats.frames_acked += done.frames.len() as u64;
+                    }
+                }
+            }
+            Packet::BridgeHello { incarnation } => {
+                if let Some(peer) = self.peer_of(pkt.src) {
+                    self.note_peer_incarnation(ctx, peer, incarnation);
+                }
             }
             Packet::PubAck { .. } | Packet::Deliver { .. } | Packet::Pong { .. } => {
                 // Not broker-bound; ignore.
@@ -285,25 +889,60 @@ impl Node for BrokerNode {
         self.retained.clear();
         self.stats.dropped += self.pending.len() as u64;
         self.pending.clear();
+        self.advert_refs.clear();
         self.incarnation += 1;
-        ctx.telemetry().metrics.incr("pubsub.broker_restart");
+        if let Some(fed) = &mut self.federation {
+            // Bridge state is volatile too: buffered and unacked frames
+            // died with the process (counted dropped, keeping the bridge
+            // conservation invariant), and everything learned about
+            // peers is forgotten — their next frame re-teaches it.
+            let lost = fed.buffered_frames() + fed.in_flight_frames();
+            fed.stats.frames_dropped += lost as u64;
+            for b in &mut fed.batchers {
+                b.take();
+            }
+            fed.pending.clear();
+            fed.remote_subs = SubscriptionTrie::new();
+            for m in &mut fed.peer_filters {
+                m.clear();
+            }
+            for s in &mut fed.seen_batches {
+                s.clear();
+            }
+            for inc in &mut fed.peer_incarnation {
+                *inc = 0;
+            }
+        }
+        self.incr(ctx, "pubsub.broker_restart", |l| &l.restart);
         ctx.telemetry()
             .metrics
             .set_gauge("pubsub.pending_deliveries", 0.0);
+        if let Some(l) = &self.labels {
+            ctx.telemetry().metrics.set_gauge(&l.pending, 0.0);
+        }
+        // Tell peers about the new incarnation so they wipe our dead
+        // advertisements and re-send theirs.
+        self.send_hello(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
         let id = tag.0;
+        if id & BATCH_RETRY_BIT != 0 {
+            self.on_batch_retry(ctx, id & !BATCH_RETRY_BIT);
+            return;
+        }
+        if id & FLUSH_TIMER_BIT != 0 {
+            self.flush_peer(ctx, (id & !FLUSH_TIMER_BIT) as usize);
+            return;
+        }
         let Some(pending) = self.pending.get_mut(&id) else {
             return; // already acked
         };
         if pending.retries_left == 0 {
             self.pending.remove(&id);
             self.stats.dropped += 1;
-            ctx.telemetry().metrics.incr("pubsub.drop");
-            ctx.telemetry()
-                .metrics
-                .set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
+            self.incr(ctx, "pubsub.drop", |l| &l.drop);
+            self.gauge_pending(ctx);
             return;
         }
         pending.retries_left -= 1;
@@ -311,7 +950,7 @@ impl Node for BrokerNode {
         ctx.send_traced(to, crate::PUBSUB_PORT, bytes, trace);
         self.stats.retries += 1;
         self.stats.delivered += 1;
-        ctx.telemetry().metrics.incr("pubsub.retry");
+        self.incr(ctx, "pubsub.retry", |l| &l.retry);
         ctx.set_timer(RETRY_TIMEOUT, TimerTag(id));
     }
 }

@@ -27,11 +27,13 @@
 mod broker;
 mod client;
 mod error;
+pub mod federation;
 mod topic;
 mod wire;
 
 pub use broker::{BrokerNode, BrokerStats};
 pub use client::{PubSubClient, PubSubEvent};
 pub use error::PubSubError;
+pub use federation::{BridgeStats, FederationConfig, ShardMap};
 pub use topic::{MeasurementTopic, RollupScope, RollupTopic, SubscriptionTrie, Topic, TopicFilter};
-pub use wire::{Packet as WirePacket, QoS, PUBSUB_PORT};
+pub use wire::{BridgeFrame, Packet as WirePacket, QoS, PUBSUB_PORT};

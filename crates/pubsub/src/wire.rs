@@ -102,7 +102,71 @@ pub enum Packet {
         /// The broker's current incarnation.
         incarnation: u64,
     },
+    /// Broker → peer broker: "I have local subscribers matching this
+    /// filter — forward matching publishes to me." Sent whenever a local
+    /// subscription appears, and re-sent in full after either end
+    /// restarts.
+    BridgeAdvertise {
+        /// The advertising broker's incarnation.
+        incarnation: u64,
+        /// The advertised filter.
+        filter: TopicFilter,
+        /// The strongest QoS any local subscriber asked for.
+        qos: QoS,
+    },
+    /// Broker → peer broker: the last local subscriber on this filter is
+    /// gone; stop forwarding.
+    BridgeUnadvertise {
+        /// The advertising broker's incarnation.
+        incarnation: u64,
+        /// The filter to withdraw.
+        filter: TopicFilter,
+    },
+    /// Broker → peer broker: a batch of publishes crossing the bridge in
+    /// one wire frame (the inter-broker hop pays O(1) frames for N
+    /// publishes). Always acked with [`Packet::BridgeBatchAck`]; the
+    /// sender retries unacked batches and the receiver dedups on
+    /// `batch_id`, so QoS 1 conservation holds across a lossy bridge.
+    BridgeBatch {
+        /// The sending broker's incarnation.
+        incarnation: u64,
+        /// Sender-chosen id, unique per (sender, incarnation).
+        batch_id: u64,
+        /// The batched publishes, in publish order.
+        frames: Vec<BridgeFrame>,
+    },
+    /// Peer broker → broker: batch received (possibly a duplicate).
+    BridgeBatchAck {
+        /// The sender's batch id.
+        batch_id: u64,
+    },
+    /// Broker → peer broker: "I (re)started under this incarnation."
+    /// Prompts the peer to wipe routing state learned from the previous
+    /// incarnation and re-advertise its own subscriptions.
+    BridgeHello {
+        /// The sending broker's current incarnation.
+        incarnation: u64,
+    },
 }
+
+/// One publish inside a [`Packet::BridgeBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BridgeFrame {
+    /// The topic it was published under.
+    pub topic: Topic,
+    /// The payload.
+    pub payload: Vec<u8>,
+    /// Whether the receiving broker mirrors it as retained.
+    pub retain: bool,
+    /// The publish's delivery guarantee.
+    pub qos: QoS,
+    /// Flight-recorder trace id of the originating publish.
+    pub trace: u64,
+}
+
+/// Hard cap on frames per batch — a decode guard, far above any sane
+/// [`BatchPolicy`](simnet::batch::BatchPolicy) flush bound.
+const MAX_BRIDGE_FRAMES: usize = 4096;
 
 fn push_str(s: &str, out: &mut Vec<u8>) {
     out.extend_from_slice(&(s.len() as u16).to_le_bytes());
@@ -243,6 +307,49 @@ impl Packet {
                 out.push(8);
                 out.extend_from_slice(&incarnation.to_le_bytes());
             }
+            Packet::BridgeAdvertise {
+                incarnation,
+                filter,
+                qos,
+            } => {
+                out.push(9);
+                out.extend_from_slice(&incarnation.to_le_bytes());
+                push_str(filter.as_str(), &mut out);
+                out.push(qos.byte());
+            }
+            Packet::BridgeUnadvertise {
+                incarnation,
+                filter,
+            } => {
+                out.push(10);
+                out.extend_from_slice(&incarnation.to_le_bytes());
+                push_str(filter.as_str(), &mut out);
+            }
+            Packet::BridgeBatch {
+                incarnation,
+                batch_id,
+                frames,
+            } => {
+                out.push(11);
+                out.extend_from_slice(&incarnation.to_le_bytes());
+                out.extend_from_slice(&batch_id.to_le_bytes());
+                out.extend_from_slice(&(frames.len() as u16).to_le_bytes());
+                for f in frames {
+                    push_str(f.topic.as_str(), &mut out);
+                    push_bytes(&f.payload, &mut out);
+                    out.push(u8::from(f.retain));
+                    out.push(f.qos.byte());
+                    out.extend_from_slice(&f.trace.to_le_bytes());
+                }
+            }
+            Packet::BridgeBatchAck { batch_id } => {
+                out.push(12);
+                out.extend_from_slice(&batch_id.to_le_bytes());
+            }
+            Packet::BridgeHello { incarnation } => {
+                out.push(13);
+                out.extend_from_slice(&incarnation.to_le_bytes());
+            }
         }
         out
     }
@@ -282,6 +389,44 @@ impl Packet {
             6 => Packet::DeliverAck { id: c.u64()? },
             7 => Packet::Ping,
             8 => Packet::Pong {
+                incarnation: c.u64()?,
+            },
+            9 => Packet::BridgeAdvertise {
+                incarnation: c.u64()?,
+                filter: TopicFilter::new(c.string()?)?,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            10 => Packet::BridgeUnadvertise {
+                incarnation: c.u64()?,
+                filter: TopicFilter::new(c.string()?)?,
+            },
+            11 => {
+                let incarnation = c.u64()?;
+                let batch_id = c.u64()?;
+                let count = c.u16()? as usize;
+                if count > MAX_BRIDGE_FRAMES {
+                    return Err(PubSubError::DecodePacket {
+                        reason: "implausible bridge batch size",
+                    });
+                }
+                let mut frames = Vec::with_capacity(count);
+                for _ in 0..count {
+                    frames.push(BridgeFrame {
+                        topic: Topic::new(c.string()?)?,
+                        payload: c.bytes_field()?,
+                        retain: c.u8()? != 0,
+                        qos: QoS::from_byte(c.u8()?)?,
+                        trace: c.u64()?,
+                    });
+                }
+                Packet::BridgeBatch {
+                    incarnation,
+                    batch_id,
+                    frames,
+                }
+            }
+            12 => Packet::BridgeBatchAck { batch_id: c.u64()? },
+            13 => Packet::BridgeHello {
                 incarnation: c.u64()?,
             },
             _ => {
@@ -328,10 +473,96 @@ mod tests {
             Packet::DeliverAck { id: 7 },
             Packet::Ping,
             Packet::Pong { incarnation: 3 },
+            Packet::BridgeAdvertise {
+                incarnation: 2,
+                filter: TopicFilter::new("district/d1/#").unwrap(),
+                qos: QoS::AtLeastOnce,
+            },
+            Packet::BridgeUnadvertise {
+                incarnation: 2,
+                filter: TopicFilter::new("district/d1/#").unwrap(),
+            },
+            Packet::BridgeBatch {
+                incarnation: 2,
+                batch_id: 77,
+                frames: vec![
+                    BridgeFrame {
+                        topic: Topic::new("district/d1/agg/x").unwrap(),
+                        payload: b"{\"v\":1}".to_vec(),
+                        retain: true,
+                        qos: QoS::AtLeastOnce,
+                        trace: 5,
+                    },
+                    BridgeFrame {
+                        topic: Topic::new("a/b").unwrap(),
+                        payload: vec![],
+                        retain: false,
+                        qos: QoS::AtMostOnce,
+                        trace: 0,
+                    },
+                ],
+            },
+            Packet::BridgeBatch {
+                incarnation: 1,
+                batch_id: 0,
+                frames: vec![],
+            },
+            Packet::BridgeBatchAck { batch_id: 77 },
+            Packet::BridgeHello { incarnation: 4 },
         ];
         for p in &packets {
             assert_eq!(&Packet::decode(&p.encode()).unwrap(), p, "{p:?}");
         }
+    }
+
+    #[test]
+    fn bridge_batch_truncation_rejected() {
+        let bytes = Packet::BridgeBatch {
+            incarnation: 1,
+            batch_id: 2,
+            frames: vec![BridgeFrame {
+                topic: Topic::new("t/u").unwrap(),
+                payload: b"xy".to_vec(),
+                retain: false,
+                qos: QoS::AtLeastOnce,
+                trace: 3,
+            }],
+        }
+        .encode();
+        for cut in 0..bytes.len() {
+            assert!(Packet::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bridge_batch_lying_count_rejected() {
+        // A frame count larger than the frames actually present must be
+        // caught as truncation, not read past the buffer.
+        let mut bytes = Packet::BridgeBatch {
+            incarnation: 1,
+            batch_id: 2,
+            frames: vec![],
+        }
+        .encode();
+        let n = bytes.len();
+        bytes[n - 2..].copy_from_slice(&3u16.to_le_bytes());
+        assert!(Packet::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bridge_frame_with_wildcard_topic_rejected() {
+        // Bridge frames carry concrete topics; a wildcard is a grammar
+        // violation even inside a batch.
+        let mut out = vec![11u8];
+        out.extend_from_slice(&1u64.to_le_bytes());
+        out.extend_from_slice(&2u64.to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        push_str("a/#", &mut out);
+        push_bytes(b"", &mut out);
+        out.push(0);
+        out.push(0);
+        out.extend_from_slice(&0u64.to_le_bytes());
+        assert!(Packet::decode(&out).is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod link;
 mod node;
 mod sim;
 
+pub mod batch;
 pub mod chaos;
 pub mod rng;
 pub mod rpc;

@@ -77,6 +77,20 @@ struct Slot {
     /// Incarnation counter, bumped on every crash. Events carry the epoch
     /// they were scheduled under and are discarded on mismatch.
     epoch: u32,
+    /// Opt-in NIC rate (bits/s): when set, the node's packets serialize
+    /// through its interface one at a time in both directions. `None`
+    /// (the default) keeps links as the only delay source.
+    nic_bps: Option<u64>,
+    /// Instant the NIC finishes transmitting the last egress packet.
+    egress_free_at: SimTime,
+    /// Instant the NIC finishes receiving the last ingress packet.
+    ingress_free_at: SimTime,
+}
+
+/// Time a `wire_size`-byte packet occupies a `bps` NIC.
+fn nic_time(wire_size: usize, bps: u64) -> SimDuration {
+    let bits = wire_size as u128 * 8 * 1_000_000_000;
+    SimDuration::from_nanos((bits / bps.max(1) as u128) as u64)
 }
 
 /// A deterministic discrete-event network simulator.
@@ -164,6 +178,9 @@ impl Simulator {
             metrics: NodeMetrics::default(),
             up: true,
             epoch: 0,
+            nic_bps: None,
+            egress_free_at: SimTime::ZERO,
+            ingress_free_at: SimTime::ZERO,
         });
         self.names.insert(name, id);
         self.queue.push(self.now, EventKind::Start(id));
@@ -214,6 +231,27 @@ impl Simulator {
     /// The link model in effect from `src` to `dst`.
     pub fn link(&self, src: NodeId, dst: NodeId) -> &LinkModel {
         self.links.get(&(src, dst)).unwrap_or(&self.default_link)
+    }
+
+    /// Models the node's network interface as a `bps` serializer: its
+    /// packets (egress and ingress) occupy the NIC one at a time, so a
+    /// node fanning out faster than its interface drains builds a real
+    /// backlog. `None` (the default for every node) disables the model
+    /// and keeps links as the only delay source — existing scenarios are
+    /// timing-identical unless they opt in.
+    ///
+    /// Unknown ids are ignored.
+    pub fn set_node_bandwidth(&mut self, id: NodeId, bps: Option<u64>) {
+        if let Some(slot) = self.slots.get_mut(id.index()) {
+            slot.nic_bps = bps;
+            slot.egress_free_at = self.now;
+            slot.ingress_free_at = self.now;
+        }
+    }
+
+    /// The modelled NIC rate of a node, when one was set.
+    pub fn node_bandwidth(&self, id: NodeId) -> Option<u64> {
+        self.slots.get(id.index()).and_then(|s| s.nic_bps)
     }
 
     /// Injects a packet from outside the simulation (src = dst loopback
@@ -403,6 +441,9 @@ impl Simulator {
                 };
                 if !slot.up {
                     slot.up = true;
+                    // A rebooted node's NIC queues died with the process.
+                    slot.egress_free_at = self.now;
+                    slot.ingress_free_at = self.now;
                     self.metrics.restarts += 1;
                     self.telemetry.metrics.incr("chaos.restart");
                     let trace = self.telemetry.tracer.next_trace_id();
@@ -600,9 +641,36 @@ impl Simulator {
                             self.telemetry
                                 .metrics
                                 .observe_ns("net.link_delay_ns", delay.as_nanos());
+                            // NIC serialization (opt-in, loopback exempt):
+                            // the packet departs once the sender's NIC is
+                            // free and is delivered once the receiver's
+                            // NIC has drained it.
+                            let mut depart = self.now;
+                            if src != dst {
+                                if let Some(bps) = self.slots[src.index()].nic_bps {
+                                    let start = self.slots[src.index()].egress_free_at.max(depart);
+                                    depart = start + nic_time(pkt.wire_size(), bps);
+                                    self.slots[src.index()].egress_free_at = depart;
+                                }
+                            }
+                            let mut arrival = depart + delay;
+                            if src != dst {
+                                if let Some(slot) = self.slots.get_mut(pkt.dst.index()) {
+                                    if let Some(bps) = slot.nic_bps {
+                                        let start = slot.ingress_free_at.max(arrival);
+                                        arrival = start + nic_time(pkt.wire_size(), bps);
+                                        slot.ingress_free_at = arrival;
+                                    }
+                                }
+                            }
+                            let nic_wait = arrival - (self.now + delay);
+                            if !nic_wait.is_zero() {
+                                self.telemetry
+                                    .metrics
+                                    .observe_ns("net.nic_wait_ns", nic_wait.as_nanos());
+                            }
                             let epoch = self.epoch_of(pkt.dst);
-                            self.queue
-                                .push(self.now + delay, EventKind::Deliver { pkt, epoch });
+                            self.queue.push(arrival, EventKind::Deliver { pkt, epoch });
                         }
                         None => {
                             self.slots[src.index()].metrics.packets_lost += 1;
@@ -1003,6 +1071,114 @@ mod tests {
         ] {
             assert!(kinds.iter().any(|k| k == kind), "missing {kind}: {kinds:?}");
         }
+    }
+
+    #[test]
+    fn nic_bandwidth_serializes_egress() {
+        // 10 packets of 68 wire bytes over an ideal link, but a sender
+        // NIC of 8 kbit/s: each packet occupies the NIC for 68 ms, so
+        // deliveries are spaced 68 ms apart instead of arriving at once.
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let tx = sim.add_node("tx", Sender { dst: rx, n: 10 });
+        sim.set_node_bandwidth(tx, Some(8_000));
+        assert_eq!(sim.node_bandwidth(tx), Some(8_000));
+        sim.run_until_idle(1000);
+        let got = &sim.node_ref::<Counter>(rx).unwrap().packets;
+        assert_eq!(got.len(), 10);
+        // Payload 1 byte + 32-byte header = 33 bytes = 33 ms at 1 kB/s.
+        let spacing = SimDuration::from_millis(33);
+        for (i, (t, _)) in got.iter().enumerate() {
+            assert_eq!(*t, SimTime::ZERO + spacing * (i as u64 + 1), "packet {i}");
+        }
+    }
+
+    #[test]
+    fn nic_bandwidth_serializes_ingress() {
+        // Two senders each fire 3 packets at t=0; the receiver NIC
+        // drains one packet per 33 ms, so the last arrives at 6*33 ms.
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let _a = sim.add_node("a", Sender { dst: rx, n: 3 });
+        let _b = sim.add_node("b", Sender { dst: rx, n: 3 });
+        sim.set_node_bandwidth(rx, Some(8_000));
+        sim.run_until_idle(1000);
+        let got = &sim.node_ref::<Counter>(rx).unwrap().packets;
+        assert_eq!(got.len(), 6);
+        let last = got.iter().map(|(t, _)| *t).max().unwrap();
+        assert_eq!(last, SimTime::ZERO + SimDuration::from_millis(6 * 33));
+        assert_eq!(sim.metrics().packets_delivered, 6);
+    }
+
+    #[test]
+    fn nic_default_off_keeps_timing_identical() {
+        let run = |nic: bool| {
+            let mut sim = Simulator::new(SimConfig {
+                seed: 9,
+                default_link: LinkModel::wan(),
+            });
+            let rx = sim.add_node("rx", Counter::default());
+            let tx = sim.add_node("tx", Sender { dst: rx, n: 20 });
+            if nic {
+                // Effectively infinite NIC: must not shift any delivery.
+                sim.set_node_bandwidth(tx, None);
+            }
+            sim.run_until_idle(10_000);
+            sim.node_ref::<Counter>(rx)
+                .unwrap()
+                .packets
+                .iter()
+                .map(|(t, _)| t.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    struct BurstThenTimer {
+        dst: NodeId,
+        n: u32,
+    }
+
+    impl Node for BurstThenTimer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for _ in 0..self.n {
+                ctx.send(self.dst, Port::new(1), vec![0]);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: TimerTag) {
+            ctx.send(self.dst, Port::new(1), vec![7]);
+        }
+        fn on_restart(&mut self, _ctx: &mut Context<'_>) {
+            // Don't resend the boot burst; the test probes the cursor.
+        }
+    }
+
+    #[test]
+    fn nic_backlog_resets_on_restart() {
+        // 50 packets at 1 kbit/s push the egress cursor out to ~13 s.
+        // The sender then crashes; a send after the restart must not
+        // queue behind the dead process's backlog.
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Counter::default());
+        let tx = sim.add_node("tx", BurstThenTimer { dst: rx, n: 50 });
+        sim.set_node_bandwidth(tx, Some(1_000));
+        sim.run_until(SimTime::from_millis(1));
+        sim.crash(tx);
+        sim.restart(tx, SimDuration::from_millis(10));
+        sim.schedule_timer(tx, SimTime::from_millis(100), TimerTag(1));
+        sim.run_until_idle(100_000);
+        let got = &sim.node_ref::<Counter>(rx).unwrap().packets;
+        let (when, _) = got
+            .iter()
+            .find(|(_, p)| p == &vec![7])
+            .expect("post-restart send delivered");
+        // 33 bytes at 1 kbit/s is 264 ms on the wire; without the
+        // cursor reset this would land after the ~13.2 s backlog.
+        assert_eq!(
+            *when,
+            SimTime::from_millis(100) + SimDuration::from_millis(264)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! as the watermark closes windows, rolls the building panes up into
 //! exact district aggregates. Closed windows go three places at once:
 //!
-//! 1. **retained middleware publications** on [`RollupTopic`] topics,
+//! 1. **retained middleware publications** on [`pubsub::RollupTopic`] topics,
 //!    so late subscribers immediately see the latest window;
 //! 2. the aggregator's **local tskv**, serving `/rollups` queries;
 //! 3. the **flight recorder**, as `streams.window_close` hops carrying

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI perf-regression gate over the hot-path micro-benches.
+#
+# Runs the topic-matching, windowed-stream and wire-codec benches in
+# quick mode (DIMMER_BENCH_QUICK: ~5 ms calibration windows, median of
+# five samples per bench) and compares each median against the committed
+# baseline in results/BENCH_pr5.json. A bench fails the gate when its
+# median exceeds baseline * 1.25 + 100 ns — the flat 100 ns term keeps
+# sub-microsecond benches from tripping on scheduler noise.
+#
+# Usage:
+#   scripts/bench_gate.sh            compare against the baseline
+#   scripts/bench_gate.sh --update   re-measure and rewrite the baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASELINE="results/BENCH_pr5.json"
+BENCHES=(topic_matching streams wire_codecs)
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+echo "== bench_gate: measuring (${BENCHES[*]})"
+for b in "${BENCHES[@]}"; do
+    DIMMER_BENCH_QUICK=1 DIMMER_BENCH_JSON="$out" \
+        cargo bench -q -p dimmer-bench --bench "$b" >/dev/null
+done
+
+if [[ "${1:-}" == "--update" ]]; then
+    cp "$out" "$BASELINE"
+    echo "bench_gate: baseline rewritten ($BASELINE)"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "bench_gate: no baseline at $BASELINE — run scripts/bench_gate.sh --update" >&2
+    exit 1
+fi
+
+if awk -F'"' '
+    FNR == NR {
+        split($0, a, /"median_ns":/); sub(/}.*/, "", a[2])
+        base[$4] = a[2] + 0
+        next
+    }
+    {
+        split($0, a, /"median_ns":/); sub(/}.*/, "", a[2])
+        now = a[2] + 0
+        if (!($4 in base)) {
+            printf "new      %-40s %38.1f ns (no baseline — commit one with --update)\n", $4, now
+            next
+        }
+        limit = base[$4] * 1.25 + 100
+        verdict = (now > limit) ? "REGRESS" : "ok"
+        printf "%-8s %-40s %12.1f -> %12.1f ns (limit %12.1f)\n", verdict, $4, base[$4], now, limit
+        if (now > limit) bad++
+    }
+    END { exit bad > 0 ? 1 : 0 }
+' "$BASELINE" "$out"; then
+    echo "bench_gate: ok"
+else
+    echo "bench_gate: REGRESSION — a hot path slowed >25% vs $BASELINE" >&2
+    echo "bench_gate: if intentional, refresh with scripts/bench_gate.sh --update" >&2
+    exit 1
+fi

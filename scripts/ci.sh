@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, and the full test suite.
+# Offline CI gate: formatting, lints, docs, examples and the full test
+# suite.
 # Usage: scripts/ci.sh
 #
-# Set DIMMER_SEEDS=n to additionally sweep the failure-injection suites
-# (tests/resilience.rs, tests/chaos.rs, tests/streams.rs) across n
-# simulation seeds — each run shifts every sim seed by DIMMER_SEED,
-# shaking out assertions that only hold for one timing.
+# Knobs:
+#   DIMMER_SEEDS=n   sweep the failure-injection suites
+#                    (tests/resilience.rs, tests/chaos.rs,
+#                    tests/streams.rs) across n simulation seeds — each
+#                    run shifts every sim seed by DIMMER_SEED, shaking
+#                    out assertions that only hold for one timing.
+#                    Defaults to 2; set 0 to skip.
+#   DIMMER_BENCH=1   additionally run the perf-regression gate
+#                    (scripts/bench_gate.sh) against the committed
+#                    baseline in results/BENCH_pr5.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,16 +23,27 @@ cargo fmt --check
 echo "== cargo clippy -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo build --examples"
+cargo build --examples
+
+echo "== cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
 echo "== cargo test -q"
 cargo test -q
 
-seeds="${DIMMER_SEEDS:-0}"
+seeds="${DIMMER_SEEDS:-2}"
 if [[ "$seeds" -gt 0 ]]; then
     echo "== seed sweep: resilience + chaos + streams under $seeds seeds"
     for s in $(seq 1 "$seeds"); do
         echo "-- DIMMER_SEED=$s"
         DIMMER_SEED="$s" cargo test -q --test resilience --test chaos --test streams
     done
+fi
+
+if [[ "${DIMMER_BENCH:-0}" == "1" ]]; then
+    echo "== perf-regression gate"
+    scripts/bench_gate.sh
 fi
 
 echo "ci: ok"

@@ -24,6 +24,7 @@ bins=(
   e9_centralized_baseline
   e10_chaos
   e11_aggregation
+  e12_federation
   f1a_infrastructure
   f1b_device_proxy
 )
