@@ -2,9 +2,15 @@
 //! and decode paths of a single `Publish` frame and of a batched
 //! `BridgeBatch` frame (the federation's O(1)-frames-per-N-publishes
 //! claim only pays off if batch encode stays linear and cheap).
+//!
+//! `wire/decode/*` measures `WirePacketRef::decode` — the borrowed,
+//! zero-copy decoder the broker hot path actually runs since PR 6.
+//! `wire/decode_owned/*` keeps the materializing `WirePacket::decode`
+//! path (borrowed decode + `to_packet`) so the cost of ownership stays
+//! visible side by side.
 
 use bench_support::criterion::{criterion_group, criterion_main, Criterion};
-use pubsub::{BridgeFrame, QoS, Topic, WirePacket};
+use pubsub::{BridgeFrame, QoS, Topic, WirePacket, WirePacketRef};
 use std::hint::black_box;
 
 fn publish(i: usize) -> WirePacket {
@@ -60,6 +66,9 @@ fn bench_wire(c: &mut Criterion) {
     let single_bytes = single.encode();
     group.bench_function("encode/publish", |b| b.iter(|| black_box(&single).encode()));
     group.bench_function("decode/publish", |b| {
+        b.iter(|| WirePacketRef::decode(black_box(&single_bytes)).expect("round-trips"))
+    });
+    group.bench_function("decode_owned/publish", |b| {
         b.iter(|| WirePacket::decode(black_box(&single_bytes)).expect("round-trips"))
     });
 
@@ -70,6 +79,9 @@ fn bench_wire(c: &mut Criterion) {
             b.iter(|| black_box(&batch).encode())
         });
         group.bench_function(format!("decode/bridge_batch_{n}"), |b| {
+            b.iter(|| WirePacketRef::decode(black_box(&batch_bytes)).expect("round-trips"))
+        });
+        group.bench_function(format!("decode_owned/bridge_batch_{n}"), |b| {
             b.iter(|| WirePacket::decode(black_box(&batch_bytes)).expect("round-trips"))
         });
     }

@@ -1,0 +1,292 @@
+//! E13 — city-scale hot path: sustained simulated-event throughput at
+//! 1k / 5k / 10k buildings.
+//!
+//! The ROADMAP targets a 10k-building city. Earlier experiments scale
+//! the *protocol* (E8 fan-out, E12 federation); this one scales the
+//! *engine*: every building carries a constant-rate publisher, districts
+//! of 100 buildings each are served by a federated shard tier, and the
+//! run reports how fast the simulator chews through the event stream in
+//! wall-clock terms. The numbers move with the PR-6 internals — the
+//! zero-copy wire decode, the slab event arena and the timer wheel —
+//! rather than with the protocol logic above them.
+//!
+//! Metrics per scale:
+//!
+//! * `delivered_msg_s` — application messages reaching subscribers per
+//!   simulated second (sanity: must track the offered rate);
+//! * `p99_ms` — end-to-end publish→deliver latency in simulated time;
+//! * `sim_events` / `wall_s` / `events_wall_s` — total simulator events
+//!   processed, host wall-clock for the run, and their ratio: the
+//!   engine-throughput headline;
+//! * `sim_x_real` — simulated seconds per wall second (>1 means the
+//!   city runs faster than real time).
+//!
+//! `DIMMER_E13_SMOKE=1` shrinks the run (500 buildings, short window)
+//! so `scripts/ci.sh` can exercise the binary in debug builds.
+
+use district::report::{fmt_f64, Table};
+use pubsub::{
+    BrokerNode, FederationConfig, PubSubClient, PubSubEvent, QoS, ShardMap, Topic, TopicFilter,
+    PUBSUB_PORT,
+};
+use simnet::batch::BatchPolicy;
+use simnet::{Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag};
+
+const BUILDINGS_PER_DISTRICT: usize = 100;
+const PUBLISH_INTERVAL: SimDuration = SimDuration::from_secs(2);
+const WARMUP: SimDuration = SimDuration::from_secs(5);
+const MEASURE: SimDuration = SimDuration::from_secs(60);
+
+/// Federates `shards` brokers over round-robin district assignments
+/// (district i → shard i % shards), mirroring `district::deploy`.
+fn build_brokers(sim: &mut Simulator, shards: usize, districts: usize) -> Vec<NodeId> {
+    let ids: Vec<NodeId> = (0..shards)
+        .map(|i| {
+            sim.add_node(
+                format!("broker-{i}"),
+                BrokerNode::with_label(format!("b{i}")),
+            )
+        })
+        .collect();
+    let mut shard = ShardMap::new(shards);
+    for d in 0..districts {
+        shard.assign(format!("d{d}"), d % shards);
+    }
+    for (i, &id) in ids.iter().enumerate() {
+        sim.node_mut::<BrokerNode>(id)
+            .expect("just added")
+            .federate(FederationConfig {
+                index: i,
+                brokers: ids.clone(),
+                shard: shard.clone(),
+                batch: BatchPolicy::default(),
+            });
+    }
+    ids
+}
+
+/// A constant-rate building publisher stamping each payload with its
+/// send time (64-byte padded, the measurement-frame size from E2).
+struct LoadPub {
+    client: PubSubClient,
+    topic: Topic,
+    interval: SimDuration,
+    start_offset: SimDuration,
+    stop_at: SimTime,
+    sent: u64,
+}
+
+impl Node for LoadPub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.start_offset, TimerTag(1));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.client.accept(ctx, &pkt);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag != TimerTag(1) {
+            self.client.on_timer(ctx, tag);
+            return;
+        }
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        let mut payload = format!("{} {}", self.sent, ctx.now().as_nanos());
+        while payload.len() < 64 {
+            payload.push(' ');
+        }
+        self.client.publish(
+            ctx,
+            self.topic.clone(),
+            payload.into_bytes(),
+            false,
+            QoS::AtMostOnce,
+        );
+        self.sent += 1;
+        ctx.set_timer(self.interval, TimerTag(1));
+    }
+}
+
+/// A per-district subscriber recording latency inside the measure window.
+struct LoadSub {
+    client: PubSubClient,
+    filter: String,
+    window: (SimTime, SimTime),
+    received: u64,
+    latencies_ns: Vec<u64>,
+}
+
+impl Node for LoadSub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.client.subscribe(
+            ctx,
+            TopicFilter::new(&self.filter).expect("valid filter"),
+            QoS::AtMostOnce,
+        );
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port != PUBSUB_PORT {
+            return;
+        }
+        if let Some(PubSubEvent::Message { payload, .. }) = self.client.accept(ctx, &pkt) {
+            let text = String::from_utf8_lossy(&payload);
+            let sent_ns: u64 = text
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let now = ctx.now();
+            if now >= self.window.0 && now < self.window.1 {
+                self.received += 1;
+                self.latencies_ns
+                    .push(now.as_nanos().saturating_sub(sent_ns));
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        self.client.on_timer(ctx, tag);
+    }
+}
+
+struct RunResult {
+    districts: usize,
+    shards: usize,
+    offered_msg_s: f64,
+    delivered_msg_s: f64,
+    p99_ms: f64,
+    sim_events: u64,
+    wall_s: f64,
+}
+
+fn run_scale(
+    buildings: usize,
+    shards: usize,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> RunResult {
+    let districts = buildings.div_ceil(BUILDINGS_PER_DISTRICT);
+    let mut sim = Simulator::new(SimConfig::default());
+    let brokers = build_brokers(&mut sim, shards, districts);
+
+    let t0 = SimTime::ZERO + warmup;
+    let t1 = t0 + measure;
+    let subs: Vec<NodeId> = (0..districts)
+        .map(|d| {
+            sim.add_node(
+                format!("sub-d{d}"),
+                LoadSub {
+                    client: PubSubClient::new(brokers[d % shards], 100),
+                    filter: format!("district/d{d}/#"),
+                    window: (t0, t1),
+                    received: 0,
+                    latencies_ns: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    for b in 0..buildings {
+        let d = b / BUILDINGS_PER_DISTRICT;
+        sim.add_node(
+            format!("pub-d{d}-b{b}"),
+            LoadPub {
+                client: PubSubClient::new(brokers[d % shards], 100),
+                topic: Topic::new(format!("district/d{d}/building/b{b}/active_power"))
+                    .expect("valid topic"),
+                interval: PUBLISH_INTERVAL,
+                // Smear starts across the publish interval so the load is
+                // flat instead of a 10k-message thundering herd.
+                start_offset: SimDuration::from_millis((b as u64 * 7) % 2000),
+                stop_at: t1,
+                sent: 0,
+            },
+        );
+    }
+
+    let wall = std::time::Instant::now();
+    sim.run_for(warmup + measure);
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut delivered = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for &s in &subs {
+        let sub = sim.node_ref::<LoadSub>(s).expect("sub");
+        delivered += sub.received;
+        latencies.extend_from_slice(&sub.latencies_ns);
+    }
+    latencies.sort_unstable();
+    let p99 = latencies
+        .get((latencies.len().saturating_mul(99)) / 100)
+        .or(latencies.last())
+        .copied()
+        .unwrap_or(0);
+    let measure_s = measure.as_nanos() as f64 / 1e9;
+    RunResult {
+        districts,
+        shards,
+        offered_msg_s: buildings as f64 / (PUBLISH_INTERVAL.as_nanos() as f64 / 1e9),
+        delivered_msg_s: delivered as f64 / measure_s,
+        p99_ms: p99 as f64 / 1e6,
+        sim_events: sim.metrics().events_processed,
+        wall_s,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("DIMMER_E13_SMOKE").is_ok_and(|v| v == "1");
+    let (scales, warmup, measure): (Vec<(usize, usize)>, _, _) = if smoke {
+        (
+            vec![(500, 2)],
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(10),
+        )
+    } else {
+        (vec![(1_000, 2), (5_000, 4), (10_000, 8)], WARMUP, MEASURE)
+    };
+
+    let title = if smoke {
+        "E13: city-scale hot path (smoke)"
+    } else {
+        "E13: city-scale hot path (100 buildings/district, 2 s publish interval)"
+    };
+    let mut table = Table::new(
+        title,
+        [
+            "buildings",
+            "districts",
+            "shards",
+            "offered_msg_s",
+            "delivered_msg_s",
+            "p99_ms",
+            "sim_events",
+            "wall_s",
+            "events_wall_s",
+            "sim_x_real",
+        ],
+    );
+    let sim_span_s = (warmup + measure).as_nanos() as f64 / 1e9;
+    for &(buildings, shards) in &scales {
+        let r = run_scale(buildings, shards, warmup, measure);
+        // The engine must keep up: losing deliveries at QoS 0 with no NIC
+        // cap would mean the hot path itself is broken.
+        assert!(
+            r.delivered_msg_s >= r.offered_msg_s * 0.95,
+            "delivered {:.1}/s fell below offered {:.1}/s at {buildings} buildings",
+            r.delivered_msg_s,
+            r.offered_msg_s
+        );
+        table.row([
+            buildings.to_string(),
+            r.districts.to_string(),
+            r.shards.to_string(),
+            fmt_f64(r.offered_msg_s, 1),
+            fmt_f64(r.delivered_msg_s, 1),
+            fmt_f64(r.p99_ms, 2),
+            r.sim_events.to_string(),
+            fmt_f64(r.wall_s, 2),
+            fmt_f64(r.sim_events as f64 / r.wall_s, 0),
+            fmt_f64(sim_span_s / r.wall_s, 1),
+        ]);
+    }
+    println!("{table}");
+    println!("# series (csv)\n{}", table.to_csv());
+}

@@ -10,8 +10,8 @@ use crate::federation::{
     FLUSH_TIMER_BIT,
 };
 use crate::topic::SubscriptionTrie;
-use crate::wire::{BridgeFrame, Packet, QoS};
-use crate::{BridgeStats, Topic, TopicFilter};
+use crate::wire::{BridgeFrame, BridgeFrameRef, Packet, PacketRef, QoS};
+use crate::{BridgeStats, Topic, TopicFilter, TopicRef};
 
 /// How long the broker waits before redelivering an unacked QoS 1
 /// message.
@@ -252,21 +252,23 @@ impl BrokerNode {
         &mut self,
         ctx: &mut Context<'_>,
         to: simnet::NodeId,
-        topic: &Topic,
+        topic: TopicRef<'_>,
         payload: &[u8],
         qos: QoS,
         trace: u64,
     ) {
         let id = self.next_delivery_id;
         self.next_delivery_id += 1;
-        let packet = Packet::Deliver {
+        // Encode straight from the borrowed view: the topic and payload
+        // are never materialized, only serialized.
+        let bytes = PacketRef::Deliver {
             id,
-            topic: topic.clone(),
-            payload: payload.to_vec(),
+            topic,
+            payload,
             qos,
             trace,
-        };
-        let bytes = packet.encode();
+        }
+        .encode();
         self.incr(ctx, "pubsub.deliver", |l| &l.deliver);
         if trace != 0 {
             ctx.trace_hop("broker.deliver", trace, format!("to={to} topic={topic}"));
@@ -295,8 +297,8 @@ impl BrokerNode {
         ctx: &mut Context<'_>,
         from: simnet::NodeId,
         id: u64,
-        topic: Topic,
-        payload: Vec<u8>,
+        topic: TopicRef<'_>,
+        payload: &[u8],
         retain: bool,
         qos: QoS,
         trace: u64,
@@ -317,28 +319,30 @@ impl BrokerNode {
             if payload.is_empty() {
                 self.retained.remove(topic.as_str());
             } else {
+                // Retention outlives the packet: the one place a plain
+                // publish materializes its topic and payload.
                 self.retained.insert(
                     topic.as_str().to_owned(),
-                    (topic.clone(), payload.clone(), trace),
+                    (topic.to_topic(), payload.to_vec(), trace),
                 );
             }
         }
-        self.fan_out(ctx, &topic, &payload, qos, trace);
-        self.forward_to_peers(ctx, &topic, &payload, retain, qos, trace);
+        self.fan_out(ctx, topic, payload, qos, trace);
+        self.forward_to_peers(ctx, topic, payload, retain, qos, trace);
     }
 
     /// Delivers a publish to every matching local subscriber.
     fn fan_out(
         &mut self,
         ctx: &mut Context<'_>,
-        topic: &Topic,
+        topic: TopicRef<'_>,
         payload: &[u8],
         qos: QoS,
         trace: u64,
     ) {
         let targets: Vec<Subscription> = self
             .subscriptions
-            .matches(topic)
+            .matches_str(topic.as_str())
             .into_iter()
             .cloned()
             .collect();
@@ -367,7 +371,7 @@ impl BrokerNode {
     fn forward_to_peers(
         &mut self,
         ctx: &mut Context<'_>,
-        topic: &Topic,
+        topic: TopicRef<'_>,
         payload: &[u8],
         retain: bool,
         qos: QoS,
@@ -378,7 +382,7 @@ impl BrokerNode {
         };
         let mut peers: Vec<usize> = fed
             .remote_subs
-            .matches(topic)
+            .matches_str(topic.as_str())
             .into_iter()
             .map(|rs| rs.peer)
             .collect();
@@ -395,8 +399,11 @@ impl BrokerNode {
             self.incr(ctx, "pubsub.bridge.frame_forward", |l| {
                 &l.bridge_frame_forward
             });
+            // The batcher retains the frame until the peer acks its
+            // batch: the designed ownership boundary of the borrowed
+            // publish path.
             let frame = BridgeFrame {
-                topic: topic.clone(),
+                topic: topic.to_topic(),
                 payload: payload.to_vec(),
                 retain,
                 qos,
@@ -436,10 +443,12 @@ impl BrokerNode {
         }
         let batch_id = fed.next_batch_id;
         fed.next_batch_id += 1;
-        let bytes = Packet::BridgeBatch {
+        // Serialize from borrowed views; the frames themselves move
+        // into the retransmission ledger below without a deep clone.
+        let bytes = PacketRef::BridgeBatch {
             incarnation,
             batch_id,
-            frames: frames.clone(),
+            frames: frames.iter().map(BridgeFrame::view).collect(),
         }
         .encode();
         let dst = fed.config.brokers[peer];
@@ -532,8 +541,8 @@ impl BrokerNode {
     /// out to local subscribers. Never re-forwarded — the federation is
     /// a full mesh and every publish crosses at most one bridge hop,
     /// which is what makes duplicate delivery impossible.
-    fn apply_bridge_frame(&mut self, ctx: &mut Context<'_>, frame: BridgeFrame) {
-        let BridgeFrame {
+    fn apply_bridge_frame(&mut self, ctx: &mut Context<'_>, frame: BridgeFrameRef<'_>) {
+        let BridgeFrameRef {
             topic,
             payload,
             retain,
@@ -549,20 +558,22 @@ impl BrokerNode {
                 self.retained.remove(topic.as_str());
             } else {
                 if let Some((_, existing, _)) = self.retained.get(topic.as_str()) {
-                    if existing == &payload {
+                    if existing.as_slice() == payload {
                         // A mirror of a retained message we already hold
                         // (e.g. two peers answered the same advertise):
                         // local subscribers have seen it, don't re-fan.
                         return;
                     }
                 }
+                // Mirroring retained state outlives the batch packet:
+                // the one materialization point on the bridge path.
                 self.retained.insert(
                     topic.as_str().to_owned(),
-                    (topic.clone(), payload.clone(), trace),
+                    (topic.to_topic(), payload.to_vec(), trace),
                 );
             }
         }
-        self.fan_out(ctx, &topic, &payload, qos, trace);
+        self.fan_out(ctx, topic, payload, qos, trace);
     }
 
     fn on_subscribe(
@@ -598,7 +609,7 @@ impl BrokerNode {
             .cloned()
             .collect();
         for (topic, payload, trace) in matching {
-            self.deliver(ctx, from, &topic, &payload, qos, trace);
+            self.deliver(ctx, from, TopicRef::from(&topic), &payload, qos, trace);
         }
     }
 
@@ -712,7 +723,7 @@ impl BrokerNode {
         peer: usize,
         incarnation: u64,
         batch_id: u64,
-        frames: Vec<BridgeFrame>,
+        frames: &[BridgeFrameRef<'_>],
     ) {
         if !self.note_peer_incarnation(ctx, peer, incarnation) {
             return; // dead incarnation; its sender no longer waits
@@ -737,7 +748,7 @@ impl BrokerNode {
             fed.stats.frames_received += frames.len() as u64;
         }
         for frame in frames {
-            self.apply_bridge_frame(ctx, frame);
+            self.apply_bridge_frame(ctx, *frame);
         }
     }
 
@@ -759,10 +770,10 @@ impl BrokerNode {
             } else {
                 pending.retries_left -= 1;
                 fed.stats.retries += 1;
-                let bytes = Packet::BridgeBatch {
+                let bytes = PacketRef::BridgeBatch {
                     incarnation,
                     batch_id,
-                    frames: pending.frames.clone(),
+                    frames: pending.frames.iter().map(BridgeFrame::view).collect(),
                 }
                 .encode();
                 resend = Some((fed.config.brokers[pending.peer], bytes));
@@ -794,7 +805,10 @@ impl Node for BrokerNode {
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: NetPacket) {
-        let Ok(packet) = Packet::decode(&pkt.payload) else {
+        // Borrowed decode: the hot variants (Publish, BridgeBatch) are
+        // handled without copying topics or payloads out of the receive
+        // buffer; cold control packets materialize at their `to_*` call.
+        let Ok(packet) = PacketRef::decode(&pkt.payload) else {
             // Malformed traffic is dropped, as a real broker would — but
             // counted, so a misbehaving client is visible in the stats.
             self.stats.decode_errors += 1;
@@ -802,9 +816,13 @@ impl Node for BrokerNode {
             return;
         };
         match packet {
-            Packet::Subscribe { filter, qos } => self.on_subscribe(ctx, pkt.src, filter, qos),
-            Packet::Unsubscribe { filter } => self.on_unsubscribe(ctx, pkt.src, filter),
-            Packet::Publish {
+            PacketRef::Subscribe { filter, qos } => {
+                self.on_subscribe(ctx, pkt.src, filter.to_filter(), qos)
+            }
+            PacketRef::Unsubscribe { filter } => {
+                self.on_unsubscribe(ctx, pkt.src, filter.to_filter())
+            }
+            PacketRef::Publish {
                 id,
                 topic,
                 payload,
@@ -812,14 +830,14 @@ impl Node for BrokerNode {
                 qos,
                 trace,
             } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos, trace),
-            Packet::DeliverAck { id } => {
+            PacketRef::DeliverAck { id } => {
                 if self.pending.remove(&id).is_some() {
                     self.stats.acked += 1;
                     self.incr(ctx, "pubsub.ack", |l| &l.ack);
                     self.gauge_pending(ctx);
                 }
             }
-            Packet::Ping => {
+            PacketRef::Ping => {
                 ctx.send(
                     pkt.src,
                     crate::PUBSUB_PORT,
@@ -829,50 +847,51 @@ impl Node for BrokerNode {
                     .encode(),
                 );
             }
-            Packet::BridgeAdvertise {
+            PacketRef::BridgeAdvertise {
                 incarnation,
                 filter,
                 qos,
             } => {
                 if let Some(peer) = self.peer_of(pkt.src) {
-                    self.on_bridge_advertise(ctx, peer, incarnation, filter, qos);
+                    self.on_bridge_advertise(ctx, peer, incarnation, filter.to_filter(), qos);
                 }
             }
-            Packet::BridgeUnadvertise {
+            PacketRef::BridgeUnadvertise {
                 incarnation,
                 filter,
             } => {
                 if let Some(peer) = self.peer_of(pkt.src) {
                     if self.note_peer_incarnation(ctx, peer, incarnation) {
                         if let Some(fed) = &mut self.federation {
+                            let filter = filter.to_filter();
                             fed.remote_subs.remove_where(&filter, |rs| rs.peer == peer);
                             fed.peer_filters[peer].remove(filter.as_str());
                         }
                     }
                 }
             }
-            Packet::BridgeBatch {
+            PacketRef::BridgeBatch {
                 incarnation,
                 batch_id,
                 frames,
             } => {
                 if let Some(peer) = self.peer_of(pkt.src) {
-                    self.on_bridge_batch(ctx, pkt.src, peer, incarnation, batch_id, frames);
+                    self.on_bridge_batch(ctx, pkt.src, peer, incarnation, batch_id, &frames);
                 }
             }
-            Packet::BridgeBatchAck { batch_id } => {
+            PacketRef::BridgeBatchAck { batch_id } => {
                 if let Some(fed) = &mut self.federation {
                     if let Some(done) = fed.pending.remove(&batch_id) {
                         fed.stats.frames_acked += done.frames.len() as u64;
                     }
                 }
             }
-            Packet::BridgeHello { incarnation } => {
+            PacketRef::BridgeHello { incarnation } => {
                 if let Some(peer) = self.peer_of(pkt.src) {
                     self.note_peer_incarnation(ctx, peer, incarnation);
                 }
             }
-            Packet::PubAck { .. } | Packet::Deliver { .. } | Packet::Pong { .. } => {
+            PacketRef::PubAck { .. } | PacketRef::Deliver { .. } | PacketRef::Pong { .. } => {
                 // Not broker-bound; ignore.
             }
         }

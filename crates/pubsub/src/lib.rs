@@ -35,5 +35,10 @@ pub use broker::{BrokerNode, BrokerStats};
 pub use client::{PubSubClient, PubSubEvent};
 pub use error::PubSubError;
 pub use federation::{BridgeStats, FederationConfig, ShardMap};
-pub use topic::{MeasurementTopic, RollupScope, RollupTopic, SubscriptionTrie, Topic, TopicFilter};
-pub use wire::{BridgeFrame, Packet as WirePacket, QoS, PUBSUB_PORT};
+pub use topic::{
+    MeasurementTopic, RollupScope, RollupTopic, SubscriptionTrie, Topic, TopicFilter,
+    TopicFilterRef, TopicRef,
+};
+pub use wire::{
+    BridgeFrame, BridgeFrameRef, Packet as WirePacket, PacketRef as WirePacketRef, QoS, PUBSUB_PORT,
+};

@@ -13,6 +13,31 @@ fn valid_segment(seg: &str) -> bool {
     !seg.is_empty() && !seg.contains(['+', '#']) && !seg.chars().any(char::is_whitespace)
 }
 
+/// Single-pass byte-level topic check, semantically identical to
+/// `text.split('/').all(valid_segment)`. ASCII text (the overwhelmingly
+/// common case on the decode hot path) is judged in one scan; the first
+/// non-ASCII byte falls back to the char-level walk, which knows about
+/// Unicode whitespace.
+fn topic_segments_ok(text: &str) -> bool {
+    // One branch-free pass, accumulated bitwise so the compiler can
+    // unroll: forbidden bytes, empty segments (a leading, doubled or
+    // trailing '/' — the sentinel makes the leading case a double), and
+    // non-ASCII detection all fold into two flags.
+    let mut bad = false;
+    let mut non_ascii = false;
+    let mut prev = b'/';
+    for &b in text.as_bytes() {
+        bad |= matches!(b, b'+' | b'#' | b' ' | b'\t'..=b'\r') | ((prev == b'/') & (b == b'/'));
+        non_ascii |= b >= 0x80;
+        prev = b;
+    }
+    if non_ascii {
+        // Non-ASCII whitespace needs the char-level walk.
+        return text.split('/').all(valid_segment);
+    }
+    !(bad | (prev == b'/'))
+}
+
 /// A concrete topic, e.g. `district/d1/building/b7/temperature`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Topic {
@@ -28,22 +53,28 @@ impl Topic {
     /// segments, wildcards or whitespace.
     pub fn new(text: impl Into<String>) -> Result<Self, PubSubError> {
         let text = text.into();
-        let err = |reason| PubSubError::InvalidTopic {
-            input: text.clone(),
-            reason,
-        };
+        match Topic::validate(&text) {
+            Ok(()) => Ok(Topic { text }),
+            Err(reason) => Err(PubSubError::InvalidTopic {
+                input: text,
+                reason,
+            }),
+        }
+    }
+
+    /// Checks `text` against the topic grammar without allocating —
+    /// shared by [`Topic::new`] and the zero-copy [`TopicRef::new`].
+    pub(crate) fn validate(text: &str) -> Result<(), &'static str> {
         if text.is_empty() {
-            return Err(err("empty topic"));
+            return Err("empty topic");
         }
         if text.len() > 512 {
-            return Err(err("topic longer than 512 bytes"));
+            return Err("topic longer than 512 bytes");
         }
-        if !text.split('/').all(valid_segment) {
-            return Err(err(
-                "segments must be non-empty and free of '+', '#' and whitespace",
-            ));
+        if !topic_segments_ok(text) {
+            return Err("segments must be non-empty and free of '+', '#' and whitespace");
         }
-        Ok(Topic { text })
+        Ok(())
     }
 
     /// The topic text.
@@ -70,6 +101,72 @@ impl std::str::FromStr for Topic {
     }
 }
 
+/// A borrowed, validated topic: the zero-copy counterpart of [`Topic`].
+///
+/// Produced by the borrowed wire decoder
+/// ([`PacketRef`](crate::wire::PacketRef)) as a view straight into the
+/// receive buffer. Validation runs once at construction; materializing
+/// an owned [`Topic`] via [`TopicRef::to_topic`] is the *only*
+/// allocation on the hot publish path, and the broker calls it solely
+/// where it must retain the topic (retained messages, bridge batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicRef<'a> {
+    text: &'a str,
+}
+
+impl<'a> TopicRef<'a> {
+    /// Validates `text` as a topic without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidTopic`] under exactly the same
+    /// grammar as [`Topic::new`].
+    pub fn new(text: &'a str) -> Result<Self, PubSubError> {
+        match Topic::validate(text) {
+            Ok(()) => Ok(TopicRef { text }),
+            Err(reason) => Err(PubSubError::InvalidTopic {
+                input: text.to_owned(),
+                reason,
+            }),
+        }
+    }
+
+    /// The topic text.
+    pub fn as_str(self) -> &'a str {
+        self.text
+    }
+
+    /// The segments.
+    pub fn segments(self) -> impl Iterator<Item = &'a str> {
+        self.text.split('/')
+    }
+
+    /// Materializes an owned [`Topic`], skipping re-validation.
+    pub fn to_topic(self) -> Topic {
+        Topic {
+            text: self.text.to_owned(),
+        }
+    }
+}
+
+impl<'a> From<&'a Topic> for TopicRef<'a> {
+    fn from(topic: &'a Topic) -> Self {
+        TopicRef { text: &topic.text }
+    }
+}
+
+impl PartialEq<Topic> for TopicRef<'_> {
+    fn eq(&self, other: &Topic) -> bool {
+        self.text == other.text
+    }
+}
+
+impl fmt::Display for TopicRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
+    }
+}
+
 /// A subscription filter, e.g. `district/+/building/#`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TopicFilter {
@@ -85,35 +182,41 @@ impl TopicFilter {
     /// segments, a non-final `#`, or segments mixing wildcards with text.
     pub fn new(text: impl Into<String>) -> Result<Self, PubSubError> {
         let text = text.into();
-        let err = |reason| PubSubError::InvalidFilter {
-            input: text.clone(),
-            reason,
-        };
+        match TopicFilter::validate(&text) {
+            Ok(()) => Ok(TopicFilter { text }),
+            Err(reason) => Err(PubSubError::InvalidFilter {
+                input: text,
+                reason,
+            }),
+        }
+    }
+
+    /// Checks `text` against the filter grammar without allocating —
+    /// shared by [`TopicFilter::new`] and [`TopicFilterRef::new`].
+    pub(crate) fn validate(text: &str) -> Result<(), &'static str> {
         if text.is_empty() {
-            return Err(err("empty filter"));
+            return Err("empty filter");
         }
         if text.len() > 512 {
-            return Err(err("filter longer than 512 bytes"));
+            return Err("filter longer than 512 bytes");
         }
-        let segments: Vec<&str> = text.split('/').collect();
-        for (i, seg) in segments.iter().enumerate() {
-            match *seg {
+        let mut segments = text.split('/').peekable();
+        while let Some(seg) = segments.next() {
+            match seg {
                 "+" => {}
                 "#" => {
-                    if i != segments.len() - 1 {
-                        return Err(err("'#' must be the final segment"));
+                    if segments.peek().is_some() {
+                        return Err("'#' must be the final segment");
                     }
                 }
                 other => {
                     if !valid_segment(other) {
-                        return Err(err(
-                            "segments must be non-empty, wildcard-free or exactly '+'/'#'",
-                        ));
+                        return Err("segments must be non-empty, wildcard-free or exactly '+'/'#'");
                     }
                 }
             }
         }
-        Ok(TopicFilter { text })
+        Ok(())
     }
 
     /// The filter text.
@@ -159,6 +262,56 @@ impl From<Topic> for TopicFilter {
     /// Every topic is a valid (wildcard-free) filter.
     fn from(topic: Topic) -> Self {
         TopicFilter { text: topic.text }
+    }
+}
+
+/// A borrowed, validated filter: the zero-copy counterpart of
+/// [`TopicFilter`], produced by the borrowed wire decoder for
+/// subscription-control packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicFilterRef<'a> {
+    text: &'a str,
+}
+
+impl<'a> TopicFilterRef<'a> {
+    /// Validates `text` as a filter without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::InvalidFilter`] under exactly the same
+    /// grammar as [`TopicFilter::new`].
+    pub fn new(text: &'a str) -> Result<Self, PubSubError> {
+        match TopicFilter::validate(text) {
+            Ok(()) => Ok(TopicFilterRef { text }),
+            Err(reason) => Err(PubSubError::InvalidFilter {
+                input: text.to_owned(),
+                reason,
+            }),
+        }
+    }
+
+    /// The filter text.
+    pub fn as_str(self) -> &'a str {
+        self.text
+    }
+
+    /// Materializes an owned [`TopicFilter`], skipping re-validation.
+    pub fn to_filter(self) -> TopicFilter {
+        TopicFilter {
+            text: self.text.to_owned(),
+        }
+    }
+}
+
+impl<'a> From<&'a TopicFilter> for TopicFilterRef<'a> {
+    fn from(filter: &'a TopicFilter) -> Self {
+        TopicFilterRef { text: &filter.text }
+    }
+}
+
+impl fmt::Display for TopicFilterRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.text)
     }
 }
 
@@ -530,7 +683,15 @@ impl<T: PartialEq> SubscriptionTrie<T> {
 
     /// Collects the values of every subscription matching `topic`.
     pub fn matches<'a>(&'a self, topic: &Topic) -> Vec<&'a T> {
-        let segments: Vec<&str> = topic.segments().collect();
+        self.matches_str(topic.as_str())
+    }
+
+    /// Like [`SubscriptionTrie::matches`], but on raw topic text — the
+    /// zero-copy wire path hands in borrowed topics without ever
+    /// materializing a [`Topic`]. The caller guarantees `topic` is
+    /// grammatically valid (segments of a validated [`TopicRef`]).
+    pub fn matches_str<'a>(&'a self, topic: &str) -> Vec<&'a T> {
+        let segments: Vec<&str> = topic.split('/').collect();
         let mut out = Vec::new();
         walk(&self.root, &segments, &mut out);
         out
@@ -568,6 +729,30 @@ mod tests {
 
     fn f(s: &str) -> TopicFilter {
         TopicFilter::new(s).unwrap()
+    }
+
+    #[test]
+    fn fast_segment_scan_agrees_with_reference_walk() {
+        // The branch-free byte scan on the decode hot path must agree
+        // with the segment-by-segment reference on every input,
+        // including edge '/', wildcard, whitespace (ASCII and Unicode)
+        // and control-character placements.
+        let mut rng = simnet::rng::DeterministicRng::seed_from(0x70_71C);
+        let alphabet: Vec<char> = "ab/+# \t\u{0}\u{1}\u{a0}\u{2028}é".chars().collect();
+        for _ in 0..20_000 {
+            let len = rng.next_bounded(12) as usize;
+            let text: String = (0..len)
+                .map(|_| alphabet[rng.next_bounded(alphabet.len() as u64) as usize])
+                .collect();
+            if text.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                topic_segments_ok(&text),
+                text.split('/').all(valid_segment),
+                "scan and reference disagree on {text:?}"
+            );
+        }
     }
 
     #[test]

@@ -2,10 +2,25 @@
 //!
 //! A small tagged binary encoding. Strings are u16-length-prefixed,
 //! payloads u32-length-prefixed, integers little-endian.
+//!
+//! Decoding comes in two flavours sharing one grammar:
+//!
+//! * [`PacketRef::decode`] — the hot path. Borrows topics and payloads
+//!   straight out of the receive buffer; the only allocation is the
+//!   frame vector of a [`PacketRef::BridgeBatch`]. The broker runs on
+//!   this and calls `to_*` conversions exactly where it must retain
+//!   data beyond the packet's lifetime.
+//! * [`Packet::decode`] — the convenience path, delegating to the
+//!   borrowed decoder and materializing everything. Clients and tests
+//!   use it; by construction the two can never drift apart.
+//!
+//! Encoding is single-sourced the same way: [`Packet::encode`] builds a
+//! borrowed [`PacketRef`] view ([`Packet::view`]) and defers to
+//! [`PacketRef::encode`].
 
 use simnet::Port;
 
-use crate::{PubSubError, Topic, TopicFilter};
+use crate::{PubSubError, Topic, TopicFilter, TopicFilterRef, TopicRef};
 
 /// The well-known port brokers listen on.
 pub const PUBSUB_PORT: Port = Port(7100);
@@ -164,6 +179,158 @@ pub struct BridgeFrame {
     pub trace: u64,
 }
 
+impl BridgeFrame {
+    /// A borrowed view of this frame, for allocation-free encoding.
+    pub fn view(&self) -> BridgeFrameRef<'_> {
+        BridgeFrameRef {
+            topic: TopicRef::from(&self.topic),
+            payload: &self.payload,
+            retain: self.retain,
+            qos: self.qos,
+            trace: self.trace,
+        }
+    }
+}
+
+/// A borrowed view of a wire packet: the zero-copy counterpart of
+/// [`Packet`].
+///
+/// Produced by [`PacketRef::decode`] straight over the receive buffer —
+/// topics, filters and payloads are slices of the input; only a
+/// [`PacketRef::BridgeBatch`] allocates (its frame vector, never the
+/// frame contents). Consumed by [`PacketRef::encode`], which is the one
+/// and only encoder of the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketRef<'a> {
+    /// Borrowed [`Packet::Subscribe`].
+    Subscribe {
+        /// The filter.
+        filter: TopicFilterRef<'a>,
+        /// Requested delivery guarantee.
+        qos: QoS,
+    },
+    /// Borrowed [`Packet::Unsubscribe`].
+    Unsubscribe {
+        /// The filter to drop.
+        filter: TopicFilterRef<'a>,
+    },
+    /// Borrowed [`Packet::Publish`].
+    Publish {
+        /// Publisher-chosen id, echoed in [`Packet::PubAck`] for QoS 1.
+        id: u64,
+        /// The topic, borrowed from the buffer.
+        topic: TopicRef<'a>,
+        /// The payload, borrowed from the buffer.
+        payload: &'a [u8],
+        /// Whether the broker retains it for future subscribers.
+        retain: bool,
+        /// Delivery guarantee.
+        qos: QoS,
+        /// Flight-recorder trace id carried end to end (0 = untraced).
+        trace: u64,
+    },
+    /// Borrowed [`Packet::PubAck`].
+    PubAck {
+        /// The publisher's id.
+        id: u64,
+    },
+    /// Borrowed [`Packet::Deliver`].
+    Deliver {
+        /// Broker-chosen delivery id (acked for QoS 1).
+        id: u64,
+        /// The topic it was published under, borrowed from the buffer.
+        topic: TopicRef<'a>,
+        /// The payload, borrowed from the buffer.
+        payload: &'a [u8],
+        /// Delivery guarantee of this delivery.
+        qos: QoS,
+        /// Flight-recorder trace id of the originating publish.
+        trace: u64,
+    },
+    /// Borrowed [`Packet::DeliverAck`].
+    DeliverAck {
+        /// The broker's delivery id.
+        id: u64,
+    },
+    /// Borrowed [`Packet::Ping`].
+    Ping,
+    /// Borrowed [`Packet::Pong`].
+    Pong {
+        /// The broker's current incarnation.
+        incarnation: u64,
+    },
+    /// Borrowed [`Packet::BridgeAdvertise`].
+    BridgeAdvertise {
+        /// The advertising broker's incarnation.
+        incarnation: u64,
+        /// The advertised filter.
+        filter: TopicFilterRef<'a>,
+        /// The strongest QoS any local subscriber asked for.
+        qos: QoS,
+    },
+    /// Borrowed [`Packet::BridgeUnadvertise`].
+    BridgeUnadvertise {
+        /// The advertising broker's incarnation.
+        incarnation: u64,
+        /// The filter to withdraw.
+        filter: TopicFilterRef<'a>,
+    },
+    /// Borrowed [`Packet::BridgeBatch`]. The frame vector is the sole
+    /// allocation of the borrowed decoder; the frames themselves borrow.
+    BridgeBatch {
+        /// The sending broker's incarnation.
+        incarnation: u64,
+        /// Sender-chosen id, unique per (sender, incarnation).
+        batch_id: u64,
+        /// The batched publishes, in publish order.
+        frames: Vec<BridgeFrameRef<'a>>,
+    },
+    /// Borrowed [`Packet::BridgeBatchAck`].
+    BridgeBatchAck {
+        /// The sender's batch id.
+        batch_id: u64,
+    },
+    /// Borrowed [`Packet::BridgeHello`].
+    BridgeHello {
+        /// The sending broker's current incarnation.
+        incarnation: u64,
+    },
+}
+
+/// A borrowed view of one publish inside a bridge batch: the zero-copy
+/// counterpart of [`BridgeFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BridgeFrameRef<'a> {
+    /// The topic it was published under, borrowed from the buffer.
+    pub topic: TopicRef<'a>,
+    /// The payload, borrowed from the buffer.
+    pub payload: &'a [u8],
+    /// Whether the receiving broker mirrors it as retained.
+    pub retain: bool,
+    /// The publish's delivery guarantee.
+    pub qos: QoS,
+    /// Flight-recorder trace id of the originating publish.
+    pub trace: u64,
+}
+
+impl BridgeFrameRef<'_> {
+    /// Materializes an owned [`BridgeFrame`].
+    pub fn to_frame(&self) -> BridgeFrame {
+        BridgeFrame {
+            topic: self.topic.to_topic(),
+            payload: self.payload.to_vec(),
+            retain: self.retain,
+            qos: self.qos,
+            trace: self.trace,
+        }
+    }
+
+    /// Encoded size of this frame on the wire.
+    fn wire_len(&self) -> usize {
+        2 + self.topic.as_str().len() + 4 + self.payload.len() + 1 + 1 + 8
+    }
+}
+
 /// Hard cap on frames per batch — a decode guard, far above any sane
 /// [`BatchPolicy`](simnet::batch::BatchPolicy) flush bound.
 const MAX_BRIDGE_FRAMES: usize = 4096;
@@ -219,22 +386,24 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len")))
     }
 
-    fn string(&mut self) -> Result<String, PubSubError> {
+    /// A u16-length-prefixed string, borrowed from the buffer.
+    fn str_ref(&mut self) -> Result<&'a str, PubSubError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| PubSubError::DecodePacket {
+        std::str::from_utf8(bytes).map_err(|_| PubSubError::DecodePacket {
             reason: "invalid utf-8",
         })
     }
 
-    fn bytes_field(&mut self) -> Result<Vec<u8>, PubSubError> {
+    /// A u32-length-prefixed byte field, borrowed from the buffer.
+    fn bytes_ref(&mut self) -> Result<&'a [u8], PubSubError> {
         let len = self.u32()? as usize;
         if len > 16 * 1024 * 1024 {
             return Err(PubSubError::DecodePacket {
                 reason: "implausible payload length",
             });
         }
-        Ok(self.take(len)?.to_vec())
+        self.take(len)
     }
 
     fn finish(&self) -> Result<(), PubSubError> {
@@ -248,21 +417,108 @@ impl<'a> Cursor<'a> {
     }
 }
 
-impl Packet {
-    /// Encodes the packet.
+impl<'a> PacketRef<'a> {
+    /// Decodes a packet as a borrowed view over `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PubSubError::DecodePacket`] (or a topic/filter grammar
+    /// error) on malformed input. Never panics: every length is
+    /// bounds-checked and every string/topic/filter validated.
+    pub fn decode(bytes: &'a [u8]) -> Result<Self, PubSubError> {
+        let mut c = Cursor { bytes, pos: 0 };
+        let packet = match c.u8()? {
+            1 => PacketRef::Subscribe {
+                filter: TopicFilterRef::new(c.str_ref()?)?,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            2 => PacketRef::Unsubscribe {
+                filter: TopicFilterRef::new(c.str_ref()?)?,
+            },
+            3 => PacketRef::Publish {
+                id: c.u64()?,
+                topic: TopicRef::new(c.str_ref()?)?,
+                payload: c.bytes_ref()?,
+                retain: c.u8()? != 0,
+                qos: QoS::from_byte(c.u8()?)?,
+                trace: c.u64()?,
+            },
+            4 => PacketRef::PubAck { id: c.u64()? },
+            5 => PacketRef::Deliver {
+                id: c.u64()?,
+                topic: TopicRef::new(c.str_ref()?)?,
+                payload: c.bytes_ref()?,
+                qos: QoS::from_byte(c.u8()?)?,
+                trace: c.u64()?,
+            },
+            6 => PacketRef::DeliverAck { id: c.u64()? },
+            7 => PacketRef::Ping,
+            8 => PacketRef::Pong {
+                incarnation: c.u64()?,
+            },
+            9 => PacketRef::BridgeAdvertise {
+                incarnation: c.u64()?,
+                filter: TopicFilterRef::new(c.str_ref()?)?,
+                qos: QoS::from_byte(c.u8()?)?,
+            },
+            10 => PacketRef::BridgeUnadvertise {
+                incarnation: c.u64()?,
+                filter: TopicFilterRef::new(c.str_ref()?)?,
+            },
+            11 => {
+                let incarnation = c.u64()?;
+                let batch_id = c.u64()?;
+                let count = c.u16()? as usize;
+                if count > MAX_BRIDGE_FRAMES {
+                    return Err(PubSubError::DecodePacket {
+                        reason: "implausible bridge batch size",
+                    });
+                }
+                let mut frames = Vec::with_capacity(count);
+                for _ in 0..count {
+                    frames.push(BridgeFrameRef {
+                        topic: TopicRef::new(c.str_ref()?)?,
+                        payload: c.bytes_ref()?,
+                        retain: c.u8()? != 0,
+                        qos: QoS::from_byte(c.u8()?)?,
+                        trace: c.u64()?,
+                    });
+                }
+                PacketRef::BridgeBatch {
+                    incarnation,
+                    batch_id,
+                    frames,
+                }
+            }
+            12 => PacketRef::BridgeBatchAck { batch_id: c.u64()? },
+            13 => PacketRef::BridgeHello {
+                incarnation: c.u64()?,
+            },
+            _ => {
+                return Err(PubSubError::DecodePacket {
+                    reason: "unknown packet tag",
+                })
+            }
+        };
+        c.finish()?;
+        Ok(packet)
+    }
+
+    /// Encodes the packet. This is the sole encoder of the wire format;
+    /// [`Packet::encode`] defers here via [`Packet::view`].
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32);
+        let mut out = Vec::with_capacity(self.wire_len());
         match self {
-            Packet::Subscribe { filter, qos } => {
+            PacketRef::Subscribe { filter, qos } => {
                 out.push(1);
                 push_str(filter.as_str(), &mut out);
                 out.push(qos.byte());
             }
-            Packet::Unsubscribe { filter } => {
+            PacketRef::Unsubscribe { filter } => {
                 out.push(2);
                 push_str(filter.as_str(), &mut out);
             }
-            Packet::Publish {
+            PacketRef::Publish {
                 id,
                 topic,
                 payload,
@@ -278,11 +534,11 @@ impl Packet {
                 out.push(qos.byte());
                 out.extend_from_slice(&trace.to_le_bytes());
             }
-            Packet::PubAck { id } => {
+            PacketRef::PubAck { id } => {
                 out.push(4);
                 out.extend_from_slice(&id.to_le_bytes());
             }
-            Packet::Deliver {
+            PacketRef::Deliver {
                 id,
                 topic,
                 payload,
@@ -296,18 +552,18 @@ impl Packet {
                 out.push(qos.byte());
                 out.extend_from_slice(&trace.to_le_bytes());
             }
-            Packet::DeliverAck { id } => {
+            PacketRef::DeliverAck { id } => {
                 out.push(6);
                 out.extend_from_slice(&id.to_le_bytes());
             }
-            Packet::Ping => {
+            PacketRef::Ping => {
                 out.push(7);
             }
-            Packet::Pong { incarnation } => {
+            PacketRef::Pong { incarnation } => {
                 out.push(8);
                 out.extend_from_slice(&incarnation.to_le_bytes());
             }
-            Packet::BridgeAdvertise {
+            PacketRef::BridgeAdvertise {
                 incarnation,
                 filter,
                 qos,
@@ -317,7 +573,7 @@ impl Packet {
                 push_str(filter.as_str(), &mut out);
                 out.push(qos.byte());
             }
-            Packet::BridgeUnadvertise {
+            PacketRef::BridgeUnadvertise {
                 incarnation,
                 filter,
             } => {
@@ -325,7 +581,7 @@ impl Packet {
                 out.extend_from_slice(&incarnation.to_le_bytes());
                 push_str(filter.as_str(), &mut out);
             }
-            Packet::BridgeBatch {
+            PacketRef::BridgeBatch {
                 incarnation,
                 batch_id,
                 frames,
@@ -336,17 +592,17 @@ impl Packet {
                 out.extend_from_slice(&(frames.len() as u16).to_le_bytes());
                 for f in frames {
                     push_str(f.topic.as_str(), &mut out);
-                    push_bytes(&f.payload, &mut out);
+                    push_bytes(f.payload, &mut out);
                     out.push(u8::from(f.retain));
                     out.push(f.qos.byte());
                     out.extend_from_slice(&f.trace.to_le_bytes());
                 }
             }
-            Packet::BridgeBatchAck { batch_id } => {
+            PacketRef::BridgeBatchAck { batch_id } => {
                 out.push(12);
                 out.extend_from_slice(&batch_id.to_le_bytes());
             }
-            Packet::BridgeHello { incarnation } => {
+            PacketRef::BridgeHello { incarnation } => {
                 out.push(13);
                 out.extend_from_slice(&incarnation.to_le_bytes());
             }
@@ -354,89 +610,206 @@ impl Packet {
         out
     }
 
-    /// Decodes a packet produced by [`Packet::encode`].
+    /// Exact encoded size, so [`PacketRef::encode`] allocates once.
+    fn wire_len(&self) -> usize {
+        match self {
+            PacketRef::Subscribe { filter, .. } => 1 + 2 + filter.as_str().len() + 1,
+            PacketRef::Unsubscribe { filter } => 1 + 2 + filter.as_str().len(),
+            PacketRef::Publish { topic, payload, .. } => {
+                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 1 + 8
+            }
+            PacketRef::PubAck { .. }
+            | PacketRef::DeliverAck { .. }
+            | PacketRef::Pong { .. }
+            | PacketRef::BridgeBatchAck { .. }
+            | PacketRef::BridgeHello { .. } => 1 + 8,
+            PacketRef::Deliver { topic, payload, .. } => {
+                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 8
+            }
+            PacketRef::Ping => 1,
+            PacketRef::BridgeAdvertise { filter, .. } => 1 + 8 + 2 + filter.as_str().len() + 1,
+            PacketRef::BridgeUnadvertise { filter, .. } => 1 + 8 + 2 + filter.as_str().len(),
+            PacketRef::BridgeBatch { frames, .. } => {
+                1 + 8 + 8 + 2 + frames.iter().map(BridgeFrameRef::wire_len).sum::<usize>()
+            }
+        }
+    }
+
+    /// Materializes an owned [`Packet`].
+    pub fn to_packet(&self) -> Packet {
+        match self {
+            PacketRef::Subscribe { filter, qos } => Packet::Subscribe {
+                filter: filter.to_filter(),
+                qos: *qos,
+            },
+            PacketRef::Unsubscribe { filter } => Packet::Unsubscribe {
+                filter: filter.to_filter(),
+            },
+            PacketRef::Publish {
+                id,
+                topic,
+                payload,
+                retain,
+                qos,
+                trace,
+            } => Packet::Publish {
+                id: *id,
+                topic: topic.to_topic(),
+                payload: payload.to_vec(),
+                retain: *retain,
+                qos: *qos,
+                trace: *trace,
+            },
+            PacketRef::PubAck { id } => Packet::PubAck { id: *id },
+            PacketRef::Deliver {
+                id,
+                topic,
+                payload,
+                qos,
+                trace,
+            } => Packet::Deliver {
+                id: *id,
+                topic: topic.to_topic(),
+                payload: payload.to_vec(),
+                qos: *qos,
+                trace: *trace,
+            },
+            PacketRef::DeliverAck { id } => Packet::DeliverAck { id: *id },
+            PacketRef::Ping => Packet::Ping,
+            PacketRef::Pong { incarnation } => Packet::Pong {
+                incarnation: *incarnation,
+            },
+            PacketRef::BridgeAdvertise {
+                incarnation,
+                filter,
+                qos,
+            } => Packet::BridgeAdvertise {
+                incarnation: *incarnation,
+                filter: filter.to_filter(),
+                qos: *qos,
+            },
+            PacketRef::BridgeUnadvertise {
+                incarnation,
+                filter,
+            } => Packet::BridgeUnadvertise {
+                incarnation: *incarnation,
+                filter: filter.to_filter(),
+            },
+            PacketRef::BridgeBatch {
+                incarnation,
+                batch_id,
+                frames,
+            } => Packet::BridgeBatch {
+                incarnation: *incarnation,
+                batch_id: *batch_id,
+                frames: frames.iter().map(BridgeFrameRef::to_frame).collect(),
+            },
+            PacketRef::BridgeBatchAck { batch_id } => Packet::BridgeBatchAck {
+                batch_id: *batch_id,
+            },
+            PacketRef::BridgeHello { incarnation } => Packet::BridgeHello {
+                incarnation: *incarnation,
+            },
+        }
+    }
+}
+
+impl Packet {
+    /// A borrowed view of this packet, for allocation-free encoding and
+    /// structural comparison against decoded [`PacketRef`]s.
+    pub fn view(&self) -> PacketRef<'_> {
+        match self {
+            Packet::Subscribe { filter, qos } => PacketRef::Subscribe {
+                filter: filter.into(),
+                qos: *qos,
+            },
+            Packet::Unsubscribe { filter } => PacketRef::Unsubscribe {
+                filter: filter.into(),
+            },
+            Packet::Publish {
+                id,
+                topic,
+                payload,
+                retain,
+                qos,
+                trace,
+            } => PacketRef::Publish {
+                id: *id,
+                topic: topic.into(),
+                payload,
+                retain: *retain,
+                qos: *qos,
+                trace: *trace,
+            },
+            Packet::PubAck { id } => PacketRef::PubAck { id: *id },
+            Packet::Deliver {
+                id,
+                topic,
+                payload,
+                qos,
+                trace,
+            } => PacketRef::Deliver {
+                id: *id,
+                topic: topic.into(),
+                payload,
+                qos: *qos,
+                trace: *trace,
+            },
+            Packet::DeliverAck { id } => PacketRef::DeliverAck { id: *id },
+            Packet::Ping => PacketRef::Ping,
+            Packet::Pong { incarnation } => PacketRef::Pong {
+                incarnation: *incarnation,
+            },
+            Packet::BridgeAdvertise {
+                incarnation,
+                filter,
+                qos,
+            } => PacketRef::BridgeAdvertise {
+                incarnation: *incarnation,
+                filter: filter.into(),
+                qos: *qos,
+            },
+            Packet::BridgeUnadvertise {
+                incarnation,
+                filter,
+            } => PacketRef::BridgeUnadvertise {
+                incarnation: *incarnation,
+                filter: filter.into(),
+            },
+            Packet::BridgeBatch {
+                incarnation,
+                batch_id,
+                frames,
+            } => PacketRef::BridgeBatch {
+                incarnation: *incarnation,
+                batch_id: *batch_id,
+                frames: frames.iter().map(BridgeFrame::view).collect(),
+            },
+            Packet::BridgeBatchAck { batch_id } => PacketRef::BridgeBatchAck {
+                batch_id: *batch_id,
+            },
+            Packet::BridgeHello { incarnation } => PacketRef::BridgeHello {
+                incarnation: *incarnation,
+            },
+        }
+    }
+
+    /// Encodes the packet.
+    pub fn encode(&self) -> Vec<u8> {
+        self.view().encode()
+    }
+
+    /// Decodes a packet produced by [`Packet::encode`], materializing
+    /// owned topics and payloads. Delegates to [`PacketRef::decode`],
+    /// so the owned and borrowed decoders accept exactly the same
+    /// inputs.
     ///
     /// # Errors
     ///
     /// Returns [`PubSubError::DecodePacket`] (or a topic/filter grammar
     /// error) on malformed input.
     pub fn decode(bytes: &[u8]) -> Result<Self, PubSubError> {
-        let mut c = Cursor { bytes, pos: 0 };
-        let packet = match c.u8()? {
-            1 => Packet::Subscribe {
-                filter: TopicFilter::new(c.string()?)?,
-                qos: QoS::from_byte(c.u8()?)?,
-            },
-            2 => Packet::Unsubscribe {
-                filter: TopicFilter::new(c.string()?)?,
-            },
-            3 => Packet::Publish {
-                id: c.u64()?,
-                topic: Topic::new(c.string()?)?,
-                payload: c.bytes_field()?,
-                retain: c.u8()? != 0,
-                qos: QoS::from_byte(c.u8()?)?,
-                trace: c.u64()?,
-            },
-            4 => Packet::PubAck { id: c.u64()? },
-            5 => Packet::Deliver {
-                id: c.u64()?,
-                topic: Topic::new(c.string()?)?,
-                payload: c.bytes_field()?,
-                qos: QoS::from_byte(c.u8()?)?,
-                trace: c.u64()?,
-            },
-            6 => Packet::DeliverAck { id: c.u64()? },
-            7 => Packet::Ping,
-            8 => Packet::Pong {
-                incarnation: c.u64()?,
-            },
-            9 => Packet::BridgeAdvertise {
-                incarnation: c.u64()?,
-                filter: TopicFilter::new(c.string()?)?,
-                qos: QoS::from_byte(c.u8()?)?,
-            },
-            10 => Packet::BridgeUnadvertise {
-                incarnation: c.u64()?,
-                filter: TopicFilter::new(c.string()?)?,
-            },
-            11 => {
-                let incarnation = c.u64()?;
-                let batch_id = c.u64()?;
-                let count = c.u16()? as usize;
-                if count > MAX_BRIDGE_FRAMES {
-                    return Err(PubSubError::DecodePacket {
-                        reason: "implausible bridge batch size",
-                    });
-                }
-                let mut frames = Vec::with_capacity(count);
-                for _ in 0..count {
-                    frames.push(BridgeFrame {
-                        topic: Topic::new(c.string()?)?,
-                        payload: c.bytes_field()?,
-                        retain: c.u8()? != 0,
-                        qos: QoS::from_byte(c.u8()?)?,
-                        trace: c.u64()?,
-                    });
-                }
-                Packet::BridgeBatch {
-                    incarnation,
-                    batch_id,
-                    frames,
-                }
-            }
-            12 => Packet::BridgeBatchAck { batch_id: c.u64()? },
-            13 => Packet::BridgeHello {
-                incarnation: c.u64()?,
-            },
-            _ => {
-                return Err(PubSubError::DecodePacket {
-                    reason: "unknown packet tag",
-                })
-            }
-        };
-        c.finish()?;
-        Ok(packet)
+        Ok(PacketRef::decode(bytes)?.to_packet())
     }
 }
 
@@ -444,9 +817,8 @@ impl Packet {
 mod tests {
     use super::*;
 
-    #[test]
-    fn all_packets_round_trip() {
-        let packets = [
+    fn sample_packets() -> Vec<Packet> {
+        vec![
             Packet::Subscribe {
                 filter: TopicFilter::new("a/+/#").unwrap(),
                 qos: QoS::AtLeastOnce,
@@ -509,10 +881,53 @@ mod tests {
             },
             Packet::BridgeBatchAck { batch_id: 77 },
             Packet::BridgeHello { incarnation: 4 },
-        ];
-        for p in &packets {
+        ]
+    }
+
+    #[test]
+    fn all_packets_round_trip() {
+        for p in &sample_packets() {
             assert_eq!(&Packet::decode(&p.encode()).unwrap(), p, "{p:?}");
         }
+    }
+
+    #[test]
+    fn borrowed_decode_matches_owned_decode_for_all_packets() {
+        for p in &sample_packets() {
+            let bytes = p.encode();
+            let borrowed = PacketRef::decode(&bytes).unwrap();
+            assert_eq!(borrowed, p.view(), "{p:?}");
+            assert_eq!(&borrowed.to_packet(), p, "{p:?}");
+            // The view's encoding is the encoding.
+            assert_eq!(borrowed.encode(), bytes, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn encode_preallocates_exactly() {
+        for p in &sample_packets() {
+            let bytes = p.encode();
+            assert_eq!(bytes.len(), p.view().wire_len(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn borrowed_decode_borrows_from_the_input() {
+        let bytes = Packet::Publish {
+            id: 1,
+            topic: Topic::new("a/b/c").unwrap(),
+            payload: b"payload".to_vec(),
+            retain: false,
+            qos: QoS::AtMostOnce,
+            trace: 0,
+        }
+        .encode();
+        let PacketRef::Publish { topic, payload, .. } = PacketRef::decode(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        let range = bytes.as_ptr_range();
+        assert!(range.contains(&topic.as_str().as_ptr()));
+        assert!(range.contains(&payload.as_ptr()));
     }
 
     #[test]
@@ -531,6 +946,7 @@ mod tests {
         .encode();
         for cut in 0..bytes.len() {
             assert!(Packet::decode(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(PacketRef::decode(&bytes[..cut]).is_err(), "borrowed {cut}");
         }
     }
 
@@ -547,6 +963,7 @@ mod tests {
         let n = bytes.len();
         bytes[n - 2..].copy_from_slice(&3u16.to_le_bytes());
         assert!(Packet::decode(&bytes).is_err());
+        assert!(PacketRef::decode(&bytes).is_err());
     }
 
     #[test]
@@ -563,6 +980,7 @@ mod tests {
         out.push(0);
         out.extend_from_slice(&0u64.to_le_bytes());
         assert!(Packet::decode(&out).is_err());
+        assert!(PacketRef::decode(&out).is_err());
     }
 
     #[test]
@@ -578,6 +996,7 @@ mod tests {
         .encode();
         for cut in 0..bytes.len() {
             assert!(Packet::decode(&bytes[..cut]).is_err(), "cut {cut}");
+            assert!(PacketRef::decode(&bytes[..cut]).is_err(), "borrowed {cut}");
         }
     }
 
@@ -585,6 +1004,8 @@ mod tests {
     fn garbage_rejected() {
         assert!(Packet::decode(&[]).is_err());
         assert!(Packet::decode(&[99]).is_err());
+        assert!(PacketRef::decode(&[]).is_err());
+        assert!(PacketRef::decode(&[99]).is_err());
         let mut bad_qos = Packet::Subscribe {
             filter: TopicFilter::new("a").unwrap(),
             qos: QoS::AtMostOnce,
@@ -592,6 +1013,7 @@ mod tests {
         .encode();
         *bad_qos.last_mut().unwrap() = 9;
         assert!(Packet::decode(&bad_qos).is_err());
+        assert!(PacketRef::decode(&bad_qos).is_err());
     }
 
     #[test]
@@ -599,6 +1021,7 @@ mod tests {
         let mut bytes = Packet::PubAck { id: 1 }.encode();
         bytes.push(0);
         assert!(Packet::decode(&bytes).is_err());
+        assert!(PacketRef::decode(&bytes).is_err());
     }
 
     #[test]
@@ -613,6 +1036,10 @@ mod tests {
         out.extend_from_slice(&0u64.to_le_bytes());
         assert!(matches!(
             Packet::decode(&out),
+            Err(PubSubError::InvalidTopic { .. })
+        ));
+        assert!(matches!(
+            PacketRef::decode(&out),
             Err(PubSubError::InvalidTopic { .. })
         ));
     }

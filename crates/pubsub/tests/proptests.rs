@@ -2,7 +2,7 @@
 //! wire codec, driven by `simnet::rng::DeterministicRng` (reproducible,
 //! no external property-testing dependency).
 
-use pubsub::{QoS, SubscriptionTrie, Topic, TopicFilter, WirePacket};
+use pubsub::{BridgeFrame, QoS, SubscriptionTrie, Topic, TopicFilter, WirePacket, WirePacketRef};
 use simnet::rng::DeterministicRng;
 
 const CASES: usize = 512;
@@ -221,7 +221,6 @@ fn shard_routing_is_a_partition() {
 
 #[test]
 fn bridge_batch_frames_round_trip() {
-    use pubsub::BridgeFrame;
     let mut rng = DeterministicRng::seed_from(0x50B0_0009);
     for _ in 0..CASES {
         let frames: Vec<BridgeFrame> = (0..rng.next_bounded(12))
@@ -248,5 +247,152 @@ fn bridge_batch_frames_round_trip() {
             WirePacket::decode(&packet.encode()).expect("round trip"),
             packet
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR-6 zero-copy wire layer: the borrowed decoder, the owned decoder and
+// the encoder are pinned to each other over random packets of every
+// variant, random truncations at every cut point, and random byte flips.
+// ---------------------------------------------------------------------
+
+fn rand_qos(rng: &mut DeterministicRng) -> QoS {
+    if rng.chance(0.5) {
+        QoS::AtLeastOnce
+    } else {
+        QoS::AtMostOnce
+    }
+}
+
+fn rand_payload(rng: &mut DeterministicRng, max: u64) -> Vec<u8> {
+    (0..rng.next_bounded(max))
+        .map(|_| rng.next_u64() as u8)
+        .collect()
+}
+
+fn rand_frame(rng: &mut DeterministicRng) -> BridgeFrame {
+    BridgeFrame {
+        topic: rand_topic(rng),
+        payload: rand_payload(rng, 48),
+        retain: rng.chance(0.3),
+        qos: rand_qos(rng),
+        trace: rng.next_u64(),
+    }
+}
+
+/// A random wire packet drawing uniformly from all 13 variants.
+fn rand_packet(rng: &mut DeterministicRng) -> WirePacket {
+    match rng.next_bounded(13) {
+        0 => WirePacket::Subscribe {
+            filter: rand_filter(rng),
+            qos: rand_qos(rng),
+        },
+        1 => WirePacket::Unsubscribe {
+            filter: rand_filter(rng),
+        },
+        2 => WirePacket::Publish {
+            id: rng.next_u64(),
+            topic: rand_topic(rng),
+            payload: rand_payload(rng, 128),
+            retain: rng.chance(0.5),
+            qos: rand_qos(rng),
+            trace: rng.next_u64(),
+        },
+        3 => WirePacket::PubAck { id: rng.next_u64() },
+        4 => WirePacket::Deliver {
+            id: rng.next_u64(),
+            topic: rand_topic(rng),
+            payload: rand_payload(rng, 128),
+            qos: rand_qos(rng),
+            trace: rng.next_u64(),
+        },
+        5 => WirePacket::DeliverAck { id: rng.next_u64() },
+        6 => WirePacket::Ping,
+        7 => WirePacket::Pong {
+            incarnation: rng.next_u64(),
+        },
+        8 => WirePacket::BridgeAdvertise {
+            incarnation: rng.next_u64(),
+            filter: rand_filter(rng),
+            qos: rand_qos(rng),
+        },
+        9 => WirePacket::BridgeUnadvertise {
+            incarnation: rng.next_u64(),
+            filter: rand_filter(rng),
+        },
+        10 => WirePacket::BridgeBatch {
+            incarnation: rng.next_u64(),
+            batch_id: rng.next_u64(),
+            frames: (0..rng.next_bounded(8)).map(|_| rand_frame(rng)).collect(),
+        },
+        11 => WirePacket::BridgeBatchAck {
+            batch_id: rng.next_u64(),
+        },
+        _ => WirePacket::BridgeHello {
+            incarnation: rng.next_u64(),
+        },
+    }
+}
+
+#[test]
+fn borrowed_decode_agrees_with_owned_decode_for_every_variant() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_000A);
+    for _ in 0..CASES * 2 {
+        let packet = rand_packet(&mut rng);
+        let bytes = packet.encode();
+        let borrowed = WirePacketRef::decode(&bytes).expect("encoder output decodes");
+        // The three representations form a commuting triangle:
+        // owned --encode--> bytes --borrowed decode--> view --to_packet--> owned.
+        assert_eq!(borrowed, packet.view(), "view mismatch for {packet:?}");
+        assert_eq!(borrowed.to_packet(), packet, "materialize mismatch");
+        assert_eq!(
+            WirePacket::decode(&bytes).expect("owned decode"),
+            packet,
+            "owned decode mismatch"
+        );
+        assert_eq!(borrowed.encode(), bytes, "re-encode is not the identity");
+    }
+}
+
+#[test]
+fn truncation_at_every_cut_point_is_rejected_by_both_decoders() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_000B);
+    for _ in 0..CASES / 4 {
+        let packet = rand_packet(&mut rng);
+        let bytes = packet.encode();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            assert!(
+                WirePacketRef::decode(prefix).is_err(),
+                "borrowed decoder accepted a {cut}-byte prefix of {packet:?}"
+            );
+            assert!(
+                WirePacket::decode(prefix).is_err(),
+                "owned decoder accepted a {cut}-byte prefix of {packet:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_flip_fuzz_never_panics_and_decoders_agree() {
+    let mut rng = DeterministicRng::seed_from(0x50B0_000C);
+    for _ in 0..CASES * 2 {
+        let packet = rand_packet(&mut rng);
+        let mut bytes = packet.encode();
+        // Flip 1..=3 random bits; the result may still be a valid packet
+        // (e.g. a payload byte changed) — what matters is that neither
+        // decoder panics and both reach the same verdict.
+        for _ in 0..rng.next_range(1, 4) {
+            let i = rng.next_bounded(bytes.len() as u64) as usize;
+            bytes[i] ^= 1 << rng.next_bounded(8);
+        }
+        let borrowed = WirePacketRef::decode(&bytes);
+        let owned = WirePacket::decode(&bytes);
+        match (borrowed, owned) {
+            (Ok(b), Ok(o)) => assert_eq!(b.to_packet(), o, "decoders disagree on value"),
+            (Err(_), Err(_)) => {}
+            (b, o) => panic!("decoders disagree on validity: borrowed={b:?} owned={o:?}"),
+        }
     }
 }

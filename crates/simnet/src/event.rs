@@ -4,12 +4,19 @@
 //! assigned at scheduling time, so two events scheduled for the same
 //! instant fire in scheduling order. This total order is what makes the
 //! simulation deterministic.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The queue is split into two flat structures instead of a
+//! `BinaryHeap<Event>`: a [`TimerWheel`] ordering bare `(time, seq,
+//! slot)` triples, and a slab arena holding the event payloads. Pushing
+//! an event writes its [`EventKind`] into a recycled arena slot (no
+//! per-event heap allocation once the arena has grown to the
+//! simulation's high-water mark) and inserts a 20-byte entry into the
+//! wheel. The `(time, seq)` order the wheel produces is bit-identical
+//! to the old heap's, which the differential tests in
+//! [`crate::time`] pin down.
 
 use crate::node::{NodeId, Packet, TimerTag};
-use crate::time::SimTime;
+use crate::time::{SimTime, TimerWheel};
 
 #[derive(Debug)]
 pub(crate) enum EventKind {
@@ -35,37 +42,20 @@ pub(crate) enum EventKind {
 #[derive(Debug)]
 pub(crate) struct Event {
     pub time: SimTime,
+    /// Position in the total `(time, seq)` order; the simulator itself
+    /// only needs `time`, but tests assert on the tie-break.
+    #[allow(dead_code)]
     pub seq: u64,
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
-    heap: BinaryHeap<Event>,
+    wheel: TimerWheel,
+    /// Event payload arena; `None` marks a free slot.
+    arena: Vec<Option<EventKind>>,
+    /// Recycled arena slots, reused LIFO.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -77,24 +67,56 @@ impl EventQueue {
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.arena[slot as usize] = Some(kind);
+                slot
+            }
+            None => {
+                assert!(self.arena.len() < u32::MAX as usize, "event arena overflow");
+                self.arena.push(Some(kind));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.wheel.push(time, seq, slot);
     }
 
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        let (time, seq, slot) = self.wheel.pop()?;
+        let kind = self.arena[slot as usize]
+            .take()
+            .expect("wheel entry points at a live arena slot");
+        self.free.push(slot);
+        Some(Event { time, seq, kind })
     }
 
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+    /// `&mut` because peeking may cascade wheel buckets; the observable
+    /// order is unaffected.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.wheel.peek_time()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.wheel.len()
     }
 
     #[allow(dead_code)] // exercised by tests
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.wheel.is_empty()
+    }
+
+    /// Arena slots currently holding a pending event. Equals [`len`]
+    /// unless the slab leaks; chaos tests assert it returns to zero at
+    /// quiesce.
+    ///
+    /// [`len`]: EventQueue::len
+    pub fn arena_in_use(&self) -> usize {
+        self.arena.len() - self.free.len()
+    }
+
+    /// High-water mark of the arena: total slots ever grown.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -147,5 +169,34 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn arena_recycles_slots_and_drains_to_zero() {
+        let mut q = EventQueue::new();
+        for round in 0..5 {
+            for i in 0..100 {
+                q.push(SimTime::from_millis(round * 1000 + i), start(i as u32));
+            }
+            assert_eq!(q.arena_in_use(), 100);
+            while q.pop().is_some() {}
+            assert_eq!(q.arena_in_use(), 0, "slab leaked in round {round}");
+            // The high-water mark is reached once and then recycled.
+            assert_eq!(q.arena_capacity(), 100);
+        }
+    }
+
+    #[test]
+    fn seq_numbers_stay_monotonic_across_recycling() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), start(0));
+        q.pop();
+        q.push(SimTime::from_secs(1), start(1));
+        q.push(SimTime::from_secs(1), start(2));
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert!(a.seq < b.seq);
+        assert!(matches!(a.kind, EventKind::Start(NodeId(1))));
+        assert!(matches!(b.kind, EventKind::Start(NodeId(2))));
     }
 }

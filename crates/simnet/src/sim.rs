@@ -561,6 +561,21 @@ impl Simulator {
         self.queue.len()
     }
 
+    /// Slots of the event arena currently holding a pending event.
+    ///
+    /// The event queue stores payloads in a recycled slab; this must
+    /// equal [`Simulator::pending_events`] at all times and return to
+    /// zero when the simulation quiesces — the chaos suite asserts both
+    /// to catch slab leaks.
+    pub fn event_arena_in_use(&self) -> usize {
+        self.queue.arena_in_use()
+    }
+
+    /// High-water mark of the event arena (total slots ever grown).
+    pub fn event_arena_capacity(&self) -> usize {
+        self.queue.arena_capacity()
+    }
+
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Context<'_>)) {
         let Some(mut node) = self.slots.get_mut(id.index()).and_then(|s| s.node.take()) else {
             return;

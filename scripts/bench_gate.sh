@@ -3,10 +3,13 @@
 #
 # Runs the topic-matching, windowed-stream and wire-codec benches in
 # quick mode (DIMMER_BENCH_QUICK: ~5 ms calibration windows, median of
-# five samples per bench) and compares each median against the committed
-# baseline in results/BENCH_pr5.json. A bench fails the gate when its
-# median exceeds baseline * 1.25 + 100 ns — the flat 100 ns term keeps
-# sub-microsecond benches from tripping on scheduler noise.
+# five samples per bench), takes the per-bench minimum over
+# GATE_PASSES=3 passes (the minimum is robust to scheduler noise on a
+# loaded box, and a real regression raises the minimum too), and
+# compares it against the committed baseline in results/BENCH_pr6.json.
+# A bench fails the gate when its minimum exceeds baseline * 1.25 +
+# 100 ns — the flat 100 ns term keeps sub-microsecond benches from
+# tripping on jitter.
 #
 # Usage:
 #   scripts/bench_gate.sh            compare against the baseline
@@ -15,17 +18,36 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="results/BENCH_pr5.json"
+BASELINE="results/BENCH_pr6.json"
 BENCHES=(topic_matching streams wire_codecs)
 
+raw="$(mktemp)"
 out="$(mktemp)"
-trap 'rm -f "$out"' EXIT
+trap 'rm -f "$raw" "$out"' EXIT
 
-echo "== bench_gate: measuring (${BENCHES[*]})"
-for b in "${BENCHES[@]}"; do
-    DIMMER_BENCH_QUICK=1 DIMMER_BENCH_JSON="$out" \
-        cargo bench -q -p dimmer-bench --bench "$b" >/dev/null
+passes="${GATE_PASSES:-3}"
+echo "== bench_gate: measuring (${BENCHES[*]}), min of $passes passes"
+for _ in $(seq 1 "$passes"); do
+    for b in "${BENCHES[@]}"; do
+        DIMMER_BENCH_QUICK=1 DIMMER_BENCH_JSON="$raw" \
+            cargo bench -q -p dimmer-bench --bench "$b" >/dev/null
+    done
 done
+
+# Reduce the repeated passes to one per-bench minimum, preserving
+# first-seen order so baseline diffs stay readable.
+awk -F'"' '
+    {
+        split($0, a, /"median_ns":/); sub(/}.*/, "", a[2])
+        v = a[2] + 0
+        if (!($4 in best)) { order[++n] = $4; best[$4] = v }
+        else if (v < best[$4]) best[$4] = v
+    }
+    END {
+        for (i = 1; i <= n; i++)
+            printf "{\"bench\":\"%s\",\"median_ns\":%s}\n", order[i], best[order[i]]
+    }
+' "$raw" > "$out"
 
 if [[ "${1:-}" == "--update" ]]; then
     cp "$out" "$BASELINE"

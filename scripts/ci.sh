@@ -12,7 +12,7 @@
 #                    Defaults to 2; set 0 to skip.
 #   DIMMER_BENCH=1   additionally run the perf-regression gate
 #                    (scripts/bench_gate.sh) against the committed
-#                    baseline in results/BENCH_pr5.json.
+#                    baseline in results/BENCH_pr6.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +40,9 @@ if [[ "$seeds" -gt 0 ]]; then
         DIMMER_SEED="$s" cargo test -q --test resilience --test chaos --test streams
     done
 fi
+
+echo "== e13 city-scale smoke (500 buildings)"
+DIMMER_E13_SMOKE=1 cargo run -q -p dimmer-bench --bin e13_city_scale
 
 if [[ "${DIMMER_BENCH:-0}" == "1" ]]; then
     echo "== perf-regression gate"

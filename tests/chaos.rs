@@ -299,3 +299,146 @@ fn bridge_link_flaps_mid_batch_conserve_qos1() {
     assert!(m.received > 0);
     assert_eq!(m.restarts_seen, 0, "link faults are not broker restarts");
 }
+
+/// A publisher that sends a bounded burst of traced QoS 1 publishes and
+/// then goes quiet, so the simulation can actually drain to idle.
+struct BurstPub {
+    client: PubSubClient,
+    total: u64,
+    sent: u64,
+}
+
+impl Node for BurstPub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(500), TimerTag(1));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.client.accept(ctx, &pkt);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag != TimerTag(1) {
+            self.client.on_timer(ctx, tag);
+            return;
+        }
+        if self.sent >= self.total {
+            return;
+        }
+        let trace = ctx.telemetry().tracer.next_trace_id();
+        ctx.trace_hop("pub.send", trace, format!("seq={}", self.sent));
+        self.client.publish_traced(
+            ctx,
+            dimmer::pubsub::Topic::new(format!("district/d0/burst/{}", self.sent)).unwrap(),
+            format!("sample-{}", self.sent).into_bytes(),
+            false,
+            QoS::AtLeastOnce,
+            trace,
+        );
+        self.sent += 1;
+        ctx.set_timer(SimDuration::from_millis(100), TimerTag(1));
+    }
+}
+
+/// A subscriber with no keepalive timer: it counts deliveries but never
+/// re-arms anything, so it cannot keep the event queue alive.
+struct QuietSub {
+    client: PubSubClient,
+    received: u64,
+}
+
+impl Node for QuietSub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.client.subscribe(
+            ctx,
+            TopicFilter::new("district/#").expect("valid"),
+            QoS::AtLeastOnce,
+        );
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        if pkt.port != PUBSUB_PORT {
+            return;
+        }
+        if let Some(PubSubEvent::Message { .. }) = self.client.accept(ctx, &pkt) {
+            self.received += 1;
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        self.client.on_timer(ctx, tag);
+    }
+}
+
+/// PR-6 slab queue under chaos: a broker crash mid-burst must not leak
+/// arena slots (every scheduled event is popped or recycled — the slab
+/// is empty once the simulation quiesces), and two identical runs must
+/// produce byte-identical flight-recorder output.
+#[test]
+fn event_slab_drains_to_zero_and_replays_byte_identically_under_chaos() {
+    let run = || {
+        let mut sim = seeded_sim(0xC4A4);
+        sim.telemetry().tracer.set_capacity(1 << 16);
+        let broker = sim.add_node("broker", BrokerNode::with_label("b0"));
+        let sub = sim.add_node(
+            "sub",
+            QuietSub {
+                client: PubSubClient::new(broker, 100),
+                received: 0,
+            },
+        );
+        sim.add_node(
+            "pub",
+            BurstPub {
+                client: PubSubClient::new(broker, 100),
+                total: 80,
+                sent: 0,
+            },
+        );
+
+        // Crash the broker mid-burst; in-flight deliveries, QoS 1 retry
+        // timers and the restart event all cross the fault boundary.
+        sim.run_for(SimDuration::from_secs(3));
+        assert!(
+            sim.event_arena_in_use() > 0,
+            "the burst should be mid-flight at the crash point"
+        );
+        sim.crash(broker);
+        sim.restart(broker, SimDuration::from_secs(2));
+        let drained = sim.run_until_idle(2_000_000);
+        assert!(drained > 0, "nothing left to drain after the restart");
+
+        // The slab ledger: no pending events, no live arena slots, and
+        // the arena did grow (the scenario exercised it).
+        assert_eq!(sim.pending_events(), 0, "queue not idle");
+        assert_eq!(
+            sim.event_arena_in_use(),
+            0,
+            "event slab leaked {} of {} slots",
+            sim.event_arena_in_use(),
+            sim.event_arena_capacity()
+        );
+        assert!(sim.event_arena_capacity() > 0);
+
+        let received = sim.node_ref::<QuietSub>(sub).unwrap().received;
+        assert!(received > 0, "no deliveries before the crash");
+
+        // Serialize the full flight recorder; two runs must agree byte
+        // for byte (timer-wheel and slab determinism end to end).
+        let recorder: String = sim
+            .telemetry()
+            .tracer
+            .events()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} n{} {} t{} {} {}\n",
+                    e.time_ns, e.node, e.node_name, e.trace_id, e.kind, e.detail
+                )
+            })
+            .collect();
+        assert!(!recorder.is_empty(), "flight recorder captured nothing");
+        (received, sim.event_arena_capacity(), recorder)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "delivery counts diverged");
+    assert_eq!(a.1, b.1, "arena high-water marks diverged");
+    assert_eq!(a.2, b.2, "flight-recorder output diverged between runs");
+}
