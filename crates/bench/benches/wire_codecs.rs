@@ -27,6 +27,7 @@ fn publish(i: usize) -> WirePacket {
         retain: i % 2 == 0,
         qos: QoS::AtLeastOnce,
         trace: i as u64,
+        span: i as u64 + 1,
     }
 }
 
@@ -42,6 +43,7 @@ fn bridge_batch(frames: usize) -> WirePacket {
                     retain,
                     qos,
                     trace,
+                    span,
                     ..
                 } = publish(i)
                 else {
@@ -53,6 +55,7 @@ fn bridge_batch(frames: usize) -> WirePacket {
                     retain,
                     qos,
                     trace,
+                    span,
                 }
             })
             .collect(),

@@ -21,16 +21,33 @@
 //! * `sim_x_real` — simulated seconds per wall second (>1 means the
 //!   city runs faster than real time).
 //!
+//! The run also stands up the PR-7 ops plane: a master with the fleet
+//! scraper tracking every broker shard, a probe node scraping
+//! `GET /fleet/metrics` over the Web-Service wire, every 50th building
+//! publishing traced (so the `publish_to_deliver` SLO harvest has
+//! flights to measure), and a scraped-gauge + SLO section after each
+//! scale's table row. `DIMMER_E13_JSON=<file>` appends one JSON line
+//! per SLO report for the bench gate.
+//!
 //! `DIMMER_E13_SMOKE=1` shrinks the run (500 buildings, short window)
 //! so `scripts/ci.sh` can exercise the binary in debug builds.
 
-use district::report::{fmt_f64, Table};
+use dimmer_core::DistrictId;
+use district::report::{fmt_f64, install_default_slos, slo_report, Table};
+use master::MasterNode;
+use proxy::webservice::{WsClient, WsClientEvent, WsRequest};
 use pubsub::{
     BrokerNode, FederationConfig, PubSubClient, PubSubEvent, QoS, ShardMap, Topic, TopicFilter,
     PUBSUB_PORT,
 };
 use simnet::batch::BatchPolicy;
 use simnet::{Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag};
+
+/// Every Nth building publishes traced: enough flights for the SLO
+/// harvest without flooding the trace ring at the 10k scale.
+const TRACED_BUILDING_STRIDE: usize = 50;
+/// How often the master's fleet scraper and the probe poll.
+const SCRAPE_INTERVAL: SimDuration = SimDuration::from_secs(5);
 
 const BUILDINGS_PER_DISTRICT: usize = 100;
 const PUBLISH_INTERVAL: SimDuration = SimDuration::from_secs(2);
@@ -74,6 +91,9 @@ struct LoadPub {
     start_offset: SimDuration,
     stop_at: SimTime,
     sent: u64,
+    /// When set, every publish mints a flight-recorder trace whose
+    /// spans feed the `publish_to_deliver` SLO harvest.
+    traced: bool,
 }
 
 impl Node for LoadPub {
@@ -95,15 +115,79 @@ impl Node for LoadPub {
         while payload.len() < 64 {
             payload.push(' ');
         }
-        self.client.publish(
-            ctx,
-            self.topic.clone(),
-            payload.into_bytes(),
-            false,
-            QoS::AtMostOnce,
-        );
+        if self.traced {
+            let trace = ctx.telemetry().tracer.next_trace_id();
+            let span = ctx.trace_hop("pub.send", trace, self.topic.as_str());
+            self.client.publish_spanned(
+                ctx,
+                self.topic.clone(),
+                payload.into_bytes(),
+                false,
+                QoS::AtMostOnce,
+                trace,
+                span,
+            );
+        } else {
+            self.client.publish(
+                ctx,
+                self.topic.clone(),
+                payload.into_bytes(),
+                false,
+                QoS::AtMostOnce,
+            );
+        }
         self.sent += 1;
         ctx.set_timer(self.interval, TimerTag(1));
+    }
+}
+
+/// Periodically scrapes the master's merged `GET /fleet/metrics` over
+/// the Web-Service wire, keeping the last successful exposition body.
+struct FleetProbe {
+    client: WsClient,
+    master: NodeId,
+    interval: SimDuration,
+    scrapes: u64,
+    last_body: Option<String>,
+}
+
+impl FleetProbe {
+    fn new(master: NodeId, interval: SimDuration) -> Self {
+        FleetProbe {
+            // Tag base far above TimerTag(1) so probe timers and RPC
+            // retry timers cannot collide.
+            client: WsClient::new(1_000_000),
+            master,
+            interval,
+            scrapes: 0,
+            last_body: None,
+        }
+    }
+}
+
+impl Node for FleetProbe {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(self.interval, TimerTag(1));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        let _ = ctx;
+        if let Some(WsClientEvent::Response { response, .. }) = self.client.accept(&pkt) {
+            if response.is_ok() {
+                if let Some(text) = response.body.as_str() {
+                    self.scrapes += 1;
+                    self.last_body = Some(text.to_string());
+                }
+            }
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag == TimerTag(1) {
+            self.client
+                .request(ctx, self.master, &WsRequest::get("/fleet/metrics"));
+            ctx.set_timer(self.interval, TimerTag(1));
+        } else {
+            self.client.on_timer(ctx, tag);
+        }
     }
 }
 
@@ -156,6 +240,11 @@ struct RunResult {
     p99_ms: f64,
     sim_events: u64,
     wall_s: f64,
+    /// Queue-depth / ops / SLO gauge lines from the probe's last
+    /// wire-scraped `/fleet/metrics` body.
+    fleet_lines: Vec<String>,
+    /// SLO reports evaluated at the end of the run.
+    slos: Vec<simnet::telemetry::SloReport>,
 }
 
 fn run_scale(
@@ -166,7 +255,23 @@ fn run_scale(
 ) -> RunResult {
     let districts = buildings.div_ceil(BUILDINGS_PER_DISTRICT);
     let mut sim = Simulator::new(SimConfig::default());
+    install_default_slos(sim.telemetry());
     let brokers = build_brokers(&mut sim, shards, districts);
+
+    // Ops plane: a master scraping every broker shard, plus a probe
+    // pulling the merged fleet exposition over the Web-Service wire.
+    let mut master_node = MasterNode::new((0..districts).map(|d| {
+        (
+            DistrictId::new(format!("d{d}")).expect("valid district id"),
+            format!("District {d}"),
+        )
+    }));
+    master_node.enable_fleet_scrape(SCRAPE_INTERVAL);
+    for (i, &b) in brokers.iter().enumerate() {
+        master_node.track_broker(format!("b{i}"), b);
+    }
+    let master = sim.add_node("master", master_node);
+    let probe = sim.add_node("fleet-probe", FleetProbe::new(master, SCRAPE_INTERVAL));
 
     let t0 = SimTime::ZERO + warmup;
     let t1 = t0 + measure;
@@ -198,6 +303,7 @@ fn run_scale(
                 start_offset: SimDuration::from_millis((b as u64 * 7) % 2000),
                 stop_at: t1,
                 sent: 0,
+                traced: b % TRACED_BUILDING_STRIDE == 0,
             },
         );
     }
@@ -220,6 +326,42 @@ fn run_scale(
         .copied()
         .unwrap_or(0);
     let measure_s = measure.as_nanos() as f64 / 1e9;
+
+    // The ops-plane harvest: the probe must have scraped the fleet view
+    // over the wire at least once, and the default SLO must have real
+    // flights behind it.
+    let probe_ref = sim.node_ref::<FleetProbe>(probe).expect("probe");
+    assert!(
+        probe_ref.scrapes > 0,
+        "fleet probe never scraped /fleet/metrics"
+    );
+    let body = probe_ref.last_body.clone().unwrap_or_default();
+    let fleet_lines: Vec<String> = body
+        .lines()
+        .filter(|l| {
+            // Exposition names are sanitised (dots → underscores).
+            l.starts_with("pubsub_pending_deliveries_")
+                || l.starts_with("pubsub_bridge_")
+                || l.starts_with("ops_up_")
+                || l.starts_with("slo_")
+        })
+        .map(str::to_string)
+        .collect();
+    let slos = sim.telemetry().slo_refresh();
+    let e2e = slos
+        .iter()
+        .find(|r| r.name == "publish_to_deliver")
+        .expect("default SLO installed");
+    assert!(
+        e2e.count > 0,
+        "publish_to_deliver SLO harvested no traced flights"
+    );
+    assert!(
+        e2e.met,
+        "publish_to_deliver SLO missed: attainment {:.4} over {} flights (burn {:.2})",
+        e2e.attainment, e2e.count, e2e.burn
+    );
+
     RunResult {
         districts,
         shards,
@@ -228,6 +370,8 @@ fn run_scale(
         p99_ms: p99 as f64 / 1e6,
         sim_events: sim.metrics().events_processed,
         wall_s,
+        fleet_lines,
+        slos,
     }
 }
 
@@ -264,6 +408,7 @@ fn main() {
         ],
     );
     let sim_span_s = (warmup + measure).as_nanos() as f64 / 1e9;
+    let mut ops_sections: Vec<(usize, Vec<String>, Vec<simnet::telemetry::SloReport>)> = Vec::new();
     for &(buildings, shards) in &scales {
         let r = run_scale(buildings, shards, warmup, measure);
         // The engine must keep up: losing deliveries at QoS 0 with no NIC
@@ -286,7 +431,45 @@ fn main() {
             fmt_f64(r.sim_events as f64 / r.wall_s, 0),
             fmt_f64(sim_span_s / r.wall_s, 1),
         ]);
+        ops_sections.push((buildings, r.fleet_lines, r.slos));
     }
     println!("{table}");
     println!("# series (csv)\n{}", table.to_csv());
+
+    for (buildings, fleet_lines, slos) in &ops_sections {
+        println!("## E13: fleet scrape ({buildings} buildings, wire-scraped /fleet/metrics)");
+        for line in fleet_lines {
+            println!("{line}");
+        }
+        print!(
+            "{}",
+            slo_report(&format!("E13 ({buildings} buildings)"), slos)
+        );
+    }
+
+    // Bench-gate hook: append one JSON record per SLO report so
+    // scripts/bench_gate.sh can fold attainment into its baseline.
+    if let Ok(path) = std::env::var("DIMMER_E13_JSON") {
+        if !path.is_empty() {
+            use std::io::Write;
+            let mut out = String::new();
+            for (buildings, _, slos) in &ops_sections {
+                for r in slos {
+                    out.push_str(&format!(
+                        "{{\"slo\":\"{}\",\"buildings\":{},\"count\":{},\
+                         \"attainment\":{:.6},\"burn\":{:.4},\"met\":{}}}\n",
+                        r.name, buildings, r.count, r.attainment, r.burn, r.met
+                    ));
+                }
+            }
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(out.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("DIMMER_E13_JSON: cannot write {path}: {e}");
+            }
+        }
+    }
 }

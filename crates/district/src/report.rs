@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use simnet::telemetry::{MetricsSnapshot, Telemetry};
+use simnet::telemetry::{MetricsSnapshot, SloReport, SloSpec, Telemetry};
 
 /// A column-aligned table that prints like the tables in a paper.
 ///
@@ -140,6 +140,55 @@ pub fn metrics_report(title: &str, snapshot: &MetricsSnapshot) -> String {
     out
 }
 
+/// Installs the framework's default latency objective: 99% of traced
+/// publishes must reach a subscriber within 250 ms. The histogram is
+/// fed by a trace harvest from `broker.publish` to `sub.receive`, so
+/// it covers the full path including store-and-forward replays and
+/// federation bridge hops. Idempotent.
+pub fn install_default_slos(telemetry: &Telemetry) {
+    telemetry
+        .slos
+        .add_harvest("slo.publish_to_deliver_ns", "broker.publish", "sub.receive");
+    telemetry.slos.add_spec(SloSpec {
+        name: "publish_to_deliver".to_string(),
+        histogram: "slo.publish_to_deliver_ns".to_string(),
+        target_ns: 250_000_000.0,
+        objective: 0.99,
+    });
+}
+
+/// Renders SLO reports as a table: target, objective, observed
+/// attainment, and error-budget burn. Empty input renders nothing.
+pub fn slo_report(title: &str, reports: &[SloReport]) -> String {
+    if reports.is_empty() {
+        return String::new();
+    }
+    let mut t = Table::new(
+        format!("{title}: SLOs"),
+        [
+            "slo",
+            "target_ms",
+            "objective",
+            "count",
+            "attainment",
+            "met",
+            "burn",
+        ],
+    );
+    for r in reports {
+        t.row([
+            r.name.clone(),
+            fmt_f64(r.target_ns / 1e6, 1),
+            fmt_f64(r.objective, 3),
+            r.count.to_string(),
+            fmt_f64(r.attainment, 4),
+            if r.met { "yes" } else { "NO" }.to_string(),
+            fmt_f64(r.burn, 2),
+        ]);
+    }
+    t.to_string()
+}
+
 /// Dumps the flight-recorder trace as JSON lines when the `DIMMER_TRACE`
 /// environment variable is set: to stdout for `-` or `1`, else to the
 /// file it names. Returns a description of where the trace went, or
@@ -234,6 +283,38 @@ mod tests {
             metrics_report("x", &Telemetry::new().metrics.snapshot()),
             ""
         );
+    }
+
+    #[test]
+    fn default_slos_harvest_publish_to_deliver() {
+        let telemetry = Telemetry::new();
+        install_default_slos(&telemetry);
+        install_default_slos(&telemetry); // idempotent
+        let trace = telemetry.tracer.next_trace_id();
+        telemetry
+            .tracer
+            .record(1_000, 1, "broker.publish", trace, "");
+        telemetry
+            .tracer
+            .record(2_000_000, 2, "sub.receive", trace, "");
+        let reports = telemetry.slo_refresh();
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.name, "publish_to_deliver");
+        assert_eq!(r.count, 1);
+        assert!(r.met, "2 ms flight is inside the 250 ms target");
+        let text = slo_report("E13", &reports);
+        assert!(text.contains("E13: SLOs"));
+        assert!(text.contains("publish_to_deliver"));
+        assert!(text.contains("yes"));
+        // Gauges landed in the registry.
+        let snap = telemetry.metrics.snapshot();
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, _)| n == "slo.publish_to_deliver.attainment"));
+        // Empty input renders nothing.
+        assert_eq!(slo_report("x", &[]), "");
     }
 
     #[test]

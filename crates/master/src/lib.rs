@@ -25,22 +25,46 @@
 //! | `GET /district/{id}/profile` | aggregator URIs serving windowed rollups |
 //! | `GET /ontology` | full forest snapshot |
 //! | `GET /stats` | registry counters |
+//!
+//! ## Ops plane
+//!
+//! | Method + path | Answer |
+//! |---|---|
+//! | `GET /metrics` | Prometheus-style text exposition |
+//! | `GET /health` | the master's own liveness view |
+//! | `GET /fleet/metrics` | exposition after an SLO + fleet-gauge refresh |
+//! | `GET /fleet/health` | per-node up/down, scrape staleness and health bodies |
+//!
+//! The fleet view is fed by the **fleet scraper**
+//! ([`MasterNode::enable_fleet_scrape`]): a periodic sweep that polls
+//! every registered proxy's `GET /health` over the Web-Service layer
+//! and every tracked broker shard's `/health` over the middleware ops
+//! tags, recording who answered and when (`ops.up.<name>`,
+//! `ops.scrape_age_ns.<name>` gauges).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dimmer_core::{DistrictId, EntityKind, ProxyId, QuantityKind, Uri, Value};
 use gis::geo::BoundingBox;
 use ontology::{Ontology, OntologyError};
 use proxy::registration::{ProxyRef, ProxyRole, Registration};
-use proxy::webservice::{status, PathPattern, WsCall, WsRequest, WsResponse, WsServer};
-use proxy::WS_PORT;
-use simnet::{Context, Node, Packet, SimDuration, SimTime, TimerTag};
+use proxy::webservice::{
+    status, PathPattern, WsCall, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer,
+};
+use proxy::{uri_node, WS_PORT};
+use pubsub::{WirePacket, PUBSUB_PORT};
+use simnet::{Context, Node, NodeId, Packet, SimDuration, SimTime, TimerTag};
 
 const TAG_LIVENESS: TimerTag = TimerTag(1);
+const TAG_SCRAPE: TimerTag = TimerTag(2);
+/// Timer tags above this belong to the scraper's Web-Service client.
+const WS_CLIENT_TAGS: u64 = 3_000_000_000;
 /// How often the master sweeps for dead proxies.
 const LIVENESS_PERIOD: SimDuration = SimDuration::from_secs(30);
 /// A proxy silent for longer than this is evicted.
 const LIVENESS_HORIZON: SimDuration = SimDuration::from_secs(100);
+/// Default fleet-scrape period.
+pub const DEFAULT_SCRAPE_INTERVAL: SimDuration = SimDuration::from_secs(15);
 
 /// Registry counters exposed at `GET /stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,6 +89,34 @@ struct ProxyRecord {
     /// Ontology bookkeeping to undo on deregistration/eviction.
     contribution: Contribution,
     last_seen: SimTime,
+}
+
+/// One scraped node's last known state.
+#[derive(Debug, Clone)]
+struct ScrapeRecord {
+    kind: &'static str,
+    /// When the last successful scrape of this target landed.
+    last_ok: Option<SimTime>,
+    up: bool,
+    /// The `/health` body from the last successful scrape.
+    health: Value,
+}
+
+/// State of the periodic fleet scraper (absent until
+/// [`MasterNode::enable_fleet_scrape`]).
+#[derive(Debug)]
+struct FleetScrape {
+    interval: SimDuration,
+    /// Broker shards polled over the middleware ops tags.
+    brokers: Vec<(String, NodeId)>,
+    /// Scrape records keyed by target name (proxy id or broker label),
+    /// sorted so `/fleet/health` is deterministic.
+    records: BTreeMap<String, ScrapeRecord>,
+    /// In-flight Web-Service probes: request id → target name.
+    inflight_ws: HashMap<u64, String>,
+    /// In-flight broker ops probes: `OpsGet` id → target name.
+    inflight_ops: HashMap<u64, String>,
+    next_ops_id: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -94,6 +146,10 @@ pub struct MasterNode {
     /// District → owning broker-shard label, reapplied after restarts
     /// (empty on single-broker deployments).
     shard_owners: Vec<(DistrictId, String)>,
+    /// Client half used by the fleet scraper's `/health` probes.
+    ws_client: WsClient,
+    /// Fleet scraper state; `None` until enabled.
+    scrape: Option<FleetScrape>,
     stats: MasterStats,
 }
 
@@ -128,8 +184,40 @@ impl MasterNode {
             parked: Vec::new(),
             seeds,
             shard_owners: Vec::new(),
+            ws_client: WsClient::new(WS_CLIENT_TAGS),
+            scrape: None,
             stats: MasterStats::default(),
         }
+    }
+
+    /// Turns on the periodic fleet scraper: every `interval` the master
+    /// probes each registered proxy's `GET /health` (plus every broker
+    /// tracked with [`MasterNode::track_broker`]) and records who
+    /// answered, feeding the `ops.up.<name>` / `ops.scrape_age_ns.<name>`
+    /// gauges and the `/fleet/*` endpoints.
+    pub fn enable_fleet_scrape(&mut self, interval: SimDuration) {
+        self.scrape = Some(FleetScrape {
+            interval,
+            brokers: Vec::new(),
+            records: BTreeMap::new(),
+            inflight_ws: HashMap::new(),
+            inflight_ops: HashMap::new(),
+            next_ops_id: 1,
+        });
+    }
+
+    /// Adds a broker shard to the fleet scrape (brokers speak the
+    /// middleware wire, not the Web Service, so they cannot register
+    /// like proxies). Enables the scraper at
+    /// [`DEFAULT_SCRAPE_INTERVAL`] if it was off.
+    pub fn track_broker(&mut self, label: impl Into<String>, node: NodeId) {
+        if self.scrape.is_none() {
+            self.enable_fleet_scrape(DEFAULT_SCRAPE_INTERVAL);
+        }
+        let scrape = self.scrape.as_mut().expect("just enabled");
+        let label = label.into();
+        scrape.brokers.retain(|(l, _)| *l != label);
+        scrape.brokers.push((label, node));
     }
 
     /// Records the broker shard owning each listed district. The
@@ -349,6 +437,19 @@ impl MasterNode {
                 self.stats.queries += 1;
                 WsResponse::ok(self.ontology.to_value())
             }
+            (proxy::webservice::Method::Get, "/metrics") => {
+                WsResponse::ok(Value::from(ctx.telemetry().exposition()))
+            }
+            (proxy::webservice::Method::Get, "/health") => self.get_health(),
+            (proxy::webservice::Method::Get, "/fleet/metrics") => {
+                // A fleet scrape is the natural refresh point: recompute
+                // SLO attainment from the histograms and fold the
+                // scraper's up/staleness view in before rendering.
+                ctx.telemetry().slo_refresh();
+                self.refresh_fleet_gauges(ctx);
+                WsResponse::ok(Value::from(ctx.telemetry().exposition()))
+            }
+            (proxy::webservice::Method::Get, "/fleet/health") => self.get_fleet_health(ctx),
             (proxy::webservice::Method::Get, "/stats") => WsResponse::ok(Value::object([
                 (
                     "registrations",
@@ -552,6 +653,191 @@ impl MasterNode {
         WsResponse::error(status::NOT_FOUND, "unknown endpoint")
     }
 
+    /// One scrape round: expire the previous round's unanswered probes,
+    /// refresh the fleet gauges, then fan a fresh `/health` probe out to
+    /// every registered proxy and tracked broker.
+    fn run_scrape(&mut self, ctx: &mut Context<'_>) {
+        let Some(scrape) = self.scrape.as_mut() else {
+            return;
+        };
+        // A probe still in flight from the previous round never
+        // answered: its target is down until proven otherwise.
+        for name in scrape.inflight_ws.drain().map(|(_, n)| n) {
+            if let Some(rec) = scrape.records.get_mut(&name) {
+                rec.up = false;
+            }
+        }
+        for name in scrape.inflight_ops.drain().map(|(_, n)| n) {
+            if let Some(rec) = scrape.records.get_mut(&name) {
+                rec.up = false;
+            }
+        }
+        ctx.telemetry().metrics.incr("ops.scrapes");
+        // Proxies: whatever the registry holds right now, probed over
+        // the Web Service at the node its registration URI names.
+        let proxies: Vec<(String, NodeId, &'static str)> = self
+            .registry
+            .iter()
+            .filter_map(|(id, record)| {
+                uri_node(&record.uri).map(|node| (id.as_str().to_owned(), node, record.kind))
+            })
+            .collect();
+        for (name, node, kind) in proxies {
+            let id = self
+                .ws_client
+                .request(ctx, node, &WsRequest::get("/health"));
+            scrape.inflight_ws.insert(id, name.clone());
+            scrape.records.entry(name).or_insert(ScrapeRecord {
+                kind,
+                last_ok: None,
+                up: false,
+                health: Value::Null,
+            });
+        }
+        // Brokers: probed over the middleware ops tags.
+        for (label, node) in scrape.brokers.clone() {
+            let id = scrape.next_ops_id;
+            scrape.next_ops_id += 1;
+            ctx.send(
+                node,
+                PUBSUB_PORT,
+                WirePacket::OpsGet {
+                    id,
+                    path: "/health".to_owned(),
+                }
+                .encode(),
+            );
+            scrape.inflight_ops.insert(id, label.clone());
+            scrape.records.entry(label).or_insert(ScrapeRecord {
+                kind: "broker",
+                last_ok: None,
+                up: false,
+                health: Value::Null,
+            });
+        }
+        self.refresh_fleet_gauges(ctx);
+    }
+
+    /// Publishes the scraper's view as gauges: `ops.up.<name>` (1 up,
+    /// 0 down) and `ops.scrape_age_ns.<name>` (time since the last
+    /// successful scrape; sim age when never scraped).
+    fn refresh_fleet_gauges(&self, ctx: &Context<'_>) {
+        let Some(scrape) = self.scrape.as_ref() else {
+            return;
+        };
+        let metrics = &ctx.telemetry().metrics;
+        for (name, rec) in &scrape.records {
+            metrics.set_gauge(&format!("ops.up.{name}"), if rec.up { 1.0 } else { 0.0 });
+            let age = match rec.last_ok {
+                Some(t) => ctx.now().saturating_since(t).as_nanos(),
+                None => ctx.now().as_nanos(),
+            };
+            metrics.set_gauge(&format!("ops.scrape_age_ns.{name}"), age as f64);
+        }
+    }
+
+    fn on_scrape_ws_event(&mut self, ctx: &Context<'_>, event: WsClientEvent) {
+        let Some(scrape) = self.scrape.as_mut() else {
+            return;
+        };
+        match event {
+            WsClientEvent::Response { id, response } => {
+                let Some(name) = scrape.inflight_ws.remove(&id) else {
+                    return;
+                };
+                if let Some(rec) = scrape.records.get_mut(&name) {
+                    rec.up = response.is_ok();
+                    if response.is_ok() {
+                        rec.last_ok = Some(ctx.now());
+                        rec.health = response.body;
+                    }
+                }
+            }
+            WsClientEvent::TimedOut { id } => {
+                if let Some(name) = scrape.inflight_ws.remove(&id) {
+                    if let Some(rec) = scrape.records.get_mut(&name) {
+                        rec.up = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_scrape_ops_reply(&mut self, ctx: &Context<'_>, id: u64, reply_status: u16, body: &[u8]) {
+        let Some(scrape) = self.scrape.as_mut() else {
+            return;
+        };
+        let Some(name) = scrape.inflight_ops.remove(&id) else {
+            return;
+        };
+        if let Some(rec) = scrape.records.get_mut(&name) {
+            rec.up = reply_status == status::OK;
+            if rec.up {
+                rec.last_ok = Some(ctx.now());
+                rec.health = std::str::from_utf8(body)
+                    .ok()
+                    .and_then(|text| dimmer_core::json::from_str(text).ok())
+                    .unwrap_or(Value::Null);
+            }
+        }
+    }
+
+    /// The master's own liveness view.
+    fn get_health(&self) -> WsResponse {
+        WsResponse::ok(Value::object([
+            ("status", Value::from("ok")),
+            ("kind", Value::from("master")),
+            ("proxies", Value::from(self.registry.len() as i64)),
+            ("parked_devices", Value::from(self.parked.len() as i64)),
+            (
+                "districts",
+                Value::from(self.ontology.district_count() as i64),
+            ),
+            ("fleet_scrape", Value::from(self.scrape.is_some())),
+        ]))
+    }
+
+    /// The merged fleet liveness view: one entry per scraped node with
+    /// its up/down verdict, scrape staleness and last health body.
+    fn get_fleet_health(&self, ctx: &Context<'_>) -> WsResponse {
+        let Some(scrape) = self.scrape.as_ref() else {
+            return WsResponse::error(status::NOT_FOUND, "fleet scrape not enabled");
+        };
+        self.refresh_fleet_gauges(ctx);
+        let (mut up, mut down) = (0i64, 0i64);
+        let nodes: Vec<Value> = scrape
+            .records
+            .iter()
+            .map(|(name, rec)| {
+                if rec.up {
+                    up += 1;
+                } else {
+                    down += 1;
+                }
+                let age = match rec.last_ok {
+                    Some(t) => ctx.now().saturating_since(t).as_nanos(),
+                    None => ctx.now().as_nanos(),
+                };
+                Value::object([
+                    ("name", Value::from(name.as_str())),
+                    ("kind", Value::from(rec.kind)),
+                    ("up", Value::from(rec.up)),
+                    ("scrape_age_ns", Value::from(age as i64)),
+                    ("health", rec.health.clone()),
+                ])
+            })
+            .collect();
+        WsResponse::ok(Value::object([
+            (
+                "status",
+                Value::from(if down == 0 { "ok" } else { "degraded" }),
+            ),
+            ("up", Value::from(up)),
+            ("down", Value::from(down)),
+            ("nodes", Value::Array(nodes)),
+        ]))
+    }
+
     fn sweep_liveness(&mut self, now: SimTime) -> u64 {
         let mut dead: Vec<ProxyId> = self
             .registry
@@ -584,6 +870,9 @@ impl MasterNode {
 impl Node for MasterNode {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
+        if let Some(scrape) = &self.scrape {
+            ctx.set_timer(scrape.interval, TAG_SCRAPE);
+        }
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_>) {
@@ -601,17 +890,37 @@ impl Node for MasterNode {
         self.apply_shard_owners();
         self.registry.clear();
         self.parked.clear();
+        self.ws_client.reset();
+        if let Some(scrape) = &mut self.scrape {
+            // In-flight probes died with the process; the records (and
+            // their gauges) survive like any other lifetime counter.
+            scrape.inflight_ws.clear();
+            scrape.inflight_ops.clear();
+        }
         ctx.telemetry().metrics.incr("master.restart");
         ctx.telemetry().metrics.set_gauge("master.proxies", 0.0);
         self.on_start(ctx);
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
-        if pkt.port != WS_PORT {
-            return;
-        }
-        if let Some(call) = self.ws.accept(ctx, &pkt) {
-            self.handle(ctx, call);
+        match pkt.port {
+            WS_PORT => {
+                if let Some(event) = self.ws_client.accept(&pkt) {
+                    self.on_scrape_ws_event(ctx, event);
+                    return;
+                }
+                if let Some(call) = self.ws.accept(ctx, &pkt) {
+                    self.handle(ctx, call);
+                }
+            }
+            PUBSUB_PORT => {
+                if let Ok(WirePacket::OpsReply { id, status, body }) =
+                    WirePacket::decode(&pkt.payload)
+                {
+                    self.on_scrape_ops_reply(ctx, id, status, &body);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -625,6 +934,15 @@ impl Node for MasterNode {
                     .set_gauge("master.proxies", self.registry.len() as f64);
             }
             ctx.set_timer(LIVENESS_PERIOD, TAG_LIVENESS);
+        } else if tag == TAG_SCRAPE {
+            self.run_scrape(ctx);
+            if let Some(scrape) = &self.scrape {
+                ctx.set_timer(scrape.interval, TAG_SCRAPE);
+            }
+        } else if tag.0 >= WS_CLIENT_TAGS {
+            if let Some(event) = self.ws_client.on_timer(ctx, tag) {
+                self.on_scrape_ws_event(ctx, event);
+            }
         }
     }
 }

@@ -428,6 +428,15 @@ impl Node for DatabaseProxyNode {
             let response = match call.request.path.as_str() {
                 "/model" => WsResponse::ok(self.source.model()),
                 "/query" => self.source.query(&call.request),
+                "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
+                "/health" => WsResponse::ok(Value::object([
+                    ("status", Value::from("ok")),
+                    ("proxy", Value::from(self.proxy.as_str())),
+                    ("district", Value::from(self.district.as_str())),
+                    ("kind", Value::from("database")),
+                    ("registered", Value::from(self.registered)),
+                    ("ws_requests", Value::from(self.stats.ws_requests as i64)),
+                ])),
                 _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
             };
             self.ws.respond(ctx, &call, response);

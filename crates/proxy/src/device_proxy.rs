@@ -118,6 +118,9 @@ struct BufferedSample {
     topic: Topic,
     payload: Vec<u8>,
     trace: u64,
+    /// Causal parent for the next hop this sample takes (the span of
+    /// the last hop recorded for it: ingest, buffer or replay).
+    span: u64,
 }
 
 /// The Device-proxy node.
@@ -248,19 +251,24 @@ impl DeviceProxyNode {
         self.ws_client.request(ctx, self.config.master, &request);
     }
 
-    fn ingest(&mut self, ctx: &mut Context<'_>, samples: Vec<(QuantityKind, f64)>, trace: u64) {
+    fn ingest(
+        &mut self,
+        ctx: &mut Context<'_>,
+        samples: Vec<(QuantityKind, f64)>,
+        trace: u64,
+        parent_span: u64,
+    ) {
         let unix = unix_millis_at(self.config.epoch_offset_millis, ctx.now());
         for (quantity, value) in samples {
             self.store.insert(quantity.as_str(), unix, value);
             self.stats.samples_ingested += 1;
             ctx.telemetry().metrics.incr("proxy.samples_ingested");
-            if trace != 0 {
-                ctx.trace_hop(
-                    "proxy.ingest",
-                    trace,
-                    format!("device={} quantity={quantity}", self.config.device),
-                );
-            }
+            let ingest_span = ctx.span_hop(
+                "proxy.ingest",
+                trace,
+                parent_span,
+                format!("device={} quantity={quantity}", self.config.device),
+            );
             if self.pubsub.is_some() {
                 let topic = self.topic_for(quantity);
                 let measurement = Measurement::new(
@@ -274,6 +282,7 @@ impl DeviceProxyNode {
                     topic,
                     payload: dimmer_core::json::to_string(&measurement.to_value()).into_bytes(),
                     trace,
+                    span: ingest_span,
                 };
                 if self.config.publish_qos == QoS::AtLeastOnce && self.broker_down {
                     self.buffer_sample(ctx, sample);
@@ -290,13 +299,14 @@ impl DeviceProxyNode {
         let Some(pubsub) = &mut self.pubsub else {
             return;
         };
-        let id = pubsub.publish_traced(
+        let id = pubsub.publish_spanned(
             ctx,
             sample.topic.clone(),
             sample.payload.clone(),
             true,
             self.config.publish_qos,
             sample.trace,
+            sample.span,
         );
         self.stats.published += 1;
         ctx.telemetry().metrics.incr("proxy.published");
@@ -307,42 +317,46 @@ impl DeviceProxyNode {
 
     /// Parks a QoS 1 sample in the bounded store-and-forward buffer,
     /// shedding the oldest entry on overflow.
-    fn buffer_sample(&mut self, ctx: &mut Context<'_>, sample: BufferedSample) {
+    fn buffer_sample(&mut self, ctx: &mut Context<'_>, mut sample: BufferedSample) {
         if self.backlog.len() >= self.backlog_capacity {
             self.backlog.pop_front();
             self.stats.shed += 1;
             ctx.telemetry().metrics.incr("proxy.shed");
         }
-        if sample.trace != 0 {
-            ctx.trace_hop(
-                "proxy.buffer",
-                sample.trace,
-                format!("backlog={}", self.backlog.len() + 1),
-            );
-        }
+        sample.span = ctx.span_hop(
+            "proxy.buffer",
+            sample.trace,
+            sample.span,
+            format!("backlog={}", self.backlog.len() + 1),
+        );
         self.backlog.push_back(sample);
         self.stats.buffered += 1;
         ctx.telemetry().metrics.incr("proxy.buffered");
+        ctx.telemetry()
+            .metrics
+            .set_gauge("proxy.backlog", self.backlog.len() as f64);
     }
 
     /// A QoS 1 publish ran out of retries: the broker is unreachable.
     fn on_publish_timeout(&mut self, ctx: &mut Context<'_>, id: u64) {
-        if let Some(sample) = self.inflight.remove(&id) {
+        if let Some(mut sample) = self.inflight.remove(&id) {
             // Requeue at the front — it is older than everything parked.
             if self.backlog.len() >= self.backlog_capacity {
                 self.stats.shed += 1;
                 ctx.telemetry().metrics.incr("proxy.shed");
             } else {
-                if sample.trace != 0 {
-                    ctx.trace_hop(
-                        "proxy.buffer",
-                        sample.trace,
-                        format!("backlog={}", self.backlog.len() + 1),
-                    );
-                }
+                sample.span = ctx.span_hop(
+                    "proxy.buffer",
+                    sample.trace,
+                    sample.span,
+                    format!("backlog={}", self.backlog.len() + 1),
+                );
                 self.backlog.push_front(sample);
                 self.stats.buffered += 1;
                 ctx.telemetry().metrics.incr("proxy.buffered");
+                ctx.telemetry()
+                    .metrics
+                    .set_gauge("proxy.backlog", self.backlog.len() as f64);
             }
         }
         if !self.broker_down {
@@ -370,14 +384,14 @@ impl DeviceProxyNode {
         self.replay_backoff = REPLAY_BACKOFF_BASE;
         ctx.telemetry().metrics.incr("proxy.broker_up");
         let parked: Vec<BufferedSample> = self.backlog.drain(..).collect();
-        for sample in parked {
-            if sample.trace != 0 {
-                ctx.trace_hop(
-                    "proxy.replay",
-                    sample.trace,
-                    format!("device={}", self.config.device),
-                );
-            }
+        ctx.telemetry().metrics.set_gauge("proxy.backlog", 0.0);
+        for mut sample in parked {
+            sample.span = ctx.span_hop(
+                "proxy.replay",
+                sample.trace,
+                sample.span,
+                format!("device={}", self.config.device),
+            );
             self.stats.replayed += 1;
             ctx.telemetry().metrics.incr("proxy.replayed");
             self.publish_sample(ctx, sample);
@@ -393,6 +407,8 @@ impl DeviceProxyNode {
             "/latest" => self.latest(request),
             "/data" => self.data(request),
             "/actuate" => self.actuate(ctx, request),
+            "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
+            "/health" => self.health(ctx),
             _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
         };
         self.ws.respond(ctx, &call, response);
@@ -412,6 +428,31 @@ impl DeviceProxyNode {
             (
                 "uri",
                 Value::from(node_uri(ctx.node_id(), "/data").to_string()),
+            ),
+        ]))
+    }
+
+    /// The ops-plane liveness view: identity plus the queue depths that
+    /// show backpressure (store-and-forward backlog, unacked publishes).
+    fn health(&self, ctx: &Context<'_>) -> WsResponse {
+        let metrics = &ctx.telemetry().metrics;
+        metrics.set_gauge("proxy.backlog", self.backlog.len() as f64);
+        metrics.set_gauge("proxy.inflight_publishes", self.inflight.len() as f64);
+        WsResponse::ok(Value::object([
+            ("status", Value::from("ok")),
+            ("proxy", Value::from(self.config.proxy.as_str())),
+            ("device", Value::from(self.config.device.as_str())),
+            ("kind", Value::from("device")),
+            ("registered", Value::from(self.registered)),
+            ("broker_down", Value::from(self.broker_down)),
+            ("backlog", Value::from(self.backlog.len() as i64)),
+            (
+                "inflight_publishes",
+                Value::from(self.inflight.len() as i64),
+            ),
+            (
+                "samples_ingested",
+                Value::from(self.stats.samples_ingested as i64),
             ),
         ]))
     }
@@ -583,7 +624,7 @@ impl Node for DeviceProxyNode {
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         match pkt.port {
             crate::DEVICE_UPLINK_PORT => match self.adapter.decode_uplink(&pkt.payload) {
-                Ok(samples) => self.ingest(ctx, samples, pkt.trace),
+                Ok(samples) => self.ingest(ctx, samples, pkt.trace, pkt.span),
                 Err(_) => {
                     self.stats.decode_errors += 1;
                     ctx.telemetry().metrics.incr("proxy.decode_errors");
@@ -594,7 +635,7 @@ impl Node for DeviceProxyNode {
                     self.poll_tracker.accept(&pkt)
                 {
                     match self.adapter.decode_poll(&body) {
-                        Ok(samples) => self.ingest(ctx, samples, pkt.trace),
+                        Ok(samples) => self.ingest(ctx, samples, pkt.trace, pkt.span),
                         Err(_) => {
                             self.stats.decode_errors += 1;
                             ctx.telemetry().metrics.incr("proxy.decode_errors");

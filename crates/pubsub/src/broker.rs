@@ -80,6 +80,9 @@ struct LabeledNames {
     bridge_duplicate: String,
     bridge_retry: String,
     bridge_drop: String,
+    retained_gauge: String,
+    bridge_buffered: String,
+    bridge_inflight: String,
 }
 
 impl LabeledNames {
@@ -102,6 +105,9 @@ impl LabeledNames {
             bridge_duplicate: n("pubsub.bridge.duplicate"),
             bridge_retry: n("pubsub.bridge.retry"),
             bridge_drop: n("pubsub.bridge.drop"),
+            retained_gauge: n("pubsub.retained"),
+            bridge_buffered: n("pubsub.bridge.buffered"),
+            bridge_inflight: n("pubsub.bridge.inflight"),
         }
     }
 }
@@ -143,13 +149,15 @@ pub struct BrokerStats {
 #[derive(Debug, Default)]
 pub struct BrokerNode {
     subscriptions: SubscriptionTrie<Subscription>,
-    /// topic text → (topic, last retained payload, its trace id).
+    /// topic text → (topic, last retained payload, trace id, span).
     ///
     /// Keeping the trace id means a late subscriber's retained delivery
     /// still shows up in the flight recorder as part of the original
     /// publication's journey — without it, samples replayed across a
-    /// broker restart would look lost even though they arrived.
-    retained: HashMap<String, (Topic, Vec<u8>, u64)>,
+    /// broker restart would look lost even though they arrived. The span
+    /// likewise parents the late delivery under the original publish in
+    /// the causal span tree.
+    retained: HashMap<String, (Topic, Vec<u8>, u64, u64)>,
     pending: HashMap<u64, PendingDelivery>,
     next_delivery_id: u64,
     /// Bumped on every restart; clients learn it via Ping/Pong and use a
@@ -248,6 +256,7 @@ impl BrokerNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the Deliver wire frame field for field
     fn deliver(
         &mut self,
         ctx: &mut Context<'_>,
@@ -256,9 +265,20 @@ impl BrokerNode {
         payload: &[u8],
         qos: QoS,
         trace: u64,
+        parent_span: u64,
     ) {
         let id = self.next_delivery_id;
         self.next_delivery_id += 1;
+        let span = if trace != 0 {
+            ctx.span_hop(
+                "broker.deliver",
+                trace,
+                parent_span,
+                format!("to={to} topic={topic}"),
+            )
+        } else {
+            0
+        };
         // Encode straight from the borrowed view: the topic and payload
         // are never materialized, only serialized.
         let bytes = PacketRef::Deliver {
@@ -267,13 +287,11 @@ impl BrokerNode {
             payload,
             qos,
             trace,
+            span,
         }
         .encode();
         self.incr(ctx, "pubsub.deliver", |l| &l.deliver);
-        if trace != 0 {
-            ctx.trace_hop("broker.deliver", trace, format!("to={to} topic={topic}"));
-        }
-        ctx.send_traced(to, crate::PUBSUB_PORT, bytes.clone(), trace);
+        ctx.send_spanned(to, crate::PUBSUB_PORT, bytes.clone(), trace, span);
         self.stats.delivered += 1;
         if qos == QoS::AtLeastOnce {
             self.stats.qos1_enqueued += 1;
@@ -302,16 +320,20 @@ impl BrokerNode {
         retain: bool,
         qos: QoS,
         trace: u64,
+        span: u64,
     ) {
         self.stats.published += 1;
         self.incr(ctx, "pubsub.publish", |l| &l.publish);
-        if trace != 0 {
-            ctx.trace_hop(
+        let pub_span = if trace != 0 {
+            ctx.span_hop(
                 "broker.publish",
                 trace,
+                span,
                 format!("from={from} topic={topic}"),
-            );
-        }
+            )
+        } else {
+            0
+        };
         if qos == QoS::AtLeastOnce {
             ctx.send(from, crate::PUBSUB_PORT, Packet::PubAck { id }.encode());
         }
@@ -323,15 +345,17 @@ impl BrokerNode {
                 // publish materializes its topic and payload.
                 self.retained.insert(
                     topic.as_str().to_owned(),
-                    (topic.to_topic(), payload.to_vec(), trace),
+                    (topic.to_topic(), payload.to_vec(), trace, pub_span),
                 );
             }
         }
-        self.fan_out(ctx, topic, payload, qos, trace);
-        self.forward_to_peers(ctx, topic, payload, retain, qos, trace);
+        self.fan_out(ctx, topic, payload, qos, trace, pub_span);
+        self.forward_to_peers(ctx, topic, payload, retain, qos, trace, pub_span);
     }
 
-    /// Delivers a publish to every matching local subscriber.
+    /// Delivers a publish to every matching local subscriber. Delivery
+    /// spans parent under `span` (the local publish or bridge-deliver
+    /// hop).
     fn fan_out(
         &mut self,
         ctx: &mut Context<'_>,
@@ -339,6 +363,7 @@ impl BrokerNode {
         payload: &[u8],
         qos: QoS,
         trace: u64,
+        span: u64,
     ) {
         let targets: Vec<Subscription> = self
             .subscriptions
@@ -361,13 +386,14 @@ impl BrokerNode {
             } else {
                 QoS::AtMostOnce
             };
-            self.deliver(ctx, sub.node, topic, payload, effective, trace);
+            self.deliver(ctx, sub.node, topic, payload, effective, trace, span);
         }
     }
 
     /// Queues a locally received publish for every peer broker with a
     /// matching advertised filter. Frames ride per-peer batchers; a full
     /// batcher flushes inline, otherwise the age timer does.
+    #[allow(clippy::too_many_arguments)] // mirrors the bridge frame field for field
     fn forward_to_peers(
         &mut self,
         ctx: &mut Context<'_>,
@@ -376,6 +402,7 @@ impl BrokerNode {
         retain: bool,
         qos: QoS,
         trace: u64,
+        span: u64,
     ) {
         let Some(fed) = &self.federation else {
             return;
@@ -389,13 +416,16 @@ impl BrokerNode {
         peers.sort_unstable();
         peers.dedup();
         for peer in peers {
-            if trace != 0 {
-                ctx.trace_hop(
+            let fwd_span = if trace != 0 {
+                ctx.span_hop(
                     "bridge.forward",
                     trace,
+                    span,
                     format!("peer={peer} topic={topic}"),
-                );
-            }
+                )
+            } else {
+                0
+            };
             self.incr(ctx, "pubsub.bridge.frame_forward", |l| {
                 &l.bridge_frame_forward
             });
@@ -408,6 +438,7 @@ impl BrokerNode {
                 retain,
                 qos,
                 trace,
+                span: fwd_span,
             };
             self.enqueue_frame(ctx, peer, frame);
         }
@@ -548,16 +579,19 @@ impl BrokerNode {
             retain,
             qos,
             trace,
+            span,
         } = frame;
-        if trace != 0 {
-            ctx.trace_hop("bridge.deliver", trace, format!("topic={topic}"));
-        }
+        let bd_span = if trace != 0 {
+            ctx.span_hop("bridge.deliver", trace, span, format!("topic={topic}"))
+        } else {
+            0
+        };
         self.incr(ctx, "pubsub.bridge.frame_recv", |l| &l.bridge_frame_recv);
         if retain {
             if payload.is_empty() {
                 self.retained.remove(topic.as_str());
             } else {
-                if let Some((_, existing, _)) = self.retained.get(topic.as_str()) {
+                if let Some((_, existing, ..)) = self.retained.get(topic.as_str()) {
                     if existing.as_slice() == payload {
                         // A mirror of a retained message we already hold
                         // (e.g. two peers answered the same advertise):
@@ -569,11 +603,11 @@ impl BrokerNode {
                 // the one materialization point on the bridge path.
                 self.retained.insert(
                     topic.as_str().to_owned(),
-                    (topic.to_topic(), payload.to_vec(), trace),
+                    (topic.to_topic(), payload.to_vec(), trace, bd_span),
                 );
             }
         }
-        self.fan_out(ctx, topic, payload, qos, trace);
+        self.fan_out(ctx, topic, payload, qos, trace, bd_span);
     }
 
     fn on_subscribe(
@@ -601,15 +635,23 @@ impl BrokerNode {
         let strongest = refs.strongest();
         self.advertise(ctx, &filter, strongest);
         // Hand the new subscriber any retained messages it now matches,
-        // under the original publication's trace id.
-        let matching: Vec<(Topic, Vec<u8>, u64)> = self
+        // under the original publication's trace id and span.
+        let matching: Vec<(Topic, Vec<u8>, u64, u64)> = self
             .retained
             .values()
-            .filter(|(topic, _, _)| filter.matches(topic))
+            .filter(|(topic, ..)| filter.matches(topic))
             .cloned()
             .collect();
-        for (topic, payload, trace) in matching {
-            self.deliver(ctx, from, TopicRef::from(&topic), &payload, qos, trace);
+        for (topic, payload, trace, span) in matching {
+            self.deliver(
+                ctx,
+                from,
+                TopicRef::from(&topic),
+                &payload,
+                qos,
+                trace,
+                span,
+            );
         }
     }
 
@@ -701,13 +743,14 @@ impl BrokerNode {
             retained_reply = self
                 .retained
                 .values()
-                .filter(|(topic, _, _)| filter.matches(topic))
-                .map(|(topic, payload, trace)| BridgeFrame {
+                .filter(|(topic, ..)| filter.matches(topic))
+                .map(|(topic, payload, trace, span)| BridgeFrame {
                     topic: topic.clone(),
                     payload: payload.clone(),
                     retain: true,
                     qos,
                     trace: *trace,
+                    span: *span,
                 })
                 .collect();
         }
@@ -790,6 +833,51 @@ impl BrokerNode {
         }
     }
 
+    /// Refreshes this broker's occupancy gauges (retained topics, QoS 1
+    /// in-flight, bridge batcher/ledger depths) so a scrape sees current
+    /// backpressure, not the state at the last mutation.
+    fn refresh_scrape_gauges(&self, ctx: &mut Context<'_>) {
+        let m = &ctx.telemetry().metrics;
+        m.set_gauge("pubsub.retained", self.retained.len() as f64);
+        m.set_gauge("pubsub.pending_deliveries", self.pending.len() as f64);
+        if let Some(l) = &self.labels {
+            m.set_gauge(&l.retained_gauge, self.retained.len() as f64);
+            m.set_gauge(&l.pending, self.pending.len() as f64);
+        }
+        if let Some(fed) = &self.federation {
+            m.set_gauge("pubsub.bridge.buffered", fed.buffered_frames() as f64);
+            m.set_gauge("pubsub.bridge.inflight", fed.in_flight_frames() as f64);
+            if let Some(l) = &self.labels {
+                m.set_gauge(&l.bridge_buffered, fed.buffered_frames() as f64);
+                m.set_gauge(&l.bridge_inflight, fed.in_flight_frames() as f64);
+            }
+        }
+    }
+
+    /// Serves one ops-plane document over the pub/sub port. Returns an
+    /// HTTP-style status and a body.
+    fn serve_ops(&mut self, ctx: &mut Context<'_>, path: &str) -> (u16, Vec<u8>) {
+        self.refresh_scrape_gauges(ctx);
+        match path {
+            "/metrics" => (200, ctx.telemetry().exposition().into_bytes()),
+            "/health" => {
+                let body = format!(
+                    "{{\"status\":\"up\",\"incarnation\":{},\"subscriptions\":{},\
+                     \"pending_deliveries\":{},\"retained\":{},\
+                     \"bridge_buffered\":{},\"bridge_in_flight\":{}}}",
+                    self.incarnation,
+                    self.subscriptions.len(),
+                    self.pending.len(),
+                    self.retained.len(),
+                    self.bridge_buffered(),
+                    self.bridge_in_flight(),
+                );
+                (200, body.into_bytes())
+            }
+            _ => (404, Vec::new()),
+        }
+    }
+
     /// Resolves the shard index of a packet's source, when the source is
     /// a federation peer. Bridge frames from anyone else are ignored.
     fn peer_of(&self, src: simnet::NodeId) -> Option<usize> {
@@ -829,7 +917,8 @@ impl Node for BrokerNode {
                 retain,
                 qos,
                 trace,
-            } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos, trace),
+                span,
+            } => self.on_publish(ctx, pkt.src, id, topic, payload, retain, qos, trace, span),
             PacketRef::DeliverAck { id } => {
                 if self.pending.remove(&id).is_some() {
                     self.stats.acked += 1;
@@ -891,7 +980,18 @@ impl Node for BrokerNode {
                     self.note_peer_incarnation(ctx, peer, incarnation);
                 }
             }
-            PacketRef::PubAck { .. } | PacketRef::Deliver { .. } | PacketRef::Pong { .. } => {
+            PacketRef::OpsGet { id, path } => {
+                let (status, body) = self.serve_ops(ctx, path);
+                ctx.send(
+                    pkt.src,
+                    crate::PUBSUB_PORT,
+                    Packet::OpsReply { id, status, body }.encode(),
+                );
+            }
+            PacketRef::PubAck { .. }
+            | PacketRef::Deliver { .. }
+            | PacketRef::Pong { .. }
+            | PacketRef::OpsReply { .. } => {
                 // Not broker-bound; ignore.
             }
         }

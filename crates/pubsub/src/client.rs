@@ -6,7 +6,7 @@ use simnet::{Context, NodeId, Packet as NetPacket, SimDuration, TimerTag};
 
 use crate::wire::{Packet, QoS};
 use crate::{Topic, TopicFilter, PUBSUB_PORT};
-use simnet::telemetry::{TraceId, NO_TRACE};
+use simnet::telemetry::{SpanId, TraceId, NO_SPAN, NO_TRACE};
 
 /// Publisher-side retry interval for unacked QoS 1 publishes.
 const PUBLISH_RETRY: SimDuration = SimDuration::from_secs(2);
@@ -25,6 +25,10 @@ pub enum PubSubEvent {
         /// Flight-recorder trace id of the originating publish
         /// (`telemetry::NO_TRACE` = 0 when untraced).
         trace: TraceId,
+        /// Span id of this client's `sub.receive` hop (`NO_SPAN` when
+        /// untraced); the owning node uses it as the parent of any
+        /// further hops it records for the same trace.
+        span: SpanId,
     },
     /// A QoS 1 publish was acknowledged by the broker.
     Published {
@@ -187,6 +191,24 @@ impl PubSubClient {
         qos: QoS,
         trace: TraceId,
     ) -> u64 {
+        self.publish_spanned(ctx, topic, payload, retain, qos, trace, NO_SPAN)
+    }
+
+    /// Like [`PubSubClient::publish_traced`], but additionally threads a
+    /// causal parent span: the broker's `broker.publish` hop becomes a
+    /// child of `parent`, so cross-node span trees stay connected
+    /// (device sample → proxy ingest → publish → deliveries).
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_spanned(
+        &mut self,
+        ctx: &mut Context<'_>,
+        topic: Topic,
+        payload: Vec<u8>,
+        retain: bool,
+        qos: QoS,
+        trace: TraceId,
+        parent: SpanId,
+    ) -> u64 {
         let id = self.next_publish_id;
         self.next_publish_id += 1;
         let bytes = Packet::Publish {
@@ -196,9 +218,10 @@ impl PubSubClient {
             retain,
             qos,
             trace,
+            span: parent,
         }
         .encode();
-        ctx.send_traced(self.broker, PUBSUB_PORT, bytes.clone(), trace);
+        ctx.send_spanned(self.broker, PUBSUB_PORT, bytes.clone(), trace, parent);
         if qos == QoS::AtLeastOnce {
             self.pending.insert(
                 id,
@@ -229,17 +252,21 @@ impl PubSubClient {
                 payload,
                 qos,
                 trace,
+                span: deliver_span,
             } => {
                 if qos == QoS::AtLeastOnce {
                     ctx.send(pkt.src, PUBSUB_PORT, Packet::DeliverAck { id }.encode());
                 }
-                if trace != NO_TRACE {
-                    ctx.trace_hop("sub.receive", trace, format!("topic={topic}"));
-                }
+                let span = if trace != NO_TRACE {
+                    ctx.span_hop("sub.receive", trace, deliver_span, format!("topic={topic}"))
+                } else {
+                    NO_SPAN
+                };
                 Some(PubSubEvent::Message {
                     topic,
                     payload,
                     trace,
+                    span,
                 })
             }
             Packet::PubAck { id } => {

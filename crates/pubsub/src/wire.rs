@@ -83,6 +83,9 @@ pub enum Packet {
         qos: QoS,
         /// Flight-recorder trace id carried end to end (0 = untraced).
         trace: u64,
+        /// Causal span of the publishing hop (0 = unstructured); the
+        /// broker parents its own spans under it.
+        span: u64,
     },
     /// Broker → publisher: QoS 1 publish accepted.
     PubAck {
@@ -101,6 +104,9 @@ pub enum Packet {
         qos: QoS,
         /// Flight-recorder trace id of the originating publish.
         trace: u64,
+        /// Causal span of the broker's deliver hop (0 = unstructured);
+        /// the subscriber parents its receive span under it.
+        span: u64,
     },
     /// Subscriber → broker: QoS 1 delivery received.
     DeliverAck {
@@ -162,6 +168,25 @@ pub enum Packet {
         /// The sending broker's current incarnation.
         incarnation: u64,
     },
+    /// Ops plane → broker: fetch an observability document. Brokers
+    /// answer `/metrics` (Prometheus exposition) and `/health` (JSON)
+    /// over the pub/sub port itself — they have no webservice stack, and
+    /// the layering (`pubsub` must not depend on `proxy`) forbids one.
+    OpsGet {
+        /// Requester-chosen id, echoed in the reply.
+        id: u64,
+        /// The document path (`"/metrics"`, `"/health"`).
+        path: String,
+    },
+    /// Broker → ops plane: the requested document.
+    OpsReply {
+        /// The requester's id.
+        id: u64,
+        /// An HTTP-style status code (200, 404).
+        status: u16,
+        /// The document body.
+        body: Vec<u8>,
+    },
 }
 
 /// One publish inside a [`Packet::BridgeBatch`].
@@ -177,6 +202,9 @@ pub struct BridgeFrame {
     pub qos: QoS,
     /// Flight-recorder trace id of the originating publish.
     pub trace: u64,
+    /// Causal span of the bridge-forward hop (0 = unstructured); the
+    /// receiving broker parents its fan-out spans under it.
+    pub span: u64,
 }
 
 impl BridgeFrame {
@@ -188,6 +216,7 @@ impl BridgeFrame {
             retain: self.retain,
             qos: self.qos,
             trace: self.trace,
+            span: self.span,
         }
     }
 }
@@ -228,6 +257,8 @@ pub enum PacketRef<'a> {
         qos: QoS,
         /// Flight-recorder trace id carried end to end (0 = untraced).
         trace: u64,
+        /// Causal span of the publishing hop (0 = unstructured).
+        span: u64,
     },
     /// Borrowed [`Packet::PubAck`].
     PubAck {
@@ -246,6 +277,8 @@ pub enum PacketRef<'a> {
         qos: QoS,
         /// Flight-recorder trace id of the originating publish.
         trace: u64,
+        /// Causal span of the broker's deliver hop (0 = unstructured).
+        span: u64,
     },
     /// Borrowed [`Packet::DeliverAck`].
     DeliverAck {
@@ -295,6 +328,22 @@ pub enum PacketRef<'a> {
         /// The sending broker's current incarnation.
         incarnation: u64,
     },
+    /// Borrowed [`Packet::OpsGet`].
+    OpsGet {
+        /// Requester-chosen id, echoed in the reply.
+        id: u64,
+        /// The document path, borrowed from the buffer.
+        path: &'a str,
+    },
+    /// Borrowed [`Packet::OpsReply`].
+    OpsReply {
+        /// The requester's id.
+        id: u64,
+        /// An HTTP-style status code (200, 404).
+        status: u16,
+        /// The document body, borrowed from the buffer.
+        body: &'a [u8],
+    },
 }
 
 /// A borrowed view of one publish inside a bridge batch: the zero-copy
@@ -311,6 +360,8 @@ pub struct BridgeFrameRef<'a> {
     pub qos: QoS,
     /// Flight-recorder trace id of the originating publish.
     pub trace: u64,
+    /// Causal span of the bridge-forward hop (0 = unstructured).
+    pub span: u64,
 }
 
 impl BridgeFrameRef<'_> {
@@ -322,12 +373,13 @@ impl BridgeFrameRef<'_> {
             retain: self.retain,
             qos: self.qos,
             trace: self.trace,
+            span: self.span,
         }
     }
 
     /// Encoded size of this frame on the wire.
     fn wire_len(&self) -> usize {
-        2 + self.topic.as_str().len() + 4 + self.payload.len() + 1 + 1 + 8
+        2 + self.topic.as_str().len() + 4 + self.payload.len() + 1 + 1 + 8 + 8
     }
 }
 
@@ -442,6 +494,7 @@ impl<'a> PacketRef<'a> {
                 retain: c.u8()? != 0,
                 qos: QoS::from_byte(c.u8()?)?,
                 trace: c.u64()?,
+                span: c.u64()?,
             },
             4 => PacketRef::PubAck { id: c.u64()? },
             5 => PacketRef::Deliver {
@@ -450,6 +503,7 @@ impl<'a> PacketRef<'a> {
                 payload: c.bytes_ref()?,
                 qos: QoS::from_byte(c.u8()?)?,
                 trace: c.u64()?,
+                span: c.u64()?,
             },
             6 => PacketRef::DeliverAck { id: c.u64()? },
             7 => PacketRef::Ping,
@@ -482,6 +536,7 @@ impl<'a> PacketRef<'a> {
                         retain: c.u8()? != 0,
                         qos: QoS::from_byte(c.u8()?)?,
                         trace: c.u64()?,
+                        span: c.u64()?,
                     });
                 }
                 PacketRef::BridgeBatch {
@@ -493,6 +548,15 @@ impl<'a> PacketRef<'a> {
             12 => PacketRef::BridgeBatchAck { batch_id: c.u64()? },
             13 => PacketRef::BridgeHello {
                 incarnation: c.u64()?,
+            },
+            14 => PacketRef::OpsGet {
+                id: c.u64()?,
+                path: c.str_ref()?,
+            },
+            15 => PacketRef::OpsReply {
+                id: c.u64()?,
+                status: c.u16()?,
+                body: c.bytes_ref()?,
             },
             _ => {
                 return Err(PubSubError::DecodePacket {
@@ -525,6 +589,7 @@ impl<'a> PacketRef<'a> {
                 retain,
                 qos,
                 trace,
+                span,
             } => {
                 out.push(3);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -533,6 +598,7 @@ impl<'a> PacketRef<'a> {
                 out.push(u8::from(*retain));
                 out.push(qos.byte());
                 out.extend_from_slice(&trace.to_le_bytes());
+                out.extend_from_slice(&span.to_le_bytes());
             }
             PacketRef::PubAck { id } => {
                 out.push(4);
@@ -544,6 +610,7 @@ impl<'a> PacketRef<'a> {
                 payload,
                 qos,
                 trace,
+                span,
             } => {
                 out.push(5);
                 out.extend_from_slice(&id.to_le_bytes());
@@ -551,6 +618,7 @@ impl<'a> PacketRef<'a> {
                 push_bytes(payload, &mut out);
                 out.push(qos.byte());
                 out.extend_from_slice(&trace.to_le_bytes());
+                out.extend_from_slice(&span.to_le_bytes());
             }
             PacketRef::DeliverAck { id } => {
                 out.push(6);
@@ -596,6 +664,7 @@ impl<'a> PacketRef<'a> {
                     out.push(u8::from(f.retain));
                     out.push(f.qos.byte());
                     out.extend_from_slice(&f.trace.to_le_bytes());
+                    out.extend_from_slice(&f.span.to_le_bytes());
                 }
             }
             PacketRef::BridgeBatchAck { batch_id } => {
@@ -605,6 +674,17 @@ impl<'a> PacketRef<'a> {
             PacketRef::BridgeHello { incarnation } => {
                 out.push(13);
                 out.extend_from_slice(&incarnation.to_le_bytes());
+            }
+            PacketRef::OpsGet { id, path } => {
+                out.push(14);
+                out.extend_from_slice(&id.to_le_bytes());
+                push_str(path, &mut out);
+            }
+            PacketRef::OpsReply { id, status, body } => {
+                out.push(15);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&status.to_le_bytes());
+                push_bytes(body, &mut out);
             }
         }
         out
@@ -616,7 +696,7 @@ impl<'a> PacketRef<'a> {
             PacketRef::Subscribe { filter, .. } => 1 + 2 + filter.as_str().len() + 1,
             PacketRef::Unsubscribe { filter } => 1 + 2 + filter.as_str().len(),
             PacketRef::Publish { topic, payload, .. } => {
-                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 1 + 8
+                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 1 + 8 + 8
             }
             PacketRef::PubAck { .. }
             | PacketRef::DeliverAck { .. }
@@ -624,7 +704,7 @@ impl<'a> PacketRef<'a> {
             | PacketRef::BridgeBatchAck { .. }
             | PacketRef::BridgeHello { .. } => 1 + 8,
             PacketRef::Deliver { topic, payload, .. } => {
-                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 8
+                1 + 8 + 2 + topic.as_str().len() + 4 + payload.len() + 1 + 8 + 8
             }
             PacketRef::Ping => 1,
             PacketRef::BridgeAdvertise { filter, .. } => 1 + 8 + 2 + filter.as_str().len() + 1,
@@ -632,6 +712,8 @@ impl<'a> PacketRef<'a> {
             PacketRef::BridgeBatch { frames, .. } => {
                 1 + 8 + 8 + 2 + frames.iter().map(BridgeFrameRef::wire_len).sum::<usize>()
             }
+            PacketRef::OpsGet { path, .. } => 1 + 8 + 2 + path.len(),
+            PacketRef::OpsReply { body, .. } => 1 + 8 + 2 + 4 + body.len(),
         }
     }
 
@@ -652,6 +734,7 @@ impl<'a> PacketRef<'a> {
                 retain,
                 qos,
                 trace,
+                span,
             } => Packet::Publish {
                 id: *id,
                 topic: topic.to_topic(),
@@ -659,6 +742,7 @@ impl<'a> PacketRef<'a> {
                 retain: *retain,
                 qos: *qos,
                 trace: *trace,
+                span: *span,
             },
             PacketRef::PubAck { id } => Packet::PubAck { id: *id },
             PacketRef::Deliver {
@@ -667,12 +751,14 @@ impl<'a> PacketRef<'a> {
                 payload,
                 qos,
                 trace,
+                span,
             } => Packet::Deliver {
                 id: *id,
                 topic: topic.to_topic(),
                 payload: payload.to_vec(),
                 qos: *qos,
                 trace: *trace,
+                span: *span,
             },
             PacketRef::DeliverAck { id } => Packet::DeliverAck { id: *id },
             PacketRef::Ping => Packet::Ping,
@@ -710,6 +796,15 @@ impl<'a> PacketRef<'a> {
             PacketRef::BridgeHello { incarnation } => Packet::BridgeHello {
                 incarnation: *incarnation,
             },
+            PacketRef::OpsGet { id, path } => Packet::OpsGet {
+                id: *id,
+                path: path.to_string(),
+            },
+            PacketRef::OpsReply { id, status, body } => Packet::OpsReply {
+                id: *id,
+                status: *status,
+                body: body.to_vec(),
+            },
         }
     }
 }
@@ -733,6 +828,7 @@ impl Packet {
                 retain,
                 qos,
                 trace,
+                span,
             } => PacketRef::Publish {
                 id: *id,
                 topic: topic.into(),
@@ -740,6 +836,7 @@ impl Packet {
                 retain: *retain,
                 qos: *qos,
                 trace: *trace,
+                span: *span,
             },
             Packet::PubAck { id } => PacketRef::PubAck { id: *id },
             Packet::Deliver {
@@ -748,12 +845,14 @@ impl Packet {
                 payload,
                 qos,
                 trace,
+                span,
             } => PacketRef::Deliver {
                 id: *id,
                 topic: topic.into(),
                 payload,
                 qos: *qos,
                 trace: *trace,
+                span: *span,
             },
             Packet::DeliverAck { id } => PacketRef::DeliverAck { id: *id },
             Packet::Ping => PacketRef::Ping,
@@ -790,6 +889,12 @@ impl Packet {
             },
             Packet::BridgeHello { incarnation } => PacketRef::BridgeHello {
                 incarnation: *incarnation,
+            },
+            Packet::OpsGet { id, path } => PacketRef::OpsGet { id: *id, path },
+            Packet::OpsReply { id, status, body } => PacketRef::OpsReply {
+                id: *id,
+                status: *status,
+                body,
             },
         }
     }
@@ -833,6 +938,7 @@ mod tests {
                 retain: true,
                 qos: QoS::AtMostOnce,
                 trace: 9,
+                span: 31,
             },
             Packet::PubAck { id: 42 },
             Packet::Deliver {
@@ -841,6 +947,7 @@ mod tests {
                 payload: vec![],
                 qos: QoS::AtLeastOnce,
                 trace: 0,
+                span: 0,
             },
             Packet::DeliverAck { id: 7 },
             Packet::Ping,
@@ -864,6 +971,7 @@ mod tests {
                         retain: true,
                         qos: QoS::AtLeastOnce,
                         trace: 5,
+                        span: 17,
                     },
                     BridgeFrame {
                         topic: Topic::new("a/b").unwrap(),
@@ -871,6 +979,7 @@ mod tests {
                         retain: false,
                         qos: QoS::AtMostOnce,
                         trace: 0,
+                        span: 0,
                     },
                 ],
             },
@@ -881,6 +990,20 @@ mod tests {
             },
             Packet::BridgeBatchAck { batch_id: 77 },
             Packet::BridgeHello { incarnation: 4 },
+            Packet::OpsGet {
+                id: 12,
+                path: "/metrics".to_string(),
+            },
+            Packet::OpsReply {
+                id: 12,
+                status: 200,
+                body: b"# TYPE up gauge\nup 1\n".to_vec(),
+            },
+            Packet::OpsReply {
+                id: 13,
+                status: 404,
+                body: vec![],
+            },
         ]
     }
 
@@ -920,6 +1043,7 @@ mod tests {
             retain: false,
             qos: QoS::AtMostOnce,
             trace: 0,
+            span: 0,
         }
         .encode();
         let PacketRef::Publish { topic, payload, .. } = PacketRef::decode(&bytes).unwrap() else {
@@ -941,6 +1065,7 @@ mod tests {
                 retain: false,
                 qos: QoS::AtLeastOnce,
                 trace: 3,
+                span: 21,
             }],
         }
         .encode();
@@ -979,6 +1104,7 @@ mod tests {
         out.push(0);
         out.push(0);
         out.extend_from_slice(&0u64.to_le_bytes());
+        out.extend_from_slice(&0u64.to_le_bytes());
         assert!(Packet::decode(&out).is_err());
         assert!(PacketRef::decode(&out).is_err());
     }
@@ -992,6 +1118,7 @@ mod tests {
             retain: false,
             qos: QoS::AtMostOnce,
             trace: 1,
+            span: 2,
         }
         .encode();
         for cut in 0..bytes.len() {

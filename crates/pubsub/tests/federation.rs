@@ -411,3 +411,120 @@ fn remote_restart_wipes_and_relearns_advertisements() {
     assert!(unique.len() >= 20, "short outage, small gap: {unique:?}");
     assert_bridge_conservation(&sim, &brokers);
 }
+
+/// Publishes one message with a minted trace id and a root span, so the
+/// flight recorder can rebuild the full causal tree.
+struct TracedPub {
+    client: PubSubClient,
+    topic: &'static str,
+    trace: u64,
+}
+
+impl Node for TracedPub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(50), TimerTag(TAG_PUBLISH));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.client.accept(ctx, &pkt);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        if tag.0 == TAG_PUBLISH {
+            self.trace = ctx.telemetry().tracer.next_trace_id();
+            let span = ctx.trace_hop("pub.send", self.trace, self.topic);
+            let topic = Topic::new(self.topic).expect("topic");
+            self.client.publish_spanned(
+                ctx,
+                topic,
+                b"42".to_vec(),
+                false,
+                QoS::AtMostOnce,
+                self.trace,
+                span,
+            );
+        } else if self.client.owns_tag(tag) {
+            self.client.on_timer(ctx, tag);
+        }
+    }
+}
+
+#[test]
+fn span_tree_reconstructs_cross_shard_flight_with_bridge_hop() {
+    use simnet::telemetry::SpanNode;
+
+    let mut sim = ideal_sim(21);
+    let brokers = build_federation(&mut sim, 2, &["d0", "d1"], small_batches());
+    // Subscriber on shard 1 for a topic owned by shard 1; the publisher
+    // hangs off shard 0, so delivery must cross the bridge.
+    let sub = sim.add_node(
+        "sub",
+        Sub::new(brokers[1], "district/d1/#", QoS::AtMostOnce),
+    );
+    let publisher = sim.add_node(
+        "pub",
+        TracedPub {
+            client: PubSubClient::new(brokers[0], CLIENT_TAGS),
+            topic: "district/d1/entity/e1/device/m1/power",
+            trace: 0,
+        },
+    );
+    sim.run_for(SimDuration::from_secs(5));
+
+    assert_eq!(
+        sim.node_ref::<Sub>(sub).expect("sub").got.len(),
+        1,
+        "the traced publish was delivered"
+    );
+    let trace = sim.node_ref::<TracedPub>(publisher).expect("pub").trace;
+    assert_ne!(trace, 0, "publisher minted a trace");
+
+    let trees = sim.telemetry().span_trees();
+    let tree = trees
+        .iter()
+        .find(|t| t.trace_id == trace)
+        .expect("flight recorder kept the trace");
+    assert_eq!(tree.roots.len(), 1, "one causal root");
+
+    // Walk root-to-leaf: the device→shard0→bridge→shard1→subscriber
+    // chain must appear as parent→child links, not just as a flat bag
+    // of hops.
+    fn leaf_path<'a>(node: &'a SpanNode, path: &mut Vec<&'a SpanNode>, out: &mut Vec<Vec<String>>) {
+        path.push(node);
+        if node.children.is_empty() {
+            out.push(path.iter().map(|n| n.hop.kind.clone()).collect());
+        }
+        for c in &node.children {
+            leaf_path(c, path, out);
+        }
+        path.pop();
+    }
+    let mut paths = Vec::new();
+    leaf_path(&tree.roots[0], &mut Vec::new(), &mut paths);
+    let expect = [
+        "pub.send",
+        "broker.publish",
+        "bridge.forward",
+        "bridge.deliver",
+        "broker.deliver",
+        "sub.receive",
+    ];
+    assert!(
+        paths.iter().any(|p| p == &expect),
+        "no root-to-leaf path matches {expect:?}; got {paths:?}"
+    );
+
+    // The bridge hop really crossed shards: forward on broker0,
+    // deliver on broker1.
+    let nodes = tree.nodes();
+    let fwd = nodes
+        .iter()
+        .find(|n| n.hop.kind == "bridge.forward")
+        .expect("bridge.forward span");
+    let del = nodes
+        .iter()
+        .find(|n| n.hop.kind == "bridge.deliver")
+        .expect("bridge.deliver span");
+    assert_eq!(fwd.hop.node_name, "broker0");
+    assert_eq!(del.hop.node_name, "broker1");
+    assert_ne!(fwd.hop.node, del.hop.node);
+    assert_bridge_conservation(&sim, &brokers);
+}

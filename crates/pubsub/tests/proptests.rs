@@ -143,6 +143,7 @@ fn wire_packets_round_trip() {
             retain: rng.chance(0.5),
             qos: QoS::AtLeastOnce,
             trace: rng.next_u64(),
+            span: rng.next_u64(),
         };
         assert_eq!(
             WirePacket::decode(&packet.encode()).expect("round trip"),
@@ -236,6 +237,7 @@ fn bridge_batch_frames_round_trip() {
                     QoS::AtMostOnce
                 },
                 trace: rng.next_u64(),
+                span: rng.next_u64(),
             })
             .collect();
         let packet = WirePacket::BridgeBatch {
@@ -277,12 +279,13 @@ fn rand_frame(rng: &mut DeterministicRng) -> BridgeFrame {
         retain: rng.chance(0.3),
         qos: rand_qos(rng),
         trace: rng.next_u64(),
+        span: rng.next_u64(),
     }
 }
 
-/// A random wire packet drawing uniformly from all 13 variants.
+/// A random wire packet drawing uniformly from all 15 variants.
 fn rand_packet(rng: &mut DeterministicRng) -> WirePacket {
-    match rng.next_bounded(13) {
+    match rng.next_bounded(15) {
         0 => WirePacket::Subscribe {
             filter: rand_filter(rng),
             qos: rand_qos(rng),
@@ -297,6 +300,7 @@ fn rand_packet(rng: &mut DeterministicRng) -> WirePacket {
             retain: rng.chance(0.5),
             qos: rand_qos(rng),
             trace: rng.next_u64(),
+            span: rng.next_u64(),
         },
         3 => WirePacket::PubAck { id: rng.next_u64() },
         4 => WirePacket::Deliver {
@@ -305,6 +309,7 @@ fn rand_packet(rng: &mut DeterministicRng) -> WirePacket {
             payload: rand_payload(rng, 128),
             qos: rand_qos(rng),
             trace: rng.next_u64(),
+            span: rng.next_u64(),
         },
         5 => WirePacket::DeliverAck { id: rng.next_u64() },
         6 => WirePacket::Ping,
@@ -328,8 +333,17 @@ fn rand_packet(rng: &mut DeterministicRng) -> WirePacket {
         11 => WirePacket::BridgeBatchAck {
             batch_id: rng.next_u64(),
         },
-        _ => WirePacket::BridgeHello {
+        12 => WirePacket::BridgeHello {
             incarnation: rng.next_u64(),
+        },
+        13 => WirePacket::OpsGet {
+            id: rng.next_u64(),
+            path: format!("/{}", segment(rng)),
+        },
+        _ => WirePacket::OpsReply {
+            id: rng.next_u64(),
+            status: if rng.chance(0.7) { 200 } else { 404 },
+            body: rand_payload(rng, 96),
         },
     }
 }

@@ -25,6 +25,7 @@
 //! ```
 
 use crate::time::SimDuration;
+use telemetry::Registry;
 
 /// When an accumulating batch is cut and put on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,6 +129,14 @@ impl<T> Batcher<T> {
         self.timer_armed = false;
         std::mem::take(&mut self.items)
     }
+
+    /// Publishes this batcher's occupancy as ops-plane gauges
+    /// (`<prefix>.items`, `<prefix>.bytes`) so backpressure on the link
+    /// is scrape-visible. Call after pushes/takes, e.g. once per flush.
+    pub fn refresh_gauges(&self, registry: &Registry, prefix: &str) {
+        registry.set_gauge(&format!("{prefix}.items"), self.items.len() as f64);
+        registry.set_gauge(&format!("{prefix}.bytes"), self.bytes as f64);
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +177,20 @@ mod tests {
         assert_eq!(b.push(1, 1), PushOutcome::ArmTimer);
         b.take(); // timer flush
         assert_eq!(b.push(2, 1), PushOutcome::ArmTimer, "fresh batch re-arms");
+    }
+
+    #[test]
+    fn gauges_track_occupancy() {
+        let r = Registry::new();
+        let mut b = Batcher::new(policy());
+        b.push("x", 7);
+        b.push("y", 8);
+        b.refresh_gauges(&r, "bridge.b0");
+        assert_eq!(r.gauge("bridge.b0.items"), 2.0);
+        assert_eq!(r.gauge("bridge.b0.bytes"), 15.0);
+        b.take();
+        b.refresh_gauges(&r, "bridge.b0");
+        assert_eq!(r.gauge("bridge.b0.items"), 0.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::node::{NodeId, Port, TimerTag};
 use crate::rng::DeterministicRng;
 use crate::time::{SimDuration, SimTime};
-use telemetry::{Telemetry, TraceId, NO_TRACE};
+use telemetry::{SpanId, Telemetry, TraceId, NO_SPAN, NO_TRACE};
 
 /// Handle to a pending timer, usable with [`Context::cancel_timer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -21,6 +21,7 @@ pub(crate) enum Effect {
         port: Port,
         payload: Vec<u8>,
         trace: TraceId,
+        span: SpanId,
     },
     SetTimer {
         at: SimTime,
@@ -75,19 +76,62 @@ impl Context<'_> {
     /// Like [`Context::send`], but tags the packet with a flight-recorder
     /// trace id so its journey can be reconstructed hop by hop.
     pub fn send_traced(&mut self, dst: NodeId, port: Port, payload: Vec<u8>, trace: TraceId) {
+        self.send_spanned(dst, port, payload, trace, NO_SPAN);
+    }
+
+    /// Like [`Context::send_traced`], but also carries the causal span of
+    /// the sending hop, so the receiver can parent its own spans under it
+    /// and the flight recorder can rebuild the cross-node span tree.
+    pub fn send_spanned(
+        &mut self,
+        dst: NodeId,
+        port: Port,
+        payload: Vec<u8>,
+        trace: TraceId,
+        span: SpanId,
+    ) {
         self.effects.push(Effect::Send {
             dst,
             port,
             payload,
             trace,
+            span,
         });
     }
 
-    /// Records a flight-recorder hop at the current node and time.
-    pub fn trace_hop(&self, kind: &str, trace: TraceId, detail: impl Into<String>) {
-        self.telemetry
-            .tracer
-            .record(self.now.as_nanos(), self.node.0, kind, trace, detail);
+    /// Records a flight-recorder hop at the current node and time, minting
+    /// a root span for it (no causal parent). Returns the span id so the
+    /// hop can be propagated as a parent via [`Context::send_spanned`];
+    /// callers that only want the flat flight path may ignore it.
+    pub fn trace_hop(&self, kind: &str, trace: TraceId, detail: impl Into<String>) -> SpanId {
+        self.span_hop(kind, trace, NO_SPAN, detail)
+    }
+
+    /// Records a flight-recorder hop caused by `parent` (use
+    /// [`telemetry::NO_SPAN`] for a root, or the `span` field of the
+    /// packet that triggered this work). Mints and returns this hop's own
+    /// span id.
+    pub fn span_hop(
+        &self,
+        kind: &str,
+        trace: TraceId,
+        parent: SpanId,
+        detail: impl Into<String>,
+    ) -> SpanId {
+        if trace == NO_TRACE {
+            return NO_SPAN;
+        }
+        let span = self.telemetry.tracer.next_span_id();
+        self.telemetry.tracer.record_span(
+            self.now.as_nanos(),
+            self.node.0,
+            kind,
+            trace,
+            span,
+            parent,
+            detail,
+        );
+        span
     }
 
     /// Schedules a timer to fire `after` from now, carrying `tag`.

@@ -70,6 +70,12 @@ pub struct Packet {
     /// (`telemetry::NO_TRACE` = 0 when the packet is untraced). Set via
     /// [`Context::send_traced`](crate::Context::send_traced).
     pub trace: u64,
+    /// Causal span of the hop that sent this packet
+    /// (`telemetry::NO_SPAN` = 0 when unstructured). Receivers use it as
+    /// the parent of their own spans so the flight recorder can rebuild
+    /// the cross-node causal tree. Set via
+    /// [`Context::send_spanned`](crate::Context::send_spanned).
+    pub span: u64,
 }
 
 impl Packet {
@@ -149,6 +155,7 @@ mod tests {
             port: Port::new(5),
             payload: vec![0; 10],
             trace: 0,
+            span: 0,
         };
         assert_eq!(pkt.wire_size(), 42);
     }

@@ -634,6 +634,7 @@ mod tests {
             port: Port::new(1),
             payload: encode_response(99, b"late"),
             trace: 0,
+            span: 0,
         };
         assert!(tracker.accept(&pkt).is_none());
     }

@@ -267,6 +267,7 @@ impl Simulator {
                     port,
                     payload,
                     trace: 0,
+                    span: 0,
                 },
                 epoch: self.epoch_of(dst),
             },
@@ -428,6 +429,18 @@ impl Simulator {
         let event = self.queue.pop()?;
         self.now = event.time;
         self.metrics.events_processed += 1;
+        // Refresh the arena-occupancy gauge periodically (every 4096
+        // events) so scrapes see queue pressure without a per-event
+        // mutex hit on the registry.
+        if self.metrics.events_processed & 0xFFF == 0 {
+            self.telemetry
+                .metrics
+                .set_gauge("sim.event_arena_in_use", self.queue.arena_in_use() as f64);
+            self.telemetry.metrics.set_gauge(
+                "sim.event_arena_capacity",
+                self.queue.arena_capacity() as f64,
+            );
+        }
         match event.kind {
             EventKind::Start(id) => {
                 self.telemetry.metrics.incr("net.node_starts");
@@ -605,6 +618,7 @@ impl Simulator {
                     port,
                     payload,
                     trace,
+                    span,
                 } => {
                     let pkt = Packet {
                         src,
@@ -612,6 +626,7 @@ impl Simulator {
                         port,
                         payload,
                         trace,
+                        span,
                     };
                     let wire = pkt.wire_size() as u64;
                     let m = &mut self.slots[src.index()].metrics;

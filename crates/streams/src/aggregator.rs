@@ -31,7 +31,7 @@ use proxy::{node_uri, WS_PORT};
 use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, PUBSUB_PORT};
 use simnet::{Context, Node, NodeId, Packet, SimDuration, TimerTag};
 use storage::tskv::TimeSeriesStore;
-use telemetry::NO_TRACE;
+use telemetry::{SpanId, NO_SPAN, NO_TRACE};
 
 use crate::rollup::Rollup;
 use crate::window::{Accumulator, WindowSpec, WindowedAggregator, DEFAULT_MAX_OPEN};
@@ -267,6 +267,7 @@ impl AggregatorNode {
         pkt_topic: &pubsub::Topic,
         payload: &[u8],
         trace: u64,
+        recv_span: SpanId,
     ) {
         let Some(topic) = MeasurementTopic::parse(pkt_topic) else {
             return; // not a measurement topic
@@ -293,16 +294,15 @@ impl AggregatorNode {
         self.store.insert(&series, t, value);
         self.stats.samples_in += 1;
         ctx.telemetry().metrics.incr("streams.samples_in");
-        if trace != NO_TRACE {
-            ctx.trace_hop(
-                "streams.ingest",
-                trace,
-                format!("entity={} device={}", topic.entity, topic.device),
-            );
-        }
+        let ingest_span = ctx.span_hop(
+            "streams.ingest",
+            trace,
+            recv_span,
+            format!("entity={} device={}", topic.entity, topic.device),
+        );
         match self
             .op
-            .observe((topic.entity, topic.quantity), t, value, trace)
+            .observe_spanned((topic.entity, topic.quantity), t, value, trace, ingest_span)
         {
             crate::window::Observed::Late => ctx.telemetry().metrics.incr("streams.late_dropped"),
             crate::window::Observed::Shed => ctx.telemetry().metrics.incr("streams.shed"),
@@ -381,18 +381,23 @@ impl AggregatorNode {
             return;
         };
         // Tie the closed window into the flight recorder: one hop per
-        // (bounded) contributing sample trace.
-        for &trace in acc.traces() {
-            ctx.trace_hop(
+        // (bounded) contributing sample, each parented onto the span the
+        // sample entered the operator under.
+        let mut close = (NO_TRACE, NO_SPAN);
+        for &(trace, parent) in acc.traces() {
+            let span = ctx.span_hop(
                 "streams.window_close",
                 trace,
+                parent,
                 format!("{topic} start={start} count={}", acc.count),
             );
+            if close.0 == NO_TRACE {
+                close = (trace, span);
+            }
         }
-        let close_trace = acc.traces().first().copied().unwrap_or(NO_TRACE);
         let payload = dimmer_core::json::to_string(&rollup.to_value()).into_bytes();
         self.pubsub
-            .publish_traced(ctx, topic, payload, true, QoS::AtMostOnce, close_trace);
+            .publish_spanned(ctx, topic, payload, true, QoS::AtMostOnce, close.0, close.1);
         self.stats.rollups_published += 1;
         ctx.telemetry().metrics.incr("streams.rollups_published");
         ctx.telemetry()
@@ -407,6 +412,8 @@ impl AggregatorNode {
         let response = match request.path.as_str() {
             "/info" => self.info(ctx),
             "/rollups" => self.rollups(request),
+            "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
+            "/health" => self.health(ctx),
             _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
         };
         self.ws.respond(ctx, &call, response);
@@ -425,6 +432,28 @@ impl AggregatorNode {
             ("watermark", Value::from(self.op.watermark())),
             ("open_windows", Value::from(self.op.open_windows() as i64)),
             ("uri", Value::from(node_uri(ctx.node_id(), "/").to_string())),
+        ]))
+    }
+
+    /// The ops-plane liveness view: identity plus the queue depths that
+    /// show backpressure (open panes, unacked publishes).
+    fn health(&self, ctx: &Context<'_>) -> WsResponse {
+        ctx.telemetry().metrics.set_gauge(
+            "streams.pending_publishes",
+            self.pubsub.pending_publishes() as f64,
+        );
+        WsResponse::ok(Value::object([
+            ("status", Value::from("ok")),
+            ("proxy", Value::from(self.config.proxy.as_str())),
+            ("district", Value::from(self.config.district.as_str())),
+            ("kind", Value::from("aggregator")),
+            ("registered", Value::from(self.registered)),
+            ("watermark", Value::from(self.op.watermark())),
+            ("open_windows", Value::from(self.op.open_windows() as i64)),
+            (
+                "pending_publishes",
+                Value::from(self.pubsub.pending_publishes() as i64),
+            ),
         ]))
     }
 
@@ -547,9 +576,10 @@ impl Node for AggregatorNode {
                     topic,
                     payload,
                     trace,
+                    span,
                 }) = self.pubsub.accept(ctx, &pkt)
                 {
-                    self.ingest(ctx, &topic, &payload, trace);
+                    self.ingest(ctx, &topic, &payload, trace, span);
                 }
             }
             WS_PORT => {

@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use telemetry::{TraceId, NO_TRACE};
+use telemetry::{SpanId, TraceId, NO_SPAN, NO_TRACE};
 
 /// Most contributing flight-recorder traces kept per accumulator; the
 /// bound keeps per-window state O(1) under heavy traffic.
@@ -35,8 +35,10 @@ pub struct Accumulator {
     pub min: f64,
     /// Maximum sample value (`-∞` when empty).
     pub max: f64,
-    /// Flight-recorder traces of contributing samples (bounded).
-    traces: Vec<TraceId>,
+    /// Flight-recorder `(trace, span)` pairs of contributing samples
+    /// (bounded). The span is the hop under which the sample entered
+    /// the operator, so window-close hops can parent onto it.
+    traces: Vec<(TraceId, SpanId)>,
 }
 
 impl Default for Accumulator {
@@ -59,12 +61,17 @@ impl Accumulator {
 
     /// Folds one sample in.
     pub fn add(&mut self, value: f64, trace: TraceId) {
+        self.add_spanned(value, trace, NO_SPAN);
+    }
+
+    /// Folds one sample in, remembering the span it arrived under.
+    pub fn add_spanned(&mut self, value: f64, trace: TraceId, span: SpanId) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         if trace != NO_TRACE && self.traces.len() < TRACE_CAP {
-            self.traces.push(trace);
+            self.traces.push((trace, span));
         }
     }
 
@@ -88,8 +95,10 @@ impl Accumulator {
         self.sum / self.count as f64
     }
 
-    /// Traces of contributing samples (bounded to [`TRACE_CAP`]).
-    pub fn traces(&self) -> &[TraceId] {
+    /// `(trace, span)` pairs of contributing samples (bounded to
+    /// [`TRACE_CAP`]). The span is [`NO_SPAN`] for samples folded in
+    /// through [`Accumulator::add`].
+    pub fn traces(&self) -> &[(TraceId, SpanId)] {
         &self.traces
     }
 }
@@ -293,9 +302,22 @@ impl<K: Ord + Clone> WindowedAggregator<K> {
     /// happened to it. A maximally-recent sample is always accepted:
     /// its newest window ends after the watermark by construction.
     pub fn observe(&mut self, key: K, t: i64, value: f64, trace: TraceId) -> Observed {
+        self.observe_spanned(key, t, value, trace, NO_SPAN)
+    }
+
+    /// Like [`WindowedAggregator::observe`], but remembers the span the
+    /// sample arrived under so window-close hops can parent onto it.
+    pub fn observe_spanned(
+        &mut self,
+        key: K,
+        t: i64,
+        value: f64,
+        trace: TraceId,
+        span: SpanId,
+    ) -> Observed {
         self.stats.samples_in += 1;
         self.advance_watermark(t);
-        let outcome = self.feed(key, t, value, trace);
+        let outcome = self.feed(key, t, value, trace, span);
         match outcome {
             Observed::Accepted => self.stats.accepted += 1,
             Observed::Late => self.stats.late_dropped += 1,
@@ -310,10 +332,10 @@ impl<K: Ord + Clone> WindowedAggregator<K> {
     /// crash).
     pub fn restore(&mut self, key: K, t: i64, value: f64) {
         self.advance_watermark(t);
-        let _ = self.feed(key, t, value, NO_TRACE);
+        let _ = self.feed(key, t, value, NO_TRACE, NO_SPAN);
     }
 
-    fn feed(&mut self, key: K, t: i64, value: f64, trace: TraceId) -> Observed {
+    fn feed(&mut self, key: K, t: i64, value: f64, trace: TraceId, span: SpanId) -> Observed {
         let mut accepted = false;
         let mut shed = false;
         for start in self.spec.windows_for(t) {
@@ -322,11 +344,11 @@ impl<K: Ord + Clone> WindowedAggregator<K> {
             }
             let slot = (start, key.clone());
             if let Some(acc) = self.open.get_mut(&slot) {
-                acc.add(value, trace);
+                acc.add_spanned(value, trace, span);
                 accepted = true;
             } else if self.open.len() < self.max_open {
                 let mut acc = Accumulator::new();
-                acc.add(value, trace);
+                acc.add_spanned(value, trace, span);
                 self.open.insert(slot, acc);
                 accepted = true;
             } else {

@@ -15,7 +15,7 @@
 //!   +23.1 ms sub.receive      sub-1           bytes=113
 //! ```
 
-use crate::trace::{TraceEvent, TraceId, NO_TRACE};
+use crate::trace::{SpanId, TraceEvent, TraceId, NO_SPAN, NO_TRACE};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -28,6 +28,10 @@ pub struct Hop {
     pub time_ns: u64,
     /// Latency since the previous hop (0 for the first).
     pub latency_ns: u64,
+    /// Causal span of this hop; [`NO_SPAN`] for unstructured events.
+    pub span: SpanId,
+    /// The span that caused this hop; [`NO_SPAN`] for a root.
+    pub parent_span: SpanId,
     pub detail: String,
 }
 
@@ -111,6 +115,8 @@ pub fn reconstruct(events: &[TraceEvent]) -> Vec<FlightPath> {
                     node_name: e.node_name.clone(),
                     time_ns: e.time_ns,
                     latency_ns: prev.map(|p| e.time_ns.saturating_sub(p)).unwrap_or(0),
+                    span: e.span,
+                    parent_span: e.parent_span,
                     detail: e.detail.clone(),
                 });
                 prev = Some(e.time_ns);
@@ -128,6 +134,186 @@ pub fn reconstruct(events: &[TraceEvent]) -> Vec<FlightPath> {
         .collect()
 }
 
+/// One node of a causal span tree: a hop plus the hops it caused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub hop: Hop,
+    /// Child spans, in ring (i.e. simulation) order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Depth-first walk over this subtree (self first).
+    fn walk<'a>(&'a self, out: &mut Vec<&'a SpanNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.walk(out);
+        }
+    }
+}
+
+/// The causal structure of one trace: a forest of [`SpanNode`]s.
+///
+/// Unlike [`FlightPath`] — a flat time-ordered list — a span tree keeps
+/// *who caused what*: a publish fanning out to three subscribers is one
+/// publish span with three deliver children, and a cross-shard publish
+/// shows the bridge hop as an interior node between the two brokers'
+/// spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTree {
+    pub trace_id: TraceId,
+    /// Root spans (parent unknown or [`NO_SPAN`]), in ring order.
+    pub roots: Vec<SpanNode>,
+    /// Time from the earliest to the latest span in the tree.
+    pub total_ns: u64,
+}
+
+impl SpanTree {
+    /// All nodes of the tree, depth-first from each root.
+    pub fn nodes(&self) -> Vec<&SpanNode> {
+        let mut out = Vec::new();
+        for r in &self.roots {
+            r.walk(&mut out);
+        }
+        out
+    }
+
+    /// `true` if some root-to-descendant chain visits every one of the
+    /// given event kinds in order (intermediate spans may interleave).
+    pub fn chain(&self, kinds: &[&str]) -> bool {
+        fn descend(node: &SpanNode, kinds: &[&str]) -> bool {
+            let rest = if kinds.first() == Some(&node.hop.kind.as_str()) {
+                &kinds[1..]
+            } else {
+                kinds
+            };
+            rest.is_empty() || node.children.iter().any(|c| descend(c, rest))
+        }
+        kinds.is_empty() || self.roots.iter().any(|r| descend(r, kinds))
+    }
+
+    /// The depth of the tree (longest root-to-leaf chain, in spans).
+    pub fn depth(&self) -> usize {
+        fn d(n: &SpanNode) -> usize {
+            1 + n.children.iter().map(d).max().unwrap_or(0)
+        }
+        self.roots.iter().map(d).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for SpanTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace {} (spans {}, total {:.3} ms)",
+            self.trace_id,
+            self.nodes().len(),
+            self.total_ns as f64 / 1e6
+        )?;
+        fn node(f: &mut fmt::Formatter<'_>, n: &SpanNode, t0: u64, depth: usize) -> fmt::Result {
+            let name = if n.hop.node_name.is_empty() {
+                format!("node{}", n.hop.node)
+            } else {
+                n.hop.node_name.clone()
+            };
+            writeln!(
+                f,
+                "  +{:>9.3} ms  {:indent$}{:<16} {:<18} {}",
+                (n.hop.time_ns - t0) as f64 / 1e6,
+                "",
+                n.hop.kind,
+                name,
+                n.hop.detail,
+                indent = depth * 2,
+            )?;
+            for c in &n.children {
+                node(f, c, t0, depth + 1)?;
+            }
+            Ok(())
+        }
+        let t0 = self
+            .nodes()
+            .iter()
+            .map(|n| n.hop.time_ns)
+            .min()
+            .unwrap_or(0);
+        for r in &self.roots {
+            node(f, r, t0, 0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Groups span-carrying events by trace id and rebuilds each trace's
+/// causal tree from the parent-span links.
+///
+/// Events with [`NO_TRACE`] or [`NO_SPAN`] are excluded — only hops
+/// that declared a causal position participate. A span whose parent is
+/// missing from the ring (evicted, or never recorded) becomes a root,
+/// so a truncated ring still yields a usable forest. Trees are
+/// returned in ascending trace-id order; siblings keep ring order.
+pub fn reconstruct_trees(events: &[TraceEvent]) -> Vec<SpanTree> {
+    let mut by_trace: BTreeMap<TraceId, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        if e.trace_id != NO_TRACE && e.span != NO_SPAN {
+            by_trace.entry(e.trace_id).or_default().push(e);
+        }
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace_id, evs)| {
+            let present: std::collections::BTreeSet<SpanId> = evs.iter().map(|e| e.span).collect();
+            // parent span id → child events, ring order preserved.
+            let mut children: BTreeMap<SpanId, Vec<&TraceEvent>> = BTreeMap::new();
+            let mut roots: Vec<&TraceEvent> = Vec::new();
+            for e in &evs {
+                if e.parent_span != NO_SPAN && present.contains(&e.parent_span) {
+                    children.entry(e.parent_span).or_default().push(e);
+                } else {
+                    roots.push(e);
+                }
+            }
+            fn build(
+                e: &TraceEvent,
+                parent_time: Option<u64>,
+                children: &BTreeMap<SpanId, Vec<&TraceEvent>>,
+            ) -> SpanNode {
+                SpanNode {
+                    hop: Hop {
+                        kind: e.kind.clone(),
+                        node: e.node,
+                        node_name: e.node_name.clone(),
+                        time_ns: e.time_ns,
+                        latency_ns: parent_time
+                            .map(|p| e.time_ns.saturating_sub(p))
+                            .unwrap_or(0),
+                        span: e.span,
+                        parent_span: e.parent_span,
+                        detail: e.detail.clone(),
+                    },
+                    children: children
+                        .get(&e.span)
+                        .map(|cs| {
+                            cs.iter()
+                                .map(|c| build(c, Some(e.time_ns), children))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                }
+            }
+            let roots: Vec<SpanNode> = roots.iter().map(|e| build(e, None, &children)).collect();
+            let (lo, hi) = evs.iter().fold((u64::MAX, 0), |(lo, hi), e| {
+                (lo.min(e.time_ns), hi.max(e.time_ns))
+            });
+            SpanTree {
+                trace_id,
+                roots,
+                total_ns: hi.saturating_sub(lo.min(hi)),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,7 +326,17 @@ mod tests {
             node_name: format!("n{node}"),
             kind: kind.to_string(),
             trace_id: id,
+            span: NO_SPAN,
+            parent_span: NO_SPAN,
             detail: String::new(),
+        }
+    }
+
+    fn sev(t: u64, kind: &str, id: TraceId, span: SpanId, parent: SpanId) -> TraceEvent {
+        TraceEvent {
+            span,
+            parent_span: parent,
+            ..ev(t, 1, kind, id)
         }
     }
 
@@ -171,6 +367,50 @@ mod tests {
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].hops.len(), 2);
         assert_eq!(paths[1].hops.len(), 1);
+    }
+
+    #[test]
+    fn span_trees_rebuild_causal_structure() {
+        // publish(1) → deliver(2), deliver(3); deliver(3) → receive(4).
+        let events = vec![
+            sev(0, "broker.publish", 7, 1, 0),
+            sev(10, "broker.deliver", 7, 2, 1),
+            sev(20, "broker.deliver", 7, 3, 1),
+            sev(30, "sub.receive", 7, 4, 3),
+            // A flat (span-less) event must not enter the tree.
+            ev(5, 1, "net.deliver", 7),
+        ];
+        let trees = reconstruct_trees(&events);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.roots.len(), 1);
+        assert_eq!(t.roots[0].hop.kind, "broker.publish");
+        assert_eq!(t.roots[0].children.len(), 2);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.total_ns, 30);
+        assert!(t.chain(&["broker.publish", "broker.deliver", "sub.receive"]));
+        assert!(!t.chain(&["sub.receive", "broker.publish"]));
+        // The second deliver is a leaf; the first carries the receive.
+        let receive = t
+            .nodes()
+            .into_iter()
+            .find(|n| n.hop.kind == "sub.receive")
+            .unwrap();
+        assert_eq!(receive.hop.parent_span, 3);
+        assert_eq!(receive.hop.latency_ns, 10, "latency vs causal parent");
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        // Parent span 9 was evicted from the ring: its child still shows.
+        let events = vec![sev(0, "a", 1, 3, 9), sev(5, "b", 1, 4, 3)];
+        let trees = reconstruct_trees(&events);
+        assert_eq!(trees[0].roots.len(), 1);
+        assert_eq!(trees[0].roots[0].hop.kind, "a");
+        assert_eq!(trees[0].roots[0].children[0].hop.kind, "b");
+        // Display renders without panicking and shows the indent.
+        let text = trees[0].to_string();
+        assert!(text.contains("a"));
     }
 
     #[test]

@@ -167,10 +167,30 @@ impl Histogram {
         self.max
     }
 
+    /// Fraction of recorded samples `<= v`, in `[0, 1]`; the CDF at
+    /// `v`, with the same bucket-width error bound as [`quantile`].
+    /// Exact `min`/`max` pin the endpoints: anything below `min` is
+    /// 0.0, anything at or above `max` is 1.0. Empty histograms report
+    /// 1.0 (no sample violates any bound).
+    ///
+    /// [`quantile`]: Histogram::quantile
+    pub fn fraction_le(&self, v: f64) -> f64 {
+        if self.count == 0 || v >= self.max {
+            return 1.0;
+        }
+        if v < self.min {
+            return 0.0;
+        }
+        let cut = bucket_index(v);
+        let below: u64 = self.buckets[..=cut].iter().sum();
+        (below as f64 / self.count as f64).clamp(0.0, 1.0)
+    }
+
     /// Fixed quantile snapshot used by reports.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count,
+            sum: self.sum,
             mean: self.mean(),
             min: self.min(),
             max: self.max(),
@@ -186,6 +206,7 @@ impl Histogram {
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistogramSnapshot {
     pub count: u64,
+    pub sum: f64,
     pub mean: f64,
     pub min: f64,
     pub max: f64,
@@ -276,6 +297,17 @@ impl Registry {
             .histograms
             .get(name)
             .map(Histogram::snapshot)
+    }
+
+    /// Fraction of one histogram's samples `<= v` (the CDF at `v`), if
+    /// the histogram exists. See [`Histogram::fraction_le`].
+    pub fn fraction_le(&self, name: &str, v: f64) -> Option<f64> {
+        self.inner
+            .lock()
+            .unwrap()
+            .histograms
+            .get(name)
+            .map(|h| h.fraction_le(v))
     }
 
     /// A stable-ordered snapshot of everything in the registry.
@@ -372,6 +404,23 @@ mod tests {
         assert_eq!(r.gauge("g"), 2.5);
         let snap = r.snapshot();
         assert_eq!(snap.counters, vec![("a".to_string(), 5)]);
+    }
+
+    #[test]
+    fn fraction_le_tracks_the_cdf() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.fraction_le(0.5), 0.0, "below exact min");
+        assert_eq!(h.fraction_le(1000.0), 1.0, "at exact max");
+        assert_eq!(h.fraction_le(5000.0), 1.0, "beyond max");
+        let mid = h.fraction_le(500.0);
+        assert!((mid - 0.5).abs() < 0.07, "cdf(500) ≈ 0.5, got {mid}");
+        let p99 = h.fraction_le(990.0);
+        assert!((p99 - 0.99).abs() < 0.07, "cdf(990) ≈ 0.99, got {p99}");
+        // Empty histogram: vacuously attained.
+        assert_eq!(Histogram::new().fraction_le(1.0), 1.0);
     }
 
     #[test]

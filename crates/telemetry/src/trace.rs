@@ -20,6 +20,18 @@ pub type TraceId = u64;
 /// The null trace id: the event/packet is not part of any flight.
 pub const NO_TRACE: TraceId = 0;
 
+/// Identifier of one causal span within a trace; 0 = none.
+///
+/// A span marks one unit of work (a broker publish, a bridge forward,
+/// a subscriber receive). Spans form a tree per trace: each span
+/// carries the id of the span that caused it, so
+/// [`crate::flight::reconstruct_trees`] can rebuild the true causal
+/// structure even when hops of independent branches interleave in time.
+pub type SpanId = u64;
+
+/// The null span id: the event has no causal position.
+pub const NO_SPAN: SpanId = 0;
+
 /// Default ring capacity; overridable via [`Tracer::set_capacity`].
 const DEFAULT_CAPACITY: usize = 65_536;
 
@@ -36,6 +48,10 @@ pub struct TraceEvent {
     pub kind: String,
     /// Correlation id; [`NO_TRACE`] if the event is stand-alone.
     pub trace_id: TraceId,
+    /// This event's span within the trace; [`NO_SPAN`] if unstructured.
+    pub span: SpanId,
+    /// The span that caused this one; [`NO_SPAN`] for a root span.
+    pub parent_span: SpanId,
     /// Free-form detail (topic, byte counts, …).
     pub detail: String,
 }
@@ -47,6 +63,7 @@ struct TracerInner {
     dropped: u64,
     names: BTreeMap<u32, String>,
     next_trace: TraceId,
+    next_span: SpanId,
 }
 
 impl Default for TracerInner {
@@ -57,6 +74,7 @@ impl Default for TracerInner {
             dropped: 0,
             names: BTreeMap::new(),
             next_trace: 1,
+            next_span: 1,
         }
     }
 }
@@ -96,13 +114,40 @@ impl Tracer {
         id
     }
 
-    /// Records one event; O(1), overwrites the oldest when full.
+    /// Mints a fresh non-zero span id (sequential, deterministic; the
+    /// counter is shared across traces).
+    pub fn next_span_id(&self) -> SpanId {
+        let mut g = self.inner.lock().unwrap();
+        let id = g.next_span;
+        g.next_span += 1;
+        id
+    }
+
+    /// Records one unstructured event (no causal span); O(1),
+    /// overwrites the oldest when full.
     pub fn record(
         &self,
         time_ns: u64,
         node: u32,
         kind: &str,
         trace_id: TraceId,
+        detail: impl Into<String>,
+    ) {
+        self.record_span(time_ns, node, kind, trace_id, NO_SPAN, NO_SPAN, detail);
+    }
+
+    /// Records one event with its causal position: `span` is this
+    /// event's own span id, `parent_span` the span that caused it
+    /// ([`NO_SPAN`] for a root). O(1), overwrites the oldest when full.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        time_ns: u64,
+        node: u32,
+        kind: &str,
+        trace_id: TraceId,
+        span: SpanId,
+        parent_span: SpanId,
         detail: impl Into<String>,
     ) {
         let mut g = self.inner.lock().unwrap();
@@ -117,6 +162,8 @@ impl Tracer {
             node_name,
             kind: kind.to_string(),
             trace_id,
+            span,
+            parent_span,
             detail: detail.into(),
         });
     }
@@ -158,12 +205,14 @@ impl Tracer {
         let mut out = String::new();
         for e in &g.ring {
             out.push_str(&format!(
-                "{{\"t_ns\":{},\"node\":{},\"name\":\"{}\",\"kind\":\"{}\",\"trace\":{},\"detail\":\"{}\"}}\n",
+                "{{\"t_ns\":{},\"node\":{},\"name\":\"{}\",\"kind\":\"{}\",\"trace\":{},\"span\":{},\"parent\":{},\"detail\":\"{}\"}}\n",
                 e.time_ns,
                 e.node,
                 escape(&e.node_name),
                 escape(&e.kind),
                 e.trace_id,
+                e.span,
+                e.parent_span,
                 escape(&e.detail),
             ));
         }
@@ -225,6 +274,28 @@ mod tests {
         let t = Tracer::new();
         assert_eq!(t.next_trace_id(), 1);
         assert_eq!(t.next_trace_id(), 2);
+    }
+
+    #[test]
+    fn span_ids_are_sequential_and_independent_of_traces() {
+        let t = Tracer::new();
+        assert_eq!(t.next_span_id(), 1);
+        assert_eq!(t.next_trace_id(), 1);
+        assert_eq!(t.next_span_id(), 2);
+    }
+
+    #[test]
+    fn record_span_carries_causality() {
+        let t = Tracer::new();
+        t.record_span(5, 1, "broker.publish", 9, 3, 0, "");
+        t.record_span(6, 1, "broker.deliver", 9, 4, 3, "");
+        t.record(7, 1, "flat", 9, "");
+        let evs = t.events();
+        assert_eq!((evs[0].span, evs[0].parent_span), (3, NO_SPAN));
+        assert_eq!((evs[1].span, evs[1].parent_span), (4, 3));
+        assert_eq!((evs[2].span, evs[2].parent_span), (NO_SPAN, NO_SPAN));
+        let json = t.to_json_lines();
+        assert!(json.contains("\"span\":4,\"parent\":3"));
     }
 
     #[test]

@@ -6,10 +6,14 @@
 # five samples per bench), takes the per-bench minimum over
 # GATE_PASSES=3 passes (the minimum is robust to scheduler noise on a
 # loaded box, and a real regression raises the minimum too), and
-# compares it against the committed baseline in results/BENCH_pr6.json.
+# compares it against the committed baseline in results/BENCH_pr7.json.
 # A bench fails the gate when its minimum exceeds baseline * 1.25 +
 # 100 ns — the flat 100 ns term keeps sub-microsecond benches from
 # tripping on jitter.
+#
+# The gate also runs the E13 smoke once and records its SLO attainment
+# fields (one `{"slo":...}` line per objective) alongside the bench
+# medians; a run whose SLO comes back unmet fails the gate outright.
 #
 # Usage:
 #   scripts/bench_gate.sh            compare against the baseline
@@ -18,12 +22,13 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="results/BENCH_pr6.json"
+BASELINE="results/BENCH_pr7.json"
 BENCHES=(topic_matching streams wire_codecs)
 
 raw="$(mktemp)"
 out="$(mktemp)"
-trap 'rm -f "$raw" "$out"' EXIT
+slo="$(mktemp)"
+trap 'rm -f "$raw" "$out" "$slo"' EXIT
 
 passes="${GATE_PASSES:-3}"
 echo "== bench_gate: measuring (${BENCHES[*]}), min of $passes passes"
@@ -33,6 +38,19 @@ for _ in $(seq 1 "$passes"); do
             cargo bench -q -p dimmer-bench --bench "$b" >/dev/null
     done
 done
+
+echo "== bench_gate: E13 smoke for SLO attainment"
+DIMMER_E13_SMOKE=1 DIMMER_E13_JSON="$slo" \
+    cargo run -q --release -p dimmer-bench --bin e13_city_scale >/dev/null
+if [[ ! -s "$slo" ]]; then
+    echo "bench_gate: E13 emitted no SLO records" >&2
+    exit 1
+fi
+if grep -q '"met":false' "$slo"; then
+    echo "bench_gate: SLO missed in the E13 smoke run:" >&2
+    grep '"met":false' "$slo" >&2
+    exit 1
+fi
 
 # Reduce the repeated passes to one per-bench minimum, preserving
 # first-seen order so baseline diffs stay readable.
@@ -48,6 +66,7 @@ awk -F'"' '
             printf "{\"bench\":\"%s\",\"median_ns\":%s}\n", order[i], best[order[i]]
     }
 ' "$raw" > "$out"
+cat "$slo" >> "$out"
 
 if [[ "${1:-}" == "--update" ]]; then
     cp "$out" "$BASELINE"
@@ -61,6 +80,8 @@ if [[ ! -f "$BASELINE" ]]; then
 fi
 
 if awk -F'"' '
+    # SLO records carry no median; they are gated above, not compared.
+    !/"median_ns":/ { next }
     FNR == NR {
         split($0, a, /"median_ns":/); sub(/}.*/, "", a[2])
         base[$4] = a[2] + 0

@@ -12,10 +12,32 @@
 #                    Defaults to 2; set 0 to skip.
 #   DIMMER_BENCH=1   additionally run the perf-regression gate
 #                    (scripts/bench_gate.sh) against the committed
-#                    baseline in results/BENCH_pr6.json.
+#                    baseline in results/BENCH_pr7.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== metric-name lint (docs/metrics.txt)"
+# Static metric names used in crates/*/src (test mods stripped — the
+# convention puts `#[cfg(test)]` last in a file) must match the
+# checked-in inventory exactly, both ways: no ad-hoc names in code, no
+# stale names in the inventory. Dynamic label/SLO families are
+# documented as comments in the inventory and invisible to this grep.
+used="$(mktemp)"
+listed="$(mktemp)"
+trap 'rm -f "$used" "$listed"' EXIT
+for f in $(find crates -path '*/src/*.rs' | sort); do
+    awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
+done | tr '\n' ' ' \
+    | grep -oE '\.(incr|add|set_gauge|observe|observe_ns)\(([^"();]{0,40},)?[[:space:]]*"[^"]+"' \
+    | sed -E 's/.*"([^"]+)"$/\1/' | sort -u > "$used"
+grep -v '^#' docs/metrics.txt | grep -v '^$' | sort -u > "$listed"
+if ! diff -u "$listed" "$used"; then
+    echo "metric lint: code and docs/metrics.txt disagree" >&2
+    echo "metric lint: lines prefixed '+' are unregistered names in code," >&2
+    echo "metric lint: lines prefixed '-' are stale inventory entries" >&2
+    exit 1
+fi
 
 echo "== cargo fmt --check"
 cargo fmt --check
