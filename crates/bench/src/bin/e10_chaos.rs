@@ -231,7 +231,7 @@ fn main() {
         let stats = sim.node_ref::<DeviceProxyNode>(p).expect("proxy").stats();
         buffered += stats.buffered;
         replayed += stats.replayed;
-        shed += stats.shed;
+        shed += stats.shed_capacity;
     }
     println!("store-and-forward: {buffered} buffered, {replayed} replayed, {shed} shed");
 

@@ -80,6 +80,11 @@ impl Deployment {
                     .map(|d| (d.district.clone(), d.name.clone())),
             ),
         );
+        if let Some(ov) = scenario.config.overload {
+            sim.node_mut::<MasterNode>(master)
+                .expect("just added")
+                .set_admission_limits(ov.master_capacity, ov.master_rate);
+        }
 
         // Broker tier: the classic single broker, or one labeled broker
         // per shard bridged into a federation (district i → shard
@@ -291,6 +296,9 @@ fn deploy_district(
         );
         agg_config.window = WindowSpec::tumbling(agg.window_millis);
         agg_config.lateness_millis = agg.lateness_millis;
+        if let Some(ov) = config.overload {
+            agg_config = agg_config.with_admission(ov.aggregator_capacity, ov.aggregator_rate);
+        }
         sim.add_node(format!("agg-{did}"), AggregatorNode::new(agg_config))
     });
 

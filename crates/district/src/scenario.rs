@@ -255,6 +255,50 @@ impl FederationSpec {
     }
 }
 
+/// Overload-protection parameters: admission limits applied to the
+/// deployment's query endpoints (master redirect, aggregator
+/// `/rollups`). `None` on a scenario keeps each node's generous
+/// defaults; setting it sizes the system for a capacity experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadSpec {
+    /// Master query-admission bound (queued queries).
+    pub master_capacity: u64,
+    /// Master sustained query rate (queries per second).
+    pub master_rate: f64,
+    /// Aggregator `/rollups` admission bound.
+    pub aggregator_capacity: u64,
+    /// Aggregator sustained `/rollups` rate (queries per second).
+    pub aggregator_rate: f64,
+}
+
+impl OverloadSpec {
+    /// Sizes both admission gates from a single target service rate:
+    /// capacity covers one second of burst at that rate.
+    pub fn rate_limited(queries_per_sec: f64) -> Self {
+        let capacity = (queries_per_sec.ceil() as u64).max(1);
+        OverloadSpec {
+            master_capacity: capacity,
+            master_rate: queries_per_sec,
+            aggregator_capacity: capacity,
+            aggregator_rate: queries_per_sec,
+        }
+    }
+
+    /// Overrides the master gate (fluent).
+    pub fn with_master(mut self, capacity: u64, rate: f64) -> Self {
+        self.master_capacity = capacity;
+        self.master_rate = rate;
+        self
+    }
+
+    /// Overrides the aggregator gate (fluent).
+    pub fn with_aggregator(mut self, capacity: u64, rate: f64) -> Self {
+        self.aggregator_capacity = capacity;
+        self.aggregator_rate = rate;
+        self
+    }
+}
+
 /// Scenario generation parameters.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -286,6 +330,9 @@ pub struct ScenarioConfig {
     /// Optional broker federation; `None` (the default) deploys the
     /// classic single broker, preserving the seed topology.
     pub federation: Option<FederationSpec>,
+    /// Optional overload sizing; `None` (the default) keeps each
+    /// node's generous admission defaults.
+    pub overload: Option<OverloadSpec>,
 }
 
 impl ScenarioConfig {
@@ -306,6 +353,7 @@ impl ScenarioConfig {
             archive_rows: 32,
             aggregation: None,
             federation: None,
+            overload: None,
         }
     }
 
@@ -342,6 +390,12 @@ impl ScenarioConfig {
     /// Sets the district count (fluent, for federation sweeps).
     pub fn with_districts(mut self, n: usize) -> Self {
         self.districts = n;
+        self
+    }
+
+    /// Sizes the deployment's admission gates (fluent).
+    pub fn with_overload(mut self, overload: OverloadSpec) -> Self {
+        self.overload = Some(overload);
         self
     }
 

@@ -53,6 +53,7 @@ use proxy::webservice::{
 };
 use proxy::{uri_node, WS_PORT};
 use pubsub::{WirePacket, PUBSUB_PORT};
+use simnet::overload::{Admission, AdmissionGate, BreakerConfig, BreakerState, CircuitBreaker};
 use simnet::{Context, Node, NodeId, Packet, SimDuration, SimTime, TimerTag};
 
 const TAG_LIVENESS: TimerTag = TimerTag(1);
@@ -65,6 +66,30 @@ const LIVENESS_PERIOD: SimDuration = SimDuration::from_secs(30);
 const LIVENESS_HORIZON: SimDuration = SimDuration::from_secs(100);
 /// Default fleet-scrape period.
 pub const DEFAULT_SCRAPE_INTERVAL: SimDuration = SimDuration::from_secs(15);
+/// Default admission capacity for query endpoints (bursts above this
+/// are shed with a 503 and a `Retry-After`).
+pub const DEFAULT_ADMISSION_CAPACITY: u64 = 1024;
+/// Default admission drain rate: sustained queries per second the
+/// master is willing to serve.
+pub const DEFAULT_ADMISSION_RATE: f64 = 4096.0;
+/// A scraped aggregator whose probe latency exceeds this floor *and*
+/// three times the fleet median is ejected from redirect rotation.
+const OUTLIER_LATENCY_FLOOR: SimDuration = SimDuration::from_millis(100);
+
+/// Breaker settings for the per-district aggregator circuits: sized to
+/// the 15 s scrape cadence so a gray-failed aggregator trips within a
+/// few rounds and is re-probed (half-open) after the cool-down.
+fn district_breaker_config() -> BreakerConfig {
+    BreakerConfig {
+        window: 8,
+        min_samples: 3,
+        error_threshold: 0.5,
+        latency_threshold: SimDuration::from_millis(750),
+        slow_threshold: 0.5,
+        open_for: SimDuration::from_secs(45),
+        probes_to_close: 1,
+    }
+}
 
 /// Registry counters exposed at `GET /stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -98,6 +123,9 @@ struct ScrapeRecord {
     /// When the last successful scrape of this target landed.
     last_ok: Option<SimTime>,
     up: bool,
+    /// Round-trip latency of the last successful scrape, the
+    /// gray-failure signal behind outlier ejection.
+    latency: Option<SimDuration>,
     /// The `/health` body from the last successful scrape.
     health: Value,
 }
@@ -116,6 +144,8 @@ struct FleetScrape {
     inflight_ws: HashMap<u64, String>,
     /// In-flight broker ops probes: `OpsGet` id → target name.
     inflight_ops: HashMap<u64, String>,
+    /// In-flight rollup-snapshot probes: request id → district.
+    inflight_rollups: HashMap<u64, DistrictId>,
     next_ops_id: u64,
 }
 
@@ -150,6 +180,14 @@ pub struct MasterNode {
     ws_client: WsClient,
     /// Fleet scraper state; `None` until enabled.
     scrape: Option<FleetScrape>,
+    /// Admission gate over the query endpoints; registrations,
+    /// heartbeats and the ops plane are never shed.
+    gate: AdmissionGate,
+    /// Per-district circuit breakers over aggregator rollup probes.
+    breakers: BTreeMap<DistrictId, CircuitBreaker>,
+    /// Last good rollup snapshot per district, served stale while that
+    /// district's breaker is open.
+    rollup_cache: BTreeMap<DistrictId, (SimTime, Value)>,
     stats: MasterStats,
 }
 
@@ -186,8 +224,18 @@ impl MasterNode {
             shard_owners: Vec::new(),
             ws_client: WsClient::new(WS_CLIENT_TAGS),
             scrape: None,
+            gate: AdmissionGate::new(DEFAULT_ADMISSION_CAPACITY, DEFAULT_ADMISSION_RATE),
+            breakers: BTreeMap::new(),
+            rollup_cache: BTreeMap::new(),
             stats: MasterStats::default(),
         }
+    }
+
+    /// Replaces the query admission limits: at most `capacity` queued
+    /// queries, drained at `drain_per_sec`. Queries past the bound are
+    /// answered with a cheap 503 carrying a `Retry-After`.
+    pub fn set_admission_limits(&mut self, capacity: u64, drain_per_sec: f64) {
+        self.gate = AdmissionGate::new(capacity, drain_per_sec);
     }
 
     /// Turns on the periodic fleet scraper: every `interval` the master
@@ -202,6 +250,7 @@ impl MasterNode {
             records: BTreeMap::new(),
             inflight_ws: HashMap::new(),
             inflight_ops: HashMap::new(),
+            inflight_rollups: HashMap::new(),
             next_ops_id: 1,
         });
     }
@@ -344,10 +393,11 @@ impl MasterNode {
             ProxyRecord {
                 district: registration.district.clone(),
                 uri: registration.uri.clone(),
-                kind: match contribution {
-                    Contribution::Device { .. } => "device",
-                    Contribution::Entity { .. } => "entity_database",
-                    Contribution::DistrictRoot => "district_root",
+                kind: match &registration.role {
+                    ProxyRole::Device { .. } => "device",
+                    ProxyRole::EntityDatabase { .. } => "entity_database",
+                    ProxyRole::Aggregator => "aggregator",
+                    ProxyRole::Gis | ProxyRole::MeasurementArchive => "district_root",
                 },
                 contribution,
                 last_seen: now,
@@ -406,8 +456,28 @@ impl MasterNode {
         }
     }
 
+    /// Whether a request rides the query plane (sheddable) rather than
+    /// the control or ops plane (never shed: losing registrations or
+    /// health probes under load would turn overload into gray failure).
+    fn is_query(request: &WsRequest) -> bool {
+        request.method == proxy::webservice::Method::Get
+            && !matches!(
+                request.path.as_str(),
+                "/health" | "/metrics" | "/fleet/health" | "/fleet/metrics"
+            )
+    }
+
     fn handle(&mut self, ctx: &mut Context<'_>, call: WsCall) {
         ctx.telemetry().metrics.incr("master.requests");
+        if Self::is_query(&call.request) {
+            if let Admission::Shed { retry_after } =
+                self.gate.try_admit(ctx.now(), &ctx.telemetry().metrics)
+            {
+                let response = WsResponse::unavailable(retry_after);
+                self.ws.respond(ctx, &call, response);
+                return;
+            }
+        }
         let request = &call.request;
         let response = match (request.method, request.path.as_str()) {
             (proxy::webservice::Method::Post, "/register") => self.post_register(ctx, request),
@@ -461,7 +531,7 @@ impl MasterNode {
                 ("proxies", Value::from(self.registry.len() as i64)),
                 ("parked_devices", Value::from(self.parked.len() as i64)),
             ])),
-            (proxy::webservice::Method::Get, path) => self.get_routed(path, request),
+            (proxy::webservice::Method::Get, path) => self.get_routed(ctx, path, request),
             _ => WsResponse::error(status::NOT_FOUND, "unknown endpoint"),
         };
         self.ws.respond(ctx, &call, response);
@@ -535,7 +605,7 @@ impl MasterNode {
         WsResponse::ok(Value::object([("districts", Value::Array(list))]))
     }
 
-    fn get_routed(&mut self, path: &str, request: &WsRequest) -> WsResponse {
+    fn get_routed(&mut self, ctx: &Context<'_>, path: &str, request: &WsRequest) -> WsResponse {
         let tree_pattern = PathPattern::new("/district/{id}");
         let area_pattern = PathPattern::new("/district/{id}/area");
         let entities_pattern = PathPattern::new("/district/{id}/entities");
@@ -552,22 +622,51 @@ impl MasterNode {
                 return WsResponse::error(status::BAD_REQUEST, "invalid district id");
             };
             // Redirect principle: hand back the aggregator URIs serving
-            // this district's rollups, never the rollups themselves.
-            return match self.ontology.district(&district) {
-                Some(tree) => WsResponse::ok(Value::object([
-                    ("district", Value::from(district.as_str())),
-                    (
-                        "aggregators",
-                        Value::Array(
-                            tree.aggregator_proxies()
-                                .iter()
-                                .map(|u| Value::from(u.to_string()))
-                                .collect(),
-                        ),
-                    ),
-                ])),
-                None => WsResponse::error(status::NOT_FOUND, "unknown district"),
+            // this district's rollups, never the rollups themselves —
+            // except in degraded mode, where a stale snapshot beats a
+            // redirect into an open circuit.
+            let Some(tree) = self.ontology.district(&district) else {
+                return WsResponse::error(status::NOT_FOUND, "unknown district");
             };
+            let uris: Vec<String> = tree
+                .aggregator_proxies()
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
+            let (kept, ejected) = self.eject_outliers(uris);
+            if ejected > 0 {
+                ctx.telemetry()
+                    .metrics
+                    .add("master.outlier_ejections", ejected);
+            }
+            let open = matches!(
+                self.breakers.get(&district).map(CircuitBreaker::state),
+                Some(BreakerState::Open)
+            );
+            let aggregators = Value::Array(kept.iter().map(|u| Value::from(u.as_str())).collect());
+            if open || kept.is_empty() {
+                // The district's aggregator is open-circuit (or every
+                // replica was ejected): serve the last retained rollups
+                // with a staleness marker instead of a dead redirect.
+                if let Some((at, rollups)) = self.rollup_cache.get(&district) {
+                    ctx.telemetry().metrics.incr("master.stale_rollups");
+                    return WsResponse::ok(Value::object([
+                        ("district", Value::from(district.as_str())),
+                        ("aggregators", aggregators),
+                        ("stale", Value::from(true)),
+                        (
+                            "staleness_ms",
+                            Value::from(ctx.now().saturating_since(*at).as_millis_f64() as i64),
+                        ),
+                        ("rollups", rollups.clone()),
+                    ]));
+                }
+            }
+            return WsResponse::ok(Value::object([
+                ("district", Value::from(district.as_str())),
+                ("aggregators", aggregators),
+                ("stale", Value::from(false)),
+            ]));
         }
 
         if let Some(params) = area_pattern.matches(path) {
@@ -653,6 +752,62 @@ impl MasterNode {
         WsResponse::error(status::NOT_FOUND, "unknown endpoint")
     }
 
+    /// Filters known-bad aggregators out of a redirect list: replicas
+    /// the scraper saw go down, plus latency outliers — probes slower
+    /// than [`OUTLIER_LATENCY_FLOOR`] *and* three times the fleet
+    /// median. Returns the surviving URIs and the eject count.
+    fn eject_outliers(&self, uris: Vec<String>) -> (Vec<String>, u64) {
+        let Some(scrape) = self.scrape.as_ref() else {
+            return (uris, 0);
+        };
+        let mut lats: Vec<u64> = scrape
+            .records
+            .values()
+            .filter(|r| r.kind == "aggregator")
+            .filter_map(|r| r.latency.map(|l| l.as_nanos()))
+            .collect();
+        lats.sort_unstable();
+        // Lower-middle median: with two replicas the healthy one sets
+        // the norm, so the slow one still reads as an outlier.
+        let median = lats.get(lats.len().saturating_sub(1) / 2).copied();
+        let by_uri: HashMap<String, &ScrapeRecord> = self
+            .registry
+            .iter()
+            .filter(|(_, rec)| rec.kind == "aggregator")
+            .filter_map(|(id, rec)| {
+                scrape
+                    .records
+                    .get(id.as_str())
+                    .map(|s| (rec.uri.to_string(), s))
+            })
+            .collect();
+        let mut ejected = 0;
+        let kept = uris
+            .into_iter()
+            .filter(|uri| {
+                // Never scraped (or scraper off for it): innocent until
+                // proven slow.
+                let Some(rec) = by_uri.get(uri) else {
+                    return true;
+                };
+                let down = rec.last_ok.is_some() && !rec.up;
+                let slow = match (rec.latency, median) {
+                    (Some(l), Some(m)) => {
+                        l > OUTLIER_LATENCY_FLOOR && l.as_nanos() > m.saturating_mul(3)
+                    }
+                    _ => false,
+                };
+                if down || slow {
+                    ejected += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        (kept, ejected)
+    }
+
     /// One scrape round: expire the previous round's unanswered probes,
     /// refresh the fleet gauges, then fan a fresh `/health` probe out to
     /// every registered proxy and tracked broker.
@@ -671,6 +826,14 @@ impl MasterNode {
             if let Some(rec) = scrape.records.get_mut(&name) {
                 rec.up = false;
             }
+        }
+        // A rollup snapshot still in flight from the previous round is a
+        // failed probe as far as the district breaker is concerned.
+        for district in scrape.inflight_rollups.drain().map(|(_, d)| d) {
+            self.breakers
+                .entry(district)
+                .or_insert_with(|| CircuitBreaker::new(district_breaker_config()))
+                .record_failure(ctx.now(), &ctx.telemetry().metrics);
         }
         ctx.telemetry().metrics.incr("ops.scrapes");
         // Proxies: whatever the registry holds right now, probed over
@@ -691,6 +854,7 @@ impl MasterNode {
                 kind,
                 last_ok: None,
                 up: false,
+                latency: None,
                 health: Value::Null,
             });
         }
@@ -712,8 +876,46 @@ impl MasterNode {
                 kind: "broker",
                 last_ok: None,
                 up: false,
+                latency: None,
                 health: Value::Null,
             });
+        }
+        // Rollup snapshot probes: one aggregator per district (smallest
+        // proxy id, for determinism), gated by that district's breaker —
+        // an open circuit stops probing until the half-open window.
+        let mut targets: BTreeMap<DistrictId, (String, NodeId)> = BTreeMap::new();
+        for (id, rec) in &self.registry {
+            if rec.kind != "aggregator" {
+                continue;
+            }
+            let Some(node) = uri_node(&rec.uri) else {
+                continue;
+            };
+            let name = id.as_str().to_owned();
+            match targets.entry(rec.district.clone()) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((name, node));
+                }
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if name < o.get().0 {
+                        o.insert((name, node));
+                    }
+                }
+            }
+        }
+        for (district, (_, node)) in targets {
+            let breaker = self
+                .breakers
+                .entry(district.clone())
+                .or_insert_with(|| CircuitBreaker::new(district_breaker_config()));
+            if !breaker.allow(ctx.now(), &ctx.telemetry().metrics) {
+                continue;
+            }
+            let id = self
+                .ws_client
+                .request(ctx, node, &WsRequest::get("/rollups"));
+            let scrape = self.scrape.as_mut().expect("checked above");
+            scrape.inflight_rollups.insert(id, district);
         }
         self.refresh_fleet_gauges(ctx);
     }
@@ -737,11 +939,33 @@ impl MasterNode {
     }
 
     fn on_scrape_ws_event(&mut self, ctx: &Context<'_>, event: WsClientEvent) {
-        let Some(scrape) = self.scrape.as_mut() else {
-            return;
-        };
         match event {
             WsClientEvent::Response { id, response } => {
+                let latency = self
+                    .ws_client
+                    .take_sent_at(id)
+                    .map(|t| ctx.now().saturating_since(t));
+                let Some(scrape) = self.scrape.as_mut() else {
+                    return;
+                };
+                if let Some(district) = scrape.inflight_rollups.remove(&id) {
+                    let breaker = self
+                        .breakers
+                        .entry(district.clone())
+                        .or_insert_with(|| CircuitBreaker::new(district_breaker_config()));
+                    if response.is_ok() {
+                        breaker.record_success(
+                            ctx.now(),
+                            latency.unwrap_or_default(),
+                            &ctx.telemetry().metrics,
+                        );
+                        self.rollup_cache
+                            .insert(district, (ctx.now(), response.body));
+                    } else {
+                        breaker.record_failure(ctx.now(), &ctx.telemetry().metrics);
+                    }
+                    return;
+                }
                 let Some(name) = scrape.inflight_ws.remove(&id) else {
                     return;
                 };
@@ -749,11 +973,23 @@ impl MasterNode {
                     rec.up = response.is_ok();
                     if response.is_ok() {
                         rec.last_ok = Some(ctx.now());
+                        rec.latency = latency;
                         rec.health = response.body;
                     }
                 }
             }
             WsClientEvent::TimedOut { id } => {
+                self.ws_client.take_sent_at(id);
+                let Some(scrape) = self.scrape.as_mut() else {
+                    return;
+                };
+                if let Some(district) = scrape.inflight_rollups.remove(&id) {
+                    self.breakers
+                        .entry(district)
+                        .or_insert_with(|| CircuitBreaker::new(district_breaker_config()))
+                        .record_failure(ctx.now(), &ctx.telemetry().metrics);
+                    return;
+                }
                 if let Some(name) = scrape.inflight_ws.remove(&id) {
                     if let Some(rec) = scrape.records.get_mut(&name) {
                         rec.up = false;
@@ -896,7 +1132,12 @@ impl Node for MasterNode {
             // their gauges) survive like any other lifetime counter.
             scrape.inflight_ws.clear();
             scrape.inflight_ops.clear();
+            scrape.inflight_rollups.clear();
         }
+        // Breaker windows and the stale-rollup cache are in-memory
+        // state: they die with the process like the registry.
+        self.breakers.clear();
+        self.rollup_cache.clear();
         ctx.telemetry().metrics.incr("master.restart");
         ctx.telemetry().metrics.set_gauge("master.proxies", 0.0);
         self.on_start(ctx);

@@ -16,6 +16,7 @@ use gis::geo::{BoundingBox, GeoPoint};
 use models::bim::{BimTables, BuildingModel};
 use models::simmodel::NetworkModel;
 use ontology::EntityNode;
+use simnet::overload::{Admission, AdmissionGate};
 use simnet::{Context, Node, Packet, SimDuration, TimerTag};
 use storage::legacy::csv::CsvDocument;
 
@@ -309,7 +310,14 @@ impl SourceTranslator for MeasurementArchiveSource {
 pub struct DatabaseProxyStats {
     /// Web-Service requests served.
     pub ws_requests: u64,
+    /// Queries (`/model`, `/query`) shed by the admission gate.
+    pub ws_shed: u64,
 }
+
+/// Default admission bound on queued queries (`/model`, `/query`).
+pub const DEFAULT_ADMISSION_CAPACITY: u64 = 32;
+/// Default sustained query service rate (queries per second).
+pub const DEFAULT_ADMISSION_RATE: f64 = 200.0;
 
 /// The Database-proxy node.
 pub struct DatabaseProxyNode {
@@ -323,6 +331,8 @@ pub struct DatabaseProxyNode {
     /// Correlation id of the in-flight heartbeat, so a 404 (the master
     /// evicted or forgot us) can trigger re-registration.
     heartbeat_req: Option<u64>,
+    /// Admission gate over the query paths; the ops plane is never shed.
+    gate: AdmissionGate,
     stats: DatabaseProxyStats,
 }
 
@@ -353,8 +363,14 @@ impl DatabaseProxyNode {
             ws_client: WsClient::new(WS_CLIENT_TAGS),
             registered: false,
             heartbeat_req: None,
+            gate: AdmissionGate::new(DEFAULT_ADMISSION_CAPACITY, DEFAULT_ADMISSION_RATE),
             stats: DatabaseProxyStats::default(),
         }
+    }
+
+    /// Replaces the query admission limits.
+    pub fn set_admission_limits(&mut self, capacity: u64, drain_per_sec: f64) {
+        self.gate = AdmissionGate::new(capacity, drain_per_sec);
     }
 
     /// Whether the master acknowledged registration.
@@ -426,8 +442,18 @@ impl Node for DatabaseProxyNode {
         if let Some(call) = self.ws.accept(ctx, &pkt) {
             self.stats.ws_requests += 1;
             let response = match call.request.path.as_str() {
-                "/model" => WsResponse::ok(self.source.model()),
-                "/query" => self.source.query(&call.request),
+                "/model" | "/query" => {
+                    match self.gate.try_admit(ctx.now(), &ctx.telemetry().metrics) {
+                        Admission::Admitted if call.request.path == "/model" => {
+                            WsResponse::ok(self.source.model())
+                        }
+                        Admission::Admitted => self.source.query(&call.request),
+                        Admission::Shed { retry_after } => {
+                            self.stats.ws_shed += 1;
+                            WsResponse::unavailable(retry_after)
+                        }
+                    }
+                }
                 "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
                 "/health" => WsResponse::ok(Value::object([
                     ("status", Value::from("ok")),

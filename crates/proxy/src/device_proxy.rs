@@ -22,6 +22,7 @@ use dimmer_core::{
 use gis::geo::GeoPoint;
 use ontology::DeviceLeaf;
 use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, Topic, PUBSUB_PORT};
+use simnet::overload::{Admission, AdmissionGate};
 use simnet::rpc::{RequestTracker, RpcEvent};
 use simnet::{Context, Node, Packet, SimDuration, TimerTag};
 use storage::tskv::{Aggregate, TimeSeriesStore};
@@ -55,6 +56,10 @@ pub const STORE_FORWARD_CAPACITY: usize = 256;
 /// (with jitter) up to [`REPLAY_BACKOFF_MAX`] on each failed probe.
 const REPLAY_BACKOFF_BASE: SimDuration = SimDuration::from_secs(2);
 const REPLAY_BACKOFF_MAX: SimDuration = SimDuration::from_secs(60);
+/// Default admission bound on queued data queries (`/latest`, `/data`).
+pub const DEFAULT_ADMISSION_CAPACITY: u64 = 32;
+/// Default sustained data-query service rate (queries per second).
+pub const DEFAULT_ADMISSION_RATE: f64 = 200.0;
 
 /// Static configuration of a Device-proxy.
 #[derive(Debug, Clone)]
@@ -106,8 +111,15 @@ pub struct DeviceProxyStats {
     pub buffered: u64,
     /// Buffered samples successfully re-published after recovery.
     pub replayed: u64,
-    /// Buffered samples dropped because the buffer overflowed.
-    pub shed: u64,
+    /// Buffered samples dropped because the buffer was at capacity.
+    /// Conservation: `buffered == replayed + shed_capacity + backlog`.
+    pub shed_capacity: u64,
+    /// Samples dropped at the door because their frame failed the
+    /// dedicated layer — distinct from capacity shedding so overload
+    /// and corruption cannot masquerade as each other.
+    pub shed_decode: u64,
+    /// Data queries (`/latest`, `/data`) shed by the admission gate.
+    pub ws_shed: u64,
 }
 
 /// A QoS 1 sample parked while the broker is unreachable, carrying its
@@ -145,6 +157,9 @@ pub struct DeviceProxyNode {
     broker_down: bool,
     /// Current replay probe delay (exponential, jittered).
     replay_backoff: SimDuration,
+    /// Admission gate over the data-query paths (`/latest`, `/data`);
+    /// actuation and the ops plane are never shed.
+    gate: AdmissionGate,
     stats: DeviceProxyStats,
 }
 
@@ -180,8 +195,14 @@ impl DeviceProxyNode {
             backlog_capacity: STORE_FORWARD_CAPACITY,
             broker_down: false,
             replay_backoff: REPLAY_BACKOFF_BASE,
+            gate: AdmissionGate::new(DEFAULT_ADMISSION_CAPACITY, DEFAULT_ADMISSION_RATE),
             stats: DeviceProxyStats::default(),
         }
+    }
+
+    /// Replaces the data-query admission limits.
+    pub fn set_admission_limits(&mut self, capacity: u64, drain_per_sec: f64) {
+        self.gate = AdmissionGate::new(capacity, drain_per_sec);
     }
 
     /// Whether the master has acknowledged registration.
@@ -320,8 +341,8 @@ impl DeviceProxyNode {
     fn buffer_sample(&mut self, ctx: &mut Context<'_>, mut sample: BufferedSample) {
         if self.backlog.len() >= self.backlog_capacity {
             self.backlog.pop_front();
-            self.stats.shed += 1;
-            ctx.telemetry().metrics.incr("proxy.shed");
+            self.stats.shed_capacity += 1;
+            ctx.telemetry().metrics.incr("proxy.shed_capacity");
         }
         sample.span = ctx.span_hop(
             "proxy.buffer",
@@ -342,8 +363,13 @@ impl DeviceProxyNode {
         if let Some(mut sample) = self.inflight.remove(&id) {
             // Requeue at the front — it is older than everything parked.
             if self.backlog.len() >= self.backlog_capacity {
-                self.stats.shed += 1;
-                ctx.telemetry().metrics.incr("proxy.shed");
+                // It enters the buffer's books and is immediately shed
+                // (being the oldest), so `buffered == replayed +
+                // shed_capacity + backlog` stays an exact identity.
+                self.stats.buffered += 1;
+                ctx.telemetry().metrics.incr("proxy.buffered");
+                self.stats.shed_capacity += 1;
+                ctx.telemetry().metrics.incr("proxy.shed_capacity");
             } else {
                 sample.span = ctx.span_hop(
                     "proxy.buffer",
@@ -404,8 +430,14 @@ impl DeviceProxyNode {
         let request = &call.request;
         let response = match request.path.as_str() {
             "/info" => self.info(ctx),
-            "/latest" => self.latest(request),
-            "/data" => self.data(request),
+            "/latest" | "/data" => match self.gate.try_admit(ctx.now(), &ctx.telemetry().metrics) {
+                Admission::Admitted if request.path == "/latest" => self.latest(request),
+                Admission::Admitted => self.data(request),
+                Admission::Shed { retry_after } => {
+                    self.stats.ws_shed += 1;
+                    WsResponse::unavailable(retry_after)
+                }
+            },
             "/actuate" => self.actuate(ctx, request),
             "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
             "/health" => self.health(ctx),
@@ -627,7 +659,9 @@ impl Node for DeviceProxyNode {
                 Ok(samples) => self.ingest(ctx, samples, pkt.trace, pkt.span),
                 Err(_) => {
                     self.stats.decode_errors += 1;
+                    self.stats.shed_decode += 1;
                     ctx.telemetry().metrics.incr("proxy.decode_errors");
+                    ctx.telemetry().metrics.incr("proxy.shed_decode");
                 }
             },
             OPCUA_PORT | crate::COAP_PORT => {
@@ -638,7 +672,9 @@ impl Node for DeviceProxyNode {
                         Ok(samples) => self.ingest(ctx, samples, pkt.trace, pkt.span),
                         Err(_) => {
                             self.stats.decode_errors += 1;
+                            self.stats.shed_decode += 1;
                             ctx.telemetry().metrics.incr("proxy.decode_errors");
+                            ctx.telemetry().metrics.incr("proxy.shed_decode");
                         }
                     }
                 }

@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 
 use dimmer_core::codec::{self, DataFormat};
 use dimmer_core::{CoreError, Value};
+use simnet::overload::RetryBudget;
 use simnet::rpc::{RequestTracker, RpcEvent};
-use simnet::{Context, NodeId, Packet, SimDuration, TimerTag};
+use simnet::{Context, NodeId, Packet, SimDuration, SimTime, TimerTag};
 
 use crate::WS_PORT;
 
@@ -30,6 +31,8 @@ pub mod status {
     pub const NOT_FOUND: u16 = 404;
     /// The server failed internally.
     pub const INTERNAL_ERROR: u16 = 500;
+    /// The server is shedding load; retry after the advertised delay.
+    pub const SERVICE_UNAVAILABLE: u16 = 503;
 }
 
 /// The request method.
@@ -195,6 +198,33 @@ impl WsResponse {
             status,
             body: Value::object([("error", Value::from(reason.into()))]),
         }
+    }
+
+    /// A cheap 503 shed response advertising when to retry. The body
+    /// carries only the reason and the `retry_after_ms` hint, so an
+    /// overloaded server answers in a handful of bytes.
+    pub fn unavailable(retry_after: SimDuration) -> Self {
+        WsResponse {
+            status: status::SERVICE_UNAVAILABLE,
+            body: Value::object([
+                ("error", Value::from("overloaded")),
+                (
+                    "retry_after_ms",
+                    Value::from(retry_after.as_millis_f64().ceil() as i64),
+                ),
+            ]),
+        }
+    }
+
+    /// The `Retry-After` hint of a shed response, when present.
+    pub fn retry_after(&self) -> Option<SimDuration> {
+        let ms = self.body.get("retry_after_ms")?.as_i64()?;
+        Some(SimDuration::from_millis(ms.max(0) as u64))
+    }
+
+    /// True when the server shed this request at admission.
+    pub fn is_shed(&self) -> bool {
+        self.status == status::SERVICE_UNAVAILABLE
     }
 
     /// True for 2xx statuses.
@@ -416,6 +446,10 @@ pub enum WsClientEvent {
 #[derive(Debug)]
 pub struct WsClient {
     tracker: RequestTracker,
+    /// Issue instants of in-flight requests, so callers can measure
+    /// request latency (the breaker's gray-failure signal) without
+    /// keeping their own books. Pruned on each new request.
+    sent: BTreeMap<u64, SimTime>,
 }
 
 impl WsClient {
@@ -423,6 +457,7 @@ impl WsClient {
     pub fn new(tag_base: u64) -> Self {
         WsClient {
             tracker: RequestTracker::new(tag_base),
+            sent: BTreeMap::new(),
         }
     }
 
@@ -435,19 +470,37 @@ impl WsClient {
     /// (the crash already cancelled the retry timers).
     pub fn reset(&mut self) {
         self.tracker.reset();
+        self.sent.clear();
+    }
+
+    /// Attaches a shared retry budget to the underlying tracker (see
+    /// [`RequestTracker::set_retry_budget`]).
+    pub fn set_retry_budget(&mut self, budget: RetryBudget) {
+        self.tracker.set_retry_budget(budget);
     }
 
     /// Sends `request` to the Web Service on `server`; returns the
     /// correlation id.
     pub fn request(&mut self, ctx: &mut Context<'_>, server: NodeId, request: &WsRequest) -> u64 {
-        self.tracker.send_request(
+        let tracker = &self.tracker;
+        self.sent.retain(|id, _| tracker.is_pending(*id));
+        let id = self.tracker.send_request(
             ctx,
             server,
             WS_PORT,
             request.to_bytes(),
             REQUEST_TIMEOUT,
             REQUEST_RETRIES,
-        )
+        );
+        self.sent.insert(id, ctx.now());
+        id
+    }
+
+    /// Removes and returns the instant request `id` was issued. Call
+    /// when its response (or timeout) arrives to measure the round-trip
+    /// latency that feeds a circuit breaker.
+    pub fn take_sent_at(&mut self, id: u64) -> Option<SimTime> {
+        self.sent.remove(&id)
     }
 
     /// Feeds an incoming packet through the client.
@@ -506,6 +559,17 @@ mod tests {
         assert!(!err.is_ok());
         let back = WsResponse::from_bytes(&err.to_bytes(DataFormat::Json)).unwrap();
         assert_eq!(back.status, 404);
+    }
+
+    #[test]
+    fn unavailable_round_trip_carries_retry_after() {
+        let shed = WsResponse::unavailable(SimDuration::from_millis(750));
+        assert!(shed.is_shed());
+        assert!(!shed.is_ok());
+        let back = WsResponse::from_bytes(&shed.to_bytes(DataFormat::Json)).unwrap();
+        assert_eq!(back.status, status::SERVICE_UNAVAILABLE);
+        assert_eq!(back.retry_after(), Some(SimDuration::from_millis(750)));
+        assert_eq!(WsResponse::ok(Value::Null).retry_after(), None);
     }
 
     #[test]

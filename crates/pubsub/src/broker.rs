@@ -18,6 +18,11 @@ use crate::{BridgeStats, Topic, TopicFilter, TopicRef};
 const RETRY_TIMEOUT: SimDuration = SimDuration::from_secs(2);
 /// How many redeliveries before a QoS 1 message is dropped.
 const MAX_RETRIES: u32 = 3;
+/// Default bound on the unacked QoS 1 delivery table. At capacity a new
+/// QoS 1 delivery degrades to at-most-once (sent once, never retried)
+/// instead of growing the table without limit; override with
+/// [`BrokerNode::set_pending_capacity`].
+pub const DEFAULT_PENDING_CAPACITY: usize = 65_536;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct Subscription {
@@ -73,6 +78,7 @@ struct LabeledNames {
     decode_error: String,
     restart: String,
     pending: String,
+    queue_shed: String,
     fanout: String,
     bridge_batch_sent: String,
     bridge_frame_forward: String,
@@ -98,6 +104,7 @@ impl LabeledNames {
             decode_error: n("pubsub.decode_error"),
             restart: n("pubsub.broker_restart"),
             pending: n("pubsub.pending_deliveries"),
+            queue_shed: n("pubsub.queue_shed"),
             fanout: n("pubsub.fanout"),
             bridge_batch_sent: n("pubsub.bridge.batch_sent"),
             bridge_frame_forward: n("pubsub.bridge.frame_forward"),
@@ -126,6 +133,9 @@ pub struct BrokerStats {
     /// QoS 1 deliveries abandoned after retry exhaustion (or wiped by a
     /// broker restart).
     pub dropped: u64,
+    /// QoS 1 deliveries degraded to at-most-once because the unacked
+    /// table was at capacity (a subset of `dropped`).
+    pub queue_shed: u64,
     /// Topics currently retained.
     pub retained: u64,
     /// QoS 1 deliveries enqueued for acknowledgement. At any instant the
@@ -164,6 +174,9 @@ pub struct BrokerNode {
     /// change to detect that their subscriptions were wiped.
     incarnation: u64,
     stats: BrokerStats,
+    /// Bound on the unacked QoS 1 delivery table; `None` means
+    /// [`DEFAULT_PENDING_CAPACITY`].
+    pending_capacity: Option<usize>,
     /// Filter text → live local subscriber refcounts (advertisement
     /// bookkeeping; empty while not federated).
     advert_refs: HashMap<String, AdvertRefs>,
@@ -239,6 +252,12 @@ impl BrokerNode {
         self.pending.len()
     }
 
+    /// Overrides the bound on the unacked QoS 1 delivery table (default
+    /// [`DEFAULT_PENDING_CAPACITY`]).
+    pub fn set_pending_capacity(&mut self, capacity: usize) {
+        self.pending_capacity = Some(capacity);
+    }
+
     fn incr(&self, ctx: &mut Context<'_>, global: &str, pick: impl Fn(&LabeledNames) -> &String) {
         ctx.telemetry().metrics.incr(global);
         if let Some(l) = &self.labels {
@@ -295,6 +314,18 @@ impl BrokerNode {
         self.stats.delivered += 1;
         if qos == QoS::AtLeastOnce {
             self.stats.qos1_enqueued += 1;
+            let capacity = self.pending_capacity.unwrap_or(DEFAULT_PENDING_CAPACITY);
+            if self.pending.len() >= capacity {
+                // The unacked table is the broker's memory bound: past
+                // it the delivery degrades to at-most-once — sent once
+                // above, never retried — and is counted dropped right
+                // away, so `qos1_enqueued == acked + dropped + pending`
+                // survives overload.
+                self.stats.dropped += 1;
+                self.stats.queue_shed += 1;
+                self.incr(ctx, "pubsub.queue_shed", |l| &l.queue_shed);
+                return;
+            }
             self.pending.insert(
                 id,
                 PendingDelivery {
@@ -468,6 +499,16 @@ impl BrokerNode {
         let Some(fed) = &mut self.federation else {
             return;
         };
+        // An open peer breaker holds the batch back: frames stay
+        // buffered (conservation intact) and the age timer keeps
+        // re-attempting, so the half-open probe happens naturally.
+        if !fed.breakers[peer].allow(ctx.now(), &ctx.telemetry().metrics) {
+            if !fed.batchers[peer].is_empty() {
+                let max_age = fed.config.batch.max_age;
+                ctx.set_timer(max_age, TimerTag(FLUSH_TIMER_BIT | peer as u64));
+            }
+            return;
+        }
         let frames = fed.batchers[peer].take();
         if frames.is_empty() {
             return; // age timer raced a size flush
@@ -493,6 +534,7 @@ impl BrokerNode {
                 peer,
                 frames,
                 retries_left: BATCH_MAX_RETRIES,
+                sent_at: ctx.now(),
             },
         );
         ctx.send(dst, crate::PUBSUB_PORT, bytes);
@@ -810,8 +852,13 @@ impl BrokerNode {
                 let dead = fed.pending.remove(&batch_id).expect("present");
                 drop_count = dead.frames.len() as u64;
                 fed.stats.frames_dropped += drop_count;
+                fed.breakers[dead.peer].record_failure(ctx.now(), &ctx.telemetry().metrics);
             } else {
+                // Each expired retry timer is one failed transmission in
+                // the peer breaker's window.
+                let peer = pending.peer;
                 pending.retries_left -= 1;
+                pending.sent_at = ctx.now();
                 fed.stats.retries += 1;
                 let bytes = PacketRef::BridgeBatch {
                     incarnation,
@@ -820,6 +867,7 @@ impl BrokerNode {
                 }
                 .encode();
                 resend = Some((fed.config.brokers[pending.peer], bytes));
+                fed.breakers[peer].record_failure(ctx.now(), &ctx.telemetry().metrics);
             }
         }
         if drop_count > 0 {
@@ -972,6 +1020,11 @@ impl Node for BrokerNode {
                 if let Some(fed) = &mut self.federation {
                     if let Some(done) = fed.pending.remove(&batch_id) {
                         fed.stats.frames_acked += done.frames.len() as u64;
+                        fed.breakers[done.peer].record_success(
+                            ctx.now(),
+                            ctx.now().saturating_since(done.sent_at),
+                            &ctx.telemetry().metrics,
+                        );
                     }
                 }
             }

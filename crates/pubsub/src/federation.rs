@@ -157,6 +157,25 @@ pub(crate) struct PendingBatch {
     pub(crate) peer: usize,
     pub(crate) frames: Vec<BridgeFrame>,
     pub(crate) retries_left: u32,
+    /// Instant of the last (re)transmission, so the ack's round-trip
+    /// feeds the peer breaker's latency signal.
+    pub(crate) sent_at: simnet::SimTime,
+}
+
+/// Breaker settings for the per-peer bridge links: sized to the 2 s
+/// batch-retry cadence so a dead or gray peer trips after roughly six
+/// consecutive failed transmissions, while an 8 s link flap (about four
+/// retries, then successes) never does.
+pub(crate) fn bridge_breaker_config() -> simnet::overload::BreakerConfig {
+    simnet::overload::BreakerConfig {
+        window: 12,
+        min_samples: 6,
+        error_threshold: 0.9,
+        latency_threshold: simnet::SimDuration::from_millis(1500),
+        slow_threshold: 0.9,
+        open_for: simnet::SimDuration::from_secs(20),
+        probes_to_close: 1,
+    }
 }
 
 /// Bridge-side counters, reported per broker.
@@ -203,6 +222,10 @@ pub(crate) struct FederationState {
     pub(crate) peer_incarnation: Vec<u64>,
     /// Batch ids already applied, per peer (reset on peer restart).
     pub(crate) seen_batches: Vec<HashSet<u64>>,
+    /// One circuit breaker per peer link (this broker's own slot idles
+    /// closed); while a peer's breaker is open, its frames accumulate
+    /// in the batcher instead of going on the wire.
+    pub(crate) breakers: Vec<simnet::overload::CircuitBreaker>,
     pub(crate) stats: BridgeStats,
 }
 
@@ -233,6 +256,9 @@ impl FederationState {
             next_batch_id: 1,
             peer_incarnation: vec![0; n],
             seen_batches: (0..n).map(|_| HashSet::new()).collect(),
+            breakers: (0..n)
+                .map(|_| simnet::overload::CircuitBreaker::new(bridge_breaker_config()))
+                .collect(),
             stats: BridgeStats::default(),
             config,
         }

@@ -88,6 +88,48 @@ pub enum Fault {
         /// Spike duration.
         duration: SimDuration,
     },
+    /// Gray-fail a node: multiply every delay on paths it terminates by
+    /// `factor` for `duration`, then restore normal service. The node
+    /// never stops answering — it just answers late, which is the
+    /// failure mode liveness probes miss (see
+    /// [`Simulator::set_node_slowdown`]).
+    SlowNode {
+        /// The victim.
+        node: NodeId,
+        /// Service-delay multiplier (e.g. `50.0` = fifty times slower).
+        factor: f64,
+        /// How long the node stays slow.
+        duration: SimDuration,
+    },
+    /// Raise the `a`↔`b` loss probability to `loss` for `duration`,
+    /// then restore the previous models (latency and bandwidth are
+    /// preserved, so the link degrades rather than disappearing).
+    LossyLink {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Packet-loss probability while degraded, in `[0, 1]`.
+        loss: f64,
+        /// Degradation duration.
+        duration: SimDuration,
+    },
+    /// A flapping link: `cycles` consecutive `down`-long outages of the
+    /// `a`↔`b` link separated by `up`-long healthy gaps. Expanded at
+    /// plan time into `cycles` [`Fault::LinkFlap`]s (each counted as an
+    /// injected fault).
+    Flapping {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Outage length of each cycle.
+        down: SimDuration,
+        /// Healthy gap between outages.
+        up: SimDuration,
+        /// Number of down/up cycles.
+        cycles: u32,
+    },
 }
 
 /// A fault and the instant it is injected.
@@ -115,6 +157,14 @@ pub struct RandomFaults {
     pub flaps_per_hour: f64,
     /// Mean flap outage (actual outage is jittered ±50%).
     pub mean_flap: SimDuration,
+    /// Nodes eligible for gray-failure slowdowns ([`Fault::SlowNode`]).
+    pub slow_targets: Vec<NodeId>,
+    /// Expected slowdowns per target per hour.
+    pub slows_per_hour: f64,
+    /// Mean slowdown episode length (jittered ±50%).
+    pub mean_slow: SimDuration,
+    /// Service-delay multiplier of an injected slowdown.
+    pub slow_factor: f64,
 }
 
 /// A time-ordered schedule of faults.
@@ -185,6 +235,22 @@ impl FaultPlan {
                 plan = plan.at(at, Fault::LinkFlap { a, b, down });
             }
         }
+        for &node in &cfg.slow_targets {
+            for _ in 0..draw_count(&mut rng, cfg.slows_per_hour) {
+                let at = SimTime::from_nanos(rng.next_bounded(horizon.as_nanos().max(1)));
+                let duration = SimDuration::from_secs_f64(
+                    cfg.mean_slow.as_secs_f64() * rng.next_f64_range(0.5, 1.5),
+                );
+                plan = plan.at(
+                    at,
+                    Fault::SlowNode {
+                        node,
+                        factor: cfg.slow_factor.max(1.0),
+                        duration,
+                    },
+                );
+            }
+        }
         plan
     }
 }
@@ -199,6 +265,15 @@ struct LinkRestore {
     backward: LinkModel,
 }
 
+/// A slowdown restore scheduled by a [`Fault::SlowNode`].
+#[derive(Debug)]
+struct SlowRestore {
+    at: SimTime,
+    node: NodeId,
+    /// The factor in effect before the fault (normally 1.0).
+    factor: f64,
+}
+
 /// Applies a [`FaultPlan`] to a [`Simulator`], interleaving fault
 /// injection with event processing.
 ///
@@ -210,19 +285,42 @@ pub struct ChaosRunner {
     events: Vec<FaultEvent>,
     next: usize,
     restores: Vec<LinkRestore>,
+    slow_restores: Vec<SlowRestore>,
     injected: u64,
 }
 
 impl ChaosRunner {
     /// Creates a runner over `plan` (sorted by injection time; ties keep
-    /// insertion order).
+    /// insertion order). [`Fault::Flapping`] events are expanded here
+    /// into their individual [`Fault::LinkFlap`] cycles.
     pub fn new(plan: FaultPlan) -> Self {
-        let mut events = plan.events;
+        let mut events = Vec::with_capacity(plan.events.len());
+        for e in plan.events {
+            match e.fault {
+                Fault::Flapping {
+                    a,
+                    b,
+                    down,
+                    up,
+                    cycles,
+                } => {
+                    let period = down + up;
+                    for i in 0..cycles {
+                        events.push(FaultEvent {
+                            at: e.at + period * u64::from(i),
+                            fault: Fault::LinkFlap { a, b, down },
+                        });
+                    }
+                }
+                fault => events.push(FaultEvent { at: e.at, fault }),
+            }
+        }
         events.sort_by_key(|e| e.at);
         ChaosRunner {
             events,
             next: 0,
             restores: Vec::new(),
+            slow_restores: Vec::new(),
             injected: 0,
         }
     }
@@ -242,7 +340,12 @@ impl ChaosRunner {
     pub fn run_until(&mut self, sim: &mut Simulator, deadline: SimTime) {
         loop {
             let next_fault = self.events.get(self.next).map(|e| e.at);
-            let next_restore = self.restores.iter().map(|r| r.at).min();
+            let next_restore = self
+                .restores
+                .iter()
+                .map(|r| r.at)
+                .chain(self.slow_restores.iter().map(|r| r.at))
+                .min();
             let next_action = match (next_fault, next_restore) {
                 (Some(f), Some(r)) => Some(f.min(r)),
                 (f, r) => f.or(r),
@@ -276,6 +379,16 @@ impl ChaosRunner {
                 sim.set_link_directed(r.a, r.b, r.forward);
                 sim.set_link_directed(r.b, r.a, r.backward);
                 sim.record_fault("chaos.link_restore", format!("a={} b={}", r.a, r.b));
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.slow_restores.len() {
+            if self.slow_restores[i].at <= now {
+                let r = self.slow_restores.swap_remove(i);
+                sim.set_node_slowdown(r.node, r.factor);
+                sim.record_fault("chaos.slow_restore", format!("node={}", r.node));
             } else {
                 i += 1;
             }
@@ -328,6 +441,54 @@ impl ChaosRunner {
                     "chaos.latency_spike",
                     format!("a={a} b={b} extra={:.0}ms", extra.as_millis_f64()),
                 );
+            }
+            Fault::SlowNode {
+                node,
+                factor,
+                duration,
+            } => {
+                self.slow_restores.push(SlowRestore {
+                    at: sim.now() + duration,
+                    node,
+                    factor: sim.node_slowdown(node),
+                });
+                sim.set_node_slowdown(node, factor);
+                sim.record_fault(
+                    "chaos.slow_node",
+                    format!(
+                        "node={node} factor={factor:.1} for={:.1}s",
+                        duration.as_secs_f64()
+                    ),
+                );
+            }
+            Fault::LossyLink {
+                a,
+                b,
+                loss,
+                duration,
+            } => {
+                self.save_link(sim, a, b, duration);
+                let degrade = |m: &LinkModel| {
+                    LinkModel::builder()
+                        .latency(m.latency())
+                        .bandwidth_bps(m.bandwidth_bps())
+                        .jitter(m.jitter())
+                        .loss(loss)
+                        .build()
+                };
+                let (fw, bw) = (degrade(sim.link(a, b)), degrade(sim.link(b, a)));
+                sim.set_link_directed(a, b, fw);
+                sim.set_link_directed(b, a, bw);
+                sim.record_fault(
+                    "chaos.lossy_link",
+                    format!(
+                        "a={a} b={b} loss={loss:.2} for={:.1}s",
+                        duration.as_secs_f64()
+                    ),
+                );
+            }
+            Fault::Flapping { .. } => {
+                unreachable!("Flapping is expanded into LinkFlaps at plan time")
             }
         }
     }
@@ -483,6 +644,92 @@ mod tests {
     }
 
     #[test]
+    fn slow_node_stretches_then_recovers() {
+        let mut sim = Simulator::new(SimConfig {
+            seed: 3,
+            default_link: LinkModel::builder()
+                .latency(SimDuration::from_millis(10))
+                .bandwidth_bps(u64::MAX - 1)
+                .build(),
+        });
+        let rx = sim.add_node("rx", Rx::default());
+        let _tx = sim.add_node("tx", Ticker { dst: rx });
+        let plan = FaultPlan::new().at(
+            SimTime::from_secs(2),
+            Fault::SlowNode {
+                node: rx,
+                factor: 50.0,
+                duration: SimDuration::from_secs(2),
+            },
+        );
+        let mut chaos = ChaosRunner::new(plan);
+        chaos.run_until(&mut sim, SimTime::from_secs(6));
+        assert_eq!(sim.node_slowdown(rx), 1.0, "restored after the episode");
+        let got = &sim.node_ref::<Rx>(rx).unwrap().got;
+        // Ticks sent at 3s and 4s ride the 50× slowdown (500 ms instead
+        // of 10 ms); everything else arrives promptly — the node never
+        // stopped answering.
+        let slow = got
+            .iter()
+            .filter(|t| t.as_nanos() % 1_000_000_000 / 1_000_000 > 100)
+            .count();
+        assert_eq!(slow, 2, "{got:?}");
+        assert_eq!(got.len(), 5, "no tick is lost under gray failure");
+    }
+
+    #[test]
+    fn lossy_link_degrades_then_restores() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Rx::default());
+        let tx = sim.add_node("tx", Ticker { dst: rx });
+        let plan = FaultPlan::new().at(
+            SimTime::from_secs(1),
+            Fault::LossyLink {
+                a: tx,
+                b: rx,
+                loss: 1.0,
+                duration: SimDuration::from_secs(4),
+            },
+        );
+        let mut chaos = ChaosRunner::new(plan);
+        chaos.run_until(&mut sim, SimTime::from_secs(10));
+        // Total loss 1→5 drops the ticks sent at 2, 3, 4 and 5 (the
+        // restore lands just after the t=5 send); the ideal link
+        // delivers the rest instantly.
+        assert_eq!(sim.link(tx, rx).loss_probability(), 0.0, "restored");
+        let got = &sim.node_ref::<Rx>(rx).unwrap().got;
+        assert_eq!(got.len(), 10 - 4, "{got:?}");
+        assert_eq!(sim.metrics().packets_lost, 4);
+    }
+
+    #[test]
+    fn flapping_expands_into_link_flap_cycles() {
+        let mut sim = ideal_sim();
+        let rx = sim.add_node("rx", Rx::default());
+        let tx = sim.add_node("tx", Ticker { dst: rx });
+        let plan = FaultPlan::new().at(
+            SimTime::from_secs(1),
+            Fault::Flapping {
+                a: tx,
+                b: rx,
+                down: SimDuration::from_secs(1),
+                up: SimDuration::from_secs(2),
+                cycles: 3,
+            },
+        );
+        let mut chaos = ChaosRunner::new(plan);
+        assert_eq!(chaos.pending_faults(), 3, "one LinkFlap per cycle");
+        chaos.run_until(&mut sim, SimTime::from_secs(12));
+        assert_eq!(chaos.faults_injected(), 3);
+        // Down windows [1,2], [4,5], [7,8] each eat one tick (sent at
+        // 2s, 5s and 8s); between the windows the link is healthy and
+        // the ideal link delivers instantly.
+        let got = &sim.node_ref::<Rx>(rx).unwrap().got;
+        assert_eq!(got.len(), 12 - 3, "{got:?}");
+        assert_eq!(sim.link(tx, rx).loss_probability(), 0.0, "restored");
+    }
+
+    #[test]
     fn random_plans_are_deterministic_and_rate_shaped() {
         let nodes: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
         let cfg = RandomFaults {
@@ -492,6 +739,7 @@ mod tests {
             flap_pairs: vec![(nodes[0], nodes[1])],
             flaps_per_hour: 1.0,
             mean_flap: SimDuration::from_secs(10),
+            ..RandomFaults::default()
         };
         let horizon = SimDuration::from_hours(1);
         let a = FaultPlan::random(42, horizon, &cfg);

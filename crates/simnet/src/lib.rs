@@ -49,6 +49,7 @@ mod sim;
 
 pub mod batch;
 pub mod chaos;
+pub mod overload;
 pub mod rng;
 pub mod rpc;
 pub mod stats;

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 
 use crate::context::Context;
 use crate::node::{NodeId, Packet, Port, TimerTag};
+use crate::overload::RetryBudget;
 use crate::time::SimDuration;
 
 /// Direction flag + correlation id header, little-endian id.
@@ -205,6 +206,10 @@ pub struct RequestTracker {
     next_id: u64,
     pending: HashMap<u64, Pending>,
     policy: RetryPolicy,
+    /// Optional shared retry budget: when set, every resend must claim
+    /// a token, so a fleet sharing one budget cannot retry-storm even
+    /// with `max_retries: None` against a partitioned target.
+    budget: Option<RetryBudget>,
 }
 
 impl RequestTracker {
@@ -221,12 +226,32 @@ impl RequestTracker {
             next_id: 0,
             pending: HashMap::new(),
             policy,
+            budget: None,
         }
+    }
+
+    /// Attaches a shared [`RetryBudget`]: every retry (not the original
+    /// send) claims one token first. A denied claim abandons the request
+    /// with [`RpcEvent::RequestTimedOut`] and counts
+    /// `rpc.budget_exhausted` — the global cap the per-request retry
+    /// counter cannot provide.
+    pub fn set_retry_budget(&mut self, budget: RetryBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// The attached retry budget, if any.
+    pub fn retry_budget(&self) -> Option<&RetryBudget> {
+        self.budget.as_ref()
     }
 
     /// Number of requests still awaiting a response.
     pub fn outstanding(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Whether request `id` is still awaiting a response.
+    pub fn is_pending(&self, id: u64) -> bool {
+        self.pending.contains_key(&id)
     }
 
     /// Forgets every outstanding request without firing events.
@@ -309,6 +334,17 @@ impl RequestTracker {
             self.pending.remove(&id);
             ctx.telemetry().metrics.incr("rpc.retry_exhausted");
             return Some(RpcEvent::RequestTimedOut { id });
+        }
+        if let Some(budget) = &self.budget {
+            let now = ctx.now();
+            if !budget.try_claim(now) {
+                self.pending.remove(&id);
+                ctx.telemetry().metrics.incr("rpc.budget_exhausted");
+                return Some(RpcEvent::RequestTimedOut { id });
+            }
+            ctx.telemetry()
+                .metrics
+                .set_gauge("rpc.budget_tokens", budget.tokens(now));
         }
         pending.retries_left -= 1;
         pending.attempt += 1;
@@ -547,6 +583,45 @@ mod tests {
         assert_eq!(sim.telemetry().metrics.counter("rpc.retry_exhausted"), 1);
         // With max_retries = 0 the request is sent exactly once.
         assert_eq!(sim.node_metrics(client).packets_sent, 1);
+    }
+
+    #[test]
+    fn shared_retry_budget_caps_fleet_wide_retries() {
+        struct Mute;
+        impl Node for Mute {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        // Two clients hammer a silent server with an uncapped policy;
+        // a shared 3-token budget (negligible refill) bounds the total
+        // resend volume across both to 3, then both abandon.
+        let budget = RetryBudget::new(3.0, 1e-9);
+        let mut sim = Simulator::new(SimConfig::default());
+        let server = sim.add_node("mute", Mute);
+        let mut clients = Vec::new();
+        for i in 0..2 {
+            let mut node = ClientNode {
+                tracker: RequestTracker::new(1000),
+                server,
+                responses: vec![],
+                timeouts: vec![],
+            };
+            node.tracker.set_retry_budget(budget.clone());
+            clients.push(sim.add_node(format!("client{i}"), node));
+        }
+        sim.run_for(SimDuration::from_secs(120));
+        let total_sent: u64 = clients
+            .iter()
+            .map(|&c| sim.node_metrics(c).packets_sent)
+            .sum();
+        // 2 original sends + at most 3 budgeted resends.
+        assert!(total_sent <= 5, "retry storm: {total_sent} packets");
+        assert!(budget.exhausted() > 0);
+        assert_eq!(sim.telemetry().metrics.counter("rpc.budget_exhausted"), 1);
+        for &c in &clients {
+            let node = sim.node_ref::<ClientNode>(c).unwrap();
+            assert_eq!(node.timeouts, vec![0], "abandoned, not retried forever");
+            assert_eq!(node.tracker.outstanding(), 0);
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@ struct Slot {
     egress_free_at: SimTime,
     /// Instant the NIC finishes receiving the last ingress packet.
     ingress_free_at: SimTime,
+    /// Gray-failure service-delay multiplier. 1.0 (the default for
+    /// every node) leaves timing untouched; a slow node stretches every
+    /// delay on paths it terminates.
+    slowdown: f64,
 }
 
 /// Time a `wire_size`-byte packet occupies a `bps` NIC.
@@ -181,6 +185,7 @@ impl Simulator {
             nic_bps: None,
             egress_free_at: SimTime::ZERO,
             ingress_free_at: SimTime::ZERO,
+            slowdown: 1.0,
         });
         self.names.insert(name, id);
         self.queue.push(self.now, EventKind::Start(id));
@@ -252,6 +257,30 @@ impl Simulator {
     /// The modelled NIC rate of a node, when one was set.
     pub fn node_bandwidth(&self, id: NodeId) -> Option<u64> {
         self.slots.get(id.index()).and_then(|s| s.nic_bps)
+    }
+
+    /// Models a gray-failed ("slow but up") node: every packet delay on
+    /// a path that starts or ends at `id` is multiplied by `factor`.
+    /// The node keeps answering — late — which is exactly the failure
+    /// mode liveness probes miss. `1.0` (the default for every node)
+    /// restores normal service and keeps existing scenarios
+    /// timing-identical.
+    ///
+    /// Unknown ids are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    pub fn set_node_slowdown(&mut self, id: NodeId, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        if let Some(slot) = self.slots.get_mut(id.index()) {
+            slot.slowdown = factor;
+        }
+    }
+
+    /// The node's current gray-failure slowdown factor (1.0 = normal).
+    pub fn node_slowdown(&self, id: NodeId) -> f64 {
+        self.slots.get(id.index()).map_or(1.0, |s| s.slowdown)
     }
 
     /// Injects a packet from outside the simulation (src = dst loopback
@@ -667,7 +696,18 @@ impl Simulator {
                         self.link(src, dst).clone()
                     };
                     match model.sample_delay(pkt.wire_size(), &mut self.link_rng) {
-                        Some(delay) => {
+                        Some(mut delay) => {
+                            // Gray failure: the path is as slow as its
+                            // slowest endpoint. With every factor at the
+                            // default 1.0 this is exact identity.
+                            let factor = self.slots[src.index()]
+                                .slowdown
+                                .max(self.slots.get(pkt.dst.index()).map_or(1.0, |s| s.slowdown));
+                            if factor != 1.0 {
+                                delay = SimDuration::from_nanos(
+                                    (delay.as_nanos() as f64 * factor).round() as u64,
+                                );
+                            }
                             self.telemetry
                                 .metrics
                                 .observe_ns("net.link_delay_ns", delay.as_nanos());
@@ -1152,6 +1192,62 @@ mod tests {
             if nic {
                 // Effectively infinite NIC: must not shift any delivery.
                 sim.set_node_bandwidth(tx, None);
+            }
+            sim.run_until_idle(10_000);
+            sim.node_ref::<Counter>(rx)
+                .unwrap()
+                .packets
+                .iter()
+                .map(|(t, _)| t.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn slowdown_stretches_delays_by_the_factor() {
+        // Ideal link with a fixed 10 ms latency: a 5× slow receiver
+        // turns every delivery into 50 ms.
+        let run = |factor: f64| {
+            let mut sim = Simulator::new(SimConfig {
+                seed: 11,
+                default_link: LinkModel::builder()
+                    .latency(SimDuration::from_millis(10))
+                    .bandwidth_bps(u64::MAX - 1)
+                    .build(),
+            });
+            let rx = sim.add_node("rx", Counter::default());
+            let _tx = sim.add_node("tx", Sender { dst: rx, n: 3 });
+            sim.set_node_slowdown(rx, factor);
+            assert_eq!(sim.node_slowdown(rx), factor);
+            sim.run_until_idle(1000);
+            sim.node_ref::<Counter>(rx)
+                .unwrap()
+                .packets
+                .iter()
+                .map(|(t, _)| t.as_nanos())
+                .collect::<Vec<_>>()
+        };
+        let normal = run(1.0);
+        let slow = run(5.0);
+        assert_eq!(normal.len(), 3);
+        assert_eq!(slow.len(), 3, "a slow node still answers — late");
+        for (n, s) in normal.iter().zip(&slow) {
+            assert_eq!(*s, n * 5, "delay must scale exactly by the factor");
+        }
+    }
+
+    #[test]
+    fn slowdown_default_keeps_timing_identical() {
+        let run = |touch: bool| {
+            let mut sim = Simulator::new(SimConfig {
+                seed: 12,
+                default_link: LinkModel::wan(),
+            });
+            let rx = sim.add_node("rx", Counter::default());
+            let tx = sim.add_node("tx", Sender { dst: rx, n: 20 });
+            if touch {
+                sim.set_node_slowdown(tx, 1.0);
             }
             sim.run_until_idle(10_000);
             sim.node_ref::<Counter>(rx)

@@ -29,6 +29,7 @@ use proxy::registration::{ProxyRef, ProxyRole, Registration};
 use proxy::webservice::{status, WsCall, WsClient, WsClientEvent, WsRequest, WsResponse, WsServer};
 use proxy::{node_uri, WS_PORT};
 use pubsub::{MeasurementTopic, PubSubClient, PubSubEvent, QoS, PUBSUB_PORT};
+use simnet::overload::{Admission, AdmissionGate};
 use simnet::{Context, Node, NodeId, Packet, SimDuration, TimerTag};
 use storage::tskv::TimeSeriesStore;
 use telemetry::{SpanId, NO_SPAN, NO_TRACE};
@@ -52,6 +53,10 @@ pub const DEFAULT_FLUSH_INTERVAL: SimDuration = SimDuration::from_secs(5);
 pub const DEFAULT_WINDOW_MILLIS: i64 = 300_000;
 /// Default lateness horizon.
 pub const DEFAULT_LATENESS_MILLIS: i64 = 30_000;
+/// Default admission bound on queued `/rollups` queries.
+pub const DEFAULT_ADMISSION_CAPACITY: u64 = 64;
+/// Default sustained `/rollups` service rate (queries per second).
+pub const DEFAULT_ADMISSION_RATE: f64 = 500.0;
 
 /// Series name of the persisted watermark (single point at t=0).
 const WATERMARK_SERIES: &str = "meta/watermark";
@@ -90,6 +95,11 @@ pub struct AggregatorConfig {
     pub epoch_offset_millis: i64,
     /// Bound on concurrently open `(entity, quantity)` panes.
     pub max_open_windows: usize,
+    /// Admission bound on queued `/rollups` queries; bursts past it are
+    /// shed with a 503 and a `Retry-After`.
+    pub admission_capacity: u64,
+    /// Sustained `/rollups` queries per second the aggregator serves.
+    pub admission_rate: f64,
 }
 
 impl AggregatorConfig {
@@ -111,7 +121,17 @@ impl AggregatorConfig {
             flush_interval: DEFAULT_FLUSH_INTERVAL,
             epoch_offset_millis,
             max_open_windows: DEFAULT_MAX_OPEN,
+            admission_capacity: DEFAULT_ADMISSION_CAPACITY,
+            admission_rate: DEFAULT_ADMISSION_RATE,
         }
+    }
+
+    /// Overrides the `/rollups` admission limits.
+    #[must_use]
+    pub fn with_admission(mut self, capacity: u64, rate: f64) -> Self {
+        self.admission_capacity = capacity;
+        self.admission_rate = rate;
+        self
     }
 }
 
@@ -132,6 +152,8 @@ pub struct AggregatorStats {
     pub recovered: u64,
     /// Web-Service requests served.
     pub ws_requests: u64,
+    /// `/rollups` queries shed by the admission gate.
+    pub ws_shed: u64,
 }
 
 /// The per-district streaming aggregator node.
@@ -145,6 +167,8 @@ pub struct AggregatorNode {
     pubsub: PubSubClient,
     registered: bool,
     heartbeat_req: Option<u64>,
+    /// Admission gate over `/rollups` (the ops plane is never shed).
+    gate: AdmissionGate,
     stats: AggregatorStats,
 }
 
@@ -165,9 +189,11 @@ impl AggregatorNode {
         let op = WindowedAggregator::new(config.window, config.lateness_millis)
             .with_max_open(config.max_open_windows);
         let pubsub = PubSubClient::new(config.broker, PUBSUB_TAGS);
+        let gate = AdmissionGate::new(config.admission_capacity, config.admission_rate);
         AggregatorNode {
             config,
             op,
+            gate,
             store: TimeSeriesStore::new(),
             ws: WsServer::new(),
             ws_client: WsClient::new(WS_CLIENT_TAGS),
@@ -411,7 +437,13 @@ impl AggregatorNode {
         let request = &call.request;
         let response = match request.path.as_str() {
             "/info" => self.info(ctx),
-            "/rollups" => self.rollups(request),
+            "/rollups" => match self.gate.try_admit(ctx.now(), &ctx.telemetry().metrics) {
+                Admission::Admitted => self.rollups(request),
+                Admission::Shed { retry_after } => {
+                    self.stats.ws_shed += 1;
+                    WsResponse::unavailable(retry_after)
+                }
+            },
             "/metrics" => WsResponse::ok(Value::from(ctx.telemetry().exposition())),
             "/health" => self.health(ctx),
             _ => WsResponse::error(status::NOT_FOUND, "unknown path"),
@@ -469,12 +501,18 @@ impl AggregatorNode {
             }
             _ => return WsResponse::error(status::BAD_REQUEST, "level must be district or entity"),
         };
-        let Some(quantity) = request.query("quantity") else {
-            return WsResponse::error(status::BAD_REQUEST, "quantity parameter required");
-        };
-        let quantity = match QuantityKind::parse(quantity) {
-            Ok(q) => q,
-            Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+        // No quantity at district level means a snapshot across every
+        // quantity rolled up so far — what the master's fleet scraper
+        // retains for degraded-mode serving. Entity level stays strict.
+        let quantity = match request.query("quantity") {
+            Some(raw) => match QuantityKind::parse(raw) {
+                Ok(q) => Some(q),
+                Err(e) => return WsResponse::error(status::BAD_REQUEST, e.to_string()),
+            },
+            None if entity.is_some() => {
+                return WsResponse::error(status::BAD_REQUEST, "quantity parameter required")
+            }
+            None => None,
         };
         let parse_millis = |key: &str, default: i64| -> Result<i64, WsResponse> {
             match request.query(key) {
@@ -497,7 +535,24 @@ impl AggregatorNode {
             Ok(v) => v,
             Err(r) => return r,
         };
-        let rollups = self.assemble_rollups(entity.as_deref(), quantity, window, from, to);
+        let rollups = match quantity {
+            Some(q) => self.assemble_rollups(entity.as_deref(), q, window, from, to),
+            None => {
+                let suffix = format!("/{window}/count");
+                let mut quantities: Vec<QuantityKind> = self
+                    .store
+                    .series_names()
+                    .filter_map(|s| s.strip_prefix("agg/district/")?.strip_suffix(&suffix))
+                    .filter_map(|q| QuantityKind::parse(q).ok())
+                    .collect();
+                quantities.sort_unstable();
+                quantities.dedup();
+                quantities
+                    .into_iter()
+                    .flat_map(|q| self.assemble_rollups(None, q, window, from, to))
+                    .collect()
+            }
+        };
         WsResponse::ok(Value::object([
             ("district", Value::from(self.config.district.as_str())),
             (

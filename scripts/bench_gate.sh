@@ -6,7 +6,7 @@
 # five samples per bench), takes the per-bench minimum over
 # GATE_PASSES=3 passes (the minimum is robust to scheduler noise on a
 # loaded box, and a real regression raises the minimum too), and
-# compares it against the committed baseline in results/BENCH_pr7.json.
+# compares it against the committed baseline in results/BENCH_pr8.json.
 # A bench fails the gate when its minimum exceeds baseline * 1.25 +
 # 100 ns — the flat 100 ns term keeps sub-microsecond benches from
 # tripping on jitter.
@@ -14,6 +14,10 @@
 # The gate also runs the E13 smoke once and records its SLO attainment
 # fields (one `{"slo":...}` line per objective) alongside the bench
 # medians; a run whose SLO comes back unmet fails the gate outright.
+# The E14 overload smoke rides along the same way: its per-load-point
+# records are kept in the baseline, any `"conserved":false` fails the
+# gate immediately, and goodput at the 2x-capacity point may not
+# regress more than 25% against the committed value.
 #
 # Usage:
 #   scripts/bench_gate.sh            compare against the baseline
@@ -22,13 +26,14 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="results/BENCH_pr7.json"
+BASELINE="results/BENCH_pr8.json"
 BENCHES=(topic_matching streams wire_codecs)
 
 raw="$(mktemp)"
 out="$(mktemp)"
 slo="$(mktemp)"
-trap 'rm -f "$raw" "$out" "$slo"' EXIT
+e14="$(mktemp)"
+trap 'rm -f "$raw" "$out" "$slo" "$e14"' EXIT
 
 passes="${GATE_PASSES:-3}"
 echo "== bench_gate: measuring (${BENCHES[*]}), min of $passes passes"
@@ -52,6 +57,19 @@ if grep -q '"met":false' "$slo"; then
     exit 1
 fi
 
+echo "== bench_gate: E14 overload smoke for goodput + conservation"
+DIMMER_E14_SMOKE=1 DIMMER_E14_JSON="$e14" \
+    cargo run -q --release -p dimmer-bench --bin e14_overload >/dev/null
+if [[ ! -s "$e14" ]]; then
+    echo "bench_gate: E14 emitted no records" >&2
+    exit 1
+fi
+if grep -q '"conserved":false' "$e14"; then
+    echo "bench_gate: E14 lost request conservation:" >&2
+    grep '"conserved":false' "$e14" >&2
+    exit 1
+fi
+
 # Reduce the repeated passes to one per-bench minimum, preserving
 # first-seen order so baseline diffs stay readable.
 awk -F'"' '
@@ -67,6 +85,7 @@ awk -F'"' '
     }
 ' "$raw" > "$out"
 cat "$slo" >> "$out"
+cat "$e14" >> "$out"
 
 if [[ "${1:-}" == "--update" ]]; then
     cp "$out" "$BASELINE"
@@ -79,8 +98,31 @@ if [[ ! -f "$BASELINE" ]]; then
     exit 1
 fi
 
+# Goodput gate: at the 2x-capacity load point the overload tier must
+# still serve at least 75% of the committed goodput.
+base_goodput="$(grep -E '"e14":"sweep".*"mult":2\.0' "$BASELINE" \
+    | sed -E 's/.*"goodput_qps":([0-9.]+).*/\1/' | head -n1)"
+now_goodput="$(grep -E '"e14":"sweep".*"mult":2\.0' "$e14" \
+    | sed -E 's/.*"goodput_qps":([0-9.]+).*/\1/' | head -n1)"
+if [[ -z "$now_goodput" ]]; then
+    echo "bench_gate: E14 smoke produced no 2x load point" >&2
+    exit 1
+fi
+if [[ -z "$base_goodput" ]]; then
+    echo "new      e14_goodput_at_2x $now_goodput qps (no baseline — commit one with --update)"
+elif awk -v b="$base_goodput" -v n="$now_goodput" \
+        'BEGIN { exit (n < b * 0.75) ? 0 : 1 }'; then
+    echo "bench_gate: E14 goodput at 2x regressed >25%: $base_goodput -> $now_goodput qps" >&2
+    exit 1
+else
+    printf 'ok       %-40s %12s -> %12s qps (limit %s)\n' \
+        e14_goodput_at_2x "$base_goodput" "$now_goodput" \
+        "$(awk -v b="$base_goodput" 'BEGIN { printf "%.1f", b * 0.75 }')"
+fi
+
 if awk -F'"' '
-    # SLO records carry no median; they are gated above, not compared.
+    # SLO and E14 records carry no median; both are gated above, not
+    # compared here.
     !/"median_ns":/ { next }
     FNR == NR {
         split($0, a, /"median_ns":/); sub(/}.*/, "", a[2])

@@ -66,6 +66,9 @@ fi
 echo "== e13 city-scale smoke (500 buildings)"
 DIMMER_E13_SMOKE=1 cargo run -q -p dimmer-bench --bin e13_city_scale
 
+echo "== e14 overload smoke (sweep + gray failure)"
+DIMMER_E14_SMOKE=1 cargo run -q -p dimmer-bench --bin e14_overload
+
 if [[ "${DIMMER_BENCH:-0}" == "1" ]]; then
     echo "== perf-regression gate"
     scripts/bench_gate.sh

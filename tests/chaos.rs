@@ -90,8 +90,18 @@ fn broker_outage_buffers_then_replays_without_loss() {
         let proxy = sim.node_ref::<DeviceProxyNode>(p).unwrap();
         buffered += proxy.stats().buffered;
         replayed += proxy.stats().replayed;
-        shed += proxy.stats().shed;
+        shed += proxy.stats().shed_capacity;
         backlog += proxy.backlog_len();
+        // Store-and-forward conservation per proxy: everything that
+        // entered the buffer either replayed, was shed at capacity, or
+        // is still parked — decode drops are counted separately.
+        assert_eq!(
+            proxy.stats().buffered,
+            proxy.stats().replayed + proxy.stats().shed_capacity + proxy.backlog_len() as u64,
+            "{}",
+            sim.node_name(p)
+        );
+        assert_eq!(proxy.stats().shed_decode, 0, "{}", sim.node_name(p));
     }
     assert!(buffered > 0, "no proxy buffered during the outage");
     assert!(
@@ -441,4 +451,134 @@ fn event_slab_drains_to_zero_and_replays_byte_identically_under_chaos() {
     assert_eq!(a.0, b.0, "delivery counts diverged");
     assert_eq!(a.1, b.1, "arena high-water marks diverged");
     assert_eq!(a.2, b.2, "flight-recorder output diverged between runs");
+}
+
+/// A query client sharing a fleet-wide retry budget: fires a GET at the
+/// master every 2 s and classifies each completion exactly once.
+struct BudgetedQuerier {
+    client: dimmer::proxy::webservice::WsClient,
+    master: dimmer::simnet::NodeId,
+    stop_at: SimTime,
+    sent: u64,
+    ok: u64,
+    ok_after: u64,
+    /// Responses count as `ok_after` past this time (the heal point).
+    after: SimTime,
+    timed_out: u64,
+}
+
+impl Node for BudgetedQuerier {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_millis(500), TimerTag(1));
+    }
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        use dimmer::proxy::webservice::WsClientEvent;
+        match self.client.accept(&pkt) {
+            Some(WsClientEvent::Response { response, .. }) if response.is_ok() => {
+                self.ok += 1;
+                if ctx.now() >= self.after {
+                    self.ok_after += 1;
+                }
+            }
+            Some(WsClientEvent::TimedOut { .. }) => self.timed_out += 1,
+            _ => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: TimerTag) {
+        use dimmer::proxy::webservice::WsClientEvent;
+        if tag != TimerTag(1) {
+            if let Some(WsClientEvent::TimedOut { .. }) = self.client.on_timer(ctx, tag) {
+                self.timed_out += 1;
+            }
+            return;
+        }
+        if ctx.now() >= self.stop_at {
+            return;
+        }
+        self.client.request(
+            ctx,
+            self.master,
+            &dimmer::proxy::webservice::WsRequest::get("/districts"),
+        );
+        self.sent += 1;
+        ctx.set_timer(SimDuration::from_secs(2), TimerTag(1));
+    }
+}
+
+#[test]
+fn retry_budget_bounds_resend_storms_during_partition() {
+    use dimmer::simnet::chaos::Fault;
+    use dimmer::simnet::overload::RetryBudget;
+
+    let scenario = qos1_scenario();
+    let mut sim = seeded_sim(0xB0D6E7);
+    let deployment = Deployment::build(&mut sim, &scenario);
+
+    // Queriers 0–1 carry no budget: their requests run every retry to
+    // exhaustion, surfacing as `rpc.retry_exhausted`. Queriers 2–3
+    // share a starved budget (one token, trickle refill): almost every
+    // retry is denied, so their storm is bounded — `rpc.budget_exhausted`
+    // counts exactly those denials.
+    let budget = RetryBudget::new(1.0, 0.02);
+    let heal_at = SimTime::from_secs(40);
+    let queriers: Vec<_> = (0..4)
+        .map(|i| {
+            let mut node = BudgetedQuerier {
+                client: dimmer::proxy::webservice::WsClient::new(1_000_000),
+                master: deployment.master,
+                stop_at: SimTime::from_secs(65),
+                sent: 0,
+                ok: 0,
+                ok_after: 0,
+                after: heal_at,
+                timed_out: 0,
+            };
+            if i >= 2 {
+                node.client.set_retry_budget(budget.clone());
+            }
+            sim.add_node(format!("querier-{i}"), node)
+        })
+        .collect();
+
+    let plan = FaultPlan::new()
+        .at(
+            SimTime::from_secs(10),
+            Fault::Partition {
+                groups: vec![vec![deployment.master], queriers.clone()],
+            },
+        )
+        .at(heal_at, Fault::Heal);
+    let mut runner = ChaosRunner::new(plan);
+    // Stop offering at 65 s, then drain well past the 3 s × 3 attempt
+    // worst case so every request resolves exactly once.
+    runner.run_until(&mut sim, SimTime::from_secs(80));
+
+    let metrics = &sim.telemetry().metrics;
+    assert!(
+        metrics.counter("rpc.retry_exhausted") > 0,
+        "no request ran out of retries during the partition"
+    );
+    assert!(
+        metrics.counter("rpc.budget_exhausted") > 0,
+        "the shared budget never denied a retry"
+    );
+    // Only the queriers carry a budget, so the metric and the budget's
+    // own denial count must agree exactly.
+    assert_eq!(metrics.counter("rpc.budget_exhausted"), budget.exhausted());
+
+    let (mut sent, mut ok, mut ok_after, mut timed_out) = (0u64, 0u64, 0u64, 0u64);
+    for &q in &queriers {
+        let node = sim.node_ref::<BudgetedQuerier>(q).expect("querier");
+        sent += node.sent;
+        ok += node.ok;
+        ok_after += node.ok_after;
+        timed_out += node.timed_out;
+    }
+    assert_eq!(
+        sent,
+        ok + timed_out,
+        "every request must resolve exactly once"
+    );
+    assert!(timed_out > 0, "the partition never surfaced as timeouts");
+    assert!(ok_after > 0, "queries never recovered after the heal");
 }

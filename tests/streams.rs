@@ -227,7 +227,7 @@ fn aggregator_crash_mid_window_conserves_rollup_counts() {
     // No device proxy shed store-and-forward samples.
     for p in deployment.device_proxies() {
         let proxy = sim.node_ref::<DeviceProxyNode>(p).unwrap();
-        assert_eq!(proxy.stats().shed, 0, "{}", sim.node_name(p));
+        assert_eq!(proxy.stats().shed_capacity, 0, "{}", sim.node_name(p));
         assert_eq!(proxy.backlog_len(), 0, "{}", sim.node_name(p));
     }
 
