@@ -3,10 +3,15 @@
 
 use bench_support::criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use storage::tskv::{Aggregate, TimeSeriesStore};
+use storage::tskv::{Aggregate, TimeSeriesStore, TskvConfig};
 
 fn filled(points: usize) -> TimeSeriesStore {
-    let mut store = TimeSeriesStore::new();
+    // A flat store: everything stays in the mutable head.
+    let mut store = TimeSeriesStore::with_config(TskvConfig {
+        seal_threshold: usize::MAX,
+        wal_checkpoint_records: usize::MAX,
+        ..TskvConfig::default()
+    });
     for p in 0..points {
         store.insert(
             "dev:temperature",
@@ -14,6 +19,13 @@ fn filled(points: usize) -> TimeSeriesStore {
             20.0 + (p % 50) as f64 * 0.1,
         );
     }
+    store
+}
+
+fn sealed(points: usize) -> TimeSeriesStore {
+    let mut store = filled(points);
+    store.seal_all();
+    store.maintain();
     store
 }
 
@@ -51,6 +63,51 @@ fn bench_store(c: &mut Criterion) {
         });
         group.bench_function(format!("latest/{points}_points"), |b| {
             b.iter(|| store.latest(black_box("dev:temperature")))
+        });
+        group.bench_function(format!("for_each_1h/{points}_points"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                store.for_each_in(
+                    "dev:temperature",
+                    black_box(end - 3_600_000),
+                    end,
+                    |t, v| {
+                        sum = sum.wrapping_add(t as u64 ^ v.to_bits());
+                    },
+                );
+                sum
+            })
+        });
+
+        let cold = sealed(points);
+        group.bench_function(format!("sealed_range_1h/{points}_points"), |b| {
+            b.iter(|| {
+                cold.range("dev:temperature", black_box(end - 3_600_000), end)
+                    .len()
+            })
+        });
+        group.bench_function(format!("sealed_for_each_full/{points}_points"), |b| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                cold.for_each_in("dev:temperature", black_box(i64::MIN), i64::MAX, |t, v| {
+                    sum = sum.wrapping_add(t as u64 ^ v.to_bits());
+                });
+                sum
+            })
+        });
+        // Bucket-aligned hourly means over compacted data are answered
+        // from the materialized rollup levels, not the raw points.
+        group.bench_function(format!("sealed_downsample_aligned/{points}_points"), |b| {
+            b.iter(|| {
+                cold.downsample(
+                    "dev:temperature",
+                    black_box(0),
+                    end,
+                    3_600_000,
+                    Aggregate::Mean,
+                )
+                .len()
+            })
         });
     }
     group.finish();

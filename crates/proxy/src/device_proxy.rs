@@ -38,6 +38,7 @@ const TAG_RETENTION: TimerTag = TimerTag(2);
 const TAG_HEARTBEAT: TimerTag = TimerTag(3);
 const TAG_REGISTER_RETRY: TimerTag = TimerTag(4);
 const TAG_REPLAY: TimerTag = TimerTag(5);
+const TAG_TSKV_MAINTAIN: TimerTag = TimerTag(6);
 
 const WS_CLIENT_TAGS: u64 = 1_000_000_000;
 const PUBSUB_TAGS: u64 = 2_000_000_000;
@@ -46,6 +47,9 @@ const POLL_TAGS: u64 = 3_000_000_000;
 /// How often proxies heartbeat the master.
 pub const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_secs(30);
 const RETENTION_PERIOD: SimDuration = SimDuration::from_hours(1);
+/// Storage maintenance cadence: seal cold partitions, compact,
+/// checkpoint the WAL (see `TimeSeriesStore::maintain`).
+const TSKV_MAINTAIN_PERIOD: SimDuration = SimDuration::from_secs(300);
 const POLL_TIMEOUT: SimDuration = SimDuration::from_secs(2);
 
 /// Default bounded store-and-forward capacity (QoS 1 samples held while
@@ -235,6 +239,13 @@ impl DeviceProxyNode {
     /// The local database (layer 2), for inspection.
     pub fn store(&self) -> &TimeSeriesStore {
         &self.store
+    }
+
+    /// Test hook: mutable access to the local store, so chaos tests can
+    /// force seals/checkpoints at precise crash points.
+    #[doc(hidden)]
+    pub fn store_mut(&mut self) -> &mut TimeSeriesStore {
+        &mut self.store
     }
 
     /// The topic this proxy publishes `quantity` under.
@@ -624,12 +635,17 @@ impl Node for DeviceProxyNode {
         if self.config.retention.is_some() {
             ctx.set_timer(RETENTION_PERIOD, TAG_RETENTION);
         }
+        ctx.set_timer(TSKV_MAINTAIN_PERIOD, TAG_TSKV_MAINTAIN);
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_>) {
-        // Volatile across a reboot: protocol trackers, registration and
-        // the middleware session. Durable: the local database (layer 2),
-        // the store-and-forward backlog and the lifetime counters.
+        // Volatile across a reboot: protocol trackers, registration, the
+        // middleware session, and the store's mutable head. Durable: the
+        // local database's sealed segments, snapshot, and WAL (layer 2),
+        // the store-and-forward backlog and the lifetime counters. Replay
+        // the WAL tail first so every acknowledged point is back before
+        // any query or ingest runs.
+        self.store.crash_recover();
         self.ws_client.reset();
         self.poll_tracker.reset();
         self.registered = false;
@@ -742,6 +758,10 @@ impl Node for DeviceProxyNode {
                     self.store.apply_retention(horizon);
                 }
                 ctx.set_timer(RETENTION_PERIOD, TAG_RETENTION);
+            }
+            TAG_TSKV_MAINTAIN => {
+                self.store.maintain();
+                ctx.set_timer(TSKV_MAINTAIN_PERIOD, TAG_TSKV_MAINTAIN);
             }
             TAG_HEARTBEAT => {
                 if self.registered {

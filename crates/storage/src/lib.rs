@@ -11,8 +11,12 @@
 //!   encoding** the Database-proxies must translate — [`legacy`] (CSV,
 //!   fixed-width records, INI).
 //!
-//! Everything is in-memory and deterministic; durability is out of scope
-//! for the reproduction (the paper's evaluation never exercises it).
+//! Everything runs in-memory and deterministically, but the time-series
+//! store models durability: points append to a write-ahead log before
+//! they are acknowledged, cold data seals into Gorilla-compressed
+//! immutable segments with materialized rollups, and a node crash (which
+//! wipes the volatile head) recovers by restoring the last snapshot and
+//! replaying the WAL tail — see [`tskv`] and `DESIGN.md` §15.
 //!
 //! ## Example
 //!

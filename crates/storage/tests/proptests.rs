@@ -7,7 +7,7 @@ use storage::legacy::csv::CsvDocument;
 use storage::legacy::fixedwidth::{FieldSpec, RecordLayout};
 use storage::legacy::ini::IniDocument;
 use storage::table::{Cell, Column, ColumnType, CompareOp, Predicate, Table};
-use storage::tskv::{Aggregate, TimeSeriesStore};
+use storage::tskv::{Aggregate, TimeSeriesStore, TskvConfig};
 
 const CASES: usize = 256;
 
@@ -106,6 +106,141 @@ fn tskv_retention_keeps_only_newer() {
         assert_eq!(store.len() + removed, before);
         for (t, _) in store.range("s", i64::MIN, i64::MAX) {
             assert!(t >= horizon);
+        }
+    }
+}
+
+/// A value generator that stresses both segment encodings: NaNs with
+/// random payloads, signed zeros, infinities, decimal-quantized
+/// telemetry, integers, and full-precision noise.
+fn adversarial_value(rng: &mut DeterministicRng) -> f64 {
+    match rng.next_bounded(6) {
+        0 => f64::from_bits(0x7ff8_0000_0000_0000 | (rng.next_u64() & 0x0007_ffff_ffff_ffff)),
+        1 => [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY][rng.next_bounded(4) as usize],
+        2 => (rng.next_range(0, 10_000) as i64 - 5_000) as f64 / 100.0,
+        3 => (rng.next_u64() as i32) as f64,
+        _ => rng.next_f64_range(-1e9, 1e9),
+    }
+}
+
+/// A config that forces lots of tiny segments so every structural edge
+/// (single-point segments, multi-segment partitions, compaction merges)
+/// shows up with few points.
+fn tiny_config() -> TskvConfig {
+    TskvConfig {
+        partition_millis: 1_000,
+        seal_threshold: 8,
+        wal_checkpoint_records: 32,
+        rollup_levels: vec![100, 500],
+    }
+}
+
+#[test]
+fn tskv_segment_scans_match_flat_reference() {
+    let mut rng = DeterministicRng::seed_from(0x5709_0009);
+    for _ in 0..CASES / 4 {
+        let mut store = TimeSeriesStore::with_config(tiny_config());
+        let mut reference = std::collections::BTreeMap::new();
+        let n = rng.next_range(1, 121);
+        for _ in 0..n {
+            // Negative timestamps and frequent duplicates (overwrites).
+            let t = rng.next_bounded(8_000) as i64 - 4_000;
+            let v = adversarial_value(&mut rng);
+            store.insert("s", t, v);
+            reference.insert(t, v);
+            // Random engine churn between inserts: seals (down to
+            // single-point segments), compaction, checkpoints, and
+            // crashes. None of it may change what a scan returns.
+            match rng.next_bounded(12) {
+                0 => store.seal_all(),
+                1 => {
+                    store.maintain();
+                }
+                2 => store.checkpoint(),
+                3 => {
+                    store.debug_snapshot_without_truncate();
+                    store.crash_recover();
+                }
+                4 => {
+                    store.crash_recover();
+                }
+                _ => {}
+            }
+        }
+        let bits = |pts: Vec<(i64, f64)>| -> Vec<(i64, u64)> {
+            pts.into_iter().map(|(t, v)| (t, v.to_bits())).collect()
+        };
+        let expect_bits = |from: i64, to: i64| -> Vec<(i64, u64)> {
+            reference
+                .range(from..to)
+                .map(|(&t, &v)| (t, v.to_bits()))
+                .collect()
+        };
+        assert_eq!(
+            bits(store.range("s", i64::MIN, i64::MAX)),
+            expect_bits(i64::MIN, i64::MAX)
+        );
+        for _ in 0..4 {
+            let from = rng.next_bounded(10_000) as i64 - 5_000;
+            let to = from + rng.next_bounded(3_000) as i64;
+            assert_eq!(bits(store.range("s", from, to)), expect_bits(from, to));
+            let mut streamed = Vec::new();
+            store.for_each_in("s", from, to, |t, v| streamed.push((t, v)));
+            assert_eq!(bits(streamed), expect_bits(from, to));
+        }
+        assert_eq!(store.series_len("s"), reference.len());
+        let (lt, lv) = store.latest("s").expect("non-empty");
+        let (&rt, &rv) = reference.iter().next_back().expect("non-empty");
+        assert_eq!((lt, lv.to_bits()), (rt, rv.to_bits()));
+    }
+}
+
+#[test]
+fn tskv_downsample_agrees_between_sealed_and_head_only_stores() {
+    let mut rng = DeterministicRng::seed_from(0x5709_000a);
+    for _ in 0..CASES / 4 {
+        // `sealed` runs the full engine (segments, compaction,
+        // materialized rollups); `flat` never leaves its mutable head
+        // (default config, tiny data), i.e. the reference fold.
+        let mut sealed = TimeSeriesStore::with_config(tiny_config());
+        let mut flat = TimeSeriesStore::new();
+        for _ in 0..rng.next_range(1, 150) {
+            let t = rng.next_bounded(6_000) as i64 - 3_000;
+            let v = adversarial_value(&mut rng);
+            sealed.insert("s", t, v);
+            flat.insert("s", t, v);
+        }
+        sealed.seal_all();
+        sealed.maintain();
+        for _ in 0..6 {
+            // Half the queries are bucket-aligned so the materialized
+            // fast path actually fires; the rest take the raw fold.
+            let bucket = [100, 500, rng.next_range(1, 2_000) as i64][rng.next_bounded(3) as usize];
+            let from = if rng.next_bounded(2) == 0 {
+                (rng.next_bounded(80) as i64 - 40) * bucket
+            } else {
+                rng.next_bounded(8_000) as i64 - 4_000
+            };
+            let to = from + rng.next_bounded(5_000) as i64;
+            let agg = [
+                Aggregate::Mean,
+                Aggregate::Min,
+                Aggregate::Max,
+                Aggregate::Sum,
+                Aggregate::Count,
+                Aggregate::Last,
+            ][rng.next_bounded(6) as usize];
+            let project = |s: &TimeSeriesStore| -> Vec<(i64, u64, u64)> {
+                s.downsample_counted("s", from, to, bucket, agg)
+                    .into_iter()
+                    .map(|b| (b.start, b.value.to_bits(), b.count))
+                    .collect()
+            };
+            assert_eq!(
+                project(&sealed),
+                project(&flat),
+                "downsample({from},{to},{bucket},{agg:?})"
+            );
         }
     }
 }

@@ -39,6 +39,7 @@ use crate::window::{Accumulator, WindowSpec, WindowedAggregator, DEFAULT_MAX_OPE
 
 const TAG_HEARTBEAT: TimerTag = TimerTag(1);
 const TAG_FLUSH: TimerTag = TimerTag(2);
+const TAG_TSKV_MAINTAIN: TimerTag = TimerTag(3);
 const WS_CLIENT_TAGS: u64 = 1_000_000_000;
 const PUBSUB_TAGS: u64 = 2_000_000_000;
 
@@ -47,6 +48,9 @@ const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_secs(30);
 /// Keepalive probing the broker so restarts are noticed and the
 /// wildcard subscription re-established.
 const KEEPALIVE_INTERVAL: SimDuration = SimDuration::from_secs(5);
+/// Storage maintenance cadence: seal cold partitions, compact,
+/// checkpoint the WAL (see `TimeSeriesStore::maintain`).
+const TSKV_MAINTAIN_PERIOD: SimDuration = SimDuration::from_secs(300);
 /// Default wall-clock flush period (watermark advance + window close).
 pub const DEFAULT_FLUSH_INTERVAL: SimDuration = SimDuration::from_secs(5);
 /// Default tumbling window size.
@@ -609,12 +613,17 @@ impl Node for AggregatorNode {
         self.pubsub.subscribe(ctx, filter, QoS::AtLeastOnce);
         self.pubsub.start_keepalive(ctx, KEEPALIVE_INTERVAL);
         ctx.set_timer(self.config.flush_interval, TAG_FLUSH);
+        ctx.set_timer(TSKV_MAINTAIN_PERIOD, TAG_TSKV_MAINTAIN);
     }
 
     fn on_restart(&mut self, ctx: &mut Context<'_>) {
         // Volatile across a reboot: registration, the middleware
-        // session and the open window panes. Durable: the local store
-        // (raw tail, rollups, watermark) and the lifetime counters.
+        // session, the open window panes, and the store's mutable head.
+        // Durable: the store's sealed segments, snapshot and WAL (raw
+        // tail, rollups, watermark) and the lifetime counters. Replay
+        // the WAL tail first so `recover` rebuilds windows from a store
+        // with every acknowledged point back in place.
+        self.store.crash_recover();
         self.ws_client.reset();
         self.pubsub.reset();
         self.registered = false;
@@ -695,6 +704,10 @@ impl Node for AggregatorNode {
                 self.op.advance_watermark(now_unix);
                 self.drain(ctx);
                 ctx.set_timer(self.config.flush_interval, TAG_FLUSH);
+            }
+            TAG_TSKV_MAINTAIN => {
+                self.store.maintain();
+                ctx.set_timer(TSKV_MAINTAIN_PERIOD, TAG_TSKV_MAINTAIN);
             }
             tag if tag.0 >= PUBSUB_TAGS => {
                 self.pubsub.on_timer(ctx, tag);

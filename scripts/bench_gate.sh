@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # CI perf-regression gate over the hot-path micro-benches.
 #
-# Runs the topic-matching, windowed-stream and wire-codec benches in
-# quick mode (DIMMER_BENCH_QUICK: ~5 ms calibration windows, median of
+# Runs the topic-matching, windowed-stream, wire-codec and tskv benches
+# in quick mode (DIMMER_BENCH_QUICK: ~5 ms calibration windows, median of
 # five samples per bench), takes the per-bench minimum over
 # GATE_PASSES=3 passes (the minimum is robust to scheduler noise on a
 # loaded box, and a real regression raises the minimum too), and
-# compares it against the committed baseline in results/BENCH_pr8.json.
+# compares it against the committed baseline in results/BENCH_pr9.json.
 # A bench fails the gate when its minimum exceeds baseline * 1.25 +
 # 100 ns — the flat 100 ns term keeps sub-microsecond benches from
 # tripping on jitter.
@@ -17,7 +17,10 @@
 # The E14 overload smoke rides along the same way: its per-load-point
 # records are kept in the baseline, any `"conserved":false` fails the
 # gate immediately, and goodput at the 2x-capacity point may not
-# regress more than 25% against the committed value.
+# regress more than 25% against the committed value. The E15 storage
+# smoke gates the tskv engine: the quantized-corpus compression ratio
+# must stay >= 8x, sealed borrowed scans must stay within 2x of the
+# flat store, and the crash sweep must lose zero acknowledged points.
 #
 # Usage:
 #   scripts/bench_gate.sh            compare against the baseline
@@ -26,14 +29,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="results/BENCH_pr8.json"
-BENCHES=(topic_matching streams wire_codecs)
+BASELINE="results/BENCH_pr9.json"
+BENCHES=(topic_matching streams wire_codecs tskv)
 
 raw="$(mktemp)"
 out="$(mktemp)"
 slo="$(mktemp)"
 e14="$(mktemp)"
-trap 'rm -f "$raw" "$out" "$slo" "$e14"' EXIT
+e15="$(mktemp)"
+trap 'rm -f "$raw" "$out" "$slo" "$e14" "$e15"' EXIT
 
 passes="${GATE_PASSES:-3}"
 echo "== bench_gate: measuring (${BENCHES[*]}), min of $passes passes"
@@ -70,6 +74,30 @@ if grep -q '"conserved":false' "$e14"; then
     exit 1
 fi
 
+echo "== bench_gate: E15 storage smoke for compression + scans + recovery"
+DIMMER_E15_SMOKE=1 DIMMER_E15_JSON="$e15" \
+    cargo run -q --release -p dimmer-bench --bin e15_storage >/dev/null
+if [[ ! -s "$e15" ]]; then
+    echo "bench_gate: E15 emitted no records" >&2
+    exit 1
+fi
+if ! awk -F'"ratio":' '/"e15":"compress".*"corpus":"quantized"/ \
+        { exit ($2 + 0 >= 8.0) ? 0 : 1 }' "$e15"; then
+    echo "bench_gate: E15 quantized compression ratio fell below 8x:" >&2
+    grep '"corpus":"quantized"' "$e15" >&2
+    exit 1
+fi
+if ! awk -F'"rel":' '/"e15":"scan"/ { exit ($2 + 0 <= 2.0) ? 0 : 1 }' "$e15"; then
+    echo "bench_gate: E15 sealed scan slower than 2x the flat store:" >&2
+    grep '"e15":"scan"' "$e15" >&2
+    exit 1
+fi
+if ! grep -q '"e15":"crash_sweep".*"lost":0[,}]' "$e15"; then
+    echo "bench_gate: E15 crash sweep lost acknowledged points:" >&2
+    grep '"e15":"crash_sweep"' "$e15" >&2
+    exit 1
+fi
+
 # Reduce the repeated passes to one per-bench minimum, preserving
 # first-seen order so baseline diffs stay readable.
 awk -F'"' '
@@ -86,6 +114,7 @@ awk -F'"' '
 ' "$raw" > "$out"
 cat "$slo" >> "$out"
 cat "$e14" >> "$out"
+cat "$e15" >> "$out"
 
 if [[ "${1:-}" == "--update" ]]; then
     cp "$out" "$BASELINE"

@@ -12,7 +12,7 @@
 #                    Defaults to 2; set 0 to skip.
 #   DIMMER_BENCH=1   additionally run the perf-regression gate
 #                    (scripts/bench_gate.sh) against the committed
-#                    baseline in results/BENCH_pr7.json.
+#                    baseline in results/BENCH_pr9.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -68,6 +68,9 @@ DIMMER_E13_SMOKE=1 cargo run -q -p dimmer-bench --bin e13_city_scale
 
 echo "== e14 overload smoke (sweep + gray failure)"
 DIMMER_E14_SMOKE=1 cargo run -q -p dimmer-bench --bin e14_overload
+
+echo "== e15 storage smoke (compression + recovery + crash sweep)"
+DIMMER_E15_SMOKE=1 cargo run -q -p dimmer-bench --bin e15_storage
 
 if [[ "${DIMMER_BENCH:-0}" == "1" ]]; then
     echo "== perf-regression gate"
