@@ -1,14 +1,15 @@
 //! E13 — city-scale hot path: sustained simulated-event throughput at
-//! 1k / 5k / 10k buildings.
+//! 1k / 5k / 10k / 100k buildings, sharded across OS threads.
 //!
-//! The ROADMAP targets a 10k-building city. Earlier experiments scale
+//! The ROADMAP targets a 100k-building city. Earlier experiments scale
 //! the *protocol* (E8 fan-out, E12 federation); this one scales the
 //! *engine*: every building carries a constant-rate publisher, districts
 //! of 100 buildings each are served by a federated shard tier, and the
-//! run reports how fast the simulator chews through the event stream in
-//! wall-clock terms. The numbers move with the PR-6 internals — the
-//! zero-copy wire decode, the slab event arena and the timer wheel —
-//! rather than with the protocol logic above them.
+//! whole simulation runs on a `simnet::parallel::ParallelSimulator` —
+//! one simulation shard per broker shard, `--threads N` worker threads,
+//! cross-shard bridge batches and master RPCs flowing through the
+//! deterministic lookahead barriers. The run reports how fast the
+//! engine chews through the event stream in wall-clock terms.
 //!
 //! Metrics per scale:
 //!
@@ -21,13 +22,22 @@
 //! * `sim_x_real` — simulated seconds per wall second (>1 means the
 //!   city runs faster than real time).
 //!
+//! After the table the binary prints one `e13-digest` line per scale
+//! (the flight-recorder digest, identical at any `--threads` — the CI
+//! determinism gate diffs it across thread counts) and one
+//! `e13-speedup` line comparing the largest scale's wall time at
+//! `--threads 1` vs the requested count (asserting the digests match,
+//! so the speedup is measured on bit-identical runs).
+//!
 //! The run also stands up the PR-7 ops plane: a master with the fleet
-//! scraper tracking every broker shard, a probe node scraping
-//! `GET /fleet/metrics` over the Web-Service wire, every 50th building
-//! publishing traced (so the `publish_to_deliver` SLO harvest has
-//! flights to measure), and a scraped-gauge + SLO section after each
-//! scale's table row. `DIMMER_E13_JSON=<file>` appends one JSON line
-//! per SLO report for the bench gate.
+//! scraper tracking every broker shard (cross-shard RPCs under the
+//! barrier), a probe node scraping `GET /fleet/metrics` over the
+//! Web-Service wire, every 50th building publishing traced, and a
+//! scraped-gauge + SLO section after each scale's table row.
+//! `DIMMER_E13_JSON=<file>` appends one JSON line per SLO report plus
+//! one speedup record for the bench gate. `DIMMER_SEED=<offset>`
+//! shifts the simulation seed (the CI gate holds it fixed across
+//! thread counts).
 //!
 //! `DIMMER_E13_SMOKE=1` shrinks the run (500 buildings, short window)
 //! so `scripts/ci.sh` can exercise the binary in debug builds.
@@ -41,10 +51,12 @@ use pubsub::{
     PUBSUB_PORT,
 };
 use simnet::batch::BatchPolicy;
-use simnet::{Context, Node, NodeId, Packet, SimConfig, SimDuration, SimTime, Simulator, TimerTag};
+use simnet::parallel::{ParallelConfig, ParallelSimulator};
+use simnet::telemetry::SloReport;
+use simnet::{Context, Node, NodeId, Packet, SimDuration, SimTime, TimerTag};
 
 /// Every Nth building publishes traced: enough flights for the SLO
-/// harvest without flooding the trace ring at the 10k scale.
+/// harvest without flooding the trace ring at the 100k scale.
 const TRACED_BUILDING_STRIDE: usize = 50;
 /// How often the master's fleet scraper and the probe poll.
 const SCRAPE_INTERVAL: SimDuration = SimDuration::from_secs(5);
@@ -56,10 +68,13 @@ const MEASURE: SimDuration = SimDuration::from_secs(60);
 
 /// Federates `shards` brokers over round-robin district assignments
 /// (district i → shard i % shards), mirroring `district::deploy`.
-fn build_brokers(sim: &mut Simulator, shards: usize, districts: usize) -> Vec<NodeId> {
+/// Broker i lives on simulation shard i, so bridge batches are the
+/// cross-shard traffic.
+fn build_brokers(sim: &mut ParallelSimulator, shards: usize, districts: usize) -> Vec<NodeId> {
     let ids: Vec<NodeId> = (0..shards)
         .map(|i| {
-            sim.add_node(
+            sim.add_node_on(
+                i,
                 format!("broker-{i}"),
                 BrokerNode::with_label(format!("b{i}")),
             )
@@ -232,34 +247,71 @@ impl Node for LoadSub {
     }
 }
 
+/// Folds per-shard SLO reports into one per name: counts sum,
+/// attainment is count-weighted, met/burn re-derived.
+fn merge_slos(per_shard: Vec<Vec<SloReport>>) -> Vec<SloReport> {
+    let mut merged: Vec<SloReport> = Vec::new();
+    for r in per_shard.into_iter().flatten() {
+        if let Some(m) = merged.iter_mut().find(|m| m.name == r.name) {
+            let total = m.count + r.count;
+            if total > 0 {
+                m.attainment =
+                    (m.attainment * m.count as f64 + r.attainment * r.count as f64) / total as f64;
+            }
+            m.count = total;
+            m.met = m.count == 0 || m.attainment >= m.objective;
+            m.burn = (1.0 - m.attainment) / (1.0 - m.objective);
+        } else {
+            merged.push(r);
+        }
+    }
+    merged
+}
+
 struct RunResult {
     districts: usize,
     shards: usize,
+    threads: usize,
     offered_msg_s: f64,
     delivered_msg_s: f64,
     p99_ms: f64,
     sim_events: u64,
     wall_s: f64,
+    /// Flight-recorder digest — identical at any thread count for the
+    /// same seed, which `scripts/ci.sh` gates on.
+    digest: u64,
+    /// Barrier-protocol counters (windows, cross packets, stalls).
+    parallel: simnet::ParallelStats,
     /// Queue-depth / ops / SLO gauge lines from the probe's last
     /// wire-scraped `/fleet/metrics` body.
     fleet_lines: Vec<String>,
-    /// SLO reports evaluated at the end of the run.
-    slos: Vec<simnet::telemetry::SloReport>,
+    /// SLO reports merged across shards at the end of the run.
+    slos: Vec<SloReport>,
 }
 
 fn run_scale(
     buildings: usize,
     shards: usize,
+    threads: usize,
+    seed: u64,
     warmup: SimDuration,
     measure: SimDuration,
 ) -> RunResult {
     let districts = buildings.div_ceil(BUILDINGS_PER_DISTRICT);
-    let mut sim = Simulator::new(SimConfig::default());
-    install_default_slos(sim.telemetry());
+    let mut sim = ParallelSimulator::new(ParallelConfig {
+        seed,
+        shards,
+        threads,
+        ..ParallelConfig::default()
+    });
+    for s in 0..shards {
+        install_default_slos(sim.shard_telemetry(s));
+    }
     let brokers = build_brokers(&mut sim, shards, districts);
 
-    // Ops plane: a master scraping every broker shard, plus a probe
-    // pulling the merged fleet exposition over the Web-Service wire.
+    // Ops plane: a master scraping every broker shard (cross-shard RPC
+    // under the barrier), plus a probe pulling the merged fleet
+    // exposition over the Web-Service wire. Both live on shard 0.
     let mut master_node = MasterNode::new((0..districts).map(|d| {
         (
             DistrictId::new(format!("d{d}")).expect("valid district id"),
@@ -270,14 +322,19 @@ fn run_scale(
     for (i, &b) in brokers.iter().enumerate() {
         master_node.track_broker(format!("b{i}"), b);
     }
-    let master = sim.add_node("master", master_node);
-    let probe = sim.add_node("fleet-probe", FleetProbe::new(master, SCRAPE_INTERVAL));
+    let master = sim.add_node_on(0, "master", master_node);
+    let probe = sim.add_node_on(0, "fleet-probe", FleetProbe::new(master, SCRAPE_INTERVAL));
 
     let t0 = SimTime::ZERO + warmup;
     let t1 = t0 + measure;
+    // Publishers and subscribers are co-located with their district's
+    // broker shard, so steady-state load is intra-shard and only bridge
+    // batches + master RPCs cross the barrier — the deployment shape
+    // `district::deploy::build_parallel` uses.
     let subs: Vec<NodeId> = (0..districts)
         .map(|d| {
-            sim.add_node(
+            sim.add_node_on(
+                d % shards,
                 format!("sub-d{d}"),
                 LoadSub {
                     client: PubSubClient::new(brokers[d % shards], 100),
@@ -291,7 +348,8 @@ fn run_scale(
         .collect();
     for b in 0..buildings {
         let d = b / BUILDINGS_PER_DISTRICT;
-        sim.add_node(
+        sim.add_node_on(
+            d % shards,
             format!("pub-d{d}-b{b}"),
             LoadPub {
                 client: PubSubClient::new(brokers[d % shards], 100),
@@ -299,7 +357,7 @@ fn run_scale(
                     .expect("valid topic"),
                 interval: PUBLISH_INTERVAL,
                 // Smear starts across the publish interval so the load is
-                // flat instead of a 10k-message thundering herd.
+                // flat instead of a 100k-message thundering herd.
                 start_offset: SimDuration::from_millis((b as u64 * 7) % 2000),
                 stop_at: t1,
                 sent: 0,
@@ -347,7 +405,11 @@ fn run_scale(
         })
         .map(str::to_string)
         .collect();
-    let slos = sim.telemetry().slo_refresh();
+    let slos = merge_slos(
+        (0..shards)
+            .map(|s| sim.shard_telemetry(s).slo_refresh())
+            .collect(),
+    );
     let e2e = slos
         .iter()
         .find(|r| r.name == "publish_to_deliver")
@@ -365,26 +427,56 @@ fn run_scale(
     RunResult {
         districts,
         shards,
+        threads: sim.threads(),
         offered_msg_s: buildings as f64 / (PUBLISH_INTERVAL.as_nanos() as f64 / 1e9),
         delivered_msg_s: delivered as f64 / measure_s,
         p99_ms: p99 as f64 / 1e6,
         sim_events: sim.metrics().events_processed,
         wall_s,
+        digest: sim.flight_digest(),
+        parallel: sim.stats(),
         fleet_lines,
         slos,
     }
 }
 
+fn parse_threads() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a positive integer");
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return v.parse().expect("--threads needs a positive integer");
+        }
+    }
+    1
+}
+
 fn main() {
+    let threads = parse_threads();
+    assert!(threads >= 1, "--threads must be positive");
+    let seed_offset = std::env::var("DIMMER_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0);
+    let seed = 0xD1_44_E2 + seed_offset;
     let smoke = std::env::var("DIMMER_E13_SMOKE").is_ok_and(|v| v == "1");
     let (scales, warmup, measure): (Vec<(usize, usize)>, _, _) = if smoke {
         (
-            vec![(500, 2)],
+            vec![(500, 4)],
             SimDuration::from_secs(2),
             SimDuration::from_secs(10),
         )
     } else {
-        (vec![(1_000, 2), (5_000, 4), (10_000, 8)], WARMUP, MEASURE)
+        (
+            vec![(1_000, 2), (5_000, 4), (10_000, 8), (100_000, 16)],
+            WARMUP,
+            MEASURE,
+        )
     };
 
     let title = if smoke {
@@ -398,6 +490,7 @@ fn main() {
             "buildings",
             "districts",
             "shards",
+            "threads",
             "offered_msg_s",
             "delivered_msg_s",
             "p99_ms",
@@ -408,9 +501,11 @@ fn main() {
         ],
     );
     let sim_span_s = (warmup + measure).as_nanos() as f64 / 1e9;
-    let mut ops_sections: Vec<(usize, Vec<String>, Vec<simnet::telemetry::SloReport>)> = Vec::new();
+    let mut ops_sections: Vec<(usize, Vec<String>, Vec<SloReport>)> = Vec::new();
+    let mut digest_lines: Vec<String> = Vec::new();
+    let mut last_run: Option<(usize, usize, RunResult)> = None;
     for &(buildings, shards) in &scales {
-        let r = run_scale(buildings, shards, warmup, measure);
+        let r = run_scale(buildings, shards, threads, seed, warmup, measure);
         // The engine must keep up: losing deliveries at QoS 0 with no NIC
         // cap would mean the hot path itself is broken.
         assert!(
@@ -423,6 +518,7 @@ fn main() {
             buildings.to_string(),
             r.districts.to_string(),
             r.shards.to_string(),
+            r.threads.to_string(),
             fmt_f64(r.offered_msg_s, 1),
             fmt_f64(r.delivered_msg_s, 1),
             fmt_f64(r.p99_ms, 2),
@@ -431,10 +527,50 @@ fn main() {
             fmt_f64(r.sim_events as f64 / r.wall_s, 0),
             fmt_f64(sim_span_s / r.wall_s, 1),
         ]);
-        ops_sections.push((buildings, r.fleet_lines, r.slos));
+        digest_lines.push(format!(
+            "e13-digest buildings={buildings} shards={} threads={} seed={seed} \
+             digest={:#018x} windows={} cross_packets={} stall_ms={:.1} mailbox_max={}",
+            r.shards,
+            r.threads,
+            r.digest,
+            r.parallel.windows,
+            r.parallel.cross_packets,
+            r.parallel.barrier_stall_ns as f64 / 1e6,
+            r.parallel.max_mailbox_depth,
+        ));
+        ops_sections.push((buildings, r.fleet_lines.clone(), r.slos.clone()));
+        last_run = Some((buildings, shards, r));
     }
     println!("{table}");
     println!("# series (csv)\n{}", table.to_csv());
+    for line in &digest_lines {
+        println!("{line}");
+    }
+
+    // Speedup probe: re-run the largest scale single-threaded and
+    // compare wall time. The digests must match — the speedup is
+    // measured between bit-identical executions.
+    let (buildings, shards, r_threads) = last_run.expect("at least one scale ran");
+    let speedup = if threads > 1 {
+        let r1 = run_scale(buildings, shards, 1, seed, warmup, measure);
+        assert_eq!(
+            r1.digest, r_threads.digest,
+            "flight digests diverged between --threads 1 and --threads {threads}"
+        );
+        let speedup = r1.wall_s / r_threads.wall_s;
+        println!(
+            "e13-speedup buildings={buildings} threads={threads} wall_1={:.2} wall_t={:.2} \
+             speedup={speedup:.3}",
+            r1.wall_s, r_threads.wall_s
+        );
+        speedup
+    } else {
+        println!(
+            "e13-speedup buildings={buildings} threads=1 wall_1={:.2} wall_t={:.2} speedup=1.000",
+            r_threads.wall_s, r_threads.wall_s
+        );
+        1.0
+    };
 
     for (buildings, fleet_lines, slos) in &ops_sections {
         println!("## E13: fleet scrape ({buildings} buildings, wire-scraped /fleet/metrics)");
@@ -447,8 +583,9 @@ fn main() {
         );
     }
 
-    // Bench-gate hook: append one JSON record per SLO report so
-    // scripts/bench_gate.sh can fold attainment into its baseline.
+    // Bench-gate hook: append one JSON record per SLO report plus the
+    // parallel-speedup record so scripts/bench_gate.sh can fold both
+    // into its baseline.
     if let Ok(path) = std::env::var("DIMMER_E13_JSON") {
         if !path.is_empty() {
             use std::io::Write;
@@ -462,6 +599,10 @@ fn main() {
                     ));
                 }
             }
+            out.push_str(&format!(
+                "{{\"e13\":\"speedup\",\"buildings\":{buildings},\"threads\":{threads},\
+                 \"speedup\":{speedup:.4}}}\n"
+            ));
             let written = std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)

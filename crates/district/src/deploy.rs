@@ -24,7 +24,8 @@ use proxy::database_proxy::{
 use proxy::device_proxy::{DeviceProxyConfig, DeviceProxyNode};
 use proxy::devices::{CoapFieldNode, OpcUaFieldNode, UplinkDeviceNode};
 use pubsub::{BrokerNode, FederationConfig, ShardMap};
-use simnet::{NodeId, SimDuration, Simulator};
+use simnet::parallel::ParallelSimulator;
+use simnet::{NodeId, SimDuration, SimHost, Simulator};
 use streams::{AggregatorConfig, AggregatorNode, WindowSpec};
 
 use crate::scenario::{DeviceSpec, DistrictSpec, Scenario};
@@ -71,8 +72,23 @@ pub struct Deployment {
 impl Deployment {
     /// Instantiates `scenario` on `sim`.
     pub fn build(sim: &mut Simulator, scenario: &Scenario) -> Deployment {
-        let master = sim.add_node(
-            "master",
+        Self::build_on(sim, scenario)
+    }
+
+    /// Instantiates `scenario` on a sharded parallel simulation: broker
+    /// shard `i` and everything publishing into it (the district's
+    /// proxies, devices and aggregator) land on simulation shard
+    /// `i % shards`, so the only cross-shard traffic is what really
+    /// crosses broker boundaries — bridge batches and master RPCs.
+    pub fn build_parallel(sim: &mut ParallelSimulator, scenario: &Scenario) -> Deployment {
+        Self::build_on(sim, scenario)
+    }
+
+    /// Instantiates `scenario` on any [`SimHost`].
+    pub fn build_on<S: SimHost>(sim: &mut S, scenario: &Scenario) -> Deployment {
+        let master = sim.place_node(
+            0,
+            "master".to_owned(),
             MasterNode::new(
                 scenario
                     .districts
@@ -81,7 +97,7 @@ impl Deployment {
             ),
         );
         if let Some(ov) = scenario.config.overload {
-            sim.node_mut::<MasterNode>(master)
+            sim.host_node_mut::<MasterNode>(master)
                 .expect("just added")
                 .set_admission_limits(ov.master_capacity, ov.master_rate);
         }
@@ -89,13 +105,15 @@ impl Deployment {
         // Broker tier: the classic single broker, or one labeled broker
         // per shard bridged into a federation (district i → shard
         // i % shards, mirroring the scenario's round-robin promise).
+        // Under a parallel host, broker i lives on simulation shard i.
         let brokers: Vec<NodeId> =
             match scenario.config.federation {
-                None => vec![sim.add_node("broker", BrokerNode::new())],
+                None => vec![sim.place_node(0, "broker".to_owned(), BrokerNode::new())],
                 Some(spec) => {
                     let ids: Vec<NodeId> = (0..spec.shards)
                         .map(|i| {
-                            sim.add_node(
+                            sim.place_node(
+                                i,
                                 format!("broker-{i}"),
                                 BrokerNode::with_label(format!("b{i}")),
                             )
@@ -106,7 +124,7 @@ impl Deployment {
                         shard.assign(d.district.as_str(), i % spec.shards);
                     }
                     for (i, &id) in ids.iter().enumerate() {
-                        sim.node_mut::<BrokerNode>(id)
+                        sim.host_node_mut::<BrokerNode>(id)
                             .expect("just added")
                             .federate(FederationConfig {
                                 index: i,
@@ -115,7 +133,7 @@ impl Deployment {
                                 batch: spec.batch_policy(),
                             });
                     }
-                    sim.node_mut::<MasterNode>(master)
+                    sim.host_node_mut::<MasterNode>(master)
                         .expect("just added")
                         .set_shard_owners(
                             scenario.districts.iter().enumerate().map(|(i, d)| {
@@ -131,8 +149,8 @@ impl Deployment {
             .iter()
             .enumerate()
             .map(|(i, d)| {
-                let broker = brokers[i % brokers.len()];
-                deploy_district(sim, scenario, d, master, broker)
+                let broker_idx = i % brokers.len();
+                deploy_district(sim, scenario, d, master, brokers[broker_idx], broker_idx)
             })
             .collect();
         Deployment {
@@ -182,12 +200,13 @@ impl Deployment {
     }
 }
 
-fn deploy_district(
-    sim: &mut Simulator,
+fn deploy_district<S: SimHost>(
+    sim: &mut S,
     scenario: &Scenario,
     spec: &DistrictSpec,
     master: NodeId,
     broker: NodeId,
+    shard: usize,
 ) -> DistrictDeployment {
     let did = &spec.district;
     let config = &scenario.config;
@@ -206,7 +225,8 @@ fn deploy_district(
             ))
             .expect("feature ids are unique");
     }
-    let gis_proxy = sim.add_node(
+    let gis_proxy = sim.place_node(
+        shard,
         format!("gis-{did}"),
         DatabaseProxyNode::new(
             ProxyId::new(format!("gis-{did}")).expect("grammatical"),
@@ -220,7 +240,8 @@ fn deploy_district(
     let archive_csv = synthesize_archive(spec, config.archive_rows, config.epoch_offset_millis);
     let archive_source =
         MeasurementArchiveSource::new(&archive_csv).expect("synthesized archive is valid");
-    let archive_proxy = sim.add_node(
+    let archive_proxy = sim.place_node(
+        shard,
         format!("archive-{did}"),
         DatabaseProxyNode::new(
             ProxyId::new(format!("archive-{did}")).expect("grammatical"),
@@ -237,7 +258,8 @@ fn deploy_district(
             .expect("sample BIM tables reassemble")
             .with_location(b.location)
             .with_gis_feature(format!("feat-{}", b.building));
-        bim_proxies.push(sim.add_node(
+        bim_proxies.push(sim.place_node(
+            shard,
             format!("bim-{}", b.building),
             DatabaseProxyNode::new(
                 ProxyId::new(format!("bim-{}", b.building)).expect("grammatical"),
@@ -255,7 +277,8 @@ fn deploy_district(
         let source = SimSource::new(&legacy)
             .expect("legacy dump parses back")
             .with_location(n.location);
-        sim_proxies.push(sim.add_node(
+        sim_proxies.push(sim.place_node(
+            shard,
             format!("sim-{}", n.network),
             DatabaseProxyNode::new(
                 ProxyId::new(format!("sim-{}", n.network)).expect("grammatical"),
@@ -279,6 +302,7 @@ fn deploy_district(
                 dev,
                 master,
                 broker,
+                shard,
             );
             device_proxies.push(proxy_node);
             devices.push(device_node);
@@ -299,7 +323,7 @@ fn deploy_district(
         if let Some(ov) = config.overload {
             agg_config = agg_config.with_admission(ov.aggregator_capacity, ov.aggregator_rate);
         }
-        sim.add_node(format!("agg-{did}"), AggregatorNode::new(agg_config))
+        sim.place_node(shard, format!("agg-{did}"), AggregatorNode::new(agg_config))
     });
 
     DistrictDeployment {
@@ -315,14 +339,16 @@ fn deploy_district(
     }
 }
 
-fn deploy_device(
-    sim: &mut Simulator,
+#[allow(clippy::too_many_arguments)]
+fn deploy_device<S: SimHost>(
+    sim: &mut S,
     scenario: &Scenario,
     district: &DistrictSpec,
     entity_id: &str,
     dev: &DeviceSpec,
     master: NodeId,
     broker: NodeId,
+    shard: usize,
 ) -> (NodeId, NodeId) {
     let config = &scenario.config;
     let pan = PanId(0x2300 + district_pan_offset(district));
@@ -357,14 +383,16 @@ fn deploy_device(
         epoch_offset_millis: config.epoch_offset_millis,
         publish_qos: config.publish_qos,
     };
-    let proxy_node = sim.add_node(
+    let proxy_node = sim.place_node(
+        shard,
         format!("devproxy-{}", dev.device),
         DeviceProxyNode::new(proxy_config, adapter),
     );
 
     let profile = EnergyProfile::for_quantity(dev.quantity, config.seed ^ u64::from(dev.address));
     let device_node = match dev.protocol {
-        ProtocolKind::OpcUa => sim.add_node(
+        ProtocolKind::OpcUa => sim.place_node(
+            shard,
             format!("device-{}", dev.device),
             OpcUaFieldNode::new(
                 OpcUaFieldServer::new(dev.quantity),
@@ -373,7 +401,8 @@ fn deploy_device(
                 config.epoch_offset_millis,
             ),
         ),
-        ProtocolKind::Coap => sim.add_node(
+        ProtocolKind::Coap => sim.place_node(
+            shard,
             format!("device-{}", dev.device),
             CoapFieldNode::new(
                 CoapFieldServer::new(dev.quantity),
@@ -396,7 +425,8 @@ fn deploy_device(
                 )),
                 ProtocolKind::OpcUa | ProtocolKind::Coap => unreachable!("handled above"),
             };
-            sim.add_node(
+            sim.place_node(
+                shard,
                 format!("device-{}", dev.device),
                 UplinkDeviceNode::new(
                     device,
@@ -408,7 +438,7 @@ fn deploy_device(
             )
         }
     };
-    sim.node_mut::<DeviceProxyNode>(proxy_node)
+    sim.host_node_mut::<DeviceProxyNode>(proxy_node)
         .expect("just added")
         .set_device_node(device_node);
     (proxy_node, device_node)
@@ -602,6 +632,52 @@ mod tests {
         assert!(b0.bridge_stats().frames_received > 0);
         assert!(b1.bridge_stats().frames_acked > 0);
         assert_eq!(b1.bridge_stats().frames_dropped, 0);
+    }
+
+    #[test]
+    fn parallel_deployment_places_districts_on_broker_shards() {
+        use crate::scenario::FederationSpec;
+        use simnet::parallel::{ParallelConfig, ParallelSimulator};
+
+        let scenario = ScenarioConfig::small()
+            .with_districts(4)
+            .with_federation(FederationSpec::sharded(2))
+            .build();
+        let mut sim = ParallelSimulator::new(ParallelConfig {
+            shards: 2,
+            threads: 2,
+            ..ParallelConfig::default()
+        });
+        let deployment = Deployment::build_parallel(&mut sim, &scenario);
+        assert_eq!(deployment.master.shard(), 0);
+        for (i, b) in deployment.brokers.iter().enumerate() {
+            assert_eq!(b.shard(), i % 2, "broker {i} on its own shard");
+        }
+        // Every district node lives on its broker's shard.
+        for d in &deployment.districts {
+            let home = d.broker.shard();
+            for id in d
+                .device_proxies
+                .iter()
+                .chain(d.devices.iter())
+                .chain([d.gis_proxy, d.archive_proxy].iter())
+            {
+                assert_eq!(id.shard(), home, "{}", sim.node_name(*id));
+            }
+        }
+
+        sim.run_for(simnet::SimDuration::from_secs(120));
+        // Cross-shard master RPCs all completed: every proxy registered.
+        for p in deployment.device_proxies() {
+            assert!(
+                sim.node_ref::<DeviceProxyNode>(p).unwrap().is_registered(),
+                "{}",
+                sim.node_name(p)
+            );
+        }
+        let m = sim.node_ref::<MasterNode>(deployment.master).unwrap();
+        assert_eq!(m.ontology().device_count(), 4 * 12);
+        assert!(sim.stats().cross_packets > 0, "RPCs crossed shards");
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub const RAW_SENSOR_MARKER: u8 = 0xA0;
 
 /// A device that spontaneously pushes uplink frames (802.15.4, ZigBee,
 /// EnOcean). The caller decides *when* to emit; the device decides *what
-/// bytes* that emission is.
-pub trait UplinkDevice {
+/// bytes* that emission is. `Send` because devices live inside simulated
+/// nodes, which a sharded parallel run executes on worker threads.
+pub trait UplinkDevice: Send {
     /// The protocol family of the emitted frames.
     fn protocol(&self) -> ProtocolKind;
 

@@ -39,6 +39,84 @@ use crate::rng::DeterministicRng;
 use crate::sim::Simulator;
 use crate::time::{SimDuration, SimTime};
 
+/// Anything a [`ChaosRunner`] can inject faults into: a stand-alone
+/// [`Simulator`] or a sharded
+/// [`ParallelSimulator`](crate::parallel::ParallelSimulator). The
+/// parallel implementation routes each primitive to the owning shard
+/// (or fans it out to all shards, for partitions), so one fault plan
+/// replays identically at any shard/thread combination.
+pub trait FaultTarget {
+    /// The current virtual time.
+    fn now(&self) -> SimTime;
+    /// Runs the simulation until `deadline`.
+    fn run_until(&mut self, deadline: SimTime);
+    /// Crashes a node (see [`Simulator::crash`]).
+    fn crash(&mut self, id: NodeId);
+    /// Schedules a crashed node's restart (see [`Simulator::restart`]).
+    fn restart(&mut self, id: NodeId, after: SimDuration);
+    /// Partitions the network (see [`Simulator::partition`]).
+    fn partition(&mut self, groups: Vec<Vec<NodeId>>);
+    /// Lifts the active partition (see [`Simulator::heal`]).
+    fn heal(&mut self);
+    /// Overrides the `src → dst` link model.
+    fn set_link_directed(&mut self, src: NodeId, dst: NodeId, model: LinkModel);
+    /// The link model in effect from `src` to `dst` (owned, so sharded
+    /// targets can answer without lending internal borrows).
+    fn link_model(&self, src: NodeId, dst: NodeId) -> LinkModel;
+    /// The node's gray-failure slowdown factor.
+    fn node_slowdown(&self, id: NodeId) -> f64;
+    /// Sets the node's gray-failure slowdown factor.
+    fn set_node_slowdown(&mut self, id: NodeId, factor: f64);
+    /// Records a custom fault event into the telemetry trace stream.
+    fn record_fault(&self, kind: &str, detail: String);
+}
+
+impl FaultTarget for Simulator {
+    fn now(&self) -> SimTime {
+        Simulator::now(self)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        Simulator::run_until(self, deadline);
+    }
+
+    fn crash(&mut self, id: NodeId) {
+        Simulator::crash(self, id);
+    }
+
+    fn restart(&mut self, id: NodeId, after: SimDuration) {
+        Simulator::restart(self, id, after);
+    }
+
+    fn partition(&mut self, groups: Vec<Vec<NodeId>>) {
+        Simulator::partition(self, groups);
+    }
+
+    fn heal(&mut self) {
+        Simulator::heal(self);
+    }
+
+    fn set_link_directed(&mut self, src: NodeId, dst: NodeId, model: LinkModel) {
+        Simulator::set_link_directed(self, src, dst, model);
+    }
+
+    fn link_model(&self, src: NodeId, dst: NodeId) -> LinkModel {
+        self.link(src, dst).clone()
+    }
+
+    fn node_slowdown(&self, id: NodeId) -> f64 {
+        Simulator::node_slowdown(self, id)
+    }
+
+    fn set_node_slowdown(&mut self, id: NodeId, factor: f64) {
+        Simulator::set_node_slowdown(self, id, factor);
+    }
+
+    fn record_fault(&self, kind: &str, detail: String) {
+        Simulator::record_fault(self, kind, detail);
+    }
+}
+
 /// One injectable fault.
 #[derive(Debug, Clone)]
 pub enum Fault {
@@ -337,7 +415,7 @@ impl ChaosRunner {
 
     /// Runs the simulation until `deadline`, injecting every fault (and
     /// link restore) whose time falls inside the window.
-    pub fn run_until(&mut self, sim: &mut Simulator, deadline: SimTime) {
+    pub fn run_until<T: FaultTarget>(&mut self, sim: &mut T, deadline: SimTime) {
         loop {
             let next_fault = self.events.get(self.next).map(|e| e.at);
             let next_restore = self
@@ -364,13 +442,13 @@ impl ChaosRunner {
     }
 
     /// Runs for `dur` of virtual time from the current instant.
-    pub fn run_for(&mut self, sim: &mut Simulator, dur: SimDuration) {
+    pub fn run_for<T: FaultTarget>(&mut self, sim: &mut T, dur: SimDuration) {
         let deadline = sim.now() + dur;
         self.run_until(sim, deadline);
     }
 
     /// Applies every fault and restore due at or before the current time.
-    fn apply_due(&mut self, sim: &mut Simulator) {
+    fn apply_due<T: FaultTarget>(&mut self, sim: &mut T) {
         let now = sim.now();
         let mut i = 0;
         while i < self.restores.len() {
@@ -401,7 +479,7 @@ impl ChaosRunner {
         }
     }
 
-    fn apply(&mut self, sim: &mut Simulator, fault: Fault) {
+    fn apply<T: FaultTarget>(&mut self, sim: &mut T, fault: Fault) {
         match fault {
             Fault::Crash { node } => sim.crash(node),
             Fault::Restart { node } => sim.restart(node, SimDuration::ZERO),
@@ -413,7 +491,9 @@ impl ChaosRunner {
             Fault::Heal => sim.heal(),
             Fault::LinkFlap { a, b, down } => {
                 self.save_link(sim, a, b, down);
-                sim.set_link(a, b, LinkModel::builder().loss(1.0).build());
+                let dead = LinkModel::builder().loss(1.0).build();
+                sim.set_link_directed(a, b, dead.clone());
+                sim.set_link_directed(b, a, dead);
                 sim.record_fault(
                     "chaos.link_flap",
                     format!("a={a} b={b} down={:.1}s", down.as_secs_f64()),
@@ -434,7 +514,7 @@ impl ChaosRunner {
                         .loss(m.loss_probability())
                         .build()
                 };
-                let (fw, bw) = (spike(sim.link(a, b)), spike(sim.link(b, a)));
+                let (fw, bw) = (spike(&sim.link_model(a, b)), spike(&sim.link_model(b, a)));
                 sim.set_link_directed(a, b, fw);
                 sim.set_link_directed(b, a, bw);
                 sim.record_fault(
@@ -476,7 +556,10 @@ impl ChaosRunner {
                         .loss(loss)
                         .build()
                 };
-                let (fw, bw) = (degrade(sim.link(a, b)), degrade(sim.link(b, a)));
+                let (fw, bw) = (
+                    degrade(&sim.link_model(a, b)),
+                    degrade(&sim.link_model(b, a)),
+                );
                 sim.set_link_directed(a, b, fw);
                 sim.set_link_directed(b, a, bw);
                 sim.record_fault(
@@ -493,13 +576,13 @@ impl ChaosRunner {
         }
     }
 
-    fn save_link(&mut self, sim: &Simulator, a: NodeId, b: NodeId, duration: SimDuration) {
+    fn save_link<T: FaultTarget>(&mut self, sim: &T, a: NodeId, b: NodeId, duration: SimDuration) {
         self.restores.push(LinkRestore {
             at: sim.now() + duration,
             a,
             b,
-            forward: sim.link(a, b).clone(),
-            backward: sim.link(b, a).clone(),
+            forward: sim.link_model(a, b),
+            backward: sim.link_model(b, a),
         });
     }
 }

@@ -50,14 +50,17 @@ mod sim;
 pub mod batch;
 pub mod chaos;
 pub mod overload;
+pub mod parallel;
 pub mod rng;
 pub mod rpc;
 pub mod stats;
 pub mod time;
 
+pub use chaos::FaultTarget;
 pub use context::{Context, TimerId};
 pub use link::{LinkModel, LinkModelBuilder};
 pub use node::{Node, NodeId, Packet, Port, TimerTag};
+pub use parallel::{ParallelConfig, ParallelSimulator, ParallelStats, SimHost};
 pub use sim::{NetMetrics, NodeMetrics, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
 // Re-export the telemetry bundle so downstream crates can name it

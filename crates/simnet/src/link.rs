@@ -69,6 +69,22 @@ impl LinkModel {
         }
     }
 
+    /// A metro backbone hop between broker shards: 5 ms latency,
+    /// 1 Gbit/s, no jitter, no loss.
+    ///
+    /// This is the default cross-shard link of
+    /// [`parallel::ParallelSimulator`](crate::parallel::ParallelSimulator);
+    /// being jitter- and loss-free it contributes its full 5 ms latency
+    /// as conservative lookahead.
+    pub fn backbone() -> Self {
+        LinkModel {
+            latency: SimDuration::from_millis(5),
+            bandwidth_bps: 1_000_000_000,
+            jitter: SimDuration::ZERO,
+            loss: 0.0,
+        }
+    }
+
     /// A low-power wireless sensor hop (802.15.4-class): 5 ms latency,
     /// 250 kbit/s, 2 ms jitter, 1 % loss.
     pub fn wireless_sensor() -> Self {
@@ -98,6 +114,19 @@ impl LinkModel {
     /// Independent per-packet loss probability in `[0, 1]`.
     pub fn loss_probability(&self) -> f64 {
         self.loss
+    }
+
+    /// The earliest delay this link can ever produce, or `None` when the
+    /// link drops every packet (loss ≥ 1.0) and therefore never delivers.
+    ///
+    /// Used by the parallel runner to derive its conservative lookahead:
+    /// a cross-shard packet sampled at time `t` arrives no earlier than
+    /// `t + min_delay()`.
+    pub fn min_delay(&self) -> Option<SimDuration> {
+        if self.loss >= 1.0 {
+            return None;
+        }
+        Some(self.latency.saturating_sub(self.jitter))
     }
 
     /// Decides the fate of one packet of `wire_size` bytes: `None` if the

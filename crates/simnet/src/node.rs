@@ -5,16 +5,32 @@ use std::fmt;
 
 use crate::context::Context;
 
-/// Identifies a node within one [`Simulator`](crate::Simulator).
+/// Identifies a node within one [`Simulator`](crate::Simulator) — or,
+/// under [`parallel::ParallelSimulator`](crate::parallel::ParallelSimulator),
+/// within the whole sharded simulation.
 ///
 /// Node ids are dense indices handed out by
 /// [`Simulator::add_node`](crate::Simulator::add_node) in registration
 /// order, which keeps them stable across replays of the same scenario.
+/// A parallel simulation tags the owning shard into the top
+/// [`NodeId::SHARD_BITS`] bits, so ids stay globally unique and any
+/// shard can tell local destinations from cross-shard ones without a
+/// lookup; a stand-alone simulator uses shard 0 and its ids are plain
+/// indices, bit-for-bit as before.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
-    /// The raw index of this node.
+    /// Bits reserved for the owning shard (max 256 shards, 16.7M nodes
+    /// per shard).
+    pub const SHARD_BITS: u32 = 8;
+    /// Shift applied to a shard index when tagging it into an id.
+    pub const SHARD_SHIFT: u32 = 32 - Self::SHARD_BITS;
+    /// Mask selecting the in-shard index of an id.
+    pub const LOCAL_MASK: u32 = (1 << Self::SHARD_SHIFT) - 1;
+
+    /// The raw index of this node (shard tag included, so ids from a
+    /// parallel simulation stay unique when used as flat keys).
     pub const fn index(self) -> usize {
         self.0 as usize
     }
@@ -22,6 +38,16 @@ impl NodeId {
     /// Reconstructs a node id from a raw index (e.g. after serialization).
     pub const fn from_index(index: usize) -> Self {
         NodeId(index as u32)
+    }
+
+    /// The shard this id belongs to (0 for stand-alone simulators).
+    pub const fn shard(self) -> usize {
+        (self.0 >> Self::SHARD_SHIFT) as usize
+    }
+
+    /// The dense in-shard slot index of this id.
+    pub const fn local_index(self) -> usize {
+        (self.0 & Self::LOCAL_MASK) as usize
     }
 }
 
@@ -96,8 +122,9 @@ impl Packet {
 ///
 /// Implementors must be `'static` so the simulator can store them as trait
 /// objects and hand references back out via downcasting
-/// ([`Simulator::node_ref`](crate::Simulator::node_ref)).
-pub trait Node: Any {
+/// ([`Simulator::node_ref`](crate::Simulator::node_ref)), and `Send` so a
+/// sharded parallel run can execute each shard's nodes on its own thread.
+pub trait Node: Any + Send {
     /// Called once when the simulation starts (or when the node is added
     /// to an already-running simulation).
     fn on_start(&mut self, ctx: &mut Context<'_>) {

@@ -97,6 +97,22 @@ fn nic_time(wire_size: usize, bps: u64) -> SimDuration {
     SimDuration::from_nanos((bits / bps.max(1) as u128) as u64)
 }
 
+/// A packet bound for a node owned by another shard of a parallel
+/// simulation. The sender computed the full delivery delay (link model,
+/// sender-side slowdown, sender NIC); the destination shard applies its
+/// own ingress shaping and epoch capture when the packet is injected at
+/// a lookahead barrier.
+#[derive(Debug)]
+pub(crate) struct CrossPacket {
+    /// When the sending node handed the packet to the network.
+    pub(crate) sent: SimTime,
+    /// Arrival instant as computed by the sender (always at least one
+    /// lookahead window past `sent`).
+    pub(crate) arrival: SimTime,
+    /// The packet itself.
+    pub(crate) pkt: Packet,
+}
+
 /// A deterministic discrete-event network simulator.
 ///
 /// See the [crate-level documentation](crate) for a full example.
@@ -116,6 +132,16 @@ pub struct Simulator {
     next_timer_id: u64,
     metrics: NetMetrics,
     telemetry: Telemetry,
+    /// Shard tag minted into every id this simulator hands out. 0 for
+    /// stand-alone simulators, the shard index under a
+    /// [`ParallelSimulator`](crate::parallel::ParallelSimulator).
+    shard: u32,
+    /// Link model applied to cross-shard pairs without an explicit
+    /// override (stand-alone simulators never consult it).
+    cross_default_link: LinkModel,
+    /// Packets addressed to other shards, accumulated between lookahead
+    /// barriers and drained by the parallel runner.
+    cross_egress: Vec<CrossPacket>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -147,12 +173,94 @@ impl Simulator {
             next_timer_id: 0,
             metrics: NetMetrics::default(),
             telemetry: Telemetry::new(),
+            shard: 0,
+            cross_default_link: LinkModel::backbone(),
+            cross_egress: Vec::new(),
         }
     }
 
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The slot index of `id` when this simulator owns it, `None` when
+    /// the id belongs to another shard of a parallel simulation.
+    #[inline]
+    fn local(&self, id: NodeId) -> Option<usize> {
+        (id.0 >> NodeId::SHARD_SHIFT == self.shard).then_some((id.0 & NodeId::LOCAL_MASK) as usize)
+    }
+
+    /// Tags every id this simulator mints with `shard`. Must be called
+    /// before any node is registered.
+    pub(crate) fn set_shard(&mut self, shard: u32) {
+        assert!(self.slots.is_empty(), "set_shard before adding nodes");
+        assert!(shard < (1 << NodeId::SHARD_BITS), "shard tag out of range");
+        self.shard = shard;
+    }
+
+    /// Sets the link model applied to cross-shard pairs without an
+    /// explicit [`Simulator::set_link`] override.
+    pub(crate) fn set_cross_default_link(&mut self, model: LinkModel) {
+        self.cross_default_link = model;
+    }
+
+    /// Drains the packets addressed to other shards since the last call.
+    pub(crate) fn take_cross_egress(&mut self) -> Vec<CrossPacket> {
+        std::mem::take(&mut self.cross_egress)
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Injects a cross-shard packet collected at a lookahead barrier.
+    /// Destination-side ingress NIC shaping, gray-failure slowdown and
+    /// incarnation-epoch capture all happen here, on the authoritative
+    /// (owning) shard, so they are deterministic at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shaped arrival lands before the shard's current
+    /// time — that would mean the lookahead window was wider than the
+    /// minimum cross-shard link delay, i.e. a conservative-synchrony
+    /// violation.
+    pub(crate) fn inject_cross(&mut self, cp: CrossPacket) {
+        let CrossPacket {
+            sent,
+            mut arrival,
+            pkt,
+        } = cp;
+        if let Some(slot) = self.local(pkt.dst).and_then(|i| self.slots.get_mut(i)) {
+            // The sender could only apply its own slowdown factor; the
+            // receiving endpoint's factor stretches the in-flight delay
+            // here. Cross-shard paths therefore compound the two
+            // factors instead of taking their max — conservative, and
+            // identical at every thread count because it happens at the
+            // (deterministic) barrier injection.
+            if slot.slowdown != 1.0 {
+                let delay = arrival.since(sent);
+                arrival = sent
+                    + SimDuration::from_nanos(
+                        (delay.as_nanos() as f64 * slot.slowdown).round() as u64
+                    );
+            }
+            if let Some(bps) = slot.nic_bps {
+                let start = slot.ingress_free_at.max(arrival);
+                arrival = start + nic_time(pkt.wire_size(), bps);
+                slot.ingress_free_at = arrival;
+            }
+        }
+        assert!(
+            arrival >= self.now,
+            "cross-shard lookahead violated: arrival {} < now {} (shard {})",
+            arrival.as_nanos(),
+            self.now.as_nanos(),
+            self.shard
+        );
+        let epoch = self.epoch_of(pkt.dst);
+        self.queue.push(arrival, EventKind::Deliver { pkt, epoch });
     }
 
     /// The number of registered nodes.
@@ -172,7 +280,9 @@ impl Simulator {
             !self.names.contains_key(&name),
             "duplicate node name {name:?}"
         );
-        let id = NodeId(self.slots.len() as u32);
+        let index = self.slots.len() as u32;
+        assert!(index <= NodeId::LOCAL_MASK, "too many nodes in one shard");
+        let id = NodeId((self.shard << NodeId::SHARD_SHIFT) | index);
         self.telemetry.tracer.register_node(id.0, &name);
         let rng = self.root_rng.derive(id.0 as u64);
         self.slots.push(Slot {
@@ -198,7 +308,7 @@ impl Simulator {
     ///
     /// Panics if `id` is unknown.
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.slots[id.index()].name
+        &self.slots[self.local(id).expect("foreign node id")].name
     }
 
     /// Looks a node up by its registration name.
@@ -211,13 +321,14 @@ impl Simulator {
     /// Returns `None` if `id` is unknown, the node is currently executing a
     /// callback, or the concrete type does not match.
     pub fn node_ref<N: Node>(&self, id: NodeId) -> Option<&N> {
-        let b = self.slots.get(id.index())?.node.as_deref()?;
+        let b = self.slots.get(self.local(id)?)?.node.as_deref()?;
         (b as &dyn std::any::Any).downcast_ref::<N>()
     }
 
     /// Mutably borrows a node, downcast to its concrete type.
     pub fn node_mut<N: Node>(&mut self, id: NodeId) -> Option<&mut N> {
-        let b = self.slots.get_mut(id.index())?.node.as_deref_mut()?;
+        let i = self.local(id)?;
+        let b = self.slots.get_mut(i)?.node.as_deref_mut()?;
         (b as &mut dyn std::any::Any).downcast_mut::<N>()
     }
 
@@ -233,9 +344,17 @@ impl Simulator {
         self.links.insert((src, dst), model);
     }
 
-    /// The link model in effect from `src` to `dst`.
+    /// The link model in effect from `src` to `dst`. Pairs that span
+    /// two shards of a parallel simulation fall back to the cross-shard
+    /// default instead of the intra-shard one.
     pub fn link(&self, src: NodeId, dst: NodeId) -> &LinkModel {
-        self.links.get(&(src, dst)).unwrap_or(&self.default_link)
+        self.links.get(&(src, dst)).unwrap_or(
+            if self.local(src).is_none() || self.local(dst).is_none() {
+                &self.cross_default_link
+            } else {
+                &self.default_link
+            },
+        )
     }
 
     /// Models the node's network interface as a `bps` serializer: its
@@ -247,16 +366,19 @@ impl Simulator {
     ///
     /// Unknown ids are ignored.
     pub fn set_node_bandwidth(&mut self, id: NodeId, bps: Option<u64>) {
-        if let Some(slot) = self.slots.get_mut(id.index()) {
+        let now = self.now;
+        if let Some(slot) = self.local(id).and_then(|i| self.slots.get_mut(i)) {
             slot.nic_bps = bps;
-            slot.egress_free_at = self.now;
-            slot.ingress_free_at = self.now;
+            slot.egress_free_at = now;
+            slot.ingress_free_at = now;
         }
     }
 
     /// The modelled NIC rate of a node, when one was set.
     pub fn node_bandwidth(&self, id: NodeId) -> Option<u64> {
-        self.slots.get(id.index()).and_then(|s| s.nic_bps)
+        self.local(id)
+            .and_then(|i| self.slots.get(i))
+            .and_then(|s| s.nic_bps)
     }
 
     /// Models a gray-failed ("slow but up") node: every packet delay on
@@ -273,14 +395,16 @@ impl Simulator {
     /// Panics if `factor` is not positive.
     pub fn set_node_slowdown(&mut self, id: NodeId, factor: f64) {
         assert!(factor > 0.0, "slowdown factor must be positive");
-        if let Some(slot) = self.slots.get_mut(id.index()) {
+        if let Some(slot) = self.local(id).and_then(|i| self.slots.get_mut(i)) {
             slot.slowdown = factor;
         }
     }
 
     /// The node's current gray-failure slowdown factor (1.0 = normal).
     pub fn node_slowdown(&self, id: NodeId) -> f64 {
-        self.slots.get(id.index()).map_or(1.0, |s| s.slowdown)
+        self.local(id)
+            .and_then(|i| self.slots.get(i))
+            .map_or(1.0, |s| s.slowdown)
     }
 
     /// Injects a packet from outside the simulation (src = dst loopback
@@ -320,14 +444,18 @@ impl Simulator {
     }
 
     fn epoch_of(&self, id: NodeId) -> u32 {
-        self.slots.get(id.index()).map_or(0, |s| s.epoch)
+        self.local(id)
+            .and_then(|i| self.slots.get(i))
+            .map_or(0, |s| s.epoch)
     }
 
     /// Whether the node is currently up (i.e. not crashed).
     ///
     /// Unknown ids report `false`.
     pub fn is_up(&self, id: NodeId) -> bool {
-        self.slots.get(id.index()).is_some_and(|s| s.up)
+        self.local(id)
+            .and_then(|i| self.slots.get(i))
+            .is_some_and(|s| s.up)
     }
 
     /// Crashes a node: from now until a [`Simulator::restart`] completes,
@@ -340,7 +468,8 @@ impl Simulator {
     /// Crashing an already-down node is a no-op. The fault is counted and
     /// recorded into the telemetry trace stream.
     pub fn crash(&mut self, id: NodeId) {
-        let Some(slot) = self.slots.get_mut(id.index()) else {
+        let Some(i) = self.local(id) else { return };
+        let Some(slot) = self.slots.get_mut(i) else {
             return;
         };
         if !slot.up {
@@ -356,7 +485,7 @@ impl Simulator {
             id.0,
             "chaos.crash",
             trace,
-            format!("node={}", self.slots[id.index()].name),
+            format!("node={}", self.slots[i].name),
         );
     }
 
@@ -440,7 +569,7 @@ impl Simulator {
     ///
     /// Panics if `id` is unknown.
     pub fn node_metrics(&self, id: NodeId) -> NodeMetrics {
-        self.slots[id.index()].metrics
+        self.slots[self.local(id).expect("foreign node id")].metrics
     }
 
     /// Resets all traffic counters (network-wide and per node) to zero.
@@ -478,31 +607,33 @@ impl Simulator {
                 }
             }
             EventKind::Restart(id) => {
-                let Some(slot) = self.slots.get_mut(id.index()) else {
+                let now = self.now;
+                let Some(slot) = self.local(id).and_then(|i| self.slots.get_mut(i)) else {
                     return Some(self.now);
                 };
                 if !slot.up {
                     slot.up = true;
                     // A rebooted node's NIC queues died with the process.
-                    slot.egress_free_at = self.now;
-                    slot.ingress_free_at = self.now;
+                    slot.egress_free_at = now;
+                    slot.ingress_free_at = now;
                     self.metrics.restarts += 1;
                     self.telemetry.metrics.incr("chaos.restart");
                     let trace = self.telemetry.tracer.next_trace_id();
+                    let i = self.local(id).expect("just matched");
                     self.telemetry.tracer.record(
                         self.now.as_nanos(),
                         id.0,
                         "chaos.restart",
                         trace,
-                        format!("node={}", self.slots[id.index()].name),
+                        format!("node={}", self.slots[i].name),
                     );
                     self.dispatch(id, |node, ctx| node.on_restart(ctx));
                 }
             }
             EventKind::Deliver { pkt, epoch } => {
                 let dst = pkt.dst;
-                if dst.index() < self.slots.len() {
-                    let slot = &self.slots[dst.index()];
+                if let Some(di) = self.local(dst).filter(|&i| i < self.slots.len()) {
+                    let slot = &self.slots[di];
                     if !slot.up || slot.epoch != epoch {
                         // The destination crashed (or rebooted) while the
                         // packet was in flight: it evaporates.
@@ -520,8 +651,8 @@ impl Simulator {
                         return Some(self.now);
                     }
                     let wire = pkt.wire_size() as u64;
-                    self.slots[dst.index()].metrics.packets_received += 1;
-                    self.slots[dst.index()].metrics.bytes_received += wire;
+                    self.slots[di].metrics.packets_received += 1;
+                    self.slots[di].metrics.bytes_received += wire;
                     self.metrics.packets_delivered += 1;
                     self.metrics.bytes_delivered += wire;
                     self.telemetry.metrics.incr("net.packets_delivered");
@@ -544,8 +675,8 @@ impl Simulator {
                 epoch,
             } => {
                 let stale = self
-                    .slots
-                    .get(node.index())
+                    .local(node)
+                    .and_then(|i| self.slots.get(i))
                     .is_none_or(|s| !s.up || s.epoch != epoch);
                 if self.cancelled_timers.remove(&timer_id) {
                     self.telemetry.metrics.incr("net.timers_cancelled");
@@ -619,12 +750,13 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Context<'_>)) {
-        let Some(mut node) = self.slots.get_mut(id.index()).and_then(|s| s.node.take()) else {
+        let Some(i) = self.local(id) else { return };
+        let Some(mut node) = self.slots.get_mut(i).and_then(|s| s.node.take()) else {
             return;
         };
         let mut effects = Vec::new();
         {
-            let slot = &mut self.slots[id.index()];
+            let slot = &mut self.slots[i];
             let mut ctx = Context {
                 now: self.now,
                 node: id,
@@ -635,11 +767,12 @@ impl Simulator {
             };
             f(node.as_mut(), &mut ctx);
         }
-        self.slots[id.index()].node = Some(node);
+        self.slots[i].node = Some(node);
         self.apply_effects(id, effects);
     }
 
     fn apply_effects(&mut self, src: NodeId, effects: Vec<Effect>) {
+        let si = self.local(src).expect("effects come from a local node");
         for effect in effects {
             match effect {
                 Effect::Send {
@@ -658,7 +791,7 @@ impl Simulator {
                         span,
                     };
                     let wire = pkt.wire_size() as u64;
-                    let m = &mut self.slots[src.index()].metrics;
+                    let m = &mut self.slots[si].metrics;
                     m.packets_sent += 1;
                     m.bytes_sent += wire;
                     self.metrics.packets_sent += 1;
@@ -699,10 +832,16 @@ impl Simulator {
                         Some(mut delay) => {
                             // Gray failure: the path is as slow as its
                             // slowest endpoint. With every factor at the
-                            // default 1.0 this is exact identity.
-                            let factor = self.slots[src.index()]
-                                .slowdown
-                                .max(self.slots.get(pkt.dst.index()).map_or(1.0, |s| s.slowdown));
+                            // default 1.0 this is exact identity. A
+                            // cross-shard destination has no slot here;
+                            // its factor is applied by the owning shard
+                            // at barrier injection.
+                            let dst_local = self.local(pkt.dst);
+                            let factor = self.slots[si].slowdown.max(
+                                dst_local
+                                    .and_then(|i| self.slots.get(i))
+                                    .map_or(1.0, |s| s.slowdown),
+                            );
                             if factor != 1.0 {
                                 delay = SimDuration::from_nanos(
                                     (delay.as_nanos() as f64 * factor).round() as u64,
@@ -717,15 +856,15 @@ impl Simulator {
                             // NIC has drained it.
                             let mut depart = self.now;
                             if src != dst {
-                                if let Some(bps) = self.slots[src.index()].nic_bps {
-                                    let start = self.slots[src.index()].egress_free_at.max(depart);
+                                if let Some(bps) = self.slots[si].nic_bps {
+                                    let start = self.slots[si].egress_free_at.max(depart);
                                     depart = start + nic_time(pkt.wire_size(), bps);
-                                    self.slots[src.index()].egress_free_at = depart;
+                                    self.slots[si].egress_free_at = depart;
                                 }
                             }
                             let mut arrival = depart + delay;
                             if src != dst {
-                                if let Some(slot) = self.slots.get_mut(pkt.dst.index()) {
+                                if let Some(slot) = dst_local.and_then(|i| self.slots.get_mut(i)) {
                                     if let Some(bps) = slot.nic_bps {
                                         let start = slot.ingress_free_at.max(arrival);
                                         arrival = start + nic_time(pkt.wire_size(), bps);
@@ -739,11 +878,22 @@ impl Simulator {
                                     .metrics
                                     .observe_ns("net.nic_wait_ns", nic_wait.as_nanos());
                             }
-                            let epoch = self.epoch_of(pkt.dst);
-                            self.queue.push(arrival, EventKind::Deliver { pkt, epoch });
+                            if dst_local.is_none() {
+                                // Another shard owns the destination:
+                                // park the packet for the next lookahead
+                                // barrier instead of the local queue.
+                                self.cross_egress.push(CrossPacket {
+                                    sent: self.now,
+                                    arrival,
+                                    pkt,
+                                });
+                            } else {
+                                let epoch = self.epoch_of(pkt.dst);
+                                self.queue.push(arrival, EventKind::Deliver { pkt, epoch });
+                            }
                         }
                         None => {
-                            self.slots[src.index()].metrics.packets_lost += 1;
+                            self.slots[si].metrics.packets_lost += 1;
                             self.metrics.packets_lost += 1;
                             self.telemetry.metrics.incr("net.packets_lost");
                             if pkt.trace != 0 {

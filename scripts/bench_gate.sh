@@ -11,9 +11,13 @@
 # 100 ns — the flat 100 ns term keeps sub-microsecond benches from
 # tripping on jitter.
 #
-# The gate also runs the E13 smoke once and records its SLO attainment
-# fields (one `{"slo":...}` line per objective) alongside the bench
-# medians; a run whose SLO comes back unmet fails the gate outright.
+# The gate also runs the E13 smoke once (at --threads 4, which makes it
+# measure the parallel-runner speedup against a single-threaded re-run
+# of the same seed) and records its SLO attainment fields (one
+# `{"slo":...}` line per objective) plus one `{"e13":"speedup"}` record
+# alongside the bench medians; a run whose SLO comes back unmet fails
+# the gate outright, and the measured speedup may not fall below 75% of
+# the committed value.
 # The E14 overload smoke rides along the same way: its per-load-point
 # records are kept in the baseline, any `"conserved":false` fails the
 # gate immediately, and goodput at the 2x-capacity point may not
@@ -29,7 +33,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BASELINE="results/BENCH_pr9.json"
+BASELINE="results/BENCH_pr10.json"
 BENCHES=(topic_matching streams wire_codecs tskv)
 
 raw="$(mktemp)"
@@ -48,9 +52,9 @@ for _ in $(seq 1 "$passes"); do
     done
 done
 
-echo "== bench_gate: E13 smoke for SLO attainment"
+echo "== bench_gate: E13 smoke for SLO attainment + parallel speedup"
 DIMMER_E13_SMOKE=1 DIMMER_E13_JSON="$slo" \
-    cargo run -q --release -p dimmer-bench --bin e13_city_scale >/dev/null
+    cargo run -q --release -p dimmer-bench --bin e13_city_scale -- --threads 4 >/dev/null
 if [[ ! -s "$slo" ]]; then
     echo "bench_gate: E13 emitted no SLO records" >&2
     exit 1
@@ -147,6 +151,32 @@ else
     printf 'ok       %-40s %12s -> %12s qps (limit %s)\n' \
         e14_goodput_at_2x "$base_goodput" "$now_goodput" \
         "$(awk -v b="$base_goodput" 'BEGIN { printf "%.1f", b * 0.75 }')"
+fi
+
+# Parallel-speedup gate: the 4-thread E13 smoke may not lose more than
+# 25% of the committed wall-clock speedup over --threads 1. (On a
+# single-core runner the committed value is ~1x or below — barrier
+# overhead with no parallelism — so the gate stays self-consistent;
+# multi-core speedups are gated once a multi-core baseline is
+# committed.)
+base_speedup="$(grep '"e13":"speedup"' "$BASELINE" \
+    | sed -E 's/.*"speedup":([0-9.]+).*/\1/' | head -n1)"
+now_speedup="$(grep '"e13":"speedup"' "$slo" \
+    | sed -E 's/.*"speedup":([0-9.]+).*/\1/' | head -n1)"
+if [[ -z "$now_speedup" ]]; then
+    echo "bench_gate: E13 smoke produced no speedup record" >&2
+    exit 1
+fi
+if [[ -z "$base_speedup" ]]; then
+    echo "new      e13_parallel_speedup $now_speedup x (no baseline — commit one with --update)"
+elif awk -v b="$base_speedup" -v n="$now_speedup" \
+        'BEGIN { exit (n < b * 0.75) ? 0 : 1 }'; then
+    echo "bench_gate: E13 parallel speedup regressed >25%: ${base_speedup}x -> ${now_speedup}x" >&2
+    exit 1
+else
+    printf 'ok       %-40s %12s -> %12s x   (limit %s)\n' \
+        e13_parallel_speedup "$base_speedup" "$now_speedup" \
+        "$(awk -v b="$base_speedup" 'BEGIN { printf "%.2f", b * 0.75 }')"
 fi
 
 if awk -F'"' '

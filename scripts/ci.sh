@@ -12,10 +12,13 @@
 #                    Defaults to 2; set 0 to skip.
 #   DIMMER_BENCH=1   additionally run the perf-regression gate
 #                    (scripts/bench_gate.sh) against the committed
-#                    baseline in results/BENCH_pr9.json.
+#                    baseline it names in its BASELINE variable.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# The perf baseline lives in one place: bench_gate.sh's BASELINE line.
+baseline="$(sed -n 's/^BASELINE="\(.*\)"$/\1/p' scripts/bench_gate.sh)"
 
 echo "== metric-name lint (docs/metrics.txt)"
 # Static metric names used in crates/*/src (test mods stripped — the
@@ -25,7 +28,9 @@ echo "== metric-name lint (docs/metrics.txt)"
 # documented as comments in the inventory and invisible to this grep.
 used="$(mktemp)"
 listed="$(mktemp)"
-trap 'rm -f "$used" "$listed"' EXIT
+e13a="$(mktemp)"
+e13b="$(mktemp)"
+trap 'rm -f "$used" "$listed" "$e13a" "$e13b"' EXIT
 for f in $(find crates -path '*/src/*.rs' | sort); do
     awk '/#\[cfg\(test\)\]/{exit} {print}' "$f"
 done | tr '\n' ' ' \
@@ -63,8 +68,26 @@ if [[ "$seeds" -gt 0 ]]; then
     done
 fi
 
-echo "== e13 city-scale smoke (500 buildings)"
-DIMMER_E13_SMOKE=1 cargo run -q -p dimmer-bench --bin e13_city_scale
+echo "== thread matrix: chaos + parallel suites under 1 and 4 worker threads"
+for t in 1 4; do
+    echo "-- DIMMER_THREADS=$t"
+    DIMMER_THREADS="$t" cargo test -q --test chaos --test parallel
+done
+
+echo "== e13 city-scale smoke + determinism gate (--threads 1 vs 4, same seed)"
+DIMMER_E13_SMOKE=1 DIMMER_SEED="${DIMMER_SEED:-0}" \
+    cargo run -q -p dimmer-bench --bin e13_city_scale -- --threads 1 | tee "$e13a"
+DIMMER_E13_SMOKE=1 DIMMER_SEED="${DIMMER_SEED:-0}" \
+    cargo run -q -p dimmer-bench --bin e13_city_scale -- --threads 4 > "$e13b"
+d1="$(grep '^e13-digest' "$e13a" | sed -E 's/.* digest=(0x[0-9a-f]+).*/\1/')"
+d4="$(grep '^e13-digest' "$e13b" | sed -E 's/.* digest=(0x[0-9a-f]+).*/\1/')"
+if [[ -z "$d1" || "$d1" != "$d4" ]]; then
+    echo "determinism gate: flight-recorder digests differ across thread counts" >&2
+    echo "  --threads 1: ${d1:-<missing>}" >&2
+    echo "  --threads 4: ${d4:-<missing>}" >&2
+    exit 1
+fi
+echo "determinism gate: ok (digest $d1 at both --threads 1 and --threads 4)"
 
 echo "== e14 overload smoke (sweep + gray failure)"
 DIMMER_E14_SMOKE=1 cargo run -q -p dimmer-bench --bin e14_overload
@@ -73,7 +96,7 @@ echo "== e15 storage smoke (compression + recovery + crash sweep)"
 DIMMER_E15_SMOKE=1 cargo run -q -p dimmer-bench --bin e15_storage
 
 if [[ "${DIMMER_BENCH:-0}" == "1" ]]; then
-    echo "== perf-regression gate"
+    echo "== perf-regression gate (baseline: $baseline)"
     scripts/bench_gate.sh
 fi
 
